@@ -1,0 +1,91 @@
+// Ablation — block sharing, the paper's central memory mechanism:
+// evaluate the same OffloaDNN solutions under (a) the paper's shared-once
+// memory accounting (auxiliary m(s), constraint (1b)) and (b) per-task
+// accounting (every admitted task pays its full path — what a system
+// without sharing would consume). Also solve with sharing disabled
+// *during* optimization by inflating the instance to per-task blocks.
+#include <iostream>
+
+#include "core/offloadnn_solver.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+namespace {
+
+// Clone the instance with every path rewritten onto private copies of its
+// blocks: structurally identical costs, but nothing shareable.
+odn::core::DotInstance without_sharing(const odn::core::DotInstance& base) {
+  odn::core::DotInstance instance;
+  instance.name = base.name + "-nosharing";
+  instance.resources = base.resources;
+  instance.radio = base.radio;
+  instance.alpha = base.alpha;
+  for (const auto& task : base.tasks) {
+    odn::core::DotTask copy;
+    copy.spec = task.spec;
+    for (const auto& option : task.options) {
+      odn::core::PathOption fresh;
+      fresh.quality_index = option.quality_index;
+      fresh.path.name = option.path.name;
+      fresh.path.accuracy = option.path.accuracy;
+      for (const auto block_index : option.path.blocks) {
+        odn::edge::CatalogBlock block = base.catalog.block(block_index);
+        block.name += "/private";
+        fresh.path.blocks.push_back(
+            instance.catalog.add_block(std::move(block)));
+      }
+      copy.options.push_back(std::move(fresh));
+    }
+    instance.tasks.push_back(std::move(copy));
+  }
+  instance.finalize();
+  return instance;
+}
+
+}  // namespace
+
+int main() {
+  using namespace odn;
+
+  std::cout << "=== Ablation: DNN block sharing ===\n\n";
+
+  const struct {
+    core::RequestRate rate;
+    const char* label;
+  } kLevels[] = {{core::RequestRate::kLow, "low"},
+                 {core::RequestRate::kMedium, "medium"},
+                 {core::RequestRate::kHigh, "high"}};
+
+  util::Table table("Memory and admission with vs without block sharing");
+  table.set_header({"rate", "mem shared [GB]", "mem per-task acct [GB]",
+                    "mem no-sharing solve [GB]", "tasks shared",
+                    "tasks no-sharing"});
+
+  for (const auto& level : kLevels) {
+    const core::DotInstance instance = core::make_large_scenario(level.rate);
+    const core::DotSolution shared =
+        core::OffloadnnSolver{}.solve(instance);
+    // Same decisions, accounted as if nothing were shared.
+    const core::CostBreakdown per_task_accounting =
+        core::DotEvaluator(instance, core::MemoryAccounting::kPerTask)
+            .evaluate(shared.decisions);
+    // Sharing structurally removed before solving.
+    const core::DotInstance isolated = without_sharing(instance);
+    const core::DotSolution no_sharing =
+        core::OffloadnnSolver{}.solve(isolated);
+
+    table.add_row(
+        {level.label,
+         util::Table::num(shared.cost.memory_bytes / 1e9, 2),
+         util::Table::num(per_task_accounting.memory_bytes / 1e9, 2),
+         util::Table::num(no_sharing.cost.memory_bytes / 1e9, 2),
+         std::to_string(shared.cost.admitted_tasks),
+         std::to_string(no_sharing.cost.admitted_tasks)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: counting shared blocks once is what keeps "
+               "OffloaDNN's footprint flat as tasks multiply; removing "
+               "sharing inflates memory by the task count and forces "
+               "per-task training of every block.\n";
+  return 0;
+}

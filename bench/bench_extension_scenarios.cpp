@@ -1,0 +1,84 @@
+// Extension experiments beyond the paper's evaluation:
+//   1. quality-adaptive OffloaDNN — DOT chooses the input quality level
+//      jointly with the DNN structure (the paper fixes q_τ per task);
+//   2. heterogeneous SNR — the large scenario over an LTE cell where
+//      per-device channel quality spans cell-center to cell-edge.
+#include <iostream>
+
+#include "baseline/semoran.h"
+#include "core/offloadnn_solver.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+int main() {
+  using namespace odn;
+
+  std::cout << "=== Extension experiments ===\n\n";
+
+  const struct {
+    core::RequestRate rate;
+    const char* label;
+  } kLevels[] = {{core::RequestRate::kLow, "low"},
+                 {core::RequestRate::kMedium, "medium"},
+                 {core::RequestRate::kHigh, "high"}};
+
+  {
+    util::Table table(
+        "1. Quality-adaptive paths: fixed q (paper) vs joint optimization");
+    table.set_header({"rate", "wadm fixed", "wadm adaptive", "RB fixed",
+                      "RB adaptive", "tasks fixed", "tasks adaptive"});
+    for (const auto& level : kLevels) {
+      const core::DotInstance fixed_q = core::make_large_scenario(level.rate);
+      core::ScenarioOptions adaptive_options;
+      adaptive_options.quality_adaptive_paths = true;
+      const core::DotInstance adaptive_q =
+          core::make_large_scenario(level.rate, adaptive_options);
+      const core::CostBreakdown fixed =
+          core::OffloadnnSolver{}.solve(fixed_q).cost;
+      const core::CostBreakdown adaptive =
+          core::OffloadnnSolver{}.solve(adaptive_q).cost;
+      table.add_row({level.label,
+                     util::Table::num(fixed.weighted_admission, 2),
+                     util::Table::num(adaptive.weighted_admission, 2),
+                     util::Table::num(fixed.radio_fraction, 2),
+                     util::Table::num(adaptive.radio_fraction, 2),
+                     std::to_string(fixed.admitted_tasks),
+                     std::to_string(adaptive.admitted_tasks)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: joint quality optimization pays off exactly "
+                 "where the paper's radio bottleneck bites (high load) — "
+                 "compressed inputs buy admission for the fractional "
+                 "tail.\n\n";
+  }
+
+  {
+    util::Table table(
+        "2. Heterogeneous SNR (LTE cell): OffloaDNN vs SEM-O-RAN");
+    table.set_header({"rate", "wadm O", "wadm S", "tasks O", "tasks S",
+                      "RB frac O", "RB frac S", "mem frac O", "mem frac S"});
+    for (const auto& level : kLevels) {
+      const core::DotInstance instance =
+          core::make_heterogeneous_snr_scenario(level.rate);
+      const core::CostBreakdown ours =
+          core::OffloadnnSolver{}.solve(instance).cost;
+      const core::CostBreakdown theirs =
+          baseline::SemOranSolver{}.solve(instance).cost;
+      table.add_row({level.label,
+                     util::Table::num(ours.weighted_admission, 2),
+                     util::Table::num(theirs.weighted_admission, 2),
+                     std::to_string(ours.admitted_tasks),
+                     std::to_string(theirs.admitted_tasks),
+                     util::Table::num(ours.radio_fraction, 2),
+                     util::Table::num(theirs.radio_fraction, 2),
+                     util::Table::num(ours.memory_fraction, 3),
+                     util::Table::num(theirs.memory_fraction, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: with B(σ) from the CQI table, cell-edge tasks "
+                 "need several times the RBs per request; partial "
+                 "admission (OffloaDNN) degrades them gracefully where "
+                 "binary admission (SEM-O-RAN) drops them entirely.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Fig. 10 reproduction — large-scale scenario, OffloaDNN vs SEM-O-RAN as
+// the task request rate varies:
+//   (left)         weighted tasks admission ratio
+//   (center-left)  RBs allocated, normalized to R
+//   (center-right) total memory for active DNNs, normalized to M
+//   (right)        total inference compute usage, normalized to C
+// plus the per-rate DOT cost / training cost rows the paper reports in
+// text and the headline summary (admission uplift, memory / compute /
+// radio savings).
+#include <iostream>
+#include <vector>
+
+#include "baseline/semoran.h"
+#include "core/offloadnn_solver.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+int main() {
+  using namespace odn;
+
+  std::cout << "=== Fig. 10: OffloaDNN vs SEM-O-RAN, large scenario ===\n\n";
+
+  const struct {
+    core::RequestRate rate;
+    const char* label;
+  } kLevels[] = {{core::RequestRate::kLow, "low"},
+                 {core::RequestRate::kMedium, "medium"},
+                 {core::RequestRate::kHigh, "high"}};
+
+  std::vector<core::CostBreakdown> ours;
+  std::vector<core::CostBreakdown> theirs;
+  for (const auto& level : kLevels) {
+    const core::DotInstance instance = core::make_large_scenario(level.rate);
+    ours.push_back(core::OffloadnnSolver{}.solve(instance).cost);
+    theirs.push_back(baseline::SemOranSolver{}.solve(instance).cost);
+  }
+
+  util::Table table("Fig. 10 panels (O = OffloaDNN, S = SEM-O-RAN)");
+  table.set_header({"rate", "wadm O", "wadm S", "RB frac O", "RB frac S",
+                    "mem frac O", "mem frac S", "infer O", "infer S",
+                    "tasks O", "tasks S"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    table.add_row({kLevels[i].label,
+                   util::Table::num(ours[i].weighted_admission, 2),
+                   util::Table::num(theirs[i].weighted_admission, 2),
+                   util::Table::num(ours[i].radio_fraction, 2),
+                   util::Table::num(theirs[i].radio_fraction, 2),
+                   util::Table::num(ours[i].memory_fraction, 3),
+                   util::Table::num(theirs[i].memory_fraction, 3),
+                   util::Table::num(ours[i].inference_fraction, 3),
+                   util::Table::num(theirs[i].inference_fraction, 3),
+                   std::to_string(ours[i].admitted_tasks),
+                   std::to_string(theirs[i].admitted_tasks)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+
+  // Text rows: "total DOT cost: [0.35, 0.44, 0.74], training cost:
+  // [0.81, 0.81, 0.67] for low, medium, high".
+  util::Table text_table(
+      "Sec. V-A text rows (OffloaDNN): DOT cost and training cost");
+  text_table.set_header({"rate", "total DOT cost", "training cost (/Ct)"});
+  for (std::size_t i = 0; i < 3; ++i)
+    text_table.add_row({kLevels[i].label,
+                        util::Table::num(ours[i].objective, 2),
+                        util::Table::num(ours[i].training_fraction, 2)});
+  text_table.print(std::cout);
+  std::cout << '\n';
+
+  // Headline summary over the three load levels.
+  double our_tasks = 0.0;
+  double their_tasks = 0.0;
+  double our_memory = 0.0;
+  double their_memory = 0.0;
+  double our_radio = 0.0;
+  double their_radio = 0.0;
+  double our_inference_per_req = 0.0;
+  double their_inference_per_req = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    our_tasks += static_cast<double>(ours[i].admitted_tasks);
+    their_tasks += static_cast<double>(theirs[i].admitted_tasks);
+    our_memory += ours[i].memory_bytes;
+    their_memory += theirs[i].memory_bytes;
+    our_radio += ours[i].radio_fraction;
+    their_radio += theirs[i].radio_fraction;
+    // Per-admitted-request inference compute (the "per-inference computing
+    // time" the abstract quotes).
+    our_inference_per_req +=
+        ours[i].inference_compute_s /
+        std::max(1e-9, ours[i].weighted_admission);
+    their_inference_per_req +=
+        theirs[i].inference_compute_s /
+        std::max(1e-9, theirs[i].weighted_admission);
+  }
+
+  util::Table headline("Headline summary (paper: +26.9% tasks, -82.5% "
+                       "memory, -77.3% inference compute, -4.4% radio)");
+  headline.set_header({"metric", "measured", "paper"});
+  headline.add_row({"admitted tasks uplift",
+                    util::Table::pct(our_tasks / their_tasks - 1.0, 1),
+                    "+26.9%"});
+  headline.add_row({"memory saving",
+                    util::Table::pct(1.0 - our_memory / their_memory, 1),
+                    "82.5%"});
+  headline.add_row(
+      {"per-inference compute saving",
+       util::Table::pct(1.0 - our_inference_per_req /
+                                  their_inference_per_req,
+                        1),
+       "77.3%"});
+  headline.add_row({"radio saving",
+                    util::Table::pct(1.0 - our_radio / their_radio, 1),
+                    "4.4%"});
+  headline.print(std::cout);
+  return 0;
+}

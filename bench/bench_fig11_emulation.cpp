@@ -1,0 +1,105 @@
+// Fig. 11 reproduction — real-world validation, Colosseum substitute:
+// the small-scale scenario is admitted by the OffloaDNN controller, then
+// the discrete-event emulator drives 20 s of UE traffic over the allocated
+// radio slices and the GPU executor pool. The table reports, per task, the
+// time evolution of end-to-end latency (moving average, window 3, as in
+// the paper's plot) against the task's maximum latency target.
+#include <iostream>
+
+#include "core/controller.h"
+#include "core/scenarios.h"
+#include "sim/emulator.h"
+#include "sim/scope_config.h"
+#include "util/table.h"
+
+int main() {
+  using namespace odn;
+
+  std::cout << "=== Fig. 11: end-to-end latency on the edge emulator ===\n"
+            << "(Colosseum substitute; 100-RB cell, 5 UE task generators, "
+               "20 s horizon)\n\n";
+
+  // Colosseum setup: a 20 MHz cell (100 RBs) serving the small-scenario
+  // tasks; everything else per Table IV.
+  core::DotInstance instance = core::make_small_scenario(5);
+  instance.resources.total_rbs = 100;
+  instance.finalize();
+
+  core::OffloadnnController controller(instance.resources, instance.radio);
+  const core::DeploymentPlan plan =
+      controller.admit(instance.catalog, instance.tasks);
+
+  util::Table plan_table("Controller output (steps 3-6 of the workflow)");
+  plan_table.set_header({"task", "admitted rate [req/s]", "slice RBs",
+                         "expected latency [s]", "target L [s]",
+                         "path accuracy"});
+  for (const core::TaskPlan& task : plan.tasks) {
+    plan_table.add_row({task.task_name,
+                        util::Table::num(task.admitted_rate, 2),
+                        std::to_string(task.slice_rbs),
+                        util::Table::num(task.expected_latency_s, 3),
+                        util::Table::num(task.latency_bound_s, 3),
+                        util::Table::num(task.accuracy, 3)});
+  }
+  plan_table.print(std::cout);
+  std::cout << '\n';
+
+  // Step 4 artifact: the slice configuration a SCOPE-driven vRAN would
+  // consume (paper: "the RB allocation is set through SCOPE").
+  sim::ScopeConfigOptions scope_options;
+  scope_options.total_rbs = instance.resources.total_rbs;
+  std::cout << sim::scope_config_string(plan, scope_options) << '\n';
+
+  sim::EmulatorOptions options;
+  options.duration_s = 20.0;
+  sim::EdgeEmulator emulator(plan, instance.radio,
+                             instance.resources.compute_capacity_s, options);
+  const sim::EmulationReport report = emulator.run();
+
+  util::Table trace_table(
+      "End-to-end latency [s] over time (moving average, window 3)");
+  {
+    std::vector<std::string> header{"t [s]"};
+    for (const sim::TaskTrace& trace : report.tasks)
+      header.push_back(trace.task_name);
+    trace_table.set_header(std::move(header));
+    // Sample the smoothed traces at 2-second marks.
+    std::vector<std::vector<double>> smoothed;
+    for (const sim::TaskTrace& trace : report.tasks)
+      smoothed.push_back(trace.smoothed_latencies(3));
+    for (double mark = 2.0; mark <= 20.0; mark += 2.0) {
+      std::vector<std::string> row{util::Table::num(mark, 0)};
+      for (std::size_t i = 0; i < report.tasks.size(); ++i) {
+        // Latest sample completed before the mark.
+        const auto& samples = report.tasks[i].samples;
+        std::size_t index = 0;
+        for (std::size_t s = 0; s < samples.size(); ++s)
+          if (samples[s].completion_time_s <= mark) index = s;
+        row.push_back(util::Table::num(smoothed[i][index], 3));
+      }
+      trace_table.add_row(std::move(row));
+    }
+  }
+  trace_table.print(std::cout);
+  std::cout << '\n';
+
+  util::Table summary("Per-task latency summary vs target");
+  summary.set_header({"task", "requests", "mean [s]", "p95 [s]", "max [s]",
+                      "target [s]", "violations"});
+  for (const sim::TaskTrace& trace : report.tasks) {
+    summary.add_row({trace.task_name, std::to_string(trace.samples.size()),
+                     util::Table::num(trace.mean_latency_s(), 3),
+                     util::Table::num(trace.p95_latency_s(), 3),
+                     util::Table::num(trace.max_latency_s(), 3),
+                     util::Table::num(trace.latency_bound_s, 3),
+                     std::to_string(trace.bound_violations())});
+  }
+  summary.print(std::cout);
+  std::cout << "\nGPU executor busy fraction: "
+            << util::Table::pct(report.gpu_busy_fraction, 1)
+            << "; total requests served: " << report.total_requests
+            << "; total SLO violations: " << report.total_violations()
+            << "\nPaper shape: every task's latency trace sits below its "
+               "diamond-marked target for the whole run.\n";
+  return 0;
+}

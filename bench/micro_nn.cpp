@@ -1,0 +1,150 @@
+// Google-benchmark microbenchmarks for the DNN substrate hot paths:
+// convolution forward/backward, full scaled-ResNet inference, training
+// step and the block profiler.
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "nn/profiler.h"
+#include "nn/resnet.h"
+
+namespace {
+
+using namespace odn;
+
+nn::Tensor random_input(nn::Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor tensor(std::move(shape));
+  for (float& x : tensor.data()) x = static_cast<float>(rng.uniform());
+  return tensor;
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(1);
+  nn::Conv2d conv(16, 16, 3, 1, 1);
+  conv.init_parameters(rng);
+  const nn::Tensor input = random_input({1, 16, 16, 16}, 2);
+  for (auto _ : state) {
+    auto output = conv.forward(input, false);
+    benchmark::DoNotOptimize(output.data().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(conv.macs_per_sample(16, 16)));
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dForwardIm2col(benchmark::State& state) {
+  util::Rng rng(1);
+  nn::Conv2d conv(16, 16, 3, 1, 1);
+  conv.init_parameters(rng);
+  conv.set_algorithm(nn::ConvAlgorithm::kIm2col);
+  const nn::Tensor input = random_input({1, 16, 16, 16}, 2);
+  for (auto _ : state) {
+    auto output = conv.forward(input, false);
+    benchmark::DoNotOptimize(output.data().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(conv.macs_per_sample(16, 16)));
+}
+BENCHMARK(BM_Conv2dForwardIm2col);
+
+void BM_Conv2dForwardWide(benchmark::State& state) {
+  // Wider layer where the GEMM path is expected to shine.
+  util::Rng rng(1);
+  nn::Conv2d conv(64, 64, 3, 1, 1);
+  conv.init_parameters(rng);
+  conv.set_algorithm(state.range(0) == 0 ? nn::ConvAlgorithm::kDirect
+                                         : nn::ConvAlgorithm::kIm2col);
+  const nn::Tensor input = random_input({1, 64, 8, 8}, 2);
+  for (auto _ : state) {
+    auto output = conv.forward(input, false);
+    benchmark::DoNotOptimize(output.data().data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardWide)->Arg(0)->Arg(1);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Conv2d conv(16, 16, 3, 1, 1);
+  conv.init_parameters(rng);
+  const nn::Tensor input = random_input({1, 16, 16, 16}, 4);
+  const nn::Tensor grad = random_input({1, 16, 16, 16}, 5);
+  (void)conv.forward(input, true);
+  for (auto _ : state) {
+    auto grad_input = conv.backward(grad);
+    benchmark::DoNotOptimize(grad_input.data().data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_ResNetInference(benchmark::State& state) {
+  util::Rng rng(6);
+  nn::ResNetConfig config;
+  config.base_width = 8;
+  config.input_size = 16;
+  config.num_classes = 9;
+  nn::ResNet model(config, rng);
+  const nn::Tensor input =
+      random_input({static_cast<std::size_t>(state.range(0)), 3, 16, 16}, 7);
+  for (auto _ : state) {
+    auto logits = model.forward(input, false);
+    benchmark::DoNotOptimize(logits.data().data());
+  }
+}
+BENCHMARK(BM_ResNetInference)->Arg(1)->Arg(8);
+
+void BM_ResNetPrunedInference(benchmark::State& state) {
+  util::Rng rng(8);
+  nn::ResNetConfig config;
+  config.base_width = 8;
+  config.input_size = 16;
+  config.num_classes = 9;
+  nn::ResNet model(config, rng);
+  model.prune_stages(0, 0.2);
+  const nn::Tensor input = random_input({1, 3, 16, 16}, 9);
+  for (auto _ : state) {
+    auto logits = model.forward(input, false);
+    benchmark::DoNotOptimize(logits.data().data());
+  }
+}
+BENCHMARK(BM_ResNetPrunedInference);
+
+void BM_ResNetTrainingStep(benchmark::State& state) {
+  util::Rng rng(10);
+  nn::ResNetConfig config;
+  config.base_width = 8;
+  config.input_size = 16;
+  config.num_classes = 9;
+  nn::ResNet model(config, rng);
+  const nn::Tensor input = random_input({8, 3, 16, 16}, 11);
+  const std::vector<std::uint16_t> labels(8, 3);
+  for (auto _ : state) {
+    const nn::Tensor logits = model.forward(input, true);
+    const nn::LossResult loss = nn::cross_entropy(logits, labels);
+    model.backward(loss.grad_logits);
+    model.zero_grad();
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_ResNetTrainingStep);
+
+void BM_Profiler(benchmark::State& state) {
+  util::Rng rng(12);
+  nn::ResNetConfig config;
+  config.base_width = 8;
+  config.input_size = 16;
+  config.num_classes = 9;
+  nn::ResNet model(config, rng);
+  nn::Profiler profiler(3);
+  for (auto _ : state) {
+    auto profile = profiler.profile(model);
+    benchmark::DoNotOptimize(profile.total_compute_time_ms());
+  }
+}
+BENCHMARK(BM_Profiler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks for the optimization hot paths: tree
+// construction, per-branch (z, r) optimization, heuristic and exhaustive
+// solves, and the SEM-O-RAN baseline.
+#include <benchmark/benchmark.h>
+
+#include "baseline/semoran.h"
+#include "core/branch_optimizer.h"
+#include "core/offloadnn_solver.h"
+#include "core/optimal_solver.h"
+#include "core/scenarios.h"
+#include "core/tree.h"
+
+namespace {
+
+using namespace odn;
+
+void BM_TreeConstructionSmall(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_small_scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::SolutionTree tree(instance);
+    benchmark::DoNotOptimize(tree.total_vertices());
+  }
+}
+BENCHMARK(BM_TreeConstructionSmall)->DenseRange(1, 5);
+
+void BM_TreeConstructionLarge(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kMedium);
+  for (auto _ : state) {
+    core::SolutionTree tree(instance);
+    benchmark::DoNotOptimize(tree.total_vertices());
+  }
+}
+BENCHMARK(BM_TreeConstructionLarge);
+
+void BM_BranchOptimizer(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kHigh);
+  const core::BranchOptimizer optimizer(instance);
+  std::vector<core::BranchChoice> choices(instance.tasks.size());
+  for (std::size_t t = 0; t < choices.size(); ++t) choices[t] = 4;  // SpSpSpP
+  for (auto _ : state) {
+    auto decisions = optimizer.optimize(choices);
+    benchmark::DoNotOptimize(decisions.data());
+  }
+}
+BENCHMARK(BM_BranchOptimizer);
+
+void BM_OffloadnnSolveSmall(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_small_scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto solution = core::OffloadnnSolver{}.solve(instance);
+    benchmark::DoNotOptimize(solution.cost.objective);
+  }
+}
+BENCHMARK(BM_OffloadnnSolveSmall)->DenseRange(1, 5);
+
+void BM_OffloadnnSolveLarge(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kHigh);
+  for (auto _ : state) {
+    auto solution = core::OffloadnnSolver{}.solve(instance);
+    benchmark::DoNotOptimize(solution.cost.objective);
+  }
+}
+BENCHMARK(BM_OffloadnnSolveLarge);
+
+void BM_OptimalSolveSmall(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_small_scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto solution = core::OptimalSolver{}.solve(instance);
+    benchmark::DoNotOptimize(solution.cost.objective);
+  }
+}
+BENCHMARK(BM_OptimalSolveSmall)->DenseRange(1, 3);
+
+void BM_SemOranSolve(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kMedium);
+  for (auto _ : state) {
+    auto solution = baseline::SemOranSolver{}.solve(instance);
+    benchmark::DoNotOptimize(solution.cost.objective);
+  }
+}
+BENCHMARK(BM_SemOranSolve);
+
+void BM_EvaluatorLarge(benchmark::State& state) {
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kMedium);
+  const core::DotSolution solution = core::OffloadnnSolver{}.solve(instance);
+  const core::DotEvaluator evaluator(instance);
+  for (auto _ : state) {
+    auto cost = evaluator.evaluate(solution.decisions);
+    benchmark::DoNotOptimize(cost.objective);
+  }
+}
+BENCHMARK(BM_EvaluatorLarge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Dynamic-arrival example — the paper's Sec. III-B closing remark: "the
+// formulation can be trivially extended to a dynamic scenario where new
+// tasks may need to be incrementally accommodated ... consider the
+// training cost and memory occupancy of already-deployed DNN blocks equal
+// to zero [and] discount the capacities."
+//
+// Tasks from the large-scale scenario arrive in four waves of five. Each
+// wave is admitted incrementally: blocks already resident at the edge are
+// free, committed radio/compute/memory are discounted. The example prints
+// the marginal cost of each wave — watch the shared backbone being paid
+// only once.
+//
+//   $ ./dynamic_arrivals
+#include <iostream>
+
+#include "core/controller.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+int main() {
+  using namespace odn;
+
+  std::cout << "=== Dynamic task arrivals (incremental admission) ===\n\n";
+
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kLow);
+  core::OffloadnnController controller(instance.resources, instance.radio);
+
+  util::Table table("Waves of 5 tasks, incremental DOT admission");
+  table.set_header({"wave", "tasks admitted", "new blocks", "new memory [GB]",
+                    "total memory [GB]", "total RBs", "total compute [s/s]"});
+
+  std::size_t admitted_total = 0;
+  for (std::size_t wave = 0; wave < 4; ++wave) {
+    std::vector<core::DotTask> requests(
+        instance.tasks.begin() + static_cast<std::ptrdiff_t>(wave * 5),
+        instance.tasks.begin() + static_cast<std::ptrdiff_t>(wave * 5 + 5));
+
+    const core::DeploymentPlan plan =
+        wave == 0 ? controller.admit(instance.catalog, requests)
+                  : controller.admit_incremental(instance.catalog, requests);
+
+    std::size_t admitted = 0;
+    for (const core::TaskPlan& task : plan.tasks)
+      if (task.admitted) ++admitted;
+    admitted_total += admitted;
+
+    table.add_row(
+        {std::to_string(wave + 1),
+         std::to_string(admitted) + "/5",
+         std::to_string(plan.deployed_blocks.size()),
+         util::Table::num(plan.memory_committed_bytes / 1e9, 3),
+         util::Table::num(controller.ledger().memory_used_bytes() / 1e9, 3),
+         std::to_string(controller.ledger().rbs_used()) + "/" +
+             std::to_string(instance.resources.total_rbs),
+         util::Table::num(controller.ledger().compute_used_s(), 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAdmitted " << admitted_total
+            << "/20 tasks across four waves. Later waves deploy fewer new "
+               "blocks and less memory: their paths reuse the shared "
+               "backbone blocks deployed by earlier waves — the marginal "
+               "cost of one more task keeps falling, which is exactly why "
+               "block sharing scales.\n\n";
+
+  // Departures: release half the fleet and watch shared blocks survive
+  // until their last user leaves.
+  util::Table churn("Departures (release) — blocks undeploy lazily");
+  churn.set_header({"event", "active tasks", "deployed blocks",
+                    "memory [GB]", "RBs"});
+  auto snapshot = [&](const std::string& event) {
+    churn.add_row({event,
+                   std::to_string(controller.active_tasks().size()),
+                   std::to_string(controller.deployed_blocks().size()),
+                   util::Table::num(
+                       controller.ledger().memory_used_bytes() / 1e9, 3),
+                   std::to_string(controller.ledger().rbs_used())});
+  };
+  snapshot("steady state");
+  // Release every even-numbered task...
+  for (std::size_t t = 2; t <= 20; t += 2)
+    (void)controller.release("task-" + std::to_string(t));
+  snapshot("10 departures");
+  // ...then everything else.
+  for (std::size_t t = 1; t <= 20; t += 2)
+    (void)controller.release("task-" + std::to_string(t));
+  snapshot("all departed");
+  churn.print(std::cout);
+
+  std::cout << "\nAfter the first ten departures most shared blocks remain "
+               "resident (their other users are still active); only when "
+               "the last user of a block leaves is it undeployed — ending "
+               "at zero memory and zero RBs.\n";
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Smart-city example — the workload class the paper's introduction
+// motivates: a street-level edge site serves camera feeds running several
+// CV methods (traffic monitoring, license plates, pedestrian safety,
+// transit detection...). The example runs the full OffloaDNN pipeline:
+//
+//   1. characterize DNN blocks (Table IV-style catalog from the reference
+//      ResNet-18 characterization),
+//   2. submit admission requests to the OffloaDNN controller (Fig. 4),
+//   3. deploy and emulate 30 s of traffic on the discrete-event emulator,
+//   4. report per-task end-to-end latency against each SLO.
+//
+//   $ ./smart_city
+#include <iostream>
+
+#include "core/controller.h"
+#include "core/scenarios.h"
+#include "sim/emulator.h"
+#include "util/table.h"
+
+namespace {
+
+// Build a city workload on top of the large-scenario catalog machinery:
+// eight tasks with heterogeneous rates, accuracy floors and latency SLOs.
+odn::core::DotInstance make_city_instance() {
+  using namespace odn;
+  // Start from the Table IV large scenario (medium load) and carve out a
+  // city-flavoured task mix with customized requirements.
+  core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kMedium);
+
+  const struct {
+    const char* name;
+    double priority;
+    double rate;
+    double accuracy;
+    double latency;
+  } kCityTasks[] = {
+      {"intersection-traffic-count", 1.00, 6.0, 0.75, 0.25},
+      {"license-plate-read", 0.95, 3.0, 0.78, 0.30},
+      {"pedestrian-crossing-alert", 0.90, 8.0, 0.72, 0.20},
+      {"bus-lane-enforcement", 0.70, 2.0, 0.70, 0.40},
+      {"bicycle-flow-monitor", 0.60, 4.0, 0.65, 0.45},
+      {"parking-occupancy", 0.45, 1.0, 0.60, 0.60},
+      {"street-litter-detect", 0.30, 1.0, 0.55, 0.60},
+      {"billboard-audience-count", 0.15, 2.0, 0.55, 0.50},
+  };
+
+  instance.tasks.resize(8);
+  for (std::size_t t = 0; t < 8; ++t) {
+    auto& task = instance.tasks[t];
+    task.spec.name = kCityTasks[t].name;
+    task.spec.priority = kCityTasks[t].priority;
+    task.spec.request_rate = kCityTasks[t].rate;
+    task.spec.min_accuracy = kCityTasks[t].accuracy;
+    task.spec.max_latency_s = kCityTasks[t].latency;
+  }
+  instance.name = "smart-city";
+  instance.finalize();
+  return instance;
+}
+
+}  // namespace
+
+int main() {
+  using namespace odn;
+
+  std::cout << "=== Smart-city edge offloading ===\n\n";
+  const core::DotInstance instance = make_city_instance();
+
+  core::OffloadnnController controller(instance.resources, instance.radio);
+  const core::DeploymentPlan plan =
+      controller.admit(instance.catalog, instance.tasks);
+
+  util::Table admission("Admission decisions (OffloaDNN controller)");
+  admission.set_header({"task", "priority", "rate [req/s]", "admitted",
+                        "z", "slice RBs", "accuracy", "SLO [s]",
+                        "expected [s]"});
+  for (std::size_t t = 0; t < plan.tasks.size(); ++t) {
+    const core::TaskPlan& task = plan.tasks[t];
+    const auto& spec = instance.tasks[t].spec;
+    admission.add_row(
+        {task.task_name, util::Table::num(spec.priority, 2),
+         util::Table::num(spec.request_rate, 1),
+         task.admitted ? "yes" : "NO",
+         util::Table::num(task.admission_ratio, 2),
+         std::to_string(task.slice_rbs),
+         task.admitted ? util::Table::num(task.accuracy, 2) : "-",
+         util::Table::num(spec.max_latency_s, 2),
+         task.admitted ? util::Table::num(task.expected_latency_s, 3)
+                       : "-"});
+  }
+  admission.print(std::cout);
+
+  std::cout << "\nDeployed " << plan.deployed_blocks.size()
+            << " DNN blocks ("
+            << util::Table::num(plan.memory_committed_bytes / 1e9, 2)
+            << " GB, shared blocks once), "
+            << plan.rbs_committed << "/" << instance.resources.total_rbs
+            << " RBs committed.\n\n";
+
+  auto emulate = [&](const core::DeploymentPlan& which,
+                     const char* title) {
+    sim::EmulatorOptions options;
+    options.duration_s = 30.0;
+    options.poisson_arrivals = true;  // street traffic is bursty
+    options.seed = 1234;
+    sim::EdgeEmulator emulator(which, instance.radio,
+                               instance.resources.compute_capacity_s,
+                               options);
+    const sim::EmulationReport report = emulator.run();
+    util::Table latency(title);
+    latency.set_header({"task", "requests", "mean [s]", "p95 [s]",
+                        "SLO [s]", "violations"});
+    for (const sim::TaskTrace& trace : report.tasks) {
+      latency.add_row({trace.task_name,
+                       std::to_string(trace.samples.size()),
+                       util::Table::num(trace.mean_latency_s(), 3),
+                       util::Table::num(trace.p95_latency_s(), 3),
+                       util::Table::num(trace.latency_bound_s, 2),
+                       std::to_string(trace.bound_violations())});
+    }
+    latency.print(std::cout);
+    std::cout << '\n';
+    return report;
+  };
+
+  // Minimal slices guarantee the deterministic latency bound (1g), but
+  // bursty Poisson arrivals queue when slice utilization is high...
+  emulate(plan, "30 s emulation, Poisson arrivals, minimal slices");
+
+  // ...so an operator should spend the idle RBs as burst headroom. Double
+  // every slice (the cell has plenty spare) and re-run.
+  core::DeploymentPlan provisioned = plan;
+  std::size_t extra = 0;
+  for (core::TaskPlan& task : provisioned.tasks)
+    if (task.admitted) extra += task.slice_rbs;
+  if (provisioned.rbs_committed + extra <= instance.resources.total_rbs) {
+    for (core::TaskPlan& task : provisioned.tasks)
+      if (task.admitted) task.slice_rbs *= 2;
+    provisioned.rbs_committed += extra;
+  }
+  const sim::EmulationReport after = emulate(
+      provisioned, "Same traffic, slices doubled with idle RBs");
+
+  std::cout << "Takeaway: DOT's constraint (1g) guarantees the "
+               "*deterministic* end-to-end bound; under bursty arrivals "
+               "the leftover radio capacity doubles as burst headroom — "
+               "violations drop to "
+            << after.total_violations() << ".\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// solve_instance — a small command-line tool around the instance file
+// format (core/instance_io.h):
+//
+//   ./solve_instance                       demo: writes the Table IV small
+//                                          scenario to a temp file, reads
+//                                          it back, solves, prints
+//   ./solve_instance FILE                  solve FILE with OffloaDNN
+//   ./solve_instance FILE --optimal        solve FILE exhaustively
+//   ./solve_instance --export FILE [T]     export the small scenario with
+//                                          T tasks (default 5) to FILE
+//
+// The format round-trips complete DOT problems, so characterized scenarios
+// can be archived, edited by hand and re-solved.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "baseline/semoran.h"
+#include "core/instance_io.h"
+#include "core/offloadnn_solver.h"
+#include "core/optimal_solver.h"
+#include "core/scenarios.h"
+#include "util/table.h"
+
+namespace {
+
+void print_solution(const odn::core::DotInstance& instance,
+                    const odn::core::DotSolution& solution) {
+  odn::util::Table table(solution.solver_name + " on '" + instance.name +
+                         "'");
+  table.set_header({"task", "z", "RBs", "path", "accuracy"});
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    const auto& decision = solution.decisions[t];
+    const auto& task = instance.tasks[t];
+    if (decision.admitted()) {
+      const auto& option = task.options[decision.option_index];
+      table.add_row({task.spec.name,
+                     odn::util::Table::num(decision.admission_ratio, 2),
+                     std::to_string(decision.rbs), option.path.name,
+                     odn::util::Table::num(option.accuracy, 3)});
+    } else {
+      table.add_row({task.spec.name, "0", "-", "(rejected)", "-"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "objective "
+            << odn::util::Table::num(solution.cost.objective, 4)
+            << ", admitted " << solution.cost.admitted_tasks << "/"
+            << instance.tasks.size() << ", memory "
+            << odn::util::Table::num(solution.cost.memory_bytes / 1e9, 2)
+            << " GB, solve time "
+            << odn::util::Table::num(solution.solve_time_s * 1e3, 2)
+            << " ms\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odn;
+
+  try {
+    if (argc >= 3 && std::strcmp(argv[1], "--export") == 0) {
+      const std::size_t tasks =
+          argc >= 4 ? static_cast<std::size_t>(std::atoi(argv[3])) : 5;
+      const core::DotInstance instance = core::make_small_scenario(tasks);
+      core::write_instance(instance, argv[2]);
+      std::cout << "Wrote '" << instance.name << "' ("
+                << instance.catalog.block_count() << " blocks, "
+                << instance.tasks.size() << " tasks) to " << argv[2]
+                << '\n';
+      return 0;
+    }
+
+    core::DotInstance instance;
+    if (argc >= 2) {
+      instance = core::read_instance_file(argv[1]);
+      std::cout << "Loaded '" << instance.name << "' from " << argv[1]
+                << '\n';
+    } else {
+      // Demo mode: full round trip through the file format.
+      const std::string path = "/tmp/odn_demo_instance.txt";
+      core::write_instance(core::make_small_scenario(5), path);
+      instance = core::read_instance_file(path);
+      std::cout << "Demo: exported the small Table IV scenario to " << path
+                << " and re-loaded it.\n\n";
+    }
+
+    const bool optimal =
+        argc >= 3 && std::strcmp(argv[2], "--optimal") == 0;
+    print_solution(instance, core::OffloadnnSolver{}.solve(instance));
+    if (optimal || argc < 2)
+      print_solution(instance, core::OptimalSolver{}.solve(instance));
+    print_solution(instance, baseline::SemOranSolver{}.solve(instance));
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// SEM-O-RAN baseline — re-implementation of the comparison scheme from
+// Puligheddu et al., "SEM-O-RAN: Semantic O-RAN Slicing for Mobile Edge
+// Offloading of Computer Vision Tasks" (IEEE TMC 2023), as characterized in
+// the OffloaDNN paper (Secs. V-A and VI):
+//
+//  - maximizes the total number of admitted tasks weighted by their value
+//    (here: the task priority), admitting greedily in value order while
+//    resources remain;
+//  - admission is binary: a task's requests are either all admitted
+//    (z = 1) or all rejected — no fractional admission;
+//  - no DNN block sharing, no structure optimization, no fine-tuning or
+//    pruning decisions: every admitted task deploys its own full
+//    highest-accuracy DNN (memory and training are paid per task);
+//  - semantic compression: per task, the input quality level is chosen to
+//    balance resource consumption across resource types (the "balanced
+//    allocation that avoids starvation"), subject to the accuracy bound.
+//
+// It consumes the same DotInstance as the OffloaDNN solvers so every
+// Fig. 9/10 comparison runs on identical workloads.
+#pragma once
+
+#include "core/solution.h"
+
+namespace odn::baseline {
+
+struct SemOranOptions {
+  // When true (default), the quality level is chosen to minimize the
+  // maximum normalized per-resource increment (balanced allocation);
+  // otherwise full quality is always used.
+  bool semantic_compression = true;
+  // After admission, residual RBs are spread across admitted slices (the
+  // balanced allocation that "avoids resource starvation"), growing each
+  // slice up to this factor of its minimum size. 1.0 disables growth.
+  double slice_headroom_factor = 1.6;
+};
+
+class SemOranSolver {
+ public:
+  explicit SemOranSolver(SemOranOptions options = {});
+
+  core::DotSolution solve(const core::DotInstance& instance) const;
+
+ private:
+  SemOranOptions options_;
+};
+
+}  // namespace odn::baseline

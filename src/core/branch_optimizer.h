@@ -1,0 +1,57 @@
+// Per-branch continuous optimization of (z, r) — paper Sec. IV-B.
+//
+// Once a branch fixes the DNN path of every task (x, y given), the residual
+// problem is continuous in z and (after relaxation) r. Two structural facts
+// make it solvable without a generic convex solver:
+//
+//  1. For fixed z_τ, the objective is increasing in r_τ, so the optimal
+//     r_τ is the smallest integer satisfying the latency constraint (1g)
+//     and the slice-bandwidth constraint (1e):
+//        r_τ(z) = max( ceil(β/(B·(L-Σc))), ceil(z·λ·β/B) ).
+//  2. After eliminating r, the objective is piecewise-linear in each z_τ
+//     and the coupling constraints (1c)/(1d) are monotone in z, so a
+//     priority-ordered greedy that pushes each z to its largest beneficial
+//     feasible value lands on a vertex of the feasible region.
+//
+// The greedy solution is certified against a fine grid search in the test
+// suite (tests/core/test_branch_optimizer.cpp).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/solution.h"
+
+namespace odn::core {
+
+// One branch = one (optional) path option per task, in task order.
+// std::nullopt means the task has no vertex on this branch (it is rejected
+// outright, z = 0).
+using BranchChoice = std::optional<std::size_t>;
+
+class BranchOptimizer {
+ public:
+  explicit BranchOptimizer(const DotInstance& instance);
+
+  // Optimizes z and r for the given per-task path choices, honoring
+  // constraints (1b)-(1g). Tasks are processed in decreasing priority;
+  // each is admitted at the largest feasible ratio when its net objective
+  // gain is positive, otherwise rejected.
+  std::vector<TaskDecision> optimize(
+      std::span<const BranchChoice> choices) const;
+
+  // Minimum RBs for which the end-to-end latency bound can be met at all
+  // (independent of z). Returns nullopt when Σc >= L (no bandwidth helps).
+  std::optional<std::size_t> min_rbs_for_latency(
+      const DotTask& task, const PathOption& option) const;
+
+ private:
+  // r_τ(z): smallest integer RBs satisfying (1e) and (1g) at ratio z.
+  std::size_t rbs_for_ratio(const DotTask& task, const PathOption& option,
+                            std::size_t latency_rbs, double z) const;
+
+  const DotInstance& instance_;
+};
+
+}  // namespace odn::core

@@ -1,0 +1,210 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace odn::core {
+
+OffloadnnController::OffloadnnController(const edge::EdgeResources& resources,
+                                         edge::RadioModel radio,
+                                         Options options)
+    : resources_(resources),
+      radio_(radio),
+      options_(options),
+      ledger_(resources) {}
+
+OffloadnnController::OffloadnnController(const edge::EdgeResources& resources,
+                                         edge::RadioModel radio)
+    : OffloadnnController(resources, radio, Options{}) {}
+
+void OffloadnnController::reset() {
+  ledger_.reset();
+  deployed_blocks_.clear();
+  active_.clear();
+  block_memory_.clear();
+}
+
+void OffloadnnController::rebuild_ledger() {
+  ledger_.reset();
+  deployed_blocks_.clear();
+
+  double compute = 0.0;
+  double shared_rbs = 0.0;
+  double memory = 0.0;
+  std::unordered_set<edge::BlockIndex> blocks;
+  for (const TaskCommitment& task : active_) {
+    compute += task.compute_s;
+    shared_rbs += task.shared_rbs;
+    for (const edge::BlockIndex b : task.blocks)
+      if (blocks.insert(b).second) memory += block_memory_.at(b);
+  }
+  deployed_blocks_.assign(blocks.begin(), blocks.end());
+  std::sort(deployed_blocks_.begin(), deployed_blocks_.end());
+  const auto rbs =
+      static_cast<std::size_t>(std::ceil(shared_rbs - 1e-9));
+  if (!ledger_.try_commit(compute, memory, rbs))
+    throw std::logic_error(
+        "OffloadnnController: rebuild exceeded capacity (invariant broken)");
+}
+
+bool OffloadnnController::release(const std::string& task_name) {
+  const auto it =
+      std::find_if(active_.begin(), active_.end(),
+                   [&](const TaskCommitment& task) {
+                     return task.name == task_name;
+                   });
+  if (it == active_.end()) return false;
+  active_.erase(it);
+  rebuild_ledger();
+  util::log_info("controller", "released task '{}': {} blocks deployed, "
+                 "{:.1f} MB resident",
+                 task_name, deployed_blocks_.size(),
+                 ledger_.memory_used_bytes() / 1e6);
+  return true;
+}
+
+std::vector<std::string> OffloadnnController::active_tasks() const {
+  std::vector<std::string> names;
+  names.reserve(active_.size());
+  for (const TaskCommitment& task : active_) names.push_back(task.name);
+  return names;
+}
+
+DeploymentPlan OffloadnnController::admit(const edge::DnnCatalog& catalog,
+                                          std::vector<DotTask> requests) {
+  reset();
+  return run(catalog, std::move(requests), /*incremental=*/false);
+}
+
+DeploymentPlan OffloadnnController::admit_incremental(
+    const edge::DnnCatalog& catalog, std::vector<DotTask> requests) {
+  return run(catalog, std::move(requests), /*incremental=*/true);
+}
+
+DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
+                                        std::vector<DotTask> requests,
+                                        bool incremental) {
+  // Step 2: assemble the DOT inputs — block availability and the (possibly
+  // discounted) resource capacities.
+  DotInstance instance;
+  instance.name = incremental ? "controller-incremental" : "controller";
+  instance.catalog = catalog;
+  instance.tasks = std::move(requests);
+  instance.resources = resources_;
+  instance.radio = radio_;
+  instance.alpha = options_.alpha;
+
+  if (incremental) {
+    instance.resources.memory_capacity_bytes = std::max(
+        1.0, resources_.memory_capacity_bytes - ledger_.memory_used_bytes());
+    instance.resources.compute_capacity_s = std::max(
+        1e-9, resources_.compute_capacity_s - ledger_.compute_used_s());
+    instance.resources.total_rbs =
+        resources_.total_rbs > ledger_.rbs_used()
+            ? resources_.total_rbs - ledger_.rbs_used()
+            : 1;
+    // Already-deployed blocks are free: they are resident and trained
+    // (the paper's dynamic-scenario rule).
+    for (const edge::BlockIndex b : deployed_blocks_) {
+      // DnnCatalog is append-only; rebuild the block with zero costs.
+      edge::CatalogBlock zeroed = instance.catalog.block(b);
+      zeroed.memory_bytes = 0.0;
+      zeroed.training_cost_s = 0.0;
+      instance.catalog = [&] {
+        edge::DnnCatalog patched;
+        for (std::size_t i = 0; i < instance.catalog.block_count(); ++i) {
+          edge::CatalogBlock copy =
+              instance.catalog.block(static_cast<edge::BlockIndex>(i));
+          if (i == b) copy = zeroed;
+          patched.add_block(std::move(copy));
+        }
+        return patched;
+      }();
+    }
+  }
+  instance.finalize();
+
+  // Step 3: solve DOT.
+  DotSolution solution;
+  if (options_.use_optimal_solver) {
+    solution = OptimalSolver{}.solve(instance);
+  } else {
+    solution = OffloadnnSolver{options_.heuristic}.solve(instance);
+  }
+
+  // Steps 4-6: allocate resources, deploy blocks, compute per-task plans.
+  DeploymentPlan plan;
+  plan.solution = solution;
+  std::unordered_set<edge::BlockIndex> new_blocks;
+  double shared_rbs = 0.0;
+
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    const DotTask& task = instance.tasks[t];
+    const TaskDecision& decision = solution.decisions[t];
+    TaskPlan task_plan;
+    task_plan.task_name = task.spec.name;
+    task_plan.latency_bound_s = task.spec.max_latency_s;
+    task_plan.admitted = decision.admitted();
+    if (decision.admitted()) {
+      const PathOption& option = task.options[decision.option_index];
+      task_plan.admission_ratio = decision.admission_ratio;
+      task_plan.admitted_rate =
+          decision.admission_ratio * task.spec.request_rate;
+      task_plan.slice_rbs = decision.rbs;
+      task_plan.blocks = option.path.blocks;
+      task_plan.expected_latency_s =
+          instance.end_to_end_latency_s(task, option, decision.rbs);
+      task_plan.accuracy = option.accuracy;
+      task_plan.inference_time_s = option.inference_time_s;
+      task_plan.input_bits = option.input_bits;
+      shared_rbs +=
+          decision.admission_ratio * static_cast<double>(decision.rbs);
+      for (const edge::BlockIndex b : option.path.blocks) {
+        block_memory_[b] = catalog.block(b).memory_bytes;
+        const bool already_deployed =
+            std::find(deployed_blocks_.begin(), deployed_blocks_.end(), b) !=
+            deployed_blocks_.end();
+        if (!already_deployed) new_blocks.insert(b);
+      }
+      active_.push_back(TaskCommitment{
+          .name = task.spec.name,
+          .compute_s = decision.admission_ratio * task.spec.request_rate *
+                       option.inference_time_s,
+          .shared_rbs = decision.admission_ratio *
+                        static_cast<double>(decision.rbs),
+          .blocks = option.path.blocks});
+    }
+    plan.tasks.push_back(std::move(task_plan));
+  }
+
+  for (const edge::BlockIndex b : new_blocks) {
+    plan.deployed_blocks.push_back(b);
+    // Memory is charged from the *original* catalog (the zeroed copies in
+    // the incremental instance only affect the solver's view).
+    plan.memory_committed_bytes += catalog.block(b).memory_bytes;
+  }
+  std::sort(plan.deployed_blocks.begin(), plan.deployed_blocks.end());
+  plan.compute_committed_s = solution.cost.inference_compute_s;
+  plan.rbs_committed =
+      static_cast<std::size_t>(std::ceil(shared_rbs - 1e-9));
+
+  // The solver honoured the (discounted) capacities, so rebuilding the
+  // ledger from the active-task commitments must succeed; a throw here
+  // indicates an internal inconsistency rather than a user error.
+  rebuild_ledger();
+
+  util::log_info("controller",
+                 "{} admission: {}/{} tasks admitted, {:.1f} MB deployed, "
+                 "{} RBs, obj {:.4f}",
+                 solution.solver_name, solution.cost.admitted_tasks,
+                 instance.tasks.size(),
+                 plan.memory_committed_bytes / 1e6, plan.rbs_committed,
+                 solution.cost.objective);
+  return plan;
+}
+
+}  // namespace odn::core

@@ -1,0 +1,115 @@
+// The OffloaDNN controller — the Fig. 4 workflow.
+//
+// Mobile devices submit task admission requests (step 1); the controller
+// pulls DNN block availability and resource capacities (step 2), solves the
+// DOT problem (step 3), allocates radio slices and computing resources
+// (step 4), deploys the selected DNN blocks (step 5) and reports the
+// admitted task rates back to the devices (step 6). Step 7 (input
+// transmission and inference) is carried out by the emulator in odn_sim.
+//
+// The controller also supports the paper's dynamic extension (Sec. III-B,
+// final remark): newly requested tasks can be admitted incrementally by
+// treating already-deployed blocks as free (zero memory and training cost)
+// and discounting the committed capacities.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/offloadnn_solver.h"
+#include "core/optimal_solver.h"
+#include "core/solution.h"
+#include "edge/resources.h"
+
+namespace odn::core {
+
+struct TaskPlan {
+  std::string task_name;
+  bool admitted = false;
+  double admission_ratio = 0.0;
+  double admitted_rate = 0.0;  // z_τ · λ_τ, images/s the device may send
+  std::size_t slice_rbs = 0;
+  std::vector<edge::BlockIndex> blocks;  // execution path at the edge
+  double expected_latency_s = 0.0;       // model-predicted end-to-end
+  double latency_bound_s = 0.0;          // the task's L_τ requirement
+  double accuracy = 0.0;
+  double inference_time_s = 0.0;         // Σ c(s) over the path
+  double input_bits = 0.0;               // β(q) per image
+};
+
+struct DeploymentPlan {
+  DotSolution solution;
+  std::vector<TaskPlan> tasks;
+  std::vector<edge::BlockIndex> deployed_blocks;  // distinct, newly deployed
+  double memory_committed_bytes = 0.0;
+  double compute_committed_s = 0.0;
+  std::size_t rbs_committed = 0;
+};
+
+class OffloadnnController {
+ public:
+  struct Options {
+    bool use_optimal_solver = false;  // exhaustive DOT solve (small scale)
+    OffloadnnOptions heuristic{};     // heuristic configuration otherwise
+    double alpha = 0.5;
+  };
+
+  OffloadnnController(const edge::EdgeResources& resources,
+                      edge::RadioModel radio, Options options);
+  OffloadnnController(const edge::EdgeResources& resources,
+                      edge::RadioModel radio);
+
+  // One-shot admission: solve DOT for the request set against the full
+  // capacities, commit the allocation, and return the plan. Resets any
+  // previous deployment.
+  DeploymentPlan admit(const edge::DnnCatalog& catalog,
+                       std::vector<DotTask> requests);
+
+  // Incremental admission: already-deployed blocks cost nothing, committed
+  // resources are discounted. Admitted tasks add to the deployment.
+  DeploymentPlan admit_incremental(const edge::DnnCatalog& catalog,
+                                   std::vector<DotTask> requests);
+
+  // Task departure (dynamic churn): releases the task's radio slice and
+  // compute commitment and undeploys blocks no other active task uses.
+  // Returns false when no active task has that name.
+  bool release(const std::string& task_name);
+
+  // Names of the currently active (admitted, not released) tasks.
+  std::vector<std::string> active_tasks() const;
+
+  const edge::ResourceLedger& ledger() const noexcept { return ledger_; }
+  const std::vector<edge::BlockIndex>& deployed_blocks() const noexcept {
+    return deployed_blocks_;
+  }
+
+  void reset();
+
+ private:
+  // Per-task resource commitment, recorded at admission so departures can
+  // return exactly what the task took.
+  struct TaskCommitment {
+    std::string name;
+    double compute_s = 0.0;    // z λ Σc
+    double shared_rbs = 0.0;   // z · r
+    std::vector<edge::BlockIndex> blocks;
+  };
+
+  DeploymentPlan run(const edge::DnnCatalog& catalog,
+                     std::vector<DotTask> requests, bool incremental);
+  // Recomputes the ledger and deployed-block list from active_tasks_.
+  void rebuild_ledger();
+
+  edge::EdgeResources resources_;
+  edge::RadioModel radio_;
+  Options options_;
+  edge::ResourceLedger ledger_;
+  std::vector<edge::BlockIndex> deployed_blocks_;
+  std::vector<TaskCommitment> active_;
+  // Memory of every block ever seen at admission (release needs it after
+  // the admitting catalog has gone out of scope).
+  std::unordered_map<edge::BlockIndex, double> block_memory_;
+};
+
+}  // namespace odn::core

@@ -1,0 +1,73 @@
+// The DOT (DNNs for scalable Offloading of Tasks) problem instance —
+// paper Sec. III-B, formulation (1a)-(1i).
+//
+// Decision variables (per task τ):
+//   z_τ ∈ [0,1]  — admitted fraction of the request rate
+//   x^d_τ, y_π   — which DNN path executes the task (here: one PathOption)
+//   r_τ ∈ N      — resource blocks allocated to the task's radio slice
+//
+// The instance couples a task set with, per task, the candidate DNN path
+// options (each referencing shared catalog blocks), the edge capacities and
+// the radio model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "edge/dnn_catalog.h"
+#include "edge/radio.h"
+#include "edge/resources.h"
+#include "edge/task.h"
+
+namespace odn::core {
+
+// A concrete execution option for a task: a DNN path at a given input
+// quality level. Derived quantities are cached by DotInstance::finalize().
+struct PathOption {
+  edge::DnnPath path;
+  std::size_t quality_index = 0;
+
+  // Cached by finalize():
+  double inference_time_s = 0.0;  // Σ c(s) over the path
+  double accuracy = 0.0;          // a(π) x quality accuracy factor
+  double input_bits = 0.0;        // β(q)
+};
+
+struct DotTask {
+  edge::TaskSpec spec;
+  std::vector<PathOption> options;
+};
+
+struct DotInstance {
+  std::string name;
+  edge::DnnCatalog catalog;
+  std::vector<DotTask> tasks;
+  edge::EdgeResources resources;
+  edge::RadioModel radio = edge::RadioModel::fixed(350e3);
+  double alpha = 0.5;  // objective weight between rejection and resources
+
+  // Validates the instance, caches every option's derived quantities and
+  // computes the priority order. Must be called before handing the
+  // instance to a solver.
+  void finalize();
+  bool finalized() const noexcept { return finalized_; }
+
+  // Task indices sorted by decreasing priority (ties: lower index first) —
+  // the layer order of the solution tree.
+  const std::vector<std::size_t>& priority_order() const;
+
+  std::size_t task_count() const noexcept { return tasks.size(); }
+
+  // End-to-end latency of running `task` through `option` with `rbs`
+  // resource blocks: transmission of β(q) bits over B(σ)·r plus the path's
+  // inference compute time (paper's l_τ definition).
+  double end_to_end_latency_s(const DotTask& task, const PathOption& option,
+                              std::size_t rbs) const;
+
+ private:
+  std::vector<std::size_t> priority_order_;
+  bool finalized_ = false;
+};
+
+}  // namespace odn::core

@@ -1,0 +1,226 @@
+#include "core/instance_io.h"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fmt.h"
+
+namespace odn::core {
+namespace {
+
+constexpr const char* kHeader = "ODN-INSTANCE 1";
+
+// Line-scoped reader that tracks numbers for error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  // Reads the next non-empty, non-comment line; throws at EOF.
+  std::string next(const char* expectation) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_number_;
+      if (line.empty() || line[0] == '#') continue;
+      return line;
+    }
+    throw std::runtime_error(util::fmt(
+        "read_instance: unexpected end of input (expected {})",
+        expectation));
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error(util::fmt("read_instance: line {}: {}",
+                                       line_number_, message));
+  }
+
+ private:
+  std::istream& in_;
+  std::size_t line_number_ = 0;
+};
+
+// Consumes the keyword at the start of `line` and returns the rest.
+std::istringstream expect_keyword(LineReader& reader,
+                                  const std::string& line,
+                                  const char* keyword) {
+  std::istringstream stream(line);
+  std::string word;
+  stream >> word;
+  if (word != keyword)
+    reader.fail(util::fmt("expected '{}', found '{}'", keyword, word));
+  return stream;
+}
+
+// Reads the remainder of the stream as a (possibly space-containing) name.
+std::string rest_as_name(std::istringstream& stream) {
+  std::string name;
+  std::getline(stream >> std::ws, name);
+  return name;
+}
+
+}  // namespace
+
+void write_instance(const DotInstance& instance, std::ostream& out) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << '\n';
+  out << "name " << instance.name << '\n';
+  out << "alpha " << instance.alpha << '\n';
+  out << "resources " << instance.resources.compute_capacity_s << ' '
+      << instance.resources.training_budget_s << ' '
+      << instance.resources.memory_capacity_bytes << ' '
+      << instance.resources.total_rbs << '\n';
+  if (instance.radio.is_fixed_mode())
+    out << "radio fixed " << instance.radio.fixed_rate_bits_per_second()
+        << '\n';
+  else
+    out << "radio lte\n";
+
+  out << "blocks " << instance.catalog.block_count() << '\n';
+  for (std::size_t i = 0; i < instance.catalog.block_count(); ++i) {
+    const edge::CatalogBlock& block =
+        instance.catalog.block(static_cast<edge::BlockIndex>(i));
+    out << "block " << static_cast<int>(block.kind) << ' '
+        << block.inference_time_s << ' ' << block.memory_bytes << ' '
+        << block.training_cost_s << ' ' << block.name << '\n';
+  }
+
+  out << "tasks " << instance.tasks.size() << '\n';
+  for (const DotTask& task : instance.tasks) {
+    out << "task " << task.spec.priority << ' ' << task.spec.request_rate
+        << ' ' << task.spec.min_accuracy << ' ' << task.spec.max_latency_s
+        << ' ' << task.spec.snr_db << ' ' << task.spec.qualities.size()
+        << ' ' << task.options.size() << ' ' << task.spec.name << '\n';
+    for (const edge::QualityLevel& quality : task.spec.qualities)
+      out << "quality " << quality.bits_per_image << ' '
+          << quality.accuracy_factor << '\n';
+    for (const PathOption& option : task.options) {
+      out << "option " << option.quality_index << ' '
+          << option.path.accuracy << ' ' << option.path.blocks.size();
+      for (const edge::BlockIndex b : option.path.blocks) out << ' ' << b;
+      out << ' ' << option.path.name << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write_instance: write failed");
+}
+
+void write_instance(const DotInstance& instance, const std::string& path) {
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("write_instance: cannot open " + path);
+  write_instance(instance, file);
+}
+
+DotInstance read_instance(std::istream& in) {
+  LineReader reader(in);
+  if (reader.next("header") != kHeader)
+    reader.fail("bad header (expected 'ODN-INSTANCE 1')");
+
+  DotInstance instance;
+  {
+    auto stream = expect_keyword(reader, reader.next("name"), "name");
+    instance.name = rest_as_name(stream);
+  }
+  {
+    auto stream = expect_keyword(reader, reader.next("alpha"), "alpha");
+    if (!(stream >> instance.alpha)) reader.fail("bad alpha");
+  }
+  {
+    auto stream =
+        expect_keyword(reader, reader.next("resources"), "resources");
+    if (!(stream >> instance.resources.compute_capacity_s >>
+          instance.resources.training_budget_s >>
+          instance.resources.memory_capacity_bytes >>
+          instance.resources.total_rbs))
+      reader.fail("bad resources line");
+  }
+  {
+    auto stream = expect_keyword(reader, reader.next("radio"), "radio");
+    std::string mode;
+    stream >> mode;
+    if (mode == "fixed") {
+      double rate = 0.0;
+      if (!(stream >> rate)) reader.fail("bad fixed radio rate");
+      instance.radio = edge::RadioModel::fixed(rate);
+    } else if (mode == "lte") {
+      instance.radio = edge::RadioModel::lte();
+    } else {
+      reader.fail(util::fmt("unknown radio mode '{}'", mode));
+    }
+  }
+
+  std::size_t block_count = 0;
+  {
+    auto stream = expect_keyword(reader, reader.next("blocks"), "blocks");
+    if (!(stream >> block_count)) reader.fail("bad block count");
+  }
+  for (std::size_t i = 0; i < block_count; ++i) {
+    auto stream = expect_keyword(reader, reader.next("block"), "block");
+    int kind = 0;
+    edge::CatalogBlock block;
+    if (!(stream >> kind >> block.inference_time_s >> block.memory_bytes >>
+          block.training_cost_s))
+      reader.fail("bad block record");
+    if (kind < 0 || kind > static_cast<int>(edge::BlockKind::kClassifier))
+      reader.fail(util::fmt("bad block kind {}", kind));
+    block.kind = static_cast<edge::BlockKind>(kind);
+    block.name = rest_as_name(stream);
+    instance.catalog.add_block(std::move(block));
+  }
+
+  std::size_t task_count = 0;
+  {
+    auto stream = expect_keyword(reader, reader.next("tasks"), "tasks");
+    if (!(stream >> task_count)) reader.fail("bad task count");
+  }
+  for (std::size_t t = 0; t < task_count; ++t) {
+    auto stream = expect_keyword(reader, reader.next("task"), "task");
+    DotTask task;
+    std::size_t quality_count = 0;
+    std::size_t option_count = 0;
+    if (!(stream >> task.spec.priority >> task.spec.request_rate >>
+          task.spec.min_accuracy >> task.spec.max_latency_s >>
+          task.spec.snr_db >> quality_count >> option_count))
+      reader.fail("bad task record");
+    task.spec.name = rest_as_name(stream);
+
+    for (std::size_t q = 0; q < quality_count; ++q) {
+      auto qstream =
+          expect_keyword(reader, reader.next("quality"), "quality");
+      edge::QualityLevel quality;
+      if (!(qstream >> quality.bits_per_image >> quality.accuracy_factor))
+        reader.fail("bad quality record");
+      task.spec.qualities.push_back(quality);
+    }
+    for (std::size_t o = 0; o < option_count; ++o) {
+      auto ostream_ =
+          expect_keyword(reader, reader.next("option"), "option");
+      PathOption option;
+      std::size_t path_blocks = 0;
+      if (!(ostream_ >> option.quality_index >> option.path.accuracy >>
+            path_blocks))
+        reader.fail("bad option record");
+      for (std::size_t b = 0; b < path_blocks; ++b) {
+        edge::BlockIndex index = 0;
+        if (!(ostream_ >> index)) reader.fail("bad option block list");
+        option.path.blocks.push_back(index);
+      }
+      option.path.name = rest_as_name(ostream_);
+      task.options.push_back(std::move(option));
+    }
+    instance.tasks.push_back(std::move(task));
+  }
+
+  instance.finalize();
+  return instance;
+}
+
+DotInstance read_instance_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::runtime_error("read_instance_file: cannot open " + path);
+  return read_instance(file);
+}
+
+}  // namespace odn::core

@@ -1,0 +1,184 @@
+#include "core/offloadnn_solver.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/branch_optimizer.h"
+#include "util/stopwatch.h"
+
+namespace odn::core {
+namespace {
+
+// Re-rank a clique copy by the requested ablation ordering.
+std::vector<TreeVertex> ordered_clique(std::span<const TreeVertex> clique,
+                                       const DotInstance& instance,
+                                       CliqueOrdering ordering) {
+  std::vector<TreeVertex> vertices(clique.begin(), clique.end());
+  switch (ordering) {
+    case CliqueOrdering::kInferenceTime:
+      // Already the tree invariant.
+      break;
+    case CliqueOrdering::kMemory:
+      std::stable_sort(vertices.begin(), vertices.end(),
+                       [](const TreeVertex& a, const TreeVertex& b) {
+                         return a.memory_bytes < b.memory_bytes;
+                       });
+      break;
+    case CliqueOrdering::kAccuracy:
+      std::stable_sort(vertices.begin(), vertices.end(),
+                       [](const TreeVertex& a, const TreeVertex& b) {
+                         return a.accuracy > b.accuracy;
+                       });
+      break;
+    case CliqueOrdering::kNone:
+      std::stable_sort(vertices.begin(), vertices.end(),
+                       [](const TreeVertex& a, const TreeVertex& b) {
+                         return a.option_index < b.option_index;
+                       });
+      break;
+  }
+  (void)instance;
+  return vertices;
+}
+
+}  // namespace
+
+OffloadnnSolver::OffloadnnSolver(OffloadnnOptions options)
+    : options_(options) {
+  if (options_.beam_width == 0)
+    throw std::invalid_argument("OffloadnnSolver: beam width must be >= 1");
+}
+
+DotSolution OffloadnnSolver::solve(const DotInstance& instance) const {
+  util::Stopwatch watch;
+  const SolutionTree tree(instance);
+  DotSolution solution = options_.beam_width == 1
+                             ? solve_first_branch(instance, tree)
+                             : solve_beam(instance, tree);
+  solution.solve_time_s = watch.elapsed_seconds();
+  return solution;
+}
+
+DotSolution OffloadnnSolver::solve_first_branch(
+    const DotInstance& instance, const SolutionTree& tree) const {
+  std::vector<BranchChoice> choices(instance.tasks.size());
+  std::vector<std::uint32_t> block_use(instance.catalog.block_count(), 0);
+  double memory_used = 0.0;
+
+  for (std::size_t layer = 0; layer < tree.num_layers(); ++layer) {
+    const std::size_t task_index = tree.layer_task(layer);
+    const std::vector<TreeVertex> clique =
+        ordered_clique(tree.layer(layer), instance, options_.ordering);
+
+    for (const TreeVertex& vertex : clique) {
+      const PathOption& option =
+          instance.tasks[task_index].options[vertex.option_index];
+      double memory_delta = 0.0;
+      for (const edge::BlockIndex b : option.path.blocks)
+        if (block_use[b] == 0)
+          memory_delta += instance.catalog.block(b).memory_bytes;
+      if (memory_used + memory_delta >
+          instance.resources.memory_capacity_bytes * (1.0 + 1e-12))
+        continue;  // this vertex would overflow memory; try the next one
+      choices[task_index] = vertex.option_index;
+      memory_used += memory_delta;
+      for (const edge::BlockIndex b : option.path.blocks) ++block_use[b];
+      break;  // first-fit: the leftmost feasible vertex wins
+    }
+  }
+
+  const BranchOptimizer optimizer(instance);
+  const DotEvaluator evaluator(instance);
+  DotSolution solution;
+  solution.solver_name = "OffloaDNN";
+  solution.decisions = optimizer.optimize(choices);
+  solution.cost = evaluator.evaluate(solution.decisions);
+  solution.branches_explored = 1;
+  return solution;
+}
+
+DotSolution OffloadnnSolver::solve_beam(const DotInstance& instance,
+                                        const SolutionTree& tree) const {
+  struct PartialBranch {
+    std::vector<BranchChoice> choices;
+    std::vector<std::uint32_t> block_use;
+    double memory_used = 0.0;
+    double committed_cost = 0.0;  // training/Ct + inference-time proxy
+  };
+
+  PartialBranch root;
+  root.choices.assign(instance.tasks.size(), std::nullopt);
+  root.block_use.assign(instance.catalog.block_count(), 0);
+  std::vector<PartialBranch> beam{std::move(root)};
+
+  for (std::size_t layer = 0; layer < tree.num_layers(); ++layer) {
+    const std::size_t task_index = tree.layer_task(layer);
+    const std::vector<TreeVertex> clique =
+        ordered_clique(tree.layer(layer), instance, options_.ordering);
+
+    std::vector<PartialBranch> expanded;
+    for (const PartialBranch& parent : beam) {
+      bool extended = false;
+      for (const TreeVertex& vertex : clique) {
+        const PathOption& option =
+            instance.tasks[task_index].options[vertex.option_index];
+        double memory_delta = 0.0;
+        double training_delta = 0.0;
+        for (const edge::BlockIndex b : option.path.blocks)
+          if (parent.block_use[b] == 0) {
+            memory_delta += instance.catalog.block(b).memory_bytes;
+            training_delta += instance.catalog.block(b).training_cost_s;
+          }
+        if (parent.memory_used + memory_delta >
+            instance.resources.memory_capacity_bytes * (1.0 + 1e-12))
+          continue;
+        PartialBranch child = parent;
+        child.choices[task_index] = vertex.option_index;
+        child.memory_used += memory_delta;
+        child.committed_cost +=
+            training_delta / instance.resources.training_budget_s +
+            instance.tasks[task_index].spec.request_rate *
+                option.inference_time_s /
+                instance.resources.compute_capacity_s;
+        for (const edge::BlockIndex b : option.path.blocks)
+          ++child.block_use[b];
+        expanded.push_back(std::move(child));
+        extended = true;
+        if (expanded.size() >= options_.beam_width * 4) break;
+      }
+      if (!extended) expanded.push_back(parent);  // task skipped
+    }
+
+    std::stable_sort(expanded.begin(), expanded.end(),
+                     [](const PartialBranch& a, const PartialBranch& b) {
+                       return a.committed_cost < b.committed_cost;
+                     });
+    if (expanded.size() > options_.beam_width)
+      expanded.resize(options_.beam_width);
+    beam = std::move(expanded);
+  }
+
+  const BranchOptimizer optimizer(instance);
+  const DotEvaluator evaluator(instance);
+  DotSolution best;
+  best.solver_name = "OffloaDNN-beam";
+  bool have_best = false;
+  for (const PartialBranch& branch : beam) {
+    std::vector<TaskDecision> decisions = optimizer.optimize(branch.choices);
+    const CostBreakdown cost = evaluator.evaluate(decisions);
+    if (!have_best || cost.objective < best.cost.objective) {
+      best.decisions = std::move(decisions);
+      best.cost = cost;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    best.decisions.assign(instance.tasks.size(), TaskDecision{});
+    best.cost = evaluator.evaluate(best.decisions);
+  }
+  best.branches_explored = beam.size();
+  return best;
+}
+
+}  // namespace odn::core

@@ -1,0 +1,145 @@
+#include "core/optimal_solver.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/branch_optimizer.h"
+#include "util/fmt.h"
+#include "util/stopwatch.h"
+
+namespace odn::core {
+namespace {
+
+// DFS state shared across the recursion.
+struct DfsContext {
+  const DotInstance& instance;
+  const SolutionTree& tree;
+  const BranchOptimizer& optimizer;
+  const DotEvaluator& evaluator;
+  const OptimalSolverOptions& options;
+
+  std::vector<BranchChoice> choices;       // per task index
+  std::vector<std::uint32_t> block_use;    // refcount per catalog block
+  double memory_used = 0.0;
+  double training_committed = 0.0;
+
+  double best_objective = 0.0;
+  bool have_best = false;
+  std::vector<TaskDecision> best_decisions;
+  std::size_t branches = 0;
+};
+
+void dfs(DfsContext& ctx, std::size_t layer_index) {
+  if (layer_index == ctx.tree.num_layers()) {
+    ++ctx.branches;
+    const std::vector<TaskDecision> decisions =
+        ctx.optimizer.optimize(ctx.choices);
+    const CostBreakdown cost = ctx.evaluator.evaluate(decisions);
+    if (!ctx.have_best || cost.objective < ctx.best_objective) {
+      ctx.have_best = true;
+      ctx.best_objective = cost.objective;
+      ctx.best_decisions = decisions;
+    }
+    return;
+  }
+
+  if (ctx.options.bound_pruning && ctx.have_best) {
+    // Valid lower bound on any completion: the training cost already
+    // committed on this branch (every other objective term can be zero).
+    const double bound = (1.0 - ctx.instance.alpha) * ctx.training_committed /
+                         ctx.instance.resources.training_budget_s;
+    if (bound >= ctx.best_objective) return;
+  }
+
+  const std::size_t task_index = ctx.tree.layer_task(layer_index);
+  const auto layer = ctx.tree.layer(layer_index);
+
+  // Explicit skip child: the task is rejected on this subtree. This
+  // completes the search space relative to the paper's traversal (which
+  // reaches rejection only through z -> 0), so the reported optimum is
+  // never worse than the paper's.
+  ctx.choices[task_index] = std::nullopt;
+  dfs(ctx, layer_index + 1);
+
+  for (const TreeVertex& vertex : layer) {
+    const PathOption& option =
+        ctx.instance.tasks[task_index].options[vertex.option_index];
+
+    // Apply the vertex: count newly used blocks once.
+    double memory_delta = 0.0;
+    double training_delta = 0.0;
+    for (const edge::BlockIndex b : option.path.blocks) {
+      if (ctx.block_use[b]++ == 0) {
+        memory_delta += ctx.instance.catalog.block(b).memory_bytes;
+        training_delta += ctx.instance.catalog.block(b).training_cost_s;
+      }
+    }
+    ctx.memory_used += memory_delta;
+    ctx.training_committed += training_delta;
+
+    // The paper's traversal rule: halt the branch when cumulative memory
+    // exceeds M.
+    if (ctx.memory_used <=
+        ctx.instance.resources.memory_capacity_bytes * (1.0 + 1e-12)) {
+      ctx.choices[task_index] = vertex.option_index;
+      dfs(ctx, layer_index + 1);
+    }
+
+    // Undo.
+    ctx.memory_used -= memory_delta;
+    ctx.training_committed -= training_delta;
+    for (const edge::BlockIndex b : option.path.blocks) --ctx.block_use[b];
+  }
+  ctx.choices[task_index] = std::nullopt;
+}
+
+}  // namespace
+
+OptimalSolver::OptimalSolver(OptimalSolverOptions options)
+    : options_(options) {}
+
+DotSolution OptimalSolver::solve(const DotInstance& instance) const {
+  util::Stopwatch watch;
+  const SolutionTree tree(instance);
+
+  // Include the skip child in the size estimate.
+  double branches = 1.0;
+  for (std::size_t l = 0; l < tree.num_layers(); ++l)
+    branches *= static_cast<double>(tree.layer(l).size() + 1);
+  if (branches > options_.max_branches)
+    throw std::runtime_error(util::fmt(
+        "OptimalSolver: ~{:.3g} branches exceed the {:.3g} safety limit — "
+        "use OffloadnnSolver for large instances",
+        branches, options_.max_branches));
+
+  const BranchOptimizer optimizer(instance);
+  const DotEvaluator evaluator(instance);
+
+  DfsContext ctx{.instance = instance,
+                 .tree = tree,
+                 .optimizer = optimizer,
+                 .evaluator = evaluator,
+                 .options = options_,
+                 .choices = std::vector<BranchChoice>(instance.tasks.size()),
+                 .block_use = std::vector<std::uint32_t>(
+                     instance.catalog.block_count(), 0),
+                 .memory_used = 0.0,
+                 .training_committed = 0.0,
+                 .best_objective = 0.0,
+                 .have_best = false,
+                 .best_decisions = {},
+                 .branches = 0};
+  dfs(ctx, 0);
+
+  DotSolution solution;
+  solution.solver_name = "optimum";
+  solution.decisions = std::move(ctx.best_decisions);
+  if (solution.decisions.empty())
+    solution.decisions.assign(instance.tasks.size(), TaskDecision{});
+  solution.cost = evaluator.evaluate(solution.decisions);
+  solution.solve_time_s = watch.elapsed_seconds();
+  solution.branches_explored = ctx.branches;
+  return solution;
+}
+
+}  // namespace odn::core

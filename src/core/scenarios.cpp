@@ -1,0 +1,375 @@
+#include "core/scenarios.h"
+
+#include <array>
+#include <map>
+#include <stdexcept>
+
+#include "util/fmt.h"
+#include "util/rng.h"
+
+namespace odn::core {
+namespace {
+
+// Per-stage block variant in a path template.
+enum class Variant : std::uint8_t {
+  kSharedFull,    // S  — pretrained, frozen, shared across tasks
+  kSharedPruned,  // Sp — pretrained block pruned once, shared across tasks
+  kFineTunedFull,   // F — task-specific fine-tuned
+  kFineTunedPruned, // P — task-specific fine-tuned then 80 % pruned
+};
+
+using PathTemplate = std::array<Variant, 4>;
+
+constexpr Variant S = Variant::kSharedFull;
+constexpr Variant Sp = Variant::kSharedPruned;
+constexpr Variant F = Variant::kFineTunedFull;
+constexpr Variant P = Variant::kFineTunedPruned;
+
+// Small scenario: 5 paths per DNN (Table IV |Π| = 5).
+constexpr std::array<PathTemplate, 5> kSmallTemplates{{
+    {S, S, S, S},   // all layer-blocks shared (CONFIG B-like)
+    {S, S, S, F},   // last block fine-tuned (CONFIG C-like)
+    {S, S, S, P},   // last block fine-tuned + pruned (CONFIG C-pruned)
+    {S, S, F, F},   // last two fine-tuned (CONFIG D-like)
+    {F, F, F, F},   // full fine-tune (CONFIG A-like)
+}};
+
+// Large scenario: 10 paths per DNN (Table IV |Π| = 10).
+constexpr std::array<PathTemplate, 10> kLargeTemplates{{
+    {S, S, S, S},
+    {Sp, Sp, Sp, Sp},
+    {S, S, S, F},
+    {S, S, S, P},
+    {Sp, Sp, Sp, P},
+    {S, S, F, F},
+    {S, S, P, P},
+    {Sp, Sp, P, P},
+    {S, F, F, F},
+    {F, F, F, F},
+}};
+
+bool is_shared(Variant v) {
+  return v == Variant::kSharedFull || v == Variant::kSharedPruned;
+}
+
+// Builds catalog blocks on demand so that shared blocks get one index per
+// (family, stage, variant) and task-specific blocks one per
+// (family, stage, variant, task) — index identity IS the sharing structure.
+class CatalogAssembler {
+ public:
+  CatalogAssembler(edge::DnnCatalog& catalog, const StageCosts& costs,
+                   std::uint64_t seed)
+      : catalog_(catalog), costs_(costs), seed_(seed) {}
+
+  // Cost jitter makes distinct DNN families differ by a few percent, the
+  // way independently trained models do.
+  double family_jitter(std::size_t family, std::size_t stage,
+                       const char* what) const {
+    util::Rng rng(seed_ ^ util::stable_hash(util::fmt(
+                              "jitter/{}/{}/{}", family, stage, what)));
+    return 1.0 + rng.uniform(-0.05, 0.05);
+  }
+
+  edge::BlockIndex shared_block(std::size_t family, std::size_t stage,
+                                Variant variant) {
+    const auto key = std::make_tuple(family, stage, variant,
+                                     static_cast<std::size_t>(-1));
+    auto it = blocks_.find(key);
+    if (it != blocks_.end()) return it->second;
+    const edge::BlockIndex index = catalog_.add_block(make_block(
+        family, stage, variant, /*task=*/static_cast<std::size_t>(-1)));
+    blocks_.emplace(key, index);
+    return index;
+  }
+
+  edge::BlockIndex task_block(std::size_t family, std::size_t stage,
+                              Variant variant, std::size_t task) {
+    const auto key = std::make_tuple(family, stage, variant, task);
+    auto it = blocks_.find(key);
+    if (it != blocks_.end()) return it->second;
+    const edge::BlockIndex index =
+        catalog_.add_block(make_block(family, stage, variant, task));
+    blocks_.emplace(key, index);
+    return index;
+  }
+
+  edge::DnnPath make_path(std::size_t family, const PathTemplate& tpl,
+                          std::size_t task, double base_accuracy) {
+    edge::DnnPath path;
+    double accuracy = base_accuracy;
+    for (std::size_t stage = 0; stage < 4; ++stage) {
+      const Variant v = tpl[stage];
+      path.blocks.push_back(is_shared(v) ? shared_block(family, stage, v)
+                                         : task_block(family, stage, v, task));
+      switch (v) {
+        case Variant::kSharedFull:
+          break;
+        case Variant::kSharedPruned:
+          accuracy -= costs_.prune_penalty_shared;
+          break;
+        case Variant::kFineTunedFull:
+          accuracy += costs_.finetune_gain[stage];
+          break;
+        case Variant::kFineTunedPruned:
+          accuracy += costs_.finetune_gain[stage];
+          accuracy -= costs_.prune_penalty_finetuned;
+          break;
+      }
+    }
+    path.accuracy = std::min(0.999, std::max(0.0, accuracy));
+    path.name = util::fmt("fam{}/{}", family, template_tag(tpl));
+    return path;
+  }
+
+  static std::string template_tag(const PathTemplate& tpl) {
+    std::string tag;
+    for (const Variant v : tpl) {
+      switch (v) {
+        case Variant::kSharedFull: tag += 'S'; break;
+        case Variant::kSharedPruned: tag += 's'; break;
+        case Variant::kFineTunedFull: tag += 'F'; break;
+        case Variant::kFineTunedPruned: tag += 'P'; break;
+      }
+    }
+    return tag;
+  }
+
+ private:
+  edge::CatalogBlock make_block(std::size_t family, std::size_t stage,
+                                Variant variant, std::size_t task) const {
+    const bool pruned = variant == Variant::kSharedPruned ||
+                        variant == Variant::kFineTunedPruned;
+    const bool shared = is_shared(variant);
+    edge::CatalogBlock block;
+    block.kind = shared
+                     ? edge::BlockKind::kSharedBase
+                     : (pruned ? edge::BlockKind::kPruned
+                               : edge::BlockKind::kFineTuned);
+    block.inference_time_s =
+        (pruned ? costs_.pruned_inference_time_s[stage]
+                : costs_.inference_time_s[stage]) *
+        family_jitter(family, stage, "time");
+    block.memory_bytes = (pruned ? costs_.pruned_memory_bytes[stage]
+                                 : costs_.memory_bytes[stage]) *
+                         family_jitter(family, stage, "mem");
+    if (shared) {
+      // Pretrained blocks cost nothing to train; the shared-pruned variant
+      // pays one single-shot pruning pass, amortized across its users.
+      block.training_cost_s =
+          variant == Variant::kSharedPruned ? 5.0 : 0.0;
+    } else {
+      block.training_cost_s = (pruned ? costs_.pruned_training_cost_s[stage]
+                                      : costs_.training_cost_s[stage]) *
+                              family_jitter(family, stage, "train");
+    }
+    block.name = util::fmt(
+        "fam{}/stage{}/{}{}", family, stage + 1,
+        shared ? (pruned ? "shared-pruned" : "shared")
+               : (pruned ? "ft-pruned" : "ft"),
+        shared ? std::string{} : util::fmt("/task{}", task));
+    return block;
+  }
+
+  edge::DnnCatalog& catalog_;
+  const StageCosts& costs_;
+  std::uint64_t seed_;
+  std::map<std::tuple<std::size_t, std::size_t, Variant, std::size_t>,
+           edge::BlockIndex>
+      blocks_;
+};
+
+// Task-and-family-dependent base accuracy: independently trained backbones
+// suit different tasks slightly differently.
+double base_accuracy(const StageCosts& costs, std::uint64_t seed,
+                     std::size_t task, std::size_t family) {
+  util::Rng rng(seed ^
+                util::stable_hash(util::fmt("acc/{}/{}", task, family)));
+  return costs.accuracy_all_shared + rng.uniform(-0.01, 0.02);
+}
+
+}  // namespace
+
+double request_rate_value(RequestRate rate) {
+  switch (rate) {
+    case RequestRate::kLow: return 2.5;
+    case RequestRate::kMedium: return 5.0;
+    case RequestRate::kHigh: return 7.5;
+  }
+  throw std::invalid_argument("request_rate_value: unknown level");
+}
+
+DotInstance make_small_scenario(std::size_t num_tasks,
+                                const ScenarioOptions& options) {
+  if (num_tasks == 0 || num_tasks > 5)
+    throw std::invalid_argument(
+        "make_small_scenario: num_tasks must be in [1, 5]");
+
+  // Table IV, small-scenario column.
+  constexpr std::array<double, 5> kPriority{0.8, 0.7, 0.6, 0.5, 0.4};
+  constexpr std::array<double, 5> kAccuracy{0.9, 0.8, 0.7, 0.6, 0.5};
+  constexpr std::array<double, 5> kLatency{0.2, 0.3, 0.4, 0.5, 0.6};
+  constexpr double kRate = 5.0;
+  constexpr double kInputBits = 350e3;
+  constexpr std::size_t kFamilies = 3;  // |D| = 3
+
+  DotInstance instance;
+  instance.name = util::fmt("small-T{}", num_tasks);
+  instance.resources.compute_capacity_s = 2.5;
+  instance.resources.training_budget_s = 1000.0;
+  instance.resources.memory_capacity_bytes = 8e9;
+  instance.resources.total_rbs = 50;
+  instance.radio = edge::RadioModel::fixed(350e3);
+  instance.alpha = 0.5;
+
+  CatalogAssembler assembler(instance.catalog, options.costs, options.seed);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    DotTask task;
+    task.spec.name = util::fmt("task-{}", t + 1);
+    task.spec.priority = kPriority[t];
+    task.spec.request_rate = kRate;
+    task.spec.min_accuracy = kAccuracy[t];
+    task.spec.max_latency_s = kLatency[t];
+    task.spec.snr_db = 20.0;
+    task.spec.qualities = {{kInputBits, 1.0}};
+
+    for (std::size_t family = 0; family < kFamilies; ++family) {
+      const double base =
+          base_accuracy(options.costs, options.seed, t, family);
+      for (const PathTemplate& tpl : kSmallTemplates) {
+        PathOption option;
+        option.path = assembler.make_path(family, tpl, t, base);
+        option.quality_index = 0;
+        task.options.push_back(std::move(option));
+      }
+    }
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.finalize();
+  return instance;
+}
+
+DotInstance make_large_scenario(RequestRate rate,
+                                const ScenarioOptions& options) {
+  constexpr std::size_t kTasks = 20;
+  constexpr std::size_t kFamilies = 5;
+  constexpr double kInputBits = 350e3;
+
+  DotInstance instance;
+  instance.name = util::fmt("large-{}", request_rate_value(rate));
+  instance.resources.compute_capacity_s = 10.0;
+  instance.resources.training_budget_s = 1000.0;
+  instance.resources.memory_capacity_bytes = 16e9;
+  instance.resources.total_rbs = 100;
+  instance.radio = edge::RadioModel::fixed(350e3);
+  instance.alpha = 0.5;
+
+  const double lambda = request_rate_value(rate);
+
+  CatalogAssembler assembler(instance.catalog, options.costs, options.seed);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    const double tau = static_cast<double>(t + 1);
+    DotTask task;
+    task.spec.name = util::fmt("task-{}", t + 1);
+    task.spec.priority = 1.0 - 0.05 * static_cast<double>(t);
+    task.spec.request_rate = lambda;
+    task.spec.min_accuracy = 0.8 - 0.015 * tau;
+    task.spec.max_latency_s = 0.2 + 0.02 * tau;
+    task.spec.snr_db = 20.0;
+    // Quality ladder: full, plus a semantically compressed level
+    // (SEM-O-RAN's lever; OffloaDNN options run at full quality).
+    task.spec.qualities = {{kInputBits, 1.0}, {0.88 * kInputBits, 0.97}};
+
+    // The task's primary pretrained family plus one alternative; 10 path
+    // options per task (Table IV |Π| = 10) drawn from the primary family.
+    const std::size_t family = t % kFamilies;
+    const double base = base_accuracy(options.costs, options.seed, t, family);
+    for (const PathTemplate& tpl : kLargeTemplates) {
+      PathOption option;
+      option.path = assembler.make_path(family, tpl, t, base);
+      option.quality_index = 0;
+      task.options.push_back(option);
+      if (options.quality_adaptive_paths) {
+        // Extension: the same structural path at every compressed quality
+        // level (same blocks — compression costs no extra memory).
+        for (std::size_t q = 1; q < task.spec.qualities.size(); ++q) {
+          PathOption compressed = option;
+          compressed.quality_index = q;
+          task.options.push_back(std::move(compressed));
+        }
+      }
+    }
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.finalize();
+  return instance;
+}
+
+DotInstance make_scaled_scenario(std::size_t num_tasks, RequestRate rate,
+                                 const ScenarioOptions& options) {
+  if (num_tasks == 0)
+    throw std::invalid_argument("make_scaled_scenario: zero tasks");
+  const double scale = static_cast<double>(num_tasks) / 20.0;
+  const double lambda = request_rate_value(rate);
+  constexpr double kInputBits = 350e3;
+  // Families grow with the task count: one pretrained backbone per ~4
+  // tasks keeps sharing realistic at any scale.
+  const std::size_t families =
+      std::max<std::size_t>(5, (num_tasks + 3) / 4);
+
+  DotInstance instance;
+  instance.name = util::fmt("scaled-T{}-{}", num_tasks,
+                            request_rate_value(rate));
+  instance.resources.compute_capacity_s = 10.0 * scale;
+  instance.resources.training_budget_s = 1000.0 * scale;
+  instance.resources.memory_capacity_bytes = 16e9 * scale;
+  instance.resources.total_rbs =
+      std::max<std::size_t>(1, static_cast<std::size_t>(100.0 * scale));
+  instance.radio = edge::RadioModel::fixed(350e3);
+  instance.alpha = 0.5;
+
+  CatalogAssembler assembler(instance.catalog, options.costs, options.seed);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const double frac = static_cast<double>(t) /
+                        static_cast<double>(std::max<std::size_t>(
+                            1, num_tasks - 1));
+    DotTask task;
+    task.spec.name = util::fmt("task-{}", t + 1);
+    task.spec.priority = std::max(0.05, 1.0 - 0.95 * frac);
+    task.spec.request_rate = lambda;
+    task.spec.min_accuracy = 0.785 - 0.285 * frac;  // 0.785 .. 0.5
+    task.spec.max_latency_s = 0.22 + 0.38 * frac;   // 0.22 .. 0.6 s
+    task.spec.snr_db = 20.0;
+    task.spec.qualities = {{kInputBits, 1.0}, {0.88 * kInputBits, 0.97}};
+
+    const std::size_t family = t % families;
+    const double base = base_accuracy(options.costs, options.seed, t, family);
+    for (const PathTemplate& tpl : kLargeTemplates) {
+      PathOption option;
+      option.path = assembler.make_path(family, tpl, t, base);
+      option.quality_index = 0;
+      task.options.push_back(std::move(option));
+    }
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.finalize();
+  return instance;
+}
+
+DotInstance make_heterogeneous_snr_scenario(RequestRate rate,
+                                            const ScenarioOptions& options) {
+  DotInstance instance = make_large_scenario(rate, options);
+  instance.name += "-hetsnr";
+  instance.radio = edge::RadioModel::lte();
+  // Devices spread from cell edge to cell center: SNR decreasing with the
+  // task index plus seeded jitter, spanning the CQI table's useful range.
+  util::Rng rng(options.seed ^ util::stable_hash("het-snr"));
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    const double base_snr =
+        22.0 - 1.2 * static_cast<double>(t);  // 22 dB .. -0.8 dB
+    instance.tasks[t].spec.snr_db = base_snr + rng.uniform(-1.5, 1.5);
+  }
+  instance.finalize();
+  return instance;
+}
+
+}  // namespace odn::core

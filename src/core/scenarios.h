@@ -1,0 +1,65 @@
+// Evaluation scenarios — paper Table IV.
+//
+// Small scenario: T ∈ {1..5} tasks, |D| = 3 DNN structures with 5 paths per
+// task each, C = 2.5 s, Ct = 1000 s, M = 8 GB, R = 50 RBs, β = 350 Kb,
+// B = 0.35 Mbps, α = 0.5. Used to compare OffloaDNN to the exhaustive
+// optimum (Figs. 6-8).
+//
+// Large scenario: T = 20 tasks with per-task priorities 1 - 0.05(τ-1),
+// accuracy requirements 0.8 - 0.015 τ, latency bounds 200 + 20 τ ms,
+// request rates {low: 2.5, medium: 5, high: 7.5} req/s, |D| = 125 dynamic
+// DNN structures (5 pretrained base families x shared/fine-tuned/pruned
+// block variants) with 10 paths per task, C = 10 s, M = 16 GB, R = 100.
+// Used to compare OffloaDNN to SEM-O-RAN (Figs. 9-10).
+//
+// Block variants per family and stage: shared-full (pretrained, ct = 0),
+// shared-pruned (single-shot pruned pretrained block, shared across tasks),
+// fine-tuned-full (task-specific) and fine-tuned-pruned (task-specific,
+// 80 % magnitude-pruned after fine-tuning). Paths honour the prefix rule:
+// shared blocks form a prefix, task-specific blocks the suffix (sharing is
+// feasible only for a common prefix of frozen layers).
+#pragma once
+
+#include <cstdint>
+
+#include "core/block_profiles.h"
+#include "core/dot_problem.h"
+
+namespace odn::core {
+
+enum class RequestRate { kLow, kMedium, kHigh };
+
+double request_rate_value(RequestRate rate);  // 2.5 / 5 / 7.5 req/s
+
+struct ScenarioOptions {
+  std::uint64_t seed = 1;
+  StageCosts costs = reference_resnet18_costs();
+  // Extension beyond the paper: when true, every DNN path is also offered
+  // at the compressed quality levels (DOT then optimizes input quality
+  // jointly with structure — the paper treats q_τ as given).
+  bool quality_adaptive_paths = false;
+};
+
+// Small-scale scenario with the first `num_tasks` (1..5) tasks of Table IV.
+DotInstance make_small_scenario(std::size_t num_tasks,
+                                const ScenarioOptions& options = {});
+
+// Large-scale scenario (20 tasks) at the given request-rate level.
+DotInstance make_large_scenario(RequestRate rate,
+                                const ScenarioOptions& options = {});
+
+// Extension scenario: the large-scale task set over an LTE cell with
+// heterogeneous per-device SNR (B(σ) from the CQI table instead of the
+// fixed 0.35 Mb/s/RB). Devices far from the base station need bigger
+// slices for the same task — radio-bound admission becomes SNR-aware.
+DotInstance make_heterogeneous_snr_scenario(
+    RequestRate rate, const ScenarioOptions& options = {});
+
+// Scalability scenario: `num_tasks` tasks patterned like the large
+// scenario, with radio/compute/memory capacities scaled proportionally to
+// num_tasks/20 so the relative load stays constant. Used to demonstrate
+// the heuristic's polynomial scaling far beyond the paper's 20 tasks.
+DotInstance make_scaled_scenario(std::size_t num_tasks, RequestRate rate,
+                                 const ScenarioOptions& options = {});
+
+}  // namespace odn::core

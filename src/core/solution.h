@@ -1,0 +1,91 @@
+// DOT solutions, the objective/constraint evaluator, and feasibility checks.
+//
+// Objective (paper (1a)), with the two resource terms written in the same
+// normalization as the corresponding capacity constraints (the paper's
+// summation notation is ambiguous about whether z·λ multiplies the
+// inference term; we use the physically consistent reading that matches
+// constraint (1c) and Fig. 8 (right)):
+//
+//   J = α Σ_τ (1 - z_τ) p_τ
+//     + (1-α) [ Σ_{s active} ct(s) / Ct            (training)
+//             + Σ_τ z_τ r_τ / R                    (radio)
+//             + Σ_τ z_τ λ_τ Σ_{s∈π_τ} c(s) / C ]   (inference)
+//
+// A block is *active* when at least one task with z_τ > 0 uses it; active
+// blocks count their memory and training cost exactly once (constraints
+// (1h)/(1i) via m(s)).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/dot_problem.h"
+
+namespace odn::core {
+
+struct TaskDecision {
+  bool has_path = false;          // a DNN path was selected for the task
+  std::size_t option_index = 0;   // valid when has_path
+  double admission_ratio = 0.0;   // z_τ (0 = rejected)
+  std::size_t rbs = 0;            // r_τ
+
+  bool admitted() const noexcept { return has_path && admission_ratio > 0.0; }
+};
+
+struct CostBreakdown {
+  double objective = 0.0;
+  double weighted_admission = 0.0;   // Σ z_τ p_τ  (Fig. 8/10 left)
+  double weighted_rejection = 0.0;   // Σ (1-z_τ) p_τ
+  double training_cost_s = 0.0;      // Σ ct over active blocks
+  double training_fraction = 0.0;    // / Ct
+  double radio_fraction = 0.0;       // Σ z r / R
+  double inference_compute_s = 0.0;  // Σ z λ c
+  double inference_fraction = 0.0;   // / C
+  double memory_bytes = 0.0;         // Σ µ over active blocks
+  double memory_fraction = 0.0;      // / M
+  std::size_t admitted_tasks = 0;    // count of z > 0
+  std::size_t fully_admitted_tasks = 0;  // count of z == 1
+  std::size_t rbs_allocated = 0;     // Σ r over admitted tasks
+};
+
+// Memory accounting mode. kSharedOnce is the paper's model (auxiliary
+// m(s)); kPerTask is the ablation where every admitted task pays for its
+// whole path as if nothing were shared (what the state of the art does).
+enum class MemoryAccounting { kSharedOnce, kPerTask };
+
+class DotEvaluator {
+ public:
+  explicit DotEvaluator(const DotInstance& instance,
+                        MemoryAccounting accounting =
+                            MemoryAccounting::kSharedOnce);
+
+  // Computes the full cost breakdown (no feasibility enforcement).
+  CostBreakdown evaluate(const std::vector<TaskDecision>& decisions) const;
+
+  // Returns human-readable descriptions of every violated constraint
+  // ((1b)-(1g) plus domain checks); empty means feasible.
+  std::vector<std::string> violations(
+      const std::vector<TaskDecision>& decisions) const;
+
+  bool feasible(const std::vector<TaskDecision>& decisions) const {
+    return violations(decisions).empty();
+  }
+
+  const DotInstance& instance() const noexcept { return instance_; }
+
+ private:
+  const DotInstance& instance_;
+  MemoryAccounting accounting_;
+};
+
+// A labelled solution as produced by a solver.
+struct DotSolution {
+  std::string solver_name;
+  std::vector<TaskDecision> decisions;
+  CostBreakdown cost;
+  double solve_time_s = 0.0;
+  std::size_t branches_explored = 0;  // diagnostic (optimal solver)
+};
+
+}  // namespace odn::core

@@ -1,0 +1,70 @@
+#include "edge/dnn_catalog.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/fmt.h"
+
+namespace odn::edge {
+
+double DnnPath::inference_time_s(
+    const std::vector<CatalogBlock>& blocks_table) const {
+  double total = 0.0;
+  for (const BlockIndex b : blocks) total += blocks_table.at(b).inference_time_s;
+  return total;
+}
+
+double DnnPath::unique_memory_bytes(
+    const std::vector<CatalogBlock>& blocks_table) const {
+  std::unordered_set<BlockIndex> seen;
+  double total = 0.0;
+  for (const BlockIndex b : blocks)
+    if (seen.insert(b).second) total += blocks_table.at(b).memory_bytes;
+  return total;
+}
+
+BlockIndex DnnCatalog::add_block(CatalogBlock block) {
+  if (block.inference_time_s < 0.0 || block.memory_bytes < 0.0 ||
+      block.training_cost_s < 0.0)
+    throw std::invalid_argument(
+        util::fmt("DnnCatalog: negative cost on block '{}'", block.name));
+  blocks_.push_back(std::move(block));
+  return static_cast<BlockIndex>(blocks_.size() - 1);
+}
+
+const CatalogBlock& DnnCatalog::block(BlockIndex index) const {
+  if (index >= blocks_.size())
+    throw std::out_of_range(
+        util::fmt("DnnCatalog: block index {} out of {}", index,
+                  blocks_.size()));
+  return blocks_[index];
+}
+
+double DnnCatalog::path_inference_time_s(const DnnPath& path) const {
+  return path.inference_time_s(blocks_);
+}
+
+double DnnCatalog::path_memory_bytes(const DnnPath& path) const {
+  return path.unique_memory_bytes(blocks_);
+}
+
+double DnnCatalog::path_training_cost_s(const DnnPath& path) const {
+  std::unordered_set<BlockIndex> seen;
+  double total = 0.0;
+  for (const BlockIndex b : path.blocks)
+    if (seen.insert(b).second) total += block(b).training_cost_s;
+  return total;
+}
+
+void DnnCatalog::validate_path(const DnnPath& path) const {
+  if (path.blocks.empty())
+    throw std::invalid_argument(
+        util::fmt("DnnCatalog: path '{}' has no blocks", path.name));
+  for (const BlockIndex b : path.blocks) (void)block(b);
+  if (path.accuracy < 0.0 || path.accuracy > 1.0)
+    throw std::invalid_argument(
+        util::fmt("DnnCatalog: path '{}' accuracy {} outside [0,1]",
+                  path.name, path.accuracy));
+}
+
+}  // namespace odn::edge

@@ -1,0 +1,69 @@
+// The edge DNN repository (Fig. 4): dynamic DNN structures d ∈ D, their
+// blocks s^d ∈ S^d, and the paths π^d usable to execute tasks.
+//
+// A *block* is one or more DNN layers (here: a ResNet layer-block or the
+// classifier head), possibly a pruned or fine-tuned variant. Blocks carry
+// the experimentally characterized inference compute time c(s), memory
+// footprint µ(s) and training cost ct(s). Blocks are identified by catalog
+// index: two paths that reference the same index *share* the block, which
+// is what makes memory count once and training cost amortize.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odn::edge {
+
+using BlockIndex = std::uint32_t;
+
+enum class BlockKind : std::uint8_t {
+  kSharedBase,   // pretrained, frozen, shareable; ct = 0
+  kFineTuned,    // task/DNN-specific fine-tuned variant; ct > 0
+  kPruned,       // fine-tuned then structurally pruned; ct > 0, smaller c/µ
+  kClassifier,   // task-specific head
+};
+
+struct CatalogBlock {
+  std::string name;
+  BlockKind kind = BlockKind::kSharedBase;
+  double inference_time_s = 0.0;  // c(s): per-inference compute time
+  double memory_bytes = 0.0;      // µ(s): resident memory when deployed
+  double training_cost_s = 0.0;   // ct(s): one-off (fine-)tuning cost
+};
+
+// A path π on a DNN structure: the ordered block sequence executing one
+// inference, with its experimentally measured accuracy at full input
+// quality.
+struct DnnPath {
+  std::string name;
+  std::vector<BlockIndex> blocks;  // four blocks per path in the paper
+  double accuracy = 0.0;           // a(π) at full quality
+
+  double inference_time_s(const std::vector<CatalogBlock>& blocks_table) const;
+  double unique_memory_bytes(
+      const std::vector<CatalogBlock>& blocks_table) const;
+};
+
+class DnnCatalog {
+ public:
+  BlockIndex add_block(CatalogBlock block);
+
+  const CatalogBlock& block(BlockIndex index) const;
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+  const std::vector<CatalogBlock>& blocks() const noexcept { return blocks_; }
+
+  // Sum of c(s) over a path's blocks.
+  double path_inference_time_s(const DnnPath& path) const;
+  // Sum of µ(s) over the path's *distinct* blocks.
+  double path_memory_bytes(const DnnPath& path) const;
+  // Sum of ct(s) over the path's distinct blocks.
+  double path_training_cost_s(const DnnPath& path) const;
+
+  void validate_path(const DnnPath& path) const;
+
+ private:
+  std::vector<CatalogBlock> blocks_;
+};
+
+}  // namespace odn::edge

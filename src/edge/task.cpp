@@ -1,0 +1,48 @@
+#include "edge/task.h"
+
+#include <unordered_set>
+
+#include "util/fmt.h"
+
+namespace odn::edge {
+
+void TaskSpec::validate() const {
+  if (name.empty()) throw std::invalid_argument("TaskSpec: empty name");
+  if (priority < 0.0 || priority > 1.0)
+    throw std::invalid_argument(
+        util::fmt("TaskSpec '{}': priority {} outside [0,1]", name, priority));
+  if (request_rate <= 0.0)
+    throw std::invalid_argument(
+        util::fmt("TaskSpec '{}': non-positive request rate", name));
+  if (min_accuracy < 0.0 || min_accuracy > 1.0)
+    throw std::invalid_argument(
+        util::fmt("TaskSpec '{}': accuracy {} outside [0,1]", name,
+                  min_accuracy));
+  if (max_latency_s <= 0.0)
+    throw std::invalid_argument(
+        util::fmt("TaskSpec '{}': non-positive latency bound", name));
+  if (qualities.empty())
+    throw std::invalid_argument(
+        util::fmt("TaskSpec '{}': no quality levels", name));
+  for (const QualityLevel& q : qualities) {
+    if (q.bits_per_image <= 0.0)
+      throw std::invalid_argument(
+          util::fmt("TaskSpec '{}': quality level with <= 0 bits", name));
+    if (q.accuracy_factor <= 0.0 || q.accuracy_factor > 1.0)
+      throw std::invalid_argument(util::fmt(
+          "TaskSpec '{}': accuracy factor {} outside (0,1]", name,
+          q.accuracy_factor));
+  }
+}
+
+void validate_tasks(const std::vector<TaskSpec>& tasks) {
+  std::unordered_set<std::string> names;
+  for (const TaskSpec& task : tasks) {
+    task.validate();
+    if (!names.insert(task.name).second)
+      throw std::invalid_argument(
+          util::fmt("validate_tasks: duplicate task name '{}'", task.name));
+  }
+}
+
+}  // namespace odn::edge

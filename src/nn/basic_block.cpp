@@ -1,0 +1,156 @@
+#include "nn/basic_block.h"
+
+#include "util/fmt.h"
+#include <numeric>
+#include <stdexcept>
+
+namespace odn::nn {
+
+BasicBlock::BasicBlock(std::size_t in_channels, std::size_t out_channels,
+                       std::size_t stride)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride),
+      conv1_(in_channels, out_channels, /*kernel=*/3, stride, /*padding=*/1),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, /*kernel=*/3, /*stride=*/1,
+             /*padding=*/1),
+      bn2_(out_channels) {
+  if (stride != 1 || in_channels != out_channels) {
+    projection_.emplace(Projection{
+        Conv2d(in_channels, out_channels, /*kernel=*/1, stride,
+               /*padding=*/0),
+        BatchNorm2d(out_channels)});
+  }
+}
+
+std::string BasicBlock::name() const {
+  return odn::util::fmt("BasicBlock({}->{}, s{}{})", in_channels_, out_channels_,
+                     stride_, projection_ ? ", proj" : "");
+}
+
+void BasicBlock::init_parameters(util::Rng& rng) {
+  conv1_.init_parameters(rng);
+  bn1_.init_parameters(rng);
+  conv2_.init_parameters(rng);
+  bn2_.init_parameters(rng);
+  if (projection_) {
+    projection_->conv.init_parameters(rng);
+    projection_->bn.init_parameters(rng);
+  }
+}
+
+std::vector<Param*> BasicBlock::parameters() {
+  std::vector<Param*> params;
+  auto append = [&params](Layer& layer) {
+    for (Param* p : layer.parameters()) params.push_back(p);
+  };
+  append(conv1_);
+  append(bn1_);
+  append(conv2_);
+  append(bn2_);
+  if (projection_) {
+    append(projection_->conv);
+    append(projection_->bn);
+  }
+  return params;
+}
+
+void BasicBlock::set_frozen_deep(bool frozen) {
+  set_frozen(frozen);
+  conv1_.set_frozen(frozen);
+  bn1_.set_frozen(frozen);
+  conv2_.set_frozen(frozen);
+  bn2_.set_frozen(frozen);
+  if (projection_) {
+    projection_->conv.set_frozen(frozen);
+    projection_->bn.set_frozen(frozen);
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& input, bool training) {
+  Tensor main = conv1_.forward(input, training);
+  main = bn1_.forward(main, training);
+  main = relu1_.forward(main, training);
+  main = conv2_.forward(main, training);
+  main = bn2_.forward(main, training);
+
+  Tensor skip;
+  if (projection_) {
+    skip = projection_->conv.forward(input, training);
+    skip = projection_->bn.forward(skip, training);
+  } else {
+    skip = input;
+  }
+  if (training) cached_skip_ = skip;
+
+  main.add_inplace(skip);
+  return relu_out_.forward(main, training);
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output) {
+  Tensor grad_sum = relu_out_.backward(grad_output);
+
+  // Main path.
+  Tensor grad_main = bn2_.backward(grad_sum);
+  grad_main = conv2_.backward(grad_main);
+  grad_main = relu1_.backward(grad_main);
+  grad_main = bn1_.backward(grad_main);
+  Tensor grad_input = conv1_.backward(grad_main);
+
+  // Skip path.
+  if (projection_) {
+    Tensor grad_skip = projection_->bn.backward(grad_sum);
+    grad_skip = projection_->conv.backward(grad_skip);
+    grad_input.add_inplace(grad_skip);
+  } else {
+    grad_input.add_inplace(grad_sum);
+  }
+  return grad_input;
+}
+
+void BasicBlock::set_conv_algorithm(ConvAlgorithm algorithm) {
+  conv1_.set_algorithm(algorithm);
+  conv2_.set_algorithm(algorithm);
+  if (projection_) projection_->conv.set_algorithm(algorithm);
+}
+
+std::vector<float> BasicBlock::internal_channel_magnitudes() const {
+  const Tensor& w = conv1_.weight().value;
+  const std::size_t channels = conv1_.out_channels();
+  const std::size_t per_channel = w.size() / channels;
+  std::vector<float> magnitudes(channels, 0.0f);
+  const auto data = w.data();
+  for (std::size_t c = 0; c < channels; ++c) {
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < per_channel; ++i)
+      sum += std::abs(data[c * per_channel + i]);
+    magnitudes[c] = sum;
+  }
+  return magnitudes;
+}
+
+void BasicBlock::prune_internal_channels(
+    const std::vector<std::size_t>& keep) {
+  if (keep.empty())
+    throw std::invalid_argument(
+        name() + ": cannot prune every internal channel");
+  // Dependency chain: conv1 output -> bn1 channels -> conv2 input. The
+  // block's external interface (conv2 output, skip path) is untouched.
+  conv1_.restrict_channels(keep, /*keep_in=*/{});
+  bn1_.restrict_channels(keep);
+  conv2_.restrict_channels(/*keep_out=*/{}, keep);
+}
+
+std::size_t BasicBlock::macs_per_sample(std::size_t in_h,
+                                        std::size_t in_w) const {
+  const std::size_t mid_h = (in_h + 2 - 3) / stride_ + 1;
+  const std::size_t mid_w = (in_w + 2 - 3) / stride_ + 1;
+  std::size_t macs = conv1_.macs_per_sample(in_h, in_w) +
+                     conv2_.macs_per_sample(mid_h, mid_w);
+  if (projection_)
+    macs += projection_->conv.macs_per_sample(in_h, in_w);
+  return macs;
+}
+
+}  // namespace odn::nn

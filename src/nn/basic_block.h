@@ -1,0 +1,80 @@
+// ResNet basic block: conv3x3-BN-ReLU-conv3x3-BN + skip connection, ReLU.
+//
+// When the block changes width or stride, the skip uses a 1x1
+// convolution + BatchNorm projection (the "option B" downsample of He et
+// al.). The block exposes its internal channel structure so the structured
+// pruner can shrink the conv1->bn1->conv2 chain without touching the block's
+// external width, which keeps residual additions shape-compatible — the
+// same dependency rule DepGraph derives for residual networks.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+#include "nn/simple_layers.h"
+
+namespace odn::nn {
+
+class BasicBlock final : public Layer {
+ public:
+  BasicBlock(std::size_t in_channels, std::size_t out_channels,
+             std::size_t stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  std::size_t in_channels() const noexcept { return in_channels_; }
+  std::size_t out_channels() const noexcept { return out_channels_; }
+  std::size_t stride() const noexcept { return stride_; }
+  bool has_projection() const noexcept { return projection_.has_value(); }
+
+  // Number of internal (conv1-output) channels; pruning reduces this.
+  std::size_t internal_channels() const noexcept {
+    return conv1_.out_channels();
+  }
+
+  // Prune the internal channel chain to the given kept channel list
+  // (indices into the current conv1 output channels).
+  void prune_internal_channels(const std::vector<std::size_t>& keep);
+
+  // L1 magnitude of each conv1 output-channel filter — the pruning
+  // criterion (magnitude pruning as in DepGraph).
+  std::vector<float> internal_channel_magnitudes() const;
+
+  // Analytic per-sample MAC count at the given input spatial size.
+  std::size_t macs_per_sample(std::size_t in_h, std::size_t in_w) const;
+
+  // Propagate frozen flag to every sub-layer.
+  void set_frozen_deep(bool frozen);
+
+  // Select the convolution algorithm for every conv in the block.
+  void set_conv_algorithm(ConvAlgorithm algorithm);
+
+ private:
+  struct Projection {
+    Conv2d conv;
+    BatchNorm2d bn;
+  };
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t stride_;
+
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  ReLU relu1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  ReLU relu_out_;
+  std::optional<Projection> projection_;
+
+  Tensor cached_skip_;  // identity-path activation saved for backward
+};
+
+}  // namespace odn::nn

@@ -1,0 +1,170 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+#include "util/fmt.h"
+#include <stdexcept>
+
+namespace odn::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float epsilon)
+    : channels_(channels), momentum_(momentum), epsilon_(epsilon) {
+  if (channels == 0)
+    throw std::invalid_argument("BatchNorm2d: zero channels");
+  gamma_.value = Tensor({channels_}, 1.0f);
+  gamma_.grad = Tensor({channels_});
+  beta_.value = Tensor({channels_});
+  beta_.grad = Tensor({channels_});
+  running_mean_ = Tensor({channels_});
+  running_var_ = Tensor({channels_}, 1.0f);
+}
+
+void BatchNorm2d::init_parameters(util::Rng& /*rng*/) {
+  gamma_.value.fill(1.0f);
+  beta_.value.fill(0.0f);
+  running_mean_.fill(0.0f);
+  running_var_.fill(1.0f);
+}
+
+std::string BatchNorm2d::name() const {
+  return odn::util::fmt("BatchNorm2d({})", channels_);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  if (input.shape().rank() != 4 || input.shape()[1] != channels_)
+    throw std::invalid_argument(
+        odn::util::fmt("{}: bad input shape {}", name(),
+                    input.shape().to_string()));
+  const std::size_t batch = input.shape()[0];
+  const std::size_t height = input.shape()[2];
+  const std::size_t width = input.shape()[3];
+  const auto per_channel =
+      static_cast<float>(batch * height * width);
+
+  Tensor output(input.shape());
+  if (training) {
+    cached_normalized_ = Tensor(input.shape());
+    cached_inv_std_.assign(channels_, 0.0f);
+  }
+
+  const std::size_t plane = height * width;
+  const std::size_t sample = channels_ * plane;
+  const float* in_base = input.data().data();
+  float* out_base = output.data().data();
+  float* norm_base = training ? cached_normalized_.data().data() : nullptr;
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    if (training) {
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* row = in_base + n * sample + c * plane;
+        for (std::size_t i = 0; i < plane; ++i) mean += row[i];
+      }
+      mean /= per_channel;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* row = in_base + n * sample + c * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const float diff = row[i] - mean;
+          var += diff * diff;
+        }
+      }
+      var /= per_channel;
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+
+    const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+    const float scale = gamma_.value[c];
+    const float shift = beta_.value[c];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* in_row = in_base + n * sample + c * plane;
+      float* out_row = out_base + n * sample + c * plane;
+      if (training) {
+        float* norm_row = norm_base + n * sample + c * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const float normalized = (in_row[i] - mean) * inv_std;
+          norm_row[i] = normalized;
+          out_row[i] = scale * normalized + shift;
+        }
+      } else {
+        for (std::size_t i = 0; i < plane; ++i)
+          out_row[i] = scale * (in_row[i] - mean) * inv_std + shift;
+      }
+    }
+    if (training) cached_inv_std_[c] = inv_std;
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (cached_normalized_.empty())
+    throw std::logic_error(name() + ": backward without training forward");
+  const std::size_t batch = grad_output.shape()[0];
+  const std::size_t height = grad_output.shape()[2];
+  const std::size_t width = grad_output.shape()[3];
+  const auto per_channel = static_cast<float>(batch * height * width);
+
+  Tensor grad_input(grad_output.shape());
+  const std::size_t plane = height * width;
+  const std::size_t sample = channels_ * plane;
+  const float* go_base = grad_output.data().data();
+  const float* norm_base = cached_normalized_.data().data();
+  float* gi_base = grad_input.data().data();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Standard batch-norm backward:
+    //   dL/dx = gamma * inv_std / m * (m*dy - sum(dy) - x_hat*sum(dy*x_hat))
+    float sum_dy = 0.0f;
+    float sum_dy_xhat = 0.0f;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* go_row = go_base + n * sample + c * plane;
+      const float* norm_row = norm_base + n * sample + c * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum_dy += go_row[i];
+        sum_dy_xhat += go_row[i] * norm_row[i];
+      }
+    }
+
+    if (!frozen_) {
+      gamma_.grad[c] += sum_dy_xhat;
+      beta_.grad[c] += sum_dy;
+    }
+
+    const float scale = gamma_.value[c] * cached_inv_std_[c] / per_channel;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* go_row = go_base + n * sample + c * plane;
+      const float* norm_row = norm_base + n * sample + c * plane;
+      float* gi_row = gi_base + n * sample + c * plane;
+      for (std::size_t i = 0; i < plane; ++i)
+        gi_row[i] = scale * (per_channel * go_row[i] - sum_dy -
+                             norm_row[i] * sum_dy_xhat);
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::restrict_channels(const std::vector<std::size_t>& keep) {
+  for (const std::size_t c : keep)
+    if (c >= channels_)
+      throw std::out_of_range("BatchNorm2d::restrict_channels: bad channel");
+  auto slice = [&](const Tensor& src) {
+    Tensor dst({keep.size()});
+    for (std::size_t i = 0; i < keep.size(); ++i) dst[i] = src[keep[i]];
+    return dst;
+  };
+  gamma_.value = slice(gamma_.value);
+  gamma_.grad = Tensor(gamma_.value.shape());
+  beta_.value = slice(beta_.value);
+  beta_.grad = Tensor(beta_.value.shape());
+  running_mean_ = slice(running_mean_);
+  running_var_ = slice(running_var_);
+  channels_ = keep.size();
+  cached_normalized_ = Tensor{};
+  cached_inv_std_.clear();
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,48 @@
+// Batch normalization over the channel axis of NCHW activations.
+//
+// Training mode normalizes with batch statistics and updates running
+// estimates with exponential momentum; eval mode uses the running estimates.
+// The affine scale/shift (gamma, beta) are the learnable parameters.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace odn::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                       float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  std::size_t channels() const noexcept { return channels_; }
+
+  // Structured pruning support: keep only the listed channels (running stats
+  // and affine parameters are sliced accordingly).
+  void restrict_channels(const std::vector<std::size_t>& keep);
+
+  // Running statistics are exposed for tests and serialization.
+  const Tensor& running_mean() const noexcept { return running_mean_; }
+  const Tensor& running_var() const noexcept { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float epsilon_;
+
+  Param gamma_;  // scale, shape (C)
+  Param beta_;   // shift, shape (C)
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Backward caches (training forward only).
+  Tensor cached_normalized_;   // x_hat
+  std::vector<float> cached_inv_std_;  // 1/sqrt(var+eps) per channel
+};
+
+}  // namespace odn::nn

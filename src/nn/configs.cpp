@@ -1,0 +1,48 @@
+#include "nn/configs.h"
+
+#include <stdexcept>
+
+namespace odn::nn {
+
+std::vector<BlockConfiguration> table1_configurations() {
+  return {
+      {ConfigId::kA, "CONFIG A", 0, true},
+      {ConfigId::kB, "CONFIG B", 4, false},
+      {ConfigId::kC, "CONFIG C", 3, false},
+      {ConfigId::kD, "CONFIG D", 2, false},
+      {ConfigId::kE, "CONFIG E", 1, false},
+  };
+}
+
+const BlockConfiguration& configuration(ConfigId id) {
+  static const std::vector<BlockConfiguration> configs =
+      table1_configurations();
+  for (const auto& config : configs)
+    if (config.id == id) return config;
+  throw std::invalid_argument("configuration: unknown ConfigId");
+}
+
+std::unique_ptr<ResNet> instantiate_configuration(
+    const ResNet& base, const BlockConfiguration& config,
+    std::size_t num_classes, util::Rng& rng) {
+  if (config.from_scratch) {
+    ResNetConfig fresh = base.config();
+    fresh.num_classes = num_classes;
+    return std::make_unique<ResNet>(fresh, rng);
+  }
+  std::unique_ptr<ResNet> model = base.clone();
+  model->replace_head(num_classes, rng);
+  model->freeze_shared_stages(config.shared_stages);
+  return model;
+}
+
+std::size_t prune_fine_tuned_blocks(ResNet& model, double prune_ratio) {
+  if (prune_ratio < 0.0 || prune_ratio >= 1.0)
+    throw std::invalid_argument(
+        "prune_fine_tuned_blocks: ratio must be in [0, 1)");
+  const std::size_t first_trainable = model.frozen_stages();
+  if (first_trainable >= kNumStages) return 0;  // only the head is task-specific
+  return model.prune_stages(first_trainable, 1.0 - prune_ratio);
+}
+
+}  // namespace odn::nn

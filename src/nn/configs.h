@@ -1,0 +1,48 @@
+// Table I of the paper: DNN block configurations for the ResNet feature
+// extractor, built from a pre-trained base model.
+//
+//   CONFIG A — entire DNN trained from scratch
+//   CONFIG B — first 4 layer-blocks shared (frozen); classifier fine-tuned
+//   CONFIG C — first 3 shared; last layer-block + classifier fine-tuned
+//   CONFIG D — first 2 shared; last 2 layer-blocks + classifier fine-tuned
+//   CONFIG E — first 1 shared; last 3 layer-blocks + classifier fine-tuned
+//   X-pruned — X with the *fine-tuned* layer-blocks pruned at ratio 80 %
+//              (shared blocks are never pruned: other tasks use them).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/resnet.h"
+
+namespace odn::nn {
+
+enum class ConfigId { kA, kB, kC, kD, kE };
+
+struct BlockConfiguration {
+  ConfigId id;
+  std::string name;            // "CONFIG A" ... "CONFIG E"
+  std::size_t shared_stages;   // how many leading layer-blocks are frozen
+  bool from_scratch;           // CONFIG A trains everything from random init
+};
+
+// The five Table I configurations, in order A..E.
+std::vector<BlockConfiguration> table1_configurations();
+
+const BlockConfiguration& configuration(ConfigId id);
+
+// Build a task-specific model for `config`:
+//  - CONFIG A: a fresh randomly initialized network;
+//  - CONFIG B..E: a deep copy of `base` with a new classifier head for
+//    `num_classes` and the first `shared_stages` layer-blocks frozen.
+std::unique_ptr<ResNet> instantiate_configuration(
+    const ResNet& base, const BlockConfiguration& config,
+    std::size_t num_classes, util::Rng& rng);
+
+// Apply the paper's pruning step to a fine-tuned model: structured 80 %
+// magnitude pruning (keep 20 %) of the fine-tuned layer-blocks only.
+// Returns the number of removed parameters.
+std::size_t prune_fine_tuned_blocks(ResNet& model, double prune_ratio = 0.8);
+
+}  // namespace odn::nn

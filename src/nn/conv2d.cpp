@@ -1,0 +1,447 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <algorithm>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "util/fmt.h"
+
+namespace odn::nn {
+namespace {
+
+// Valid output range [first, last) for a given kernel offset k: the set of
+// output coordinates o for which the input coordinate i = o*stride - pad + k
+// lands inside [0, extent).
+struct ValidRange {
+  std::size_t first;
+  std::size_t last;
+};
+
+ValidRange valid_outputs(std::size_t out_extent, std::size_t in_extent,
+                         std::size_t stride, std::size_t pad,
+                         std::size_t k) noexcept {
+  // i = o*stride + k - pad must satisfy 0 <= i < in_extent.
+  std::size_t first = 0;
+  if (k < pad) {
+    // need o*stride >= pad - k
+    first = (pad - k + stride - 1) / stride;
+  }
+  // need o*stride <= in_extent - 1 + pad - k
+  const std::ptrdiff_t numer = static_cast<std::ptrdiff_t>(in_extent - 1) +
+                               static_cast<std::ptrdiff_t>(pad) -
+                               static_cast<std::ptrdiff_t>(k);
+  std::size_t last = 0;
+  if (numer >= 0)
+    last = std::min(out_extent,
+                    static_cast<std::size_t>(numer) / stride + 1);
+  if (first > last) first = last;
+  return {first, last};
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               bool with_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      with_bias_(with_bias) {
+  if (in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0)
+    throw std::invalid_argument("Conv2d: zero-sized configuration");
+  weight_.value = Tensor({out_channels_, in_channels_, kernel_, kernel_});
+  weight_.grad = Tensor(weight_.value.shape());
+  if (with_bias_) {
+    bias_.value = Tensor({out_channels_});
+    bias_.grad = Tensor(bias_.value.shape());
+  }
+}
+
+void Conv2d::init_parameters(util::Rng& rng) {
+  // He (Kaiming) normal: std = sqrt(2 / fan_in), suited for ReLU networks.
+  const double fan_in =
+      static_cast<double>(in_channels_ * kernel_ * kernel_);
+  const double std_dev = std::sqrt(2.0 / fan_in);
+  for (float& w : weight_.value.data())
+    w = static_cast<float>(rng.normal(0.0, std_dev));
+  if (with_bias_) bias_.value.fill(0.0f);
+}
+
+std::vector<Param*> Conv2d::parameters() {
+  if (with_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+std::string Conv2d::name() const {
+  return util::fmt("Conv2d({}->{}, k{}, s{}, p{}{})", in_channels_,
+                   out_channels_, kernel_, stride_, padding_,
+                   with_bias_ ? ", bias" : "");
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool training) {
+  if (input.shape().rank() != 4 || input.shape()[1] != in_channels_)
+    throw std::invalid_argument(util::fmt("{}: bad input shape {}", name(),
+                                          input.shape().to_string()));
+  Tensor output = algorithm_ == ConvAlgorithm::kIm2col
+                      ? forward_im2col(input)
+                      : forward_direct(input);
+  if (training) cached_input_ = input;
+  return output;
+}
+
+Tensor Conv2d::forward_direct(const Tensor& input) {
+  const std::size_t batch = input.shape()[0];
+  const std::size_t in_h = input.shape()[2];
+  const std::size_t in_w = input.shape()[3];
+  const std::size_t out_h = output_extent(in_h);
+  const std::size_t out_w = output_extent(in_w);
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+
+  const float* in_base = input.data().data();
+  float* out_base = output.data().data();
+  const float* w_base = weight_.value.data().data();
+
+  const std::size_t in_plane = in_h * in_w;
+  const std::size_t out_plane = out_h * out_w;
+  const std::size_t in_sample = in_channels_ * in_plane;
+  const std::size_t out_sample = out_channels_ * out_plane;
+  const std::size_t w_slice = kernel_ * kernel_;
+
+  if (with_bias_) {
+    for (std::size_t n = 0; n < batch; ++n)
+      for (std::size_t co = 0; co < out_channels_; ++co) {
+        float* row = out_base + n * out_sample + co * out_plane;
+        const float b = bias_.value[co];
+        for (std::size_t i = 0; i < out_plane; ++i) row[i] = b;
+      }
+  }
+
+  // Decomposed as a sum of shifted, scaled input rows: for each kernel tap
+  // (kh, kw), the inner loop over output columns is contiguous in both
+  // input and output, which lets the compiler vectorize it.
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* in_n = in_base + n * in_sample;
+    float* out_n = out_base + n * out_sample;
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      float* out_c = out_n + co * out_plane;
+      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* in_c = in_n + ci * in_plane;
+        const float* w_c = w_base + (co * in_channels_ + ci) * w_slice;
+        for (std::size_t kh = 0; kh < kernel_; ++kh) {
+          const ValidRange rh =
+              valid_outputs(out_h, in_h, stride_, padding_, kh);
+          for (std::size_t kw = 0; kw < kernel_; ++kw) {
+            const float w = w_c[kh * kernel_ + kw];
+            if (w == 0.0f) continue;
+            const ValidRange rw =
+                valid_outputs(out_w, in_w, stride_, padding_, kw);
+            for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
+              const std::size_t ih = oh * stride_ + kh - padding_;
+              const float* in_row =
+                  in_c + ih * in_w + (rw.first * stride_ + kw - padding_);
+              float* out_row = out_c + oh * out_w + rw.first;
+              const std::size_t count = rw.last - rw.first;
+              if (stride_ == 1) {
+                for (std::size_t i = 0; i < count; ++i)
+                  out_row[i] += w * in_row[i];
+              } else {
+                for (std::size_t i = 0; i < count; ++i)
+                  out_row[i] += w * in_row[i * stride_];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.empty())
+    throw std::logic_error(name() + ": backward without training forward");
+  return algorithm_ == ConvAlgorithm::kIm2col ? backward_im2col(grad_output)
+                                              : backward_direct(grad_output);
+}
+
+Tensor Conv2d::backward_direct(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const std::size_t batch = input.shape()[0];
+  const std::size_t in_h = input.shape()[2];
+  const std::size_t in_w = input.shape()[3];
+  const std::size_t out_h = grad_output.shape()[2];
+  const std::size_t out_w = grad_output.shape()[3];
+
+  Tensor grad_input(input.shape());
+
+  const float* in_base = input.data().data();
+  const float* go_base = grad_output.data().data();
+  float* gi_base = grad_input.data().data();
+  const float* w_base = weight_.value.data().data();
+  float* wg_base = weight_.grad.data().data();
+
+  const std::size_t in_plane = in_h * in_w;
+  const std::size_t out_plane = out_h * out_w;
+  const std::size_t in_sample = in_channels_ * in_plane;
+  const std::size_t out_sample = out_channels_ * out_plane;
+  const std::size_t w_slice = kernel_ * kernel_;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* in_n = in_base + n * in_sample;
+    const float* go_n = go_base + n * out_sample;
+    float* gi_n = gi_base + n * in_sample;
+    for (std::size_t co = 0; co < out_channels_; ++co) {
+      const float* go_c = go_n + co * out_plane;
+      for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+        const float* in_c = in_n + ci * in_plane;
+        float* gi_c = gi_n + ci * in_plane;
+        const float* w_c = w_base + (co * in_channels_ + ci) * w_slice;
+        float* wg_c = wg_base + (co * in_channels_ + ci) * w_slice;
+        for (std::size_t kh = 0; kh < kernel_; ++kh) {
+          const ValidRange rh =
+              valid_outputs(out_h, in_h, stride_, padding_, kh);
+          for (std::size_t kw = 0; kw < kernel_; ++kw) {
+            const ValidRange rw =
+                valid_outputs(out_w, in_w, stride_, padding_, kw);
+            const std::size_t count = rw.last - rw.first;
+            if (count == 0 || rh.first >= rh.last) continue;
+            const float w = w_c[kh * kernel_ + kw];
+            float w_grad_acc = 0.0f;
+            for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
+              const std::size_t ih = oh * stride_ + kh - padding_;
+              const float* go_row = go_c + oh * out_w + rw.first;
+              const std::size_t in_off =
+                  ih * in_w + (rw.first * stride_ + kw - padding_);
+              const float* in_row = in_c + in_off;
+              float* gi_row = gi_c + in_off;
+              if (stride_ == 1) {
+                // dL/dinput accumulation and dL/dweight dot product share
+                // the same contiguous rows.
+                for (std::size_t i = 0; i < count; ++i)
+                  gi_row[i] += w * go_row[i];
+                if (!frozen_) {
+                  for (std::size_t i = 0; i < count; ++i)
+                    w_grad_acc += go_row[i] * in_row[i];
+                }
+              } else {
+                for (std::size_t i = 0; i < count; ++i)
+                  gi_row[i * stride_] += w * go_row[i];
+                if (!frozen_) {
+                  for (std::size_t i = 0; i < count; ++i)
+                    w_grad_acc += go_row[i] * in_row[i * stride_];
+                }
+              }
+            }
+            if (!frozen_) wg_c[kh * kernel_ + kw] += w_grad_acc;
+          }
+        }
+      }
+      if (!frozen_ && with_bias_) {
+        float bias_grad = 0.0f;
+        for (std::size_t i = 0; i < out_plane; ++i) bias_grad += go_c[i];
+        bias_.grad[co] += bias_grad;
+      }
+    }
+  }
+
+  return grad_input;
+}
+
+void Conv2d::im2col_sample(const float* input, std::size_t in_h,
+                           std::size_t in_w, std::size_t out_h,
+                           std::size_t out_w, float* col) const {
+  const std::size_t columns = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+    const float* plane = input + ci * in_h * in_w;
+    for (std::size_t kh = 0; kh < kernel_; ++kh) {
+      const ValidRange rh = valid_outputs(out_h, in_h, stride_, padding_, kh);
+      for (std::size_t kw = 0; kw < kernel_; ++kw, ++row) {
+        float* col_row = col + row * columns;
+        std::fill(col_row, col_row + columns, 0.0f);
+        const ValidRange rw =
+            valid_outputs(out_w, in_w, stride_, padding_, kw);
+        for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
+          const std::size_t ih = oh * stride_ + kh - padding_;
+          const float* in_row =
+              plane + ih * in_w + (rw.first * stride_ + kw - padding_);
+          float* dst = col_row + oh * out_w + rw.first;
+          const std::size_t count = rw.last - rw.first;
+          if (stride_ == 1) {
+            std::copy(in_row, in_row + count, dst);
+          } else {
+            for (std::size_t i = 0; i < count; ++i)
+              dst[i] = in_row[i * stride_];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im_sample(const float* col, std::size_t in_h,
+                           std::size_t in_w, std::size_t out_h,
+                           std::size_t out_w, float* grad_input) const {
+  const std::size_t columns = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t ci = 0; ci < in_channels_; ++ci) {
+    float* plane = grad_input + ci * in_h * in_w;
+    for (std::size_t kh = 0; kh < kernel_; ++kh) {
+      const ValidRange rh = valid_outputs(out_h, in_h, stride_, padding_, kh);
+      for (std::size_t kw = 0; kw < kernel_; ++kw, ++row) {
+        const float* col_row = col + row * columns;
+        const ValidRange rw =
+            valid_outputs(out_w, in_w, stride_, padding_, kw);
+        for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
+          const std::size_t ih = oh * stride_ + kh - padding_;
+          float* dst =
+              plane + ih * in_w + (rw.first * stride_ + kw - padding_);
+          const float* src = col_row + oh * out_w + rw.first;
+          const std::size_t count = rw.last - rw.first;
+          if (stride_ == 1) {
+            for (std::size_t i = 0; i < count; ++i) dst[i] += src[i];
+          } else {
+            for (std::size_t i = 0; i < count; ++i)
+              dst[i * stride_] += src[i];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward_im2col(const Tensor& input) {
+  const std::size_t batch = input.shape()[0];
+  const std::size_t in_h = input.shape()[2];
+  const std::size_t in_w = input.shape()[3];
+  const std::size_t out_h = output_extent(in_h);
+  const std::size_t out_w = output_extent(in_w);
+  const std::size_t lowered_rows = in_channels_ * kernel_ * kernel_;
+  const std::size_t columns = out_h * out_w;
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+  std::vector<float> col(lowered_rows * columns);
+  const std::size_t in_sample = in_channels_ * in_h * in_w;
+  const std::size_t out_sample = out_channels_ * columns;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col_sample(input.data().data() + n * in_sample, in_h, in_w, out_h,
+                  out_w, col.data());
+    // out(M x N) = W(M x K_l) * col(K_l x N)
+    sgemm(out_channels_, columns, lowered_rows,
+          weight_.value.data().data(), col.data(),
+          output.data().data() + n * out_sample);
+    if (with_bias_) {
+      float* out_n = output.data().data() + n * out_sample;
+      for (std::size_t co = 0; co < out_channels_; ++co) {
+        const float b = bias_.value[co];
+        float* row_ptr = out_n + co * columns;
+        for (std::size_t i = 0; i < columns; ++i) row_ptr[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward_im2col(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const std::size_t batch = input.shape()[0];
+  const std::size_t in_h = input.shape()[2];
+  const std::size_t in_w = input.shape()[3];
+  const std::size_t out_h = grad_output.shape()[2];
+  const std::size_t out_w = grad_output.shape()[3];
+  const std::size_t lowered_rows = in_channels_ * kernel_ * kernel_;
+  const std::size_t columns = out_h * out_w;
+  const std::size_t in_sample = in_channels_ * in_h * in_w;
+  const std::size_t out_sample = out_channels_ * columns;
+
+  Tensor grad_input(input.shape());
+  std::vector<float> col(lowered_rows * columns);
+  std::vector<float> grad_col(lowered_rows * columns);
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* go_n = grad_output.data().data() + n * out_sample;
+    if (!frozen_) {
+      // GW(M x K_l) += GO(M x N) * col(K_l x N)^T
+      im2col_sample(input.data().data() + n * in_sample, in_h, in_w, out_h,
+                    out_w, col.data());
+      sgemm_bt(out_channels_, lowered_rows, columns, go_n, col.data(),
+               weight_.grad.data().data(), /*accumulate=*/true);
+      if (with_bias_) {
+        for (std::size_t co = 0; co < out_channels_; ++co) {
+          float acc = 0.0f;
+          const float* row_ptr = go_n + co * columns;
+          for (std::size_t i = 0; i < columns; ++i) acc += row_ptr[i];
+          bias_.grad[co] += acc;
+        }
+      }
+    }
+    // grad_col(K_l x N) = W(M x K_l)^T * GO(M x N)
+    sgemm_at(lowered_rows, columns, out_channels_,
+             weight_.value.data().data(), go_n, grad_col.data());
+    col2im_sample(grad_col.data(), in_h, in_w, out_h, out_w,
+                  grad_input.data().data() + n * in_sample);
+  }
+  return grad_input;
+}
+
+void Conv2d::restrict_channels(const std::vector<std::size_t>& keep_out,
+                               const std::vector<std::size_t>& keep_in) {
+  const std::vector<std::size_t>* out_list = &keep_out;
+  const std::vector<std::size_t>* in_list = &keep_in;
+  std::vector<std::size_t> all_out;
+  std::vector<std::size_t> all_in;
+  if (keep_out.empty()) {
+    all_out.resize(out_channels_);
+    for (std::size_t i = 0; i < out_channels_; ++i) all_out[i] = i;
+    out_list = &all_out;
+  }
+  if (keep_in.empty()) {
+    all_in.resize(in_channels_);
+    for (std::size_t i = 0; i < in_channels_; ++i) all_in[i] = i;
+    in_list = &all_in;
+  }
+  for (const std::size_t co : *out_list)
+    if (co >= out_channels_)
+      throw std::out_of_range("Conv2d::restrict_channels: bad output channel");
+  for (const std::size_t ci : *in_list)
+    if (ci >= in_channels_)
+      throw std::out_of_range("Conv2d::restrict_channels: bad input channel");
+
+  Tensor new_weight({out_list->size(), in_list->size(), kernel_, kernel_});
+  for (std::size_t o = 0; o < out_list->size(); ++o)
+    for (std::size_t i = 0; i < in_list->size(); ++i)
+      for (std::size_t kh = 0; kh < kernel_; ++kh)
+        for (std::size_t kw = 0; kw < kernel_; ++kw)
+          new_weight.at4(o, i, kh, kw) =
+              weight_.value.at4((*out_list)[o], (*in_list)[i], kh, kw);
+  weight_.value = std::move(new_weight);
+  weight_.grad = Tensor(weight_.value.shape());
+
+  if (with_bias_) {
+    Tensor new_bias({out_list->size()});
+    for (std::size_t o = 0; o < out_list->size(); ++o)
+      new_bias[o] = bias_.value[(*out_list)[o]];
+    bias_.value = std::move(new_bias);
+    bias_.grad = Tensor(bias_.value.shape());
+  }
+
+  out_channels_ = out_list->size();
+  in_channels_ = in_list->size();
+  cached_input_ = Tensor{};
+}
+
+std::size_t Conv2d::macs_per_sample(std::size_t in_h, std::size_t in_w) const {
+  const std::size_t out_h = output_extent(in_h);
+  const std::size_t out_w = output_extent(in_w);
+  return out_h * out_w * out_channels_ * in_channels_ * kernel_ * kernel_;
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,249 @@
+#include "nn/dataset.h"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace odn::nn {
+
+Dataset::Dataset(Tensor images, std::vector<std::uint16_t> labels,
+                 std::size_t num_classes)
+    : images_(std::move(images)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  if (images_.shape().rank() != 4 || images_.shape()[0] != labels_.size())
+    throw std::invalid_argument("Dataset: image/label count mismatch");
+}
+
+Tensor Dataset::gather_images(std::span<const std::size_t> indices) const {
+  const std::size_t channels = images_.shape()[1];
+  const std::size_t height = images_.shape()[2];
+  const std::size_t width = images_.shape()[3];
+  const std::size_t sample_elems = channels * height * width;
+  Tensor batch({indices.size(), channels, height, width});
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    if (indices[b] >= size())
+      throw std::out_of_range("Dataset::gather_images: bad index");
+    const auto src = images_.data().subspan(indices[b] * sample_elems,
+                                            sample_elems);
+    auto dst = batch.data().subspan(b * sample_elems, sample_elems);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return batch;
+}
+
+std::vector<std::uint16_t> Dataset::gather_labels(
+    std::span<const std::size_t> indices) const {
+  std::vector<std::uint16_t> batch(indices.size());
+  for (std::size_t b = 0; b < indices.size(); ++b)
+    batch[b] = labels_.at(indices[b]);
+  return batch;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(
+    std::uint16_t label) const {
+  std::vector<std::size_t> matches;
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (labels_[i] == label) matches.push_back(i);
+  return matches;
+}
+
+SyntheticImageGenerator::SyntheticImageGenerator(std::size_t image_size,
+                                                 std::uint64_t seed)
+    : image_size_(image_size), rng_(seed) {
+  if (image_size < 8)
+    throw std::invalid_argument("SyntheticImageGenerator: size < 8");
+}
+
+namespace {
+
+// Shared texture bank: oriented sinusoidal gratings. The *bank* is common
+// to every class; an image samples random members, so low-level statistics
+// are class-agnostic by construction.
+struct Grating {
+  float angle;      // radians
+  float frequency;  // cycles across the image
+};
+
+constexpr Grating kTextureBank[] = {
+    {0.0f, 3.0f},  {0.6f, 5.0f},  {1.2f, 4.0f},  {1.8f, 6.0f},
+    {2.4f, 3.5f},  {3.0f, 5.5f},  {0.3f, 7.0f},  {0.9f, 2.5f},
+};
+
+float motif_mask(Motif motif, float u, float v, float scale) {
+  // (u, v) are centered coordinates in [-0.5, 0.5]; returns 1 inside the
+  // motif, 0 outside (soft edges are added by the caller's blend).
+  const float r = std::sqrt(u * u + v * v);
+  const float half = scale * 0.5f;
+  switch (motif) {
+    case Motif::kDisk:
+      return r < half ? 1.0f : 0.0f;
+    case Motif::kSquare:
+      return (std::fabs(u) < half && std::fabs(v) < half) ? 1.0f : 0.0f;
+    case Motif::kCross:
+      return (std::fabs(u) < half * 0.35f || std::fabs(v) < half * 0.35f) &&
+                     (std::fabs(u) < half && std::fabs(v) < half)
+                 ? 1.0f
+                 : 0.0f;
+    case Motif::kRing:
+      return (r < half && r > half * 0.55f) ? 1.0f : 0.0f;
+    case Motif::kStripesH:
+      return (std::fabs(v) < half &&
+              std::fmod(std::fabs(v * 8.0f / scale), 2.0f) < 1.0f)
+                 ? 1.0f
+                 : 0.0f;
+    case Motif::kStripesV:
+      return (std::fabs(u) < half &&
+              std::fmod(std::fabs(u * 8.0f / scale), 2.0f) < 1.0f)
+                 ? 1.0f
+                 : 0.0f;
+    case Motif::kDiagonal:
+      return (std::fabs(u - v) < half * 0.4f && r < half) ? 1.0f : 0.0f;
+    case Motif::kChecker: {
+      if (std::fabs(u) >= half || std::fabs(v) >= half) return 0.0f;
+      const int cu = static_cast<int>(std::floor((u + half) * 4.0f / scale));
+      const int cv = static_cast<int>(std::floor((v + half) * 4.0f / scale));
+      return ((cu + cv) & 1) ? 1.0f : 0.0f;
+    }
+    case Motif::kTriangle:
+      return (v > -half && v < half && std::fabs(u) < (half - v) * 0.5f)
+                 ? 1.0f
+                 : 0.0f;
+    case Motif::kDoubleDot: {
+      const float du = u - half * 0.5f;
+      const float eu = u + half * 0.5f;
+      return (std::sqrt(du * du + v * v) < half * 0.35f ||
+              std::sqrt(eu * eu + v * v) < half * 0.35f)
+                 ? 1.0f
+                 : 0.0f;
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+void SyntheticImageGenerator::render(const ClassSpec& spec, Tensor& images,
+                                     std::size_t sample_index,
+                                     util::Rng& rng) const {
+  const std::size_t hw = image_size_;
+  const auto n = sample_index;
+
+  // Background: blend of two random gratings from the shared bank.
+  const auto& g1 = kTextureBank[rng.uniform_int(0, std::ssize(kTextureBank) - 1)];
+  const auto& g2 = kTextureBank[rng.uniform_int(0, std::ssize(kTextureBank) - 1)];
+  const float phase1 = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+  const float phase2 = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+  const float bg_level = static_cast<float>(rng.uniform(0.3, 0.6));
+
+  // Motif placement jitter (position and scale).
+  const float cx = static_cast<float>(rng.uniform(-0.15, 0.15));
+  const float cy = static_cast<float>(rng.uniform(-0.15, 0.15));
+  const float scale =
+      spec.scale * static_cast<float>(rng.uniform(0.8, 1.2));
+  const float rotation = static_cast<float>(rng.uniform(-0.3, 0.3));
+  const float cos_r = std::cos(rotation);
+  const float sin_r = std::sin(rotation);
+
+  const float noise_sigma = 0.06f;
+
+  for (std::size_t y = 0; y < hw; ++y) {
+    for (std::size_t x = 0; x < hw; ++x) {
+      const float u0 = static_cast<float>(x) / static_cast<float>(hw) - 0.5f;
+      const float v0 = static_cast<float>(y) / static_cast<float>(hw) - 0.5f;
+
+      const float t1 = std::sin(
+          2.0f * std::numbers::pi_v<float> * g1.frequency *
+              (u0 * std::cos(g1.angle) + v0 * std::sin(g1.angle)) +
+          phase1);
+      const float t2 = std::sin(
+          2.0f * std::numbers::pi_v<float> * g2.frequency *
+              (u0 * std::cos(g2.angle) + v0 * std::sin(g2.angle)) +
+          phase2);
+      const float texture = bg_level + 0.12f * t1 + 0.12f * t2;
+
+      // Rotate into motif frame around the jittered center.
+      const float du = u0 - cx;
+      const float dv = v0 - cy;
+      const float mu = du * cos_r - dv * sin_r;
+      const float mv = du * sin_r + dv * cos_r;
+      const float inside = motif_mask(spec.motif, mu, mv, scale);
+
+      for (std::size_t c = 0; c < 3; ++c) {
+        const float noise =
+            noise_sigma * static_cast<float>(rng.normal());
+        const float value =
+            inside > 0.5f
+                ? 0.25f * texture + 0.75f * spec.hue[c]
+                : texture;
+        images.at4(n, c, y, x) = util::clamp(value + noise, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+Dataset SyntheticImageGenerator::generate(std::span<const ClassSpec> specs,
+                                          std::size_t per_class) {
+  if (specs.empty() || per_class == 0)
+    throw std::invalid_argument("SyntheticImageGenerator::generate: empty");
+  const std::size_t total = specs.size() * per_class;
+  Tensor images({total, 3, image_size_, image_size_});
+  std::vector<std::uint16_t> labels(total);
+
+  std::size_t index = 0;
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    for (std::size_t i = 0; i < per_class; ++i, ++index) {
+      render(specs[k], images, index, rng_);
+      labels[index] = static_cast<std::uint16_t>(k);
+    }
+  }
+
+  // Shuffle sample order (images + labels coherently).
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(std::span<std::size_t>(order));
+
+  const std::size_t sample_elems = 3 * image_size_ * image_size_;
+  Tensor shuffled_images(images.shape());
+  std::vector<std::uint16_t> shuffled_labels(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto src =
+        images.data().subspan(order[i] * sample_elems, sample_elems);
+    auto dst = shuffled_images.data().subspan(i * sample_elems, sample_elems);
+    std::copy(src.begin(), src.end(), dst.begin());
+    shuffled_labels[i] = labels[order[i]];
+  }
+  return Dataset(std::move(shuffled_images), std::move(shuffled_labels),
+                 specs.size());
+}
+
+std::vector<ClassSpec> base_class_specs() {
+  // Stand-ins for the Table II categories (vehicles, wild animals, snakes,
+  // cats, household objects): 8 classes spanning distinct motifs/colors.
+  return {
+      {"bus", Motif::kSquare, {0.9f, 0.7f, 0.1f}, 0.55f},
+      {"koala", Motif::kDisk, {0.5f, 0.5f, 0.55f}, 0.5f},
+      {"green_snake", Motif::kDiagonal, {0.1f, 0.8f, 0.2f}, 0.6f},
+      {"persian_cat", Motif::kRing, {0.85f, 0.8f, 0.75f}, 0.5f},
+      {"toaster", Motif::kChecker, {0.7f, 0.7f, 0.75f}, 0.5f},
+      {"truck", Motif::kStripesH, {0.2f, 0.3f, 0.8f}, 0.55f},
+      {"owl", Motif::kDoubleDot, {0.6f, 0.45f, 0.3f}, 0.5f},
+      {"lamp", Motif::kTriangle, {0.95f, 0.9f, 0.5f}, 0.5f},
+  };
+}
+
+ClassSpec mushroom_class_spec() {
+  // Grocery item (Sec. II first experiment): motif/color outside the base
+  // bank combinations.
+  return {"mushroom", Motif::kCross, {0.85f, 0.3f, 0.25f}, 0.5f};
+}
+
+ClassSpec electric_guitar_class_spec() {
+  // Musical instrument (Sec. II second experiment).
+  return {"electric_guitar", Motif::kStripesV, {0.75f, 0.2f, 0.65f}, 0.55f};
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,97 @@
+// Procedural synthetic computer-vision dataset.
+//
+// Substitute for the paper's ImageNet subset (Table II) — see DESIGN.md.
+// Every image is a shared low-level texture background (mixture of oriented
+// gratings from a class-agnostic bank, plus noise) with a class-specific
+// high-level motif (shape x color x scale) composited on top. The shared
+// background is what makes early DNN layers transferable across classes —
+// the structural property the paper's block-sharing intuition relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace odn::nn {
+
+// The high-level motif that defines a class.
+enum class Motif : std::uint8_t {
+  kDisk,
+  kSquare,
+  kCross,
+  kRing,
+  kStripesH,
+  kStripesV,
+  kDiagonal,
+  kChecker,
+  kTriangle,
+  kDoubleDot,
+};
+
+struct ClassSpec {
+  std::string label;       // e.g. "bus", "koala", "mushroom"
+  Motif motif;
+  float hue[3];            // RGB color signature of the motif, each in [0,1]
+  float scale = 0.5f;      // motif extent as a fraction of image size
+};
+
+// An in-memory labelled image set; images are (N, C, H, W), labels are
+// class indices into the spec list used at generation time.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor images, std::vector<std::uint16_t> labels,
+          std::size_t num_classes);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  const Tensor& images() const noexcept { return images_; }
+  const std::vector<std::uint16_t>& labels() const noexcept { return labels_; }
+
+  // Copy a batch of samples (by index) into contiguous tensors.
+  Tensor gather_images(std::span<const std::size_t> indices) const;
+  std::vector<std::uint16_t> gather_labels(
+      std::span<const std::size_t> indices) const;
+
+  // Indices of all samples with the given label.
+  std::vector<std::size_t> indices_of_class(std::uint16_t label) const;
+
+ private:
+  Tensor images_;
+  std::vector<std::uint16_t> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+// Deterministic image-set generator.
+class SyntheticImageGenerator {
+ public:
+  SyntheticImageGenerator(std::size_t image_size, std::uint64_t seed);
+
+  // Render one image of the given class into a (C, H, W) slice.
+  void render(const ClassSpec& spec, Tensor& images, std::size_t sample_index,
+              util::Rng& rng) const;
+
+  // Generate per_class samples for every spec; shuffled.
+  Dataset generate(std::span<const ClassSpec> specs, std::size_t per_class);
+
+  std::size_t image_size() const noexcept { return image_size_; }
+
+ private:
+  std::size_t image_size_;
+  mutable util::Rng rng_;
+};
+
+// The scaled "base dataset" analog of Table II: 8 object classes spanning
+// the motif bank (vehicles/animals/... stand-ins).
+std::vector<ClassSpec> base_class_specs();
+
+// Novel fine-tuning classes for the Sec. II experiments: "mushroom"
+// (grocery item) and "electric guitar" (musical instrument) analogs, with
+// motifs/colors not present in the base set.
+ClassSpec mushroom_class_spec();
+ClassSpec electric_guitar_class_spec();
+
+}  // namespace odn::nn

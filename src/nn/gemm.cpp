@@ -1,0 +1,62 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace odn::nn {
+namespace {
+
+constexpr std::size_t kBlockK = 64;
+
+}  // namespace
+
+void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+           const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k, k0 + kBlockK);
+    for (std::size_t i = 0; i < m; ++i) {
+      float* c_row = c + i * n;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float a_ik = a[i * k + kk];
+        if (a_ik == 0.0f) continue;
+        const float* b_row = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+void sgemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  // A is (K x M): A^T[i][kk] = a[kk * m + i].
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a + kk * m;
+    const float* b_row = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_ik = a_row[i];
+      if (a_ik == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+    }
+  }
+}
+
+void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, bool accumulate) {
+  // B is (N x K): rows of B are contiguous in K — the inner loop is a dot
+  // product of two contiguous vectors.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = accumulate ? c_row[j] : 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      c_row[j] = acc;
+    }
+  }
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,26 @@
+// Small single-precision GEMM for the im2col convolution path.
+//
+// Row-major C(M x N) = A(M x K) * B(K x N) [+ C when accumulate]. The
+// kernel uses the i-k-j loop order so the inner loop runs down contiguous
+// rows of B and C and auto-vectorizes; K-blocking keeps the hot rows of B
+// in cache. Not a BLAS replacement — just enough for the layer sizes this
+// library meets.
+#pragma once
+
+#include <cstddef>
+
+namespace odn::nn {
+
+// C = A * B (+ C if accumulate). Pointers must not alias.
+void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+           const float* b, float* c, bool accumulate = false);
+
+// C = A^T * B (+ C if accumulate); A is (K x M) row-major.
+void sgemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, bool accumulate = false);
+
+// C = A * B^T (+ C if accumulate); B is (N x K) row-major.
+void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, bool accumulate = false);
+
+}  // namespace odn::nn

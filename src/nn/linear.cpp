@@ -1,0 +1,91 @@
+#include "nn/linear.h"
+
+#include <cmath>
+#include "util/fmt.h"
+#include <stdexcept>
+
+namespace odn::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : in_features_(in_features), out_features_(out_features) {
+  if (in_features == 0 || out_features == 0)
+    throw std::invalid_argument("Linear: zero-sized configuration");
+  weight_.value = Tensor({out_features_, in_features_});
+  weight_.grad = Tensor(weight_.value.shape());
+  bias_.value = Tensor({out_features_});
+  bias_.grad = Tensor(bias_.value.shape());
+}
+
+void Linear::init_parameters(util::Rng& rng) {
+  const double std_dev = std::sqrt(2.0 / static_cast<double>(in_features_));
+  for (float& w : weight_.value.data())
+    w = static_cast<float>(rng.normal(0.0, std_dev));
+  bias_.value.fill(0.0f);
+}
+
+std::string Linear::name() const {
+  return odn::util::fmt("Linear({}->{})", in_features_, out_features_);
+}
+
+Tensor Linear::forward(const Tensor& input, bool training) {
+  if (input.shape().rank() != 2 || input.shape()[1] != in_features_)
+    throw std::invalid_argument(
+        odn::util::fmt("{}: bad input shape {}", name(),
+                    input.shape().to_string()));
+  const std::size_t batch = input.shape()[0];
+  Tensor output({batch, out_features_});
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      float acc = bias_.value[o];
+      for (std::size_t i = 0; i < in_features_; ++i)
+        acc += input.at2(n, i) * weight_.value.at2(o, i);
+      output.at2(n, o) = acc;
+    }
+  if (training) cached_input_ = input;
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  if (cached_input_.empty())
+    throw std::logic_error(name() + ": backward without training forward");
+  const std::size_t batch = cached_input_.shape()[0];
+
+  Tensor grad_input({batch, in_features_});
+  for (std::size_t n = 0; n < batch; ++n)
+    for (std::size_t i = 0; i < in_features_; ++i) {
+      float acc = 0.0f;
+      for (std::size_t o = 0; o < out_features_; ++o)
+        acc += grad_output.at2(n, o) * weight_.value.at2(o, i);
+      grad_input.at2(n, i) = acc;
+    }
+
+  if (!frozen_) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      float bias_grad = 0.0f;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float go = grad_output.at2(n, o);
+        bias_grad += go;
+        for (std::size_t i = 0; i < in_features_; ++i)
+          weight_.grad.at2(o, i) += go * cached_input_.at2(n, i);
+      }
+      bias_.grad[o] += bias_grad;
+    }
+  }
+  return grad_input;
+}
+
+void Linear::restrict_inputs(const std::vector<std::size_t>& keep) {
+  for (const std::size_t i : keep)
+    if (i >= in_features_)
+      throw std::out_of_range("Linear::restrict_inputs: bad feature index");
+  Tensor new_weight({out_features_, keep.size()});
+  for (std::size_t o = 0; o < out_features_; ++o)
+    for (std::size_t i = 0; i < keep.size(); ++i)
+      new_weight.at2(o, i) = weight_.value.at2(o, keep[i]);
+  weight_.value = std::move(new_weight);
+  weight_.grad = Tensor(weight_.value.shape());
+  in_features_ = keep.size();
+  cached_input_ = Tensor{};
+}
+
+}  // namespace odn::nn

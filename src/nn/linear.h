@@ -1,0 +1,39 @@
+// Fully-connected layer: output = input * W^T + b, input shape (N, in).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace odn::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  std::size_t in_features() const noexcept { return in_features_; }
+  std::size_t out_features() const noexcept { return out_features_; }
+
+  Param& weight() noexcept { return weight_; }
+  Param& bias() noexcept { return bias_; }
+
+  // Keep only the listed input features (after upstream channel pruning).
+  void restrict_inputs(const std::vector<std::size_t>& keep);
+
+  std::size_t macs_per_sample() const noexcept {
+    return in_features_ * out_features_;
+  }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor cached_input_;
+};
+
+}  // namespace odn::nn

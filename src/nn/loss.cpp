@@ -1,0 +1,81 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include "util/fmt.h"
+#include <stdexcept>
+
+namespace odn::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("softmax: expected rank-2 logits");
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  Tensor probs(logits.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    float peak = logits.at2(n, 0);
+    for (std::size_t k = 1; k < classes; ++k)
+      peak = std::max(peak, logits.at2(n, k));
+    float denom = 0.0f;
+    for (std::size_t k = 0; k < classes; ++k) {
+      const float e = std::exp(logits.at2(n, k) - peak);
+      probs.at2(n, k) = e;
+      denom += e;
+    }
+    for (std::size_t k = 0; k < classes; ++k) probs.at2(n, k) /= denom;
+  }
+  return probs;
+}
+
+LossResult cross_entropy(const Tensor& logits,
+                         std::span<const std::uint16_t> labels) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("cross_entropy: expected rank-2 logits");
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  if (labels.size() != batch)
+    throw std::invalid_argument(
+        odn::util::fmt("cross_entropy: {} labels for batch {}", labels.size(),
+                    batch));
+
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  double total = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::uint16_t label = labels[n];
+    if (label >= classes)
+      throw std::out_of_range(
+          odn::util::fmt("cross_entropy: label {} >= classes {}", label,
+                      classes));
+    const float prob = result.grad_logits.at2(n, label);
+    total += -std::log(std::max(prob, 1e-12f));
+
+    // Top-1 check before turning probs into gradients.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < classes; ++k)
+      if (result.grad_logits.at2(n, k) > result.grad_logits.at2(n, best))
+        best = k;
+    if (best == label) ++result.correct;
+
+    // grad = (softmax - onehot) / N
+    result.grad_logits.at2(n, label) -= 1.0f;
+  }
+  result.grad_logits.scale_inplace(1.0f / static_cast<float>(batch));
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+std::vector<std::uint16_t> argmax_rows(const Tensor& logits) {
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  std::vector<std::uint16_t> predictions(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < classes; ++k)
+      if (logits.at2(n, k) > logits.at2(n, best)) best = k;
+    predictions[n] = static_cast<std::uint16_t>(best);
+  }
+  return predictions;
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss over class logits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.h"
+
+namespace odn::nn {
+
+struct LossResult {
+  double loss = 0.0;       // mean cross-entropy over the batch
+  Tensor grad_logits;      // dL/dlogits, shape (N, K)
+  std::size_t correct = 0; // top-1 hits in the batch
+};
+
+// logits: (N, K); labels: N class indices in [0, K).
+LossResult cross_entropy(const Tensor& logits,
+                         std::span<const std::uint16_t> labels);
+
+// Softmax probabilities, numerically stabilized; shape preserved.
+Tensor softmax(const Tensor& logits);
+
+// Top-1 predictions per row of a (N, K) logits tensor.
+std::vector<std::uint16_t> argmax_rows(const Tensor& logits);
+
+}  // namespace odn::nn

@@ -1,0 +1,90 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace odn::nn {
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : Optimizer(learning_rate, weight_decay), momentum_(momentum) {}
+
+void Sgd::step(std::span<Param* const> params) {
+  const auto lr = static_cast<float>(learning_rate_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (Param* param : params) {
+    auto [it, inserted] = velocity_.try_emplace(param);
+    if (inserted) it->second = Tensor(param->value.shape());
+    Tensor& velocity = it->second;
+    if (velocity.shape() != param->value.shape())
+      velocity = Tensor(param->value.shape());  // param was pruned/reshaped
+    auto v = velocity.data();
+    auto w = param->value.data();
+    auto g = param->grad.data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      v[i] = mu * v[i] + grad;
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon,
+           double weight_decay)
+    : Optimizer(learning_rate, weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {}
+
+void Adam::step(std::span<Param* const> params) {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  const auto lr = static_cast<float>(learning_rate_);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(epsilon_);
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto inv_bias1 = static_cast<float>(1.0 / bias1);
+  const auto inv_bias2 = static_cast<float>(1.0 / bias2);
+
+  for (Param* param : params) {
+    auto [it, inserted] = moments_.try_emplace(param);
+    if (inserted || it->second.first.shape() != param->value.shape()) {
+      it->second.first = Tensor(param->value.shape());
+      it->second.second = Tensor(param->value.shape());
+    }
+    auto m = it->second.first.data();
+    auto v = it->second.second.data();
+    auto w = param->value.data();
+    auto g = param->grad.data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * grad;
+      v[i] = b2 * v[i] + (1.0f - b2) * grad * grad;
+      const float m_hat = m[i] * inv_bias1;
+      const float v_hat = v[i] * inv_bias2;
+      w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+    }
+  }
+}
+
+CosineAnnealingLr::CosineAnnealingLr(double base_lr, double min_lr,
+                                     std::size_t total_epochs)
+    : base_lr_(base_lr), min_lr_(min_lr), total_epochs_(total_epochs) {
+  if (total_epochs == 0)
+    throw std::invalid_argument("CosineAnnealingLr: zero total epochs");
+  if (min_lr > base_lr)
+    throw std::invalid_argument("CosineAnnealingLr: min_lr > base_lr");
+}
+
+double CosineAnnealingLr::lr_at(std::size_t epoch) const noexcept {
+  const double progress =
+      std::min(1.0, static_cast<double>(epoch) /
+                        static_cast<double>(total_epochs_));
+  return min_lr_ + 0.5 * (base_lr_ - min_lr_) *
+                       (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+}  // namespace odn::nn

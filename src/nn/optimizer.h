@@ -1,0 +1,98 @@
+// First-order optimizers (SGD with momentum, Adam) and the cosine-annealing
+// learning-rate schedule the paper's motivating experiments use.
+//
+// Optimizer state is keyed by Param address; state for a parameter is
+// created lazily on its first step, so freezing/unfreezing between phases
+// works without explicit registration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+
+#include "nn/layer.h"
+
+namespace odn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Apply one update to every parameter in `params` using its accumulated
+  // gradient. Does not zero gradients — callers do that per batch.
+  virtual void step(std::span<Param* const> params) = 0;
+
+  void set_learning_rate(double lr) noexcept { learning_rate_ = lr; }
+  double learning_rate() const noexcept { return learning_rate_; }
+
+  void set_weight_decay(double wd) noexcept { weight_decay_ = wd; }
+  double weight_decay() const noexcept { return weight_decay_; }
+
+  // Bytes of optimizer state per parameter element (for the training-memory
+  // model: SGD keeps one momentum buffer, Adam keeps two moments).
+  virtual std::size_t state_bytes_per_element() const noexcept = 0;
+
+ protected:
+  Optimizer(double learning_rate, double weight_decay)
+      : learning_rate_(learning_rate), weight_decay_(weight_decay) {}
+
+  double learning_rate_;
+  double weight_decay_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.9,
+               double weight_decay = 0.0);
+
+  void step(std::span<Param* const> params) override;
+  std::size_t state_bytes_per_element() const noexcept override {
+    return sizeof(float);
+  }
+
+ private:
+  double momentum_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8,
+                double weight_decay = 0.0);
+
+  void step(std::span<Param* const> params) override;
+  std::size_t state_bytes_per_element() const noexcept override {
+    return 2 * sizeof(float);
+  }
+
+ private:
+  struct Moments {
+    Tensor first;
+    Tensor second;
+  };
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::size_t step_count_ = 0;
+  std::unordered_map<const Param*, Moments> moments_;
+};
+
+// CosineAnnealing schedule: lr(epoch) descends from base_lr to min_lr over
+// `total_epochs` following half a cosine.
+class CosineAnnealingLr {
+ public:
+  CosineAnnealingLr(double base_lr, double min_lr, std::size_t total_epochs);
+
+  double lr_at(std::size_t epoch) const noexcept;
+  void apply(Optimizer& optimizer, std::size_t epoch) const noexcept {
+    optimizer.set_learning_rate(lr_at(epoch));
+  }
+
+ private:
+  double base_lr_;
+  double min_lr_;
+  std::size_t total_epochs_;
+};
+
+}  // namespace odn::nn

@@ -1,0 +1,75 @@
+#include "nn/profiler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace odn::nn {
+namespace {
+
+double median_of(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+}  // namespace
+
+Profiler::Profiler(std::size_t repetitions, std::uint64_t seed)
+    : repetitions_(std::max<std::size_t>(1, repetitions)), seed_(seed) {}
+
+ModelProfile Profiler::profile(ResNet& model) {
+  util::Rng rng(seed_);
+  const auto& config = model.config();
+
+  // Dummy input tensor, batch of one (the paper's standard procedure).
+  Tensor input({1, config.input_channels, config.input_size,
+                config.input_size});
+  for (float& x : input.data()) x = static_cast<float>(rng.uniform());
+
+  ModelProfile profile;
+  Tensor activation = input;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    // Warm-up pass also produces the activation feeding the next stage.
+    Tensor output = model.forward_stage(s, activation, false);
+
+    std::vector<double> times;
+    times.reserve(repetitions_);
+    for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+      util::Stopwatch watch;
+      (void)model.forward_stage(s, activation, false);
+      times.push_back(watch.elapsed_ms());
+    }
+
+    BlockProfile& bp = profile.stages[s];
+    bp.compute_time_ms = median_of(std::move(times));
+    bp.macs = model.stage_macs_per_sample(s);
+    bp.param_count = model.stage_parameter_bytes(s) / sizeof(float);
+    // Memory: resident parameters plus the stage's in+out activations.
+    bp.memory_bytes = model.stage_parameter_bytes(s) +
+                      (activation.byte_size() + output.byte_size());
+    activation = std::move(output);
+  }
+
+  {
+    Tensor logits = model.forward_head(activation, false);
+    std::vector<double> times;
+    times.reserve(repetitions_);
+    for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+      util::Stopwatch watch;
+      (void)model.forward_head(activation, false);
+      times.push_back(watch.elapsed_ms());
+    }
+    profile.head.compute_time_ms = median_of(std::move(times));
+    profile.head.param_count = model.head_parameter_bytes() / sizeof(float);
+    profile.head.macs = profile.head.param_count;  // FC: one MAC per weight
+    profile.head.memory_bytes = model.head_parameter_bytes() +
+                                activation.byte_size() + logits.byte_size();
+  }
+  return profile;
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,52 @@
+// Experimental characterization of DNN blocks: the paper derives c(s^d)
+// (inference compute time) and µ(s^d) (memory) "experimentally"; this
+// profiler does the same by timing stage-wise forward passes on a dummy
+// input tensor ("standard procedure to estimate DNN model inference compute
+// time", Fig. 3 caption) and accounting parameter + activation bytes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "nn/resnet.h"
+
+namespace odn::nn {
+
+struct BlockProfile {
+  double compute_time_ms = 0.0;  // median wall-clock of a single-sample pass
+  std::size_t memory_bytes = 0;  // parameters + peak activations
+  std::size_t macs = 0;          // analytic multiply-accumulates per sample
+  std::size_t param_count = 0;
+};
+
+struct ModelProfile {
+  std::array<BlockProfile, kNumStages> stages;
+  BlockProfile head;
+
+  double total_compute_time_ms() const noexcept {
+    double total = head.compute_time_ms;
+    for (const auto& s : stages) total += s.compute_time_ms;
+    return total;
+  }
+  std::size_t total_memory_bytes() const noexcept {
+    std::size_t total = head.memory_bytes;
+    for (const auto& s : stages) total += s.memory_bytes;
+    return total;
+  }
+};
+
+class Profiler {
+ public:
+  // repetitions: timing samples per block; the median is reported.
+  explicit Profiler(std::size_t repetitions = 9, std::uint64_t seed = 99);
+
+  // Characterize every layer-block (stage) and the classifier head of the
+  // model using a dummy input tensor.
+  ModelProfile profile(ResNet& model);
+
+ private:
+  std::size_t repetitions_;
+  std::uint64_t seed_;
+};
+
+}  // namespace odn::nn

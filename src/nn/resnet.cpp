@@ -1,0 +1,292 @@
+#include "nn/resnet.h"
+
+#include <algorithm>
+#include "util/fmt.h"
+#include <numeric>
+#include <stdexcept>
+
+namespace odn::nn {
+
+ResNet::ResNet(const ResNetConfig& config, util::Rng& rng) : config_(config) {
+  stem_conv_ = Conv2d(config.input_channels, config.base_width, /*kernel=*/3,
+                      /*stride=*/1, /*padding=*/1);
+  stem_bn_ = BatchNorm2d(config.base_width);
+
+  std::size_t channels = config.base_width;
+  std::size_t spatial = config.input_size;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const std::size_t out_channels = s == 0 ? channels : channels * 2;
+    const std::size_t stride = s == 0 ? 1 : 2;
+    stages_[s].in_size = spatial;
+    for (std::size_t b = 0; b < config.stage_blocks[s]; ++b) {
+      const bool first = b == 0;
+      stages_[s].blocks.push_back(std::make_unique<BasicBlock>(
+          first ? channels : out_channels, out_channels, first ? stride : 1));
+    }
+    channels = out_channels;
+    spatial = stride == 2 ? spatial / 2 : spatial;
+  }
+  fc_ = std::make_unique<Linear>(channels, config.num_classes);
+
+  stem_conv_.init_parameters(rng);
+  stem_bn_.init_parameters(rng);
+  for (auto& stage : stages_)
+    for (auto& block : stage.blocks) block->init_parameters(rng);
+  fc_->init_parameters(rng);
+}
+
+Tensor ResNet::forward_stage(std::size_t stage_index, const Tensor& input,
+                             bool training) {
+  if (stage_index >= kNumStages)
+    throw std::out_of_range("ResNet::forward_stage: bad stage index");
+  Tensor x = input;
+  if (stage_index == 0) {
+    x = stem_conv_.forward(x, training);
+    x = stem_bn_.forward(x, training);
+    x = stem_relu_.forward(x, training);
+  }
+  for (auto& block : stages_[stage_index].blocks)
+    x = block->forward(x, training);
+  return x;
+}
+
+Tensor ResNet::forward_head(const Tensor& stage4_output, bool training) {
+  Tensor pooled = pool_.forward(stage4_output, training);
+  return fc_->forward(pooled, training);
+}
+
+Tensor ResNet::forward(const Tensor& images, bool training) {
+  Tensor x = images;
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    x = forward_stage(s, x, training);
+  return forward_head(x, training);
+}
+
+Tensor ResNet::backward(const Tensor& grad_logits) {
+  Tensor grad = fc_->backward(grad_logits);
+  grad = pool_.backward(grad);
+  for (std::size_t s = kNumStages; s-- > 0;) {
+    auto& blocks = stages_[s].blocks;
+    for (std::size_t b = blocks.size(); b-- > 0;)
+      grad = blocks[b]->backward(grad);
+    if (s == 0) {
+      grad = stem_relu_.backward(grad);
+      grad = stem_bn_.backward(grad);
+      grad = stem_conv_.backward(grad);
+    }
+  }
+  return grad;
+}
+
+void ResNet::backward_trainable(const Tensor& grad_logits) {
+  Tensor grad = fc_->backward(grad_logits);
+  if (frozen_stages_ >= kNumStages) return;  // only the head is trainable
+  grad = pool_.backward(grad);
+  for (std::size_t s = kNumStages; s-- > frozen_stages_;) {
+    auto& blocks = stages_[s].blocks;
+    for (std::size_t b = blocks.size(); b-- > 0;)
+      grad = blocks[b]->backward(grad);
+    if (s == 0) {
+      grad = stem_relu_.backward(grad);
+      grad = stem_bn_.backward(grad);
+      grad = stem_conv_.backward(grad);
+    }
+  }
+}
+
+void ResNet::replace_head(std::size_t num_classes, util::Rng& rng) {
+  fc_ = std::make_unique<Linear>(fc_->in_features(), num_classes);
+  fc_->init_parameters(rng);
+  config_.num_classes = num_classes;
+}
+
+void ResNet::set_conv_algorithm(ConvAlgorithm algorithm) {
+  stem_conv_.set_algorithm(algorithm);
+  for (auto& stage : stages_)
+    for (auto& block : stage.blocks) block->set_conv_algorithm(algorithm);
+}
+
+std::vector<Param*> ResNet::parameters() {
+  std::vector<Param*> params;
+  auto append = [&params](Layer& layer) {
+    for (Param* p : layer.parameters()) params.push_back(p);
+  };
+  append(stem_conv_);
+  append(stem_bn_);
+  for (auto& stage : stages_)
+    for (auto& block : stage.blocks) append(*block);
+  append(*fc_);
+  return params;
+}
+
+std::vector<Param*> ResNet::trainable_parameters() {
+  std::vector<Param*> params;
+  auto append_if = [&params](Layer& layer) {
+    if (!layer.frozen())
+      for (Param* p : layer.parameters()) params.push_back(p);
+  };
+  append_if(stem_conv_);
+  append_if(stem_bn_);
+  for (auto& stage : stages_)
+    for (auto& block : stage.blocks) append_if(*block);
+  append_if(*fc_);
+  return params;
+}
+
+void ResNet::zero_grad() {
+  for (Param* p : parameters()) p->zero_grad();
+}
+
+void ResNet::freeze_shared_stages(std::size_t shared_stages) {
+  if (shared_stages > kNumStages)
+    throw std::invalid_argument("ResNet::freeze_shared_stages: > 4 stages");
+  frozen_stages_ = shared_stages;
+  const bool freeze_stem = shared_stages > 0;
+  stem_conv_.set_frozen(freeze_stem);
+  stem_bn_.set_frozen(freeze_stem);
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    const bool freeze = s < shared_stages;
+    for (auto& block : stages_[s].blocks) block->set_frozen_deep(freeze);
+  }
+  // The classifier head always stays trainable.
+  fc_->set_frozen(false);
+}
+
+std::size_t ResNet::prune_stages(std::size_t first_stage,
+                                 double keep_fraction) {
+  if (first_stage >= kNumStages)
+    throw std::out_of_range("ResNet::prune_stages: bad first stage");
+  if (keep_fraction <= 0.0 || keep_fraction > 1.0)
+    throw std::invalid_argument(
+        "ResNet::prune_stages: keep_fraction must be in (0, 1]");
+  const std::size_t before = parameter_count();
+  for (std::size_t s = first_stage; s < kNumStages; ++s) {
+    for (auto& block : stages_[s].blocks) {
+      const std::vector<float> magnitudes =
+          block->internal_channel_magnitudes();
+      const std::size_t total = magnitudes.size();
+      const std::size_t keep_count = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<double>(total) * keep_fraction + 0.5));
+      std::vector<std::size_t> order(total);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return magnitudes[a] > magnitudes[b];
+                       });
+      std::vector<std::size_t> keep(order.begin(),
+                                    order.begin() +
+                                        static_cast<std::ptrdiff_t>(keep_count));
+      std::sort(keep.begin(), keep.end());  // preserve channel order
+      block->prune_internal_channels(keep);
+    }
+  }
+  return before - parameter_count();
+}
+
+std::size_t ResNet::parameter_count() {
+  std::size_t count = 0;
+  for (Param* p : parameters()) count += p->element_count();
+  return count;
+}
+
+std::size_t ResNet::parameter_bytes() {
+  return parameter_count() * sizeof(float);
+}
+
+std::size_t ResNet::stage_parameter_bytes(std::size_t stage_index) {
+  if (stage_index >= kNumStages)
+    throw std::out_of_range("ResNet::stage_parameter_bytes: bad stage");
+  std::size_t count = 0;
+  if (stage_index == 0) {
+    for (Param* p : stem_conv_.parameters()) count += p->element_count();
+    for (Param* p : stem_bn_.parameters()) count += p->element_count();
+  }
+  for (auto& block : stages_[stage_index].blocks)
+    for (Param* p : block->parameters()) count += p->element_count();
+  return count * sizeof(float);
+}
+
+std::size_t ResNet::head_parameter_bytes() {
+  std::size_t count = 0;
+  for (Param* p : fc_->parameters()) count += p->element_count();
+  return count * sizeof(float);
+}
+
+std::size_t ResNet::stage_macs_per_sample(std::size_t stage_index) const {
+  if (stage_index >= kNumStages)
+    throw std::out_of_range("ResNet::stage_macs_per_sample: bad stage");
+  const Stage& stage = stages_[stage_index];
+  std::size_t macs = 0;
+  std::size_t spatial = stage.in_size;
+  if (stage_index == 0)
+    macs += stem_conv_.macs_per_sample(config_.input_size, config_.input_size);
+  for (const auto& block : stage.blocks) {
+    macs += block->macs_per_sample(spatial, spatial);
+    if (block->stride() == 2) spatial /= 2;
+  }
+  return macs;
+}
+
+std::size_t ResNet::macs_per_sample() const {
+  std::size_t macs = 0;
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    macs += stage_macs_per_sample(s);
+  macs += fc_->macs_per_sample();
+  return macs;
+}
+
+std::size_t ResNet::num_blocks(std::size_t stage_index) const {
+  if (stage_index >= kNumStages)
+    throw std::out_of_range("ResNet::num_blocks: bad stage");
+  return stages_[stage_index].blocks.size();
+}
+
+const BasicBlock& ResNet::block(std::size_t stage_index,
+                                std::size_t block_index) const {
+  if (stage_index >= kNumStages ||
+      block_index >= stages_[stage_index].blocks.size())
+    throw std::out_of_range("ResNet::block: bad index");
+  return *stages_[stage_index].blocks[block_index];
+}
+
+std::size_t ResNet::stage_input_size(std::size_t stage_index) const {
+  if (stage_index >= kNumStages)
+    throw std::out_of_range("ResNet::stage_input_size: bad stage");
+  return stages_[stage_index].in_size;
+}
+
+std::unique_ptr<ResNet> ResNet::clone() const {
+  std::unique_ptr<ResNet> copy(new ResNet());
+  copy->config_ = config_;
+  copy->stem_conv_ = stem_conv_;
+  copy->stem_bn_ = stem_bn_;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    copy->stages_[s].in_size = stages_[s].in_size;
+    for (const auto& block : stages_[s].blocks)
+      copy->stages_[s].blocks.push_back(std::make_unique<BasicBlock>(*block));
+  }
+  copy->fc_ = std::make_unique<Linear>(*fc_);
+  copy->frozen_stages_ = frozen_stages_;
+  return copy;
+}
+
+std::string ResNet::summary() {
+  std::string text = odn::util::fmt(
+      "ResNet-18 (width {}, input {}x{}, {} classes): {} parameters, "
+      "{:.2f} MMACs/sample\n",
+      config_.base_width, config_.input_size, config_.input_size,
+      config_.num_classes, parameter_count(),
+      static_cast<double>(macs_per_sample()) / 1e6);
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    text += odn::util::fmt(
+        "  stage {}: {} blocks, {} KiB params, {:.2f} MMACs{}\n", s + 1,
+        stages_[s].blocks.size(),
+        stage_parameter_bytes(s) / 1024,
+        static_cast<double>(stage_macs_per_sample(s)) / 1e6,
+        s < frozen_stages_ ? " [frozen/shared]" : "");
+  }
+  return text;
+}
+
+}  // namespace odn::nn

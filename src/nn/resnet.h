@@ -1,0 +1,124 @@
+// Scaled ResNet-18 feature extractor with block-level access.
+//
+// Topology mirrors ResNet-18: a convolutional stem followed by four stages
+// ("layer-blocks" in the paper's Table I terminology) of two BasicBlocks
+// each, global average pooling and a linear classifier. Width and input
+// resolution are scaled down so the from-scratch CPU implementation trains
+// in seconds (see DESIGN.md, substitutions): the per-block structure —
+// which is what OffloaDNN's sharing/fine-tuning/pruning acts on — is
+// preserved exactly.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/basic_block.h"
+#include "nn/linear.h"
+#include "nn/simple_layers.h"
+
+namespace odn::nn {
+
+struct ResNetConfig {
+  std::size_t input_channels = 3;
+  std::size_t input_size = 32;    // square inputs
+  std::size_t base_width = 16;    // channels after the stem
+  std::array<std::size_t, 4> stage_blocks{2, 2, 2, 2};  // ResNet-18 layout
+  std::size_t num_classes = 10;
+};
+
+// The shareable units of the paper: stem+stages are feature "layer-blocks"
+// 1..4 (the stem travels with stage 1), the classifier head is the final
+// task-specific piece.
+inline constexpr std::size_t kNumStages = 4;
+
+class ResNet {
+ public:
+  explicit ResNet(const ResNetConfig& config, util::Rng& rng);
+
+  const ResNetConfig& config() const noexcept { return config_; }
+  std::size_t num_classes() const noexcept { return config_.num_classes; }
+
+  // Full forward pass to logits, shape (N, num_classes).
+  Tensor forward(const Tensor& images, bool training = false);
+  // Backward from dL/dlogits; returns dL/dinput (rarely needed).
+  Tensor backward(const Tensor& grad_logits);
+
+  // Backward that stops at the frozen-stage boundary: when the first
+  // `frozen_stages()` stages are frozen (always a prefix in this codebase),
+  // no gradient needs to flow into them at all. Requires the matching
+  // forward to have been run via Trainer (frozen prefix in eval mode).
+  void backward_trainable(const Tensor& grad_logits);
+
+  // Swap in a freshly initialized classifier head with a new class count
+  // (fine-tuning a pre-trained feature extractor for a new task).
+  void replace_head(std::size_t num_classes, util::Rng& rng);
+
+  // Select the convolution algorithm for every convolution in the model
+  // (direct shifted-row loops vs im2col+GEMM; see nn/conv2d.h).
+  void set_conv_algorithm(ConvAlgorithm algorithm);
+
+  // Stage-wise forward, used by the profiler to time individual
+  // layer-blocks: stage_index in [0, 4) consumes the previous stage's
+  // activation (stage 0 consumes raw images and includes the stem).
+  Tensor forward_stage(std::size_t stage_index, const Tensor& input,
+                       bool training = false);
+  // Head forward: pooled features -> logits.
+  Tensor forward_head(const Tensor& stage4_output, bool training = false);
+
+  // All learnable parameters (trainable or frozen).
+  std::vector<Param*> parameters();
+  // Only parameters of non-frozen layers.
+  std::vector<Param*> trainable_parameters();
+  void zero_grad();
+
+  // Freeze the stem and the first `shared_stages` stages (0..4). The
+  // classifier head is never frozen — it is always task-specific.
+  void freeze_shared_stages(std::size_t shared_stages);
+  std::size_t frozen_stages() const noexcept { return frozen_stages_; }
+
+  // Structured magnitude pruning of the internal channels of every
+  // BasicBlock in stages [first_stage, 4), keeping `keep_fraction` of each
+  // block's internal channels (at least one). Returns removed parameters.
+  std::size_t prune_stages(std::size_t first_stage, double keep_fraction);
+
+  // Footprint accounting.
+  std::size_t parameter_count();
+  std::size_t parameter_bytes();
+  std::size_t stage_parameter_bytes(std::size_t stage_index);
+  std::size_t head_parameter_bytes();
+  // Per-sample multiply-accumulates, whole net and per stage.
+  std::size_t macs_per_sample() const;
+  std::size_t stage_macs_per_sample(std::size_t stage_index) const;
+
+  // Structural introspection (profiler, memory model, tests).
+  std::size_t num_blocks(std::size_t stage_index) const;
+  const BasicBlock& block(std::size_t stage_index,
+                          std::size_t block_index) const;
+  std::size_t stage_input_size(std::size_t stage_index) const;
+
+  // Deep copy (used to derive task-specific variants from a shared base).
+  std::unique_ptr<ResNet> clone() const;
+
+  std::string summary();
+
+ private:
+  ResNet() = default;  // for clone()
+
+  struct Stage {
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+    std::size_t in_size = 0;  // spatial input extent of this stage
+  };
+
+  ResNetConfig config_;
+  Conv2d stem_conv_{3, 16, 3, 1, 1};
+  BatchNorm2d stem_bn_{16};
+  ReLU stem_relu_;
+  std::array<Stage, kNumStages> stages_;
+  GlobalAvgPool2d pool_;
+  std::unique_ptr<Linear> fc_;
+  std::size_t frozen_stages_ = 0;
+};
+
+}  // namespace odn::nn

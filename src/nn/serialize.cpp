@@ -1,0 +1,107 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/fmt.h"
+
+namespace odn::nn {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'D', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("load_parameters: truncated stream");
+  return value;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t value = 0;
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (!in) throw std::runtime_error("load_parameters: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(ResNet& model, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  const std::vector<Param*> params = model.parameters();
+  write_u64(out, params.size());
+  for (const Param* param : params) {
+    const Shape& shape = param->value.shape();
+    write_u32(out, static_cast<std::uint32_t>(shape.rank()));
+    for (std::size_t axis = 0; axis < shape.rank(); ++axis)
+      write_u64(out, shape[axis]);
+    const auto data = param->value.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void save_parameters(ResNet& model, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file)
+    throw std::runtime_error("save_parameters: cannot open " + path);
+  save_parameters(model, file);
+}
+
+void load_parameters(ResNet& model, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_parameters: bad magic (not an ODNN file)");
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion)
+    throw std::runtime_error(
+        util::fmt("load_parameters: unsupported version {}", version));
+
+  const std::vector<Param*> params = model.parameters();
+  const std::uint64_t stored = read_u64(in);
+  if (stored != params.size())
+    throw std::runtime_error(util::fmt(
+        "load_parameters: file has {} tensors, model has {} — architecture "
+        "mismatch (was the model pruned the same way?)",
+        stored, params.size()));
+
+  for (std::size_t index = 0; index < params.size(); ++index) {
+    const std::uint32_t rank = read_u32(in);
+    std::vector<std::size_t> dims(rank);
+    for (std::uint32_t axis = 0; axis < rank; ++axis)
+      dims[axis] = read_u64(in);
+    const Shape file_shape{std::vector<std::size_t>(dims)};
+    const Shape& model_shape = params[index]->value.shape();
+    if (!(file_shape == model_shape))
+      throw std::runtime_error(util::fmt(
+          "load_parameters: tensor {} shape {} in file vs {} in model",
+          index, file_shape.to_string(), model_shape.to_string()));
+    auto data = params[index]->value.data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_parameters: truncated tensors");
+  }
+}
+
+void load_parameters(ResNet& model, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file)
+    throw std::runtime_error("load_parameters: cannot open " + path);
+  load_parameters(model, file);
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,30 @@
+// Model parameter persistence for the edge DNN repository (Fig. 4):
+// fine-tuned and pruned blocks must be storable and redeployable without
+// retraining.
+//
+// Format (binary, little-endian host order):
+//   magic "ODNN"  u32 version
+//   u64 parameter_tensor_count
+//   per tensor: u32 rank, u64 dims[rank], f32 data[product(dims)]
+//
+// The format stores the *state dict* (parameter tensors in model
+// traversal order), not the architecture: loading requires a model whose
+// parameter shapes match exactly (construct it the same way — including
+// any pruning — before loading). Shape mismatches throw with a precise
+// message rather than silently corrupting weights.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/resnet.h"
+
+namespace odn::nn {
+
+void save_parameters(ResNet& model, std::ostream& out);
+void save_parameters(ResNet& model, const std::string& path);
+
+void load_parameters(ResNet& model, std::istream& in);
+void load_parameters(ResNet& model, const std::string& path);
+
+}  // namespace odn::nn

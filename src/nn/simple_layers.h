@@ -1,0 +1,56 @@
+// Stateless / lightweight layers: ReLU, MaxPool2d, GlobalAvgPool2d, Flatten.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace odn::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_mask_;  // 1 where input > 0
+};
+
+// Square max pooling with stride equal to the window (the common CNN form).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+
+ private:
+  std::size_t window_;
+  Tensor cached_argmax_;  // flat input index of each pooled maximum
+  Shape cached_input_shape_;
+};
+
+// Global average pooling: (N, C, H, W) -> (N, C).
+class GlobalAvgPool2d final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool2d"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+// (N, C, H, W) -> (N, C*H*W). Pure reshape; kept as a layer so Sequential
+// stacks read naturally.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace odn::nn

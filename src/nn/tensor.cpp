@@ -1,0 +1,88 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include "util/fmt.h"
+#include <stdexcept>
+
+namespace odn::nn {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) {
+  if (dims.size() > 4)
+    throw std::invalid_argument("Shape: rank > 4 is not supported");
+  for (const std::size_t d : dims) dims_[rank_++] = d;
+}
+
+Shape::Shape(std::vector<std::size_t> dims) {
+  if (dims.size() > 4)
+    throw std::invalid_argument("Shape: rank > 4 is not supported");
+  for (const std::size_t d : dims) dims_[rank_++] = d;
+}
+
+std::string Shape::to_string() const {
+  std::string text = "(";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) text += ", ";
+    text += std::to_string(dims_[i]);
+  }
+  text += ")";
+  return text;
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_.element_count(), fill) {}
+
+void Tensor::fill(float value) noexcept {
+  for (float& x : data_) x = value;
+}
+
+void Tensor::add_inplace(const Tensor& other) {
+  if (shape_ != other.shape_)
+    throw std::invalid_argument(
+        odn::util::fmt("Tensor::add_inplace: shape {} vs {}",
+                    shape_.to_string(), other.shape_.to_string()));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::axpy_inplace(float alpha, const Tensor& other) {
+  if (shape_ != other.shape_)
+    throw std::invalid_argument(
+        odn::util::fmt("Tensor::axpy_inplace: shape {} vs {}",
+                    shape_.to_string(), other.shape_.to_string()));
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale_inplace(float factor) noexcept {
+  for (float& x : data_) x *= factor;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.element_count() != data_.size())
+    throw std::invalid_argument(
+        odn::util::fmt("Tensor::reshaped: {} elements cannot become shape {}",
+                    data_.size(), new_shape.to_string()));
+  Tensor result;
+  result.shape_ = std::move(new_shape);
+  result.data_ = data_;
+  return result;
+}
+
+float Tensor::sum() const noexcept {
+  float total = 0.0f;
+  for (const float x : data_) total += x;
+  return total;
+}
+
+float Tensor::abs_sum() const noexcept {
+  float total = 0.0f;
+  for (const float x : data_) total += std::fabs(x);
+  return total;
+}
+
+float Tensor::max_abs() const noexcept {
+  float peak = 0.0f;
+  for (const float x : data_) peak = std::max(peak, std::fabs(x));
+  return peak;
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,108 @@
+// Dense float tensor in NCHW layout.
+//
+// This is the numeric core of the from-scratch DNN substrate. It is
+// intentionally small: contiguous storage, explicit shapes, checked accessors
+// in debug builds, and the handful of elementwise helpers the layer
+// implementations need. There is no autograd graph — each layer implements
+// its own backward pass explicitly.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace odn::nn {
+
+// Tensor shape: up to 4 logical dimensions. Rank-2 tensors (N x F) are used
+// for fully-connected activations; rank-1 for biases; rank-4 (N,C,H,W) for
+// convolutional activations and (Cout,Cin,Kh,Kw) for convolution weights.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims);
+  explicit Shape(std::vector<std::size_t> dims);
+
+  std::size_t rank() const noexcept { return rank_; }
+  // Unchecked in release builds: this accessor sits inside convolution
+  // inner loops, so it must inline to a single load.
+  std::size_t operator[](std::size_t axis) const noexcept {
+    return dims_[axis];
+  }
+  std::size_t element_count() const noexcept {
+    std::size_t count = 1;
+    for (std::size_t i = 0; i < rank_; ++i) count *= dims_[i];
+    return rank_ == 0 ? 0 : count;
+  }
+  bool operator==(const Shape& other) const noexcept {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i)
+      if (dims_[i] != other.dims_[i]) return false;
+    return true;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::size_t rank_ = 0;
+  std::size_t dims_[4] = {0, 0, 0, 0};
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  float& operator[](std::size_t flat_index) { return data_[flat_index]; }
+  float operator[](std::size_t flat_index) const { return data_[flat_index]; }
+
+  // NCHW accessors; bounds are validated by assertions in debug builds only,
+  // keeping the inner convolution loops branch-free in release.
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[((n * dim(1) + c) * dim(2) + h) * dim(3) + w];
+  }
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[((n * dim(1) + c) * dim(2) + h) * dim(3) + w];
+  }
+  float& at2(std::size_t n, std::size_t f) { return data_[n * dim(1) + f]; }
+  float at2(std::size_t n, std::size_t f) const { return data_[n * dim(1) + f]; }
+
+  // Shape-preserving elementwise operations.
+  void fill(float value) noexcept;
+  void add_inplace(const Tensor& other);          // this += other
+  void axpy_inplace(float alpha, const Tensor& other);  // this += alpha*other
+  void scale_inplace(float factor) noexcept;
+
+  // Returns a tensor with the same data but a different shape of equal
+  // element count (used to flatten conv activations into FC inputs).
+  Tensor reshaped(Shape new_shape) const;
+
+  // Reductions used by tests and by pruning.
+  float sum() const noexcept;
+  float abs_sum() const noexcept;
+  float max_abs() const noexcept;
+
+  // Memory footprint of the payload in bytes.
+  std::size_t byte_size() const noexcept { return data_.size() * sizeof(float); }
+
+ private:
+  std::size_t dim(std::size_t axis) const { return shape_[axis]; }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace odn::nn

@@ -1,0 +1,275 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.h"
+#include "util/stopwatch.h"
+
+namespace odn::nn {
+namespace {
+
+constexpr std::size_t kEvalBatch = 128;
+
+std::unique_ptr<Optimizer> make_optimizer(const TrainOptions& options) {
+  switch (options.optimizer) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<Sgd>(options.base_learning_rate, 0.9,
+                                   options.weight_decay);
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(options.base_learning_rate, 0.9, 0.999,
+                                    1e-8, options.weight_decay);
+  }
+  throw std::invalid_argument("make_optimizer: unknown kind");
+}
+
+}  // namespace
+
+Trainer::Trainer(ResNet& model, const Dataset& train_set,
+                 const Dataset& test_set)
+    : model_(model), train_set_(train_set), test_set_(test_set) {}
+
+Tensor Trainer::frozen_prefix_forward(const Tensor& images) {
+  Tensor x = images;
+  for (std::size_t s = 0; s < model_.frozen_stages(); ++s)
+    x = model_.forward_stage(s, x, /*training=*/false);
+  return x;
+}
+
+Tensor Trainer::trainable_suffix_forward(const Tensor& boundary,
+                                         bool training) {
+  Tensor x = boundary;
+  for (std::size_t s = model_.frozen_stages(); s < kNumStages; ++s)
+    x = model_.forward_stage(s, x, training);
+  return model_.forward_head(x, training);
+}
+
+std::vector<EpochStats> Trainer::train(const TrainOptions& options) {
+  if (options.epochs == 0 || options.batch_size == 0)
+    throw std::invalid_argument("Trainer::train: zero epochs or batch size");
+
+  const std::size_t frozen = model_.frozen_stages();
+  // (Re)build the frozen-feature caches when the freezing layout changed.
+  if (frozen > 0 && cached_for_frozen_stages_ != frozen) {
+    auto precompute = [&](const Dataset& dataset) {
+      // Probe one sample for the boundary shape, then fill chunk by chunk.
+      std::vector<std::size_t> probe_index{0};
+      Tensor probe = frozen_prefix_forward(dataset.gather_images(probe_index));
+      const std::size_t channels = probe.shape()[1];
+      const std::size_t height = probe.shape()[2];
+      const std::size_t width = probe.shape()[3];
+      const std::size_t sample_elems = channels * height * width;
+      Tensor features({dataset.size(), channels, height, width});
+      std::vector<std::size_t> chunk;
+      for (std::size_t start = 0; start < dataset.size();
+           start += kEvalBatch) {
+        const std::size_t count =
+            std::min(kEvalBatch, dataset.size() - start);
+        chunk.resize(count);
+        std::iota(chunk.begin(), chunk.end(), start);
+        const Tensor out = frozen_prefix_forward(dataset.gather_images(chunk));
+        const auto src = out.data();
+        auto dst =
+            features.data().subspan(start * sample_elems, count * sample_elems);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      return features;
+    };
+    cached_train_features_ = precompute(train_set_);
+    cached_test_features_ = precompute(test_set_);
+    cached_for_frozen_stages_ = frozen;
+  }
+
+  auto optimizer = make_optimizer(options);
+  const CosineAnnealingLr schedule(options.base_learning_rate,
+                                   options.min_learning_rate, options.epochs);
+  util::Rng rng(options.seed);
+
+  // Boundary-feature gather helper: from cache when frozen, raw images else.
+  auto gather_boundary = [&](std::span<const std::size_t> indices) {
+    if (frozen == 0) return train_set_.gather_images(indices);
+    const Tensor& cache = *cached_train_features_;
+    const std::size_t sample_elems =
+        cache.shape()[1] * cache.shape()[2] * cache.shape()[3];
+    Tensor batch({indices.size(), cache.shape()[1], cache.shape()[2],
+                  cache.shape()[3]});
+    for (std::size_t b = 0; b < indices.size(); ++b) {
+      const auto src =
+          cache.data().subspan(indices[b] * sample_elems, sample_elems);
+      auto dst = batch.data().subspan(b * sample_elems, sample_elems);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return batch;
+  };
+
+  std::vector<std::size_t> order(train_set_.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  const std::vector<Param*> trainable = model_.trainable_parameters();
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    util::Stopwatch watch;
+    if (options.cosine_annealing) schedule.apply(*optimizer, epoch);
+
+    rng.shuffle(std::span<std::size_t>(order));
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t seen = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      const std::size_t count =
+          std::min(options.batch_size, order.size() - start);
+      const std::span<const std::size_t> batch_indices(order.data() + start,
+                                                       count);
+      const Tensor boundary = gather_boundary(batch_indices);
+      const std::vector<std::uint16_t> labels =
+          train_set_.gather_labels(batch_indices);
+
+      const Tensor logits = trainable_suffix_forward(boundary, true);
+      const LossResult loss = cross_entropy(logits, labels);
+      model_.backward_trainable(loss.grad_logits);
+      optimizer->step(trainable);
+      model_.zero_grad();
+
+      loss_sum += loss.loss * static_cast<double>(count);
+      correct += loss.correct;
+      seen += count;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / static_cast<double>(seen);
+    stats.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(seen);
+    stats.test_accuracy = options.evaluate_each_epoch
+                              ? evaluate(test_set_)
+                              : std::numeric_limits<double>::quiet_NaN();
+    stats.seconds = watch.elapsed_seconds();
+    history.push_back(stats);
+  }
+  return history;
+}
+
+double Trainer::evaluate(const Dataset& dataset) {
+  if (dataset.size() == 0) return 0.0;
+  // Use the test-feature cache when evaluating the test set with an intact
+  // frozen prefix; otherwise run the full network.
+  const bool use_cache = model_.frozen_stages() > 0 &&
+                         cached_for_frozen_stages_ == model_.frozen_stages() &&
+                         &dataset == &test_set_ && cached_test_features_;
+
+  std::size_t correct = 0;
+  std::vector<std::size_t> chunk;
+  for (std::size_t start = 0; start < dataset.size(); start += kEvalBatch) {
+    const std::size_t count = std::min(kEvalBatch, dataset.size() - start);
+    chunk.resize(count);
+    std::iota(chunk.begin(), chunk.end(), start);
+    Tensor logits;
+    if (use_cache) {
+      const Tensor& cache = *cached_test_features_;
+      const std::size_t sample_elems =
+          cache.shape()[1] * cache.shape()[2] * cache.shape()[3];
+      Tensor batch({count, cache.shape()[1], cache.shape()[2],
+                    cache.shape()[3]});
+      const auto src =
+          cache.data().subspan(start * sample_elems, count * sample_elems);
+      std::copy(src.begin(), src.end(), batch.data().begin());
+      logits = trainable_suffix_forward(batch, false);
+    } else {
+      logits = model_.forward(dataset.gather_images(chunk), false);
+    }
+    const auto predictions = argmax_rows(logits);
+    const auto labels = dataset.gather_labels(chunk);
+    for (std::size_t i = 0; i < count; ++i)
+      if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double Trainer::class_accuracy(const Dataset& dataset, std::uint16_t label) {
+  const std::vector<std::size_t> indices = dataset.indices_of_class(label);
+  if (indices.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t start = 0; start < indices.size(); start += kEvalBatch) {
+    const std::size_t count = std::min(kEvalBatch, indices.size() - start);
+    const std::span<const std::size_t> batch(indices.data() + start, count);
+    const Tensor logits = model_.forward(dataset.gather_images(batch), false);
+    const auto predictions = argmax_rows(logits);
+    for (std::size_t i = 0; i < count; ++i)
+      if (predictions[i] == label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+std::size_t Trainer::peak_training_memory_bytes(ResNet& model,
+                                                std::size_t batch_size,
+                                                OptimizerKind optimizer) {
+  // Resident parameters (frozen or not).
+  std::size_t bytes = model.parameter_bytes();
+
+  // Gradients + optimizer state only for trainable parameters.
+  std::size_t trainable_elems = 0;
+  for (Param* p : model.trainable_parameters())
+    trainable_elems += p->element_count();
+  const std::size_t opt_state =
+      optimizer == OptimizerKind::kAdam ? 2 * sizeof(float) : sizeof(float);
+  bytes += trainable_elems * (sizeof(float) + opt_state);
+
+  // Activations cached for backward: only the trainable suffix caches.
+  // Per BasicBlock we cache roughly its input plus six output-sized
+  // buffers (bn normalized caches, relu masks, conv inputs, skip).
+  std::size_t cached_floats_per_sample = 0;
+  for (std::size_t s = model.frozen_stages(); s < kNumStages; ++s) {
+    std::size_t spatial = model.stage_input_size(s);
+    for (std::size_t b = 0; b < model.num_blocks(s); ++b) {
+      const BasicBlock& block = model.block(s, b);
+      const std::size_t in_elems =
+          block.in_channels() * spatial * spatial;
+      const std::size_t out_spatial =
+          block.stride() == 2 ? spatial / 2 : spatial;
+      const std::size_t out_elems =
+          block.out_channels() * out_spatial * out_spatial;
+      cached_floats_per_sample += in_elems + 6 * out_elems;
+      spatial = out_spatial;
+    }
+  }
+  // Head caches: pooled features + logits (negligible but counted).
+  cached_floats_per_sample +=
+      2 * model.config().base_width * 8 + model.num_classes();
+  bytes += batch_size * cached_floats_per_sample * sizeof(float);
+
+  // The input batch at the frozen/trainable boundary.
+  const std::size_t boundary_stage = model.frozen_stages();
+  std::size_t boundary_elems;
+  if (boundary_stage >= kNumStages) {
+    const std::size_t final_channels = model.config().base_width * 8;
+    boundary_elems = final_channels * model.stage_input_size(kNumStages - 1) *
+                     model.stage_input_size(kNumStages - 1) / 4;
+  } else {
+    const BasicBlock& first = model.block(boundary_stage, 0);
+    boundary_elems = first.in_channels() *
+                     model.stage_input_size(boundary_stage) *
+                     model.stage_input_size(boundary_stage);
+  }
+  bytes += batch_size * boundary_elems * sizeof(float);
+  return bytes;
+}
+
+std::size_t Trainer::epoch_training_macs(ResNet& model,
+                                         std::size_t dataset_size) {
+  // Forward + backward of the trainable suffix is ~3x a forward pass; the
+  // frozen prefix is amortized to zero by the feature cache.
+  std::size_t suffix_macs = 0;
+  for (std::size_t s = model.frozen_stages(); s < kNumStages; ++s)
+    suffix_macs += model.stage_macs_per_sample(s);
+  return 3 * suffix_macs * dataset_size;
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,86 @@
+// Training loop with block freezing, mirroring the paper's Sec. II setup:
+// Adam (or SGD), cosine-annealing learning rate, cross-entropy loss.
+//
+// When a prefix of stages is frozen (shared layer-blocks), the trainer
+// precomputes the frozen feature maps once per dataset and then trains only
+// the task-specific suffix — this is exactly why the paper's CONFIG B/C
+// show lower training compute and GPU memory than full fine-tuning, and the
+// same effect materializes here as a real speedup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/optimizer.h"
+#include "nn/resnet.h"
+
+namespace odn::nn {
+
+enum class OptimizerKind { kSgd, kAdam };
+
+struct TrainOptions {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  double base_learning_rate = 3e-3;
+  double min_learning_rate = 1e-5;
+  double weight_decay = 1e-3;   // the paper's "decay rate of 0.001"
+  bool cosine_annealing = true; // the paper's 'CosineAnnealing' scheduler
+  std::uint64_t seed = 17;
+  bool evaluate_each_epoch = true;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;  // NaN when evaluation skipped
+  double seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  // The model's frozen-stage setting (ResNet::freeze_shared_stages) governs
+  // which parameters train and where the frozen/trainable boundary lies.
+  Trainer(ResNet& model, const Dataset& train_set, const Dataset& test_set);
+
+  std::vector<EpochStats> train(const TrainOptions& options);
+
+  // Top-1 accuracy over a dataset (eval mode).
+  double evaluate(const Dataset& dataset);
+  // Top-1 accuracy restricted to samples of one class — the paper's
+  // "Average Class Accuracy" for a target object (Fig. 3 right).
+  double class_accuracy(const Dataset& dataset, std::uint16_t label);
+
+  // Analytic peak training-memory model: parameters + gradients + optimizer
+  // state for trainable parameters + cached activations of the trainable
+  // suffix for one batch. Reproduces the Fig. 2 (right) comparison.
+  static std::size_t peak_training_memory_bytes(ResNet& model,
+                                                std::size_t batch_size,
+                                                OptimizerKind optimizer);
+
+  // Total training compute in MACs for one epoch (forward + backward of the
+  // trainable suffix, forward-only for the frozen prefix amortized away by
+  // feature caching).
+  static std::size_t epoch_training_macs(ResNet& model,
+                                         std::size_t dataset_size);
+
+ private:
+  // Forward through the frozen prefix in eval mode (no caches).
+  Tensor frozen_prefix_forward(const Tensor& images);
+  // Forward from the boundary through the trainable suffix.
+  Tensor trainable_suffix_forward(const Tensor& boundary, bool training);
+
+  ResNet& model_;
+  const Dataset& train_set_;
+  const Dataset& test_set_;
+
+  // Precomputed boundary activations when a prefix is frozen.
+  std::optional<Tensor> cached_train_features_;
+  std::optional<Tensor> cached_test_features_;
+  std::size_t cached_for_frozen_stages_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace odn::nn

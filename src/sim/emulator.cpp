@@ -1,0 +1,286 @@
+#include "sim/emulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+#include "util/mathx.h"
+#include "util/rng.h"
+
+namespace odn::sim {
+namespace {
+
+enum class EventKind : std::uint8_t {
+  kArrival,
+  kTxComplete,
+  kInferenceComplete,
+  kDownlinkComplete,
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  // FIFO tie-break for simultaneous events
+  EventKind kind = EventKind::kArrival;
+  std::size_t task = 0;
+  std::size_t request = 0;
+
+  bool operator>(const Event& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return sequence > other.sequence;
+  }
+};
+
+struct Request {
+  double arrival_s = 0.0;
+  double tx_done_s = 0.0;
+  double infer_done_s = 0.0;
+};
+
+struct SliceState {
+  bool busy = false;
+  std::deque<std::size_t> queue;  // request ids awaiting transmission
+};
+
+}  // namespace
+
+double TaskTrace::mean_latency_s() const {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const LatencySample& s : samples) sum += s.latency_s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double TaskTrace::p95_latency_s() const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  for (const LatencySample& s : samples) latencies.push_back(s.latency_s);
+  return util::percentile(std::move(latencies), 95.0);
+}
+
+double TaskTrace::max_latency_s() const {
+  double peak = 0.0;
+  for (const LatencySample& s : samples)
+    peak = std::max(peak, s.latency_s);
+  return peak;
+}
+
+std::size_t TaskTrace::bound_violations() const {
+  std::size_t count = 0;
+  for (const LatencySample& s : samples)
+    if (s.latency_s > latency_bound_s) ++count;
+  return count;
+}
+
+std::vector<double> TaskTrace::smoothed_latencies(std::size_t window) const {
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  for (const LatencySample& s : samples) latencies.push_back(s.latency_s);
+  return util::moving_average(latencies, window);
+}
+
+std::size_t EmulationReport::total_violations() const {
+  std::size_t count = 0;
+  for (const TaskTrace& t : tasks) count += t.bound_violations();
+  return count;
+}
+
+EdgeEmulator::EdgeEmulator(const core::DeploymentPlan& plan,
+                           edge::RadioModel radio, double compute_capacity_s,
+                           EmulatorOptions options)
+    : plan_(plan),
+      radio_(radio),
+      compute_capacity_s_(compute_capacity_s),
+      options_(options) {
+  if (options_.duration_s <= 0.0)
+    throw std::invalid_argument("EdgeEmulator: non-positive duration");
+}
+
+EmulationReport EdgeEmulator::run() {
+  // Admitted tasks only.
+  std::vector<std::size_t> admitted;
+  for (std::size_t t = 0; t < plan_.tasks.size(); ++t)
+    if (plan_.tasks[t].admitted && plan_.tasks[t].admitted_rate > 0.0)
+      admitted.push_back(t);
+
+  EmulationReport report;
+  report.tasks.resize(admitted.size());
+  if (admitted.empty()) return report;
+
+  // GPU executor pool: ⌊C⌋ parallel servers (at least one). Each inference
+  // occupies one server for the path's measured compute time.
+  const std::size_t gpu_servers = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(compute_capacity_s_)));
+  std::size_t gpu_busy = 0;
+  std::queue<std::pair<std::size_t, std::size_t>> gpu_queue;  // (trace, req)
+  double gpu_busy_integral = 0.0;
+  double last_event_time = 0.0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> calendar;
+  std::uint64_t sequence = 0;
+  util::Rng rng(options_.seed);
+
+  std::vector<SliceState> slices(admitted.size());
+  std::vector<std::vector<Request>> requests(admitted.size());
+  std::vector<double> slice_busy_s(admitted.size(), 0.0);
+  std::vector<std::size_t> peak_queue(admitted.size(), 0);
+
+  // Per-trace static parameters.
+  struct TraceParams {
+    double tx_time_s;
+    double inference_s;
+    double downlink_s;
+    double rate;
+  };
+  std::vector<TraceParams> params(admitted.size());
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    const core::TaskPlan& task_plan = plan_.tasks[admitted[i]];
+    report.tasks[i].task_name = task_plan.task_name;
+    report.tasks[i].latency_bound_s = task_plan.latency_bound_s;
+    params[i].tx_time_s =
+        task_plan.slice_rbs > 0
+            ? task_plan.input_bits /
+                  (radio_.bits_per_rb_per_second(20.0) *
+                   static_cast<double>(task_plan.slice_rbs))
+            : 0.0;
+    params[i].inference_s = task_plan.inference_time_s;
+    // FDD cell: the downlink result returns on the paired band of the
+    // same slice, so it does not contend with uplink transmissions.
+    params[i].downlink_s =
+        task_plan.slice_rbs > 0 && options_.result_bits > 0.0
+            ? options_.result_bits /
+                  (radio_.bits_per_rb_per_second(20.0) *
+                   static_cast<double>(task_plan.slice_rbs))
+            : 0.0;
+    params[i].rate = task_plan.admitted_rate;
+
+    // First arrival.
+    const double first = options_.poisson_arrivals
+                             ? rng.exponential(params[i].rate)
+                             : 1.0 / params[i].rate;
+    calendar.push(Event{first, sequence++, EventKind::kArrival, i, 0});
+  }
+
+  auto account_gpu = [&](double now) {
+    gpu_busy_integral +=
+        static_cast<double>(gpu_busy) * (now - last_event_time);
+    last_event_time = now;
+  };
+
+  auto start_inference = [&](double now, std::size_t trace,
+                             std::size_t request) {
+    if (gpu_busy < gpu_servers) {
+      ++gpu_busy;
+      calendar.push(Event{now + params[trace].inference_s, sequence++,
+                          EventKind::kInferenceComplete, trace, request});
+    } else {
+      gpu_queue.emplace(trace, request);
+    }
+  };
+
+  auto start_transmission = [&](double now, std::size_t trace,
+                                std::size_t request) {
+    slices[trace].busy = true;
+    slice_busy_s[trace] += params[trace].tx_time_s;
+    calendar.push(Event{now + params[trace].tx_time_s, sequence++,
+                        EventKind::kTxComplete, trace, request});
+  };
+
+  auto record_sample = [&](double now, std::size_t trace,
+                           std::size_t request_id) {
+    const Request& request = requests[trace][request_id];
+    LatencySample sample;
+    sample.arrival_time_s = request.arrival_s;
+    sample.completion_time_s = now;
+    sample.latency_s = now - request.arrival_s;
+    sample.transmission_s = request.tx_done_s - request.arrival_s;
+    sample.inference_s = request.infer_done_s - request.tx_done_s;
+    sample.downlink_s = now - request.infer_done_s;
+    report.tasks[trace].samples.push_back(sample);
+    ++report.total_requests;
+  };
+
+  while (!calendar.empty()) {
+    const Event event = calendar.top();
+    calendar.pop();
+    if (event.kind == EventKind::kArrival &&
+        event.time > options_.duration_s)
+      continue;  // stop generating; in-flight work still drains
+
+    account_gpu(event.time);
+    const std::size_t trace = event.task;
+
+    switch (event.kind) {
+      case EventKind::kArrival: {
+        const std::size_t request_id = requests[trace].size();
+        requests[trace].push_back(Request{event.time, 0.0});
+        if (slices[trace].busy) {
+          slices[trace].queue.push_back(request_id);
+          peak_queue[trace] =
+              std::max(peak_queue[trace], slices[trace].queue.size());
+        } else {
+          start_transmission(event.time, trace, request_id);
+        }
+
+        // Schedule the next arrival of this task.
+        const double gap = options_.poisson_arrivals
+                               ? rng.exponential(params[trace].rate)
+                               : 1.0 / params[trace].rate;
+        calendar.push(Event{event.time + gap, sequence++,
+                            EventKind::kArrival, trace,
+                            request_id + 1});
+        break;
+      }
+      case EventKind::kTxComplete: {
+        requests[trace][event.request].tx_done_s = event.time;
+        start_inference(event.time, trace, event.request);
+        if (!slices[trace].queue.empty()) {
+          const std::size_t next = slices[trace].queue.front();
+          slices[trace].queue.pop_front();
+          start_transmission(event.time, trace, next);
+        } else {
+          slices[trace].busy = false;
+        }
+        break;
+      }
+      case EventKind::kInferenceComplete: {
+        requests[trace][event.request].infer_done_s = event.time;
+        if (params[trace].downlink_s > 0.0) {
+          calendar.push(Event{event.time + params[trace].downlink_s,
+                              sequence++, EventKind::kDownlinkComplete,
+                              trace, event.request});
+        } else {
+          record_sample(event.time, trace, event.request);
+        }
+
+        --gpu_busy;
+        if (!gpu_queue.empty()) {
+          const auto [next_trace, next_request] = gpu_queue.front();
+          gpu_queue.pop();
+          start_inference(event.time, next_trace, next_request);
+        }
+        break;
+      }
+      case EventKind::kDownlinkComplete: {
+        record_sample(event.time, trace, event.request);
+        break;
+      }
+    }
+  }
+
+  if (last_event_time > 0.0) {
+    report.gpu_busy_fraction =
+        gpu_busy_integral /
+        (last_event_time * static_cast<double>(gpu_servers));
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+      report.tasks[i].slice_busy_fraction =
+          slice_busy_s[i] / last_event_time;
+      report.tasks[i].peak_slice_queue = peak_queue[i];
+    }
+  }
+  return report;
+}
+
+}  // namespace odn::sim

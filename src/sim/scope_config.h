@@ -1,0 +1,37 @@
+// SCOPE-style slice configuration emitter.
+//
+// In the paper's Colosseum prototype, the controller's RB allocation is
+// applied to the cell "through SCOPE" (Bonati et al., MobiSys'21), whose
+// softwarized base station consumes a slicing configuration: one slice per
+// tenant with an RB allocation mask. This module renders a DeploymentPlan
+// as such a configuration — the artifact a real vRAN deployment of
+// OffloaDNN would hand to the RAN controller (workflow step 4).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/controller.h"
+
+namespace odn::sim {
+
+struct ScopeConfigOptions {
+  std::size_t total_rbs = 100;     // cell bandwidth in RBs
+  std::string cell_id = "odn-cell-01";
+};
+
+// Renders the slice configuration:
+//   - a header with cell id and totals,
+//   - one [slice-N] section per admitted task: tenant name, admitted rate,
+//     contiguous RB range (first..last) and allocation mask,
+//   - a [default] section holding the unallocated RBs (best-effort
+//     traffic).
+// Throws std::invalid_argument when the plan needs more RBs than the cell
+// has.
+void write_scope_config(const core::DeploymentPlan& plan,
+                        const ScopeConfigOptions& options, std::ostream& out);
+
+std::string scope_config_string(const core::DeploymentPlan& plan,
+                                const ScopeConfigOptions& options);
+
+}  // namespace odn::sim

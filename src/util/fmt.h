@@ -1,0 +1,118 @@
+// Minimal std::format stand-in (the toolchain is GCC 12, which lacks
+// <format>). Supports sequential "{}" placeholders and a useful subset of
+// format specs: "{:.Nf}" / "{:.Ne}" / "{:.Ng}" for floating point, "{:Nd}"
+// width for integers, plus pass-through for everything streamable.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace odn::util {
+namespace detail {
+
+inline std::string format_with_spec_double(double value,
+                                           const std::string& spec) {
+  // spec examples: ".3f", ".2e", ".4g", "8.3f"
+  char buffer[64];
+  const std::string printf_spec = "%" + spec;
+  std::snprintf(buffer, sizeof(buffer), printf_spec.c_str(), value);
+  return buffer;
+}
+
+template <typename T>
+std::string format_value(const T& value, const std::string& spec) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!spec.empty())
+      return format_with_spec_double(static_cast<double>(value), spec);
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  } else if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (std::is_integral_v<T>) {
+    if (!spec.empty() && spec.back() == 'f')
+      return format_with_spec_double(static_cast<double>(value), spec);
+    std::string text = std::to_string(value);
+    // Honour a plain width spec like "4" or "4d".
+    std::size_t width = 0;
+    for (const char ch : spec) {
+      if (ch >= '0' && ch <= '9')
+        width = width * 10 + static_cast<std::size_t>(ch - '0');
+      else
+        break;
+    }
+    while (text.size() < width) text.insert(text.begin(), ' ');
+    return text;
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    return std::string(std::string_view(value));
+  } else {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  }
+}
+
+inline void collect_args(std::string* /*out*/, std::size_t /*index*/) {}
+
+template <typename First, typename... Rest>
+void format_nth(std::string& out, const std::string& spec, std::size_t target,
+                std::size_t current, const First& first,
+                const Rest&... rest) {
+  if (current == target) {
+    out = format_value(first, spec);
+    return;
+  }
+  if constexpr (sizeof...(rest) > 0) {
+    format_nth(out, spec, target, current + 1, rest...);
+  } else {
+    throw std::out_of_range("fmt: placeholder index exceeds argument count");
+  }
+}
+
+}  // namespace detail
+
+// Sequential-placeholder formatter; throws std::out_of_range when the
+// pattern references more arguments than supplied.
+template <typename... Args>
+std::string fmt(std::string_view pattern, const Args&... args) {
+  std::string result;
+  result.reserve(pattern.size() + 16 * sizeof...(args));
+  std::size_t arg_index = 0;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const char ch = pattern[i];
+    if (ch == '{') {
+      if (i + 1 < pattern.size() && pattern[i + 1] == '{') {
+        result += '{';
+        ++i;
+        continue;
+      }
+      const std::size_t close = pattern.find('}', i);
+      if (close == std::string_view::npos)
+        throw std::invalid_argument("fmt: unbalanced '{'");
+      std::string spec(pattern.substr(i + 1, close - i - 1));
+      if (!spec.empty() && spec.front() == ':') spec.erase(spec.begin());
+      std::string piece;
+      if constexpr (sizeof...(args) > 0) {
+        detail::format_nth(piece, spec, arg_index, 0, args...);
+      } else {
+        throw std::out_of_range("fmt: placeholder with no arguments");
+      }
+      (void)spec;
+      result += piece;
+      ++arg_index;
+      i = close;
+    } else if (ch == '}' && i + 1 < pattern.size() && pattern[i + 1] == '}') {
+      result += '}';
+      ++i;
+    } else {
+      result += ch;
+    }
+  }
+  return result;
+}
+
+}  // namespace odn::util

@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace odn::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  // One fprintf call so concurrent writers do not interleave mid-line.
+  std::fprintf(stderr, "[%9.3f] %s %.*s: %.*s\n", elapsed, level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace odn::util

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The library never logs on hot paths; logging exists for the controller,
+// the emulator and the bench harnesses, where a human follows progress.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/fmt.h"
+
+namespace odn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+// Core sink: timestamped line to stderr. Thread-safe (single write call).
+void log_message(LogLevel level, std::string_view component,
+                 std::string_view message);
+
+template <typename... Args>
+void log_debug(std::string_view component, std::string_view pattern,
+               const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, component, fmt(pattern, args...));
+}
+
+template <typename... Args>
+void log_info(std::string_view component, std::string_view pattern,
+              const Args&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, component, fmt(pattern, args...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view component, std::string_view pattern,
+              const Args&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, component, fmt(pattern, args...));
+}
+
+template <typename... Args>
+void log_error(std::string_view component, std::string_view pattern,
+               const Args&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, component, fmt(pattern, args...));
+}
+
+}  // namespace odn::util

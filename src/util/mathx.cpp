@@ -1,0 +1,88 @@
+#include "util/mathx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace odn::util {
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double mu = mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - mu) * (v - mu);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double min_value(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count == 0) throw std::invalid_argument("linspace: count must be >= 1");
+  std::vector<double> grid(count);
+  if (count == 1) {
+    grid[0] = lo;
+    return grid;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    grid[i] = lo + step * static_cast<double>(i);
+  grid.back() = hi;  // exact endpoint despite rounding
+  return grid;
+}
+
+std::vector<double> moving_average(std::span<const double> values,
+                                   std::size_t window) {
+  if (window == 0)
+    throw std::invalid_argument("moving_average: window must be >= 1");
+  std::vector<double> smoothed(values.size());
+  const auto half = static_cast<std::ptrdiff_t>(window / 2);
+  const auto n = static_cast<std::ptrdiff_t>(values.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - half);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + half);
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j)
+      sum += values[static_cast<std::size_t>(j)];
+    smoothed[static_cast<std::size_t>(i)] =
+        sum / static_cast<double>(hi - lo + 1);
+  }
+  return smoothed;
+}
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (pct < 0.0 || pct > 100.0)
+    throw std::invalid_argument("percentile: pct out of [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+bool approx_equal(double a, double b, double tol) noexcept {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double clamp(double value, double lo, double hi) noexcept {
+  return std::min(std::max(value, lo), hi);
+}
+
+}  // namespace odn::util

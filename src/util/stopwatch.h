@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the solver runtime measurements (Fig. 6) and
+// by the NN profiler when characterizing block compute times.
+#pragma once
+
+#include <chrono>
+
+namespace odn::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const noexcept { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace odn::util

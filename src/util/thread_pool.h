@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// Used by the NN library to parallelize convolution over output channels and
+// by the profiler to characterize many DNN paths concurrently. Tasks must
+// not throw across the pool boundary; parallel_for captures the first
+// exception and rethrows it on the caller thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace odn::util {
+
+class ThreadPool {
+ public:
+  // worker_count == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  // Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  // Block until every submitted task has finished.
+  void wait_idle();
+
+  // Run body(i) for i in [0, count), partitioned in contiguous chunks across
+  // the pool plus the calling thread. Blocks until all iterations complete.
+  // The first exception thrown by any iteration is rethrown here.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  // Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace odn::util

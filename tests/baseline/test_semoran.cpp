@@ -1,0 +1,145 @@
+#include "baseline/semoran.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "../core/test_instances.h"
+
+namespace odn::baseline {
+namespace {
+
+using core::DotInstance;
+using core::DotSolution;
+using core::RequestRate;
+
+TEST(SemOran, AdmitsBothTasksOnAmpleInstance) {
+  const DotInstance instance = core::testing::two_task_instance();
+  const DotSolution solution = SemOranSolver{}.solve(instance);
+  EXPECT_EQ(solution.solver_name, "SEM-O-RAN");
+  EXPECT_EQ(solution.cost.admitted_tasks, 2u);
+}
+
+TEST(SemOran, AdmissionIsBinary) {
+  for (const RequestRate rate :
+       {RequestRate::kLow, RequestRate::kMedium, RequestRate::kHigh}) {
+    const DotInstance instance = core::make_large_scenario(rate);
+    const DotSolution solution = SemOranSolver{}.solve(instance);
+    for (const auto& decision : solution.decisions)
+      EXPECT_TRUE(decision.admission_ratio == 0.0 ||
+                  decision.admission_ratio == 1.0);
+  }
+}
+
+TEST(SemOran, PicksHighestAccuracyOption) {
+  const DotInstance instance = core::testing::two_task_instance();
+  const DotSolution solution = SemOranSolver{}.solve(instance);
+  // task-hi: option 0 (0.85) beats option 1 (0.81).
+  EXPECT_EQ(solution.decisions[0].option_index, 0u);
+  // task-lo: option 1 (0.75) beats option 0 (0.70).
+  EXPECT_EQ(solution.decisions[1].option_index, 1u);
+}
+
+TEST(SemOran, PaysMemoryPerTaskWithoutSharing) {
+  const DotInstance instance = core::testing::two_task_instance();
+  const DotSolution solution = SemOranSolver{}.solve(instance);
+  // task-hi full path (33e6) + task-lo ft path (A + ft-lo = 16e6), with
+  // the shared block A double-counted — no sharing.
+  EXPECT_NEAR(solution.cost.memory_bytes, 33e6 + 16e6, 1.0);
+}
+
+TEST(SemOran, AdmitsInValueOrderUnderMemoryPressure) {
+  DotInstance instance = core::testing::two_task_instance();
+  instance.resources.memory_capacity_bytes = 35e6;  // one full DNN only
+  instance.finalize();
+  const DotSolution solution = SemOranSolver{}.solve(instance);
+  EXPECT_TRUE(solution.decisions[0].admitted());   // higher value
+  EXPECT_FALSE(solution.decisions[1].admitted());  // all-or-nothing reject
+}
+
+TEST(SemOran, RejectsTaskThatMissesAccuracyAtEveryQuality) {
+  const DotInstance instance =
+      core::testing::infeasible_accuracy_instance();
+  const DotSolution solution = SemOranSolver{}.solve(instance);
+  EXPECT_EQ(solution.cost.admitted_tasks, 0u);
+}
+
+TEST(SemOran, RejectsLatencyInfeasibleTask) {
+  const DotInstance instance = core::testing::infeasible_latency_instance();
+  const DotSolution solution = SemOranSolver{}.solve(instance);
+  EXPECT_EQ(solution.cost.admitted_tasks, 0u);
+}
+
+TEST(SemOran, SemanticCompressionShrinksSlices) {
+  // High rate: ceil(7.5 x 0.88) = 7 RBs vs ceil(7.5) = 8 uncompressed (at
+  // medium rate the integer slice size happens to coincide).
+  const DotInstance instance =
+      core::make_large_scenario(RequestRate::kHigh);
+  SemOranOptions with;
+  SemOranOptions without;
+  without.semantic_compression = false;
+  // Disable headroom growth so the comparison isolates compression.
+  with.slice_headroom_factor = 1.0;
+  without.slice_headroom_factor = 1.0;
+  const DotSolution compressed = SemOranSolver{with}.solve(instance);
+  const DotSolution raw = SemOranSolver{without}.solve(instance);
+  // Smaller per-task slices, which in turn admit more tasks into the cell.
+  const double compressed_slice =
+      static_cast<double>(compressed.cost.rbs_allocated) /
+      static_cast<double>(compressed.cost.admitted_tasks);
+  const double raw_slice = static_cast<double>(raw.cost.rbs_allocated) /
+                           static_cast<double>(raw.cost.admitted_tasks);
+  EXPECT_LT(compressed_slice, raw_slice);
+  EXPECT_GT(compressed.cost.admitted_tasks, raw.cost.admitted_tasks);
+}
+
+TEST(SemOran, HeadroomDistributesResidualRbs) {
+  const DotInstance instance = core::make_large_scenario(RequestRate::kLow);
+  SemOranOptions tight;
+  tight.slice_headroom_factor = 1.0;
+  SemOranOptions roomy;
+  roomy.slice_headroom_factor = 1.6;
+  const DotSolution small = SemOranSolver{tight}.solve(instance);
+  const DotSolution grown = SemOranSolver{roomy}.solve(instance);
+  EXPECT_GT(grown.cost.rbs_allocated, small.cost.rbs_allocated);
+  EXPECT_LE(grown.cost.rbs_allocated, instance.resources.total_rbs);
+  // Admission itself is untouched by headroom growth.
+  EXPECT_EQ(grown.cost.admitted_tasks, small.cost.admitted_tasks);
+}
+
+TEST(SemOran, NeverExceedsCapacities) {
+  for (const RequestRate rate :
+       {RequestRate::kLow, RequestRate::kMedium, RequestRate::kHigh}) {
+    const DotInstance instance = core::make_large_scenario(rate);
+    const DotSolution solution = SemOranSolver{}.solve(instance);
+    EXPECT_LE(solution.cost.memory_bytes,
+              instance.resources.memory_capacity_bytes * (1 + 1e-9));
+    EXPECT_LE(solution.cost.inference_compute_s,
+              instance.resources.compute_capacity_s * (1 + 1e-9));
+    EXPECT_LE(solution.cost.rbs_allocated, instance.resources.total_rbs);
+  }
+}
+
+TEST(SemOran, MemoryBoundAtSixteenTasksInLargeScenario) {
+  // The Fig. 9/10 anchor: per-task ~1 GB full DNNs against M = 16 GB stop
+  // admission at 16 tasks at low and medium load.
+  for (const RequestRate rate : {RequestRate::kLow, RequestRate::kMedium}) {
+    const DotInstance instance = core::make_large_scenario(rate);
+    const DotSolution solution = SemOranSolver{}.solve(instance);
+    EXPECT_EQ(solution.cost.admitted_tasks, 16u);
+  }
+}
+
+TEST(SemOran, RadioBoundAtHighLoad) {
+  const DotInstance instance = core::make_large_scenario(RequestRate::kHigh);
+  const DotSolution solution = SemOranSolver{}.solve(instance);
+  EXPECT_LT(solution.cost.admitted_tasks, 16u);
+  EXPECT_GT(solution.cost.admitted_tasks, 10u);
+}
+
+TEST(SemOran, UnfinalizedInstanceThrows) {
+  DotInstance instance;
+  EXPECT_THROW(SemOranSolver{}.solve(instance), std::logic_error);
+}
+
+}  // namespace
+}  // namespace odn::baseline

@@ -1,0 +1,82 @@
+#include "core/block_profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace odn::core {
+namespace {
+
+TEST(ReferenceCosts, FullModelOperatingPoints) {
+  const StageCosts costs = reference_resnet18_costs();
+  // Fig. 3 operating point: full ResNet-18 inference around 9-10 ms.
+  EXPECT_NEAR(costs.total_inference_time_s(), 9.6e-3, 1e-3);
+  // Deployed model footprint ~1 GB against Table IV's 8/16 GB budgets.
+  EXPECT_NEAR(costs.total_memory_bytes(), 0.98e9, 0.1e9);
+}
+
+TEST(ReferenceCosts, DeeperBlocksCostMore) {
+  const StageCosts costs = reference_resnet18_costs();
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(costs.inference_time_s[i], costs.inference_time_s[i - 1]);
+    EXPECT_GT(costs.memory_bytes[i], costs.memory_bytes[i - 1]);
+    EXPECT_GT(costs.training_cost_s[i], costs.training_cost_s[i - 1]);
+  }
+}
+
+TEST(ReferenceCosts, PruningShrinksEveryStage) {
+  const StageCosts costs = reference_resnet18_costs();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(costs.pruned_inference_time_s[i],
+              0.5 * costs.inference_time_s[i]);
+    EXPECT_LT(costs.pruned_memory_bytes[i], 0.5 * costs.memory_bytes[i]);
+    EXPECT_GT(costs.pruned_training_cost_s[i], costs.training_cost_s[i]);
+  }
+}
+
+TEST(ReferenceCosts, AccuracyModelShape) {
+  const StageCosts costs = reference_resnet18_costs();
+  EXPECT_GT(costs.accuracy_all_shared, 0.5);
+  double full_finetune = costs.accuracy_all_shared;
+  for (const double gain : costs.finetune_gain) {
+    EXPECT_GT(gain, 0.0);
+    full_finetune += gain;
+  }
+  EXPECT_LT(full_finetune, 1.0);  // never promises perfect accuracy
+  EXPECT_GT(costs.prune_penalty_finetuned, 0.0);
+  EXPECT_GT(costs.prune_penalty_shared, 0.0);
+  // Deeper blocks carry more task-specific value.
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_GE(costs.finetune_gain[i], costs.finetune_gain[i - 1]);
+}
+
+TEST(MeasuredCosts, RescaledToReferenceMagnitudes) {
+  const StageCosts reference = reference_resnet18_costs();
+  const StageCosts measured = measure_from_substrate(7);
+  // Total inference time is pinned to the reference scale by construction.
+  EXPECT_NEAR(measured.total_inference_time_s(),
+              reference.total_inference_time_s(),
+              0.05 * reference.total_inference_time_s());
+  EXPECT_NEAR(measured.total_memory_bytes(), reference.total_memory_bytes(),
+              0.05 * reference.total_memory_bytes());
+}
+
+TEST(MeasuredCosts, PrunedVariantsRemainCheaper) {
+  const StageCosts measured = measure_from_substrate(7);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(measured.pruned_inference_time_s[i],
+              measured.inference_time_s[i]);
+    EXPECT_LT(measured.pruned_memory_bytes[i], measured.memory_bytes[i]);
+  }
+}
+
+TEST(MeasuredCosts, AllPositive) {
+  const StageCosts measured = measure_from_substrate(11);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(measured.inference_time_s[i], 0.0);
+    EXPECT_GT(measured.memory_bytes[i], 0.0);
+    EXPECT_GT(measured.training_cost_s[i], 0.0);
+    EXPECT_GT(measured.pruned_inference_time_s[i], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace odn::core

@@ -1,0 +1,198 @@
+#include "core/branch_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "util/rng.h"
+#include "test_instances.h"
+
+namespace odn::core {
+namespace {
+
+TEST(BranchOptimizer, FullAdmissionWhenResourcesAmple) {
+  const DotInstance instance = testing::two_task_instance();
+  const BranchOptimizer optimizer(instance);
+  const std::vector<BranchChoice> choices{0, 0};
+  const auto decisions = optimizer.optimize(choices);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_NEAR(decisions[0].admission_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(decisions[1].admission_ratio, 1.0, 1e-9);
+  EXPECT_TRUE(DotEvaluator(instance).feasible(decisions));
+}
+
+TEST(BranchOptimizer, NulloptChoiceRejectsTask) {
+  const DotInstance instance = testing::two_task_instance();
+  const BranchOptimizer optimizer(instance);
+  const std::vector<BranchChoice> choices{std::nullopt, 0};
+  const auto decisions = optimizer.optimize(choices);
+  EXPECT_FALSE(decisions[0].admitted());
+  EXPECT_TRUE(decisions[1].admitted());
+}
+
+TEST(BranchOptimizer, ChoiceCountMismatchThrows) {
+  const DotInstance instance = testing::two_task_instance();
+  const BranchOptimizer optimizer(instance);
+  const std::vector<BranchChoice> choices{0};
+  EXPECT_THROW(optimizer.optimize(choices), std::invalid_argument);
+}
+
+TEST(BranchOptimizer, LatencyInfeasiblePathRejected) {
+  const DotInstance instance = testing::infeasible_latency_instance();
+  const BranchOptimizer optimizer(instance);
+  const std::vector<BranchChoice> choices{0};
+  const auto decisions = optimizer.optimize(choices);
+  EXPECT_FALSE(decisions[0].admitted());
+}
+
+TEST(BranchOptimizer, MinRbsForLatency) {
+  const DotInstance instance = testing::two_task_instance();
+  const BranchOptimizer optimizer(instance);
+  const DotTask& task = instance.tasks[0];
+  // Slack = 0.5 - 0.030 = 0.47 s; 20 kb at 100 kb/s -> 0.2 s on one RB.
+  const auto rbs = optimizer.min_rbs_for_latency(task, task.options[0]);
+  ASSERT_TRUE(rbs.has_value());
+  EXPECT_EQ(*rbs, 1u);
+}
+
+TEST(BranchOptimizer, MinRbsForLatencyNulloptWhenComputeExceedsBound) {
+  const DotInstance instance = testing::infeasible_latency_instance();
+  const BranchOptimizer optimizer(instance);
+  const DotTask& task = instance.tasks[0];
+  EXPECT_FALSE(
+      optimizer.min_rbs_for_latency(task, task.options[0]).has_value());
+}
+
+TEST(BranchOptimizer, ComputeCapacityCapsAdmission) {
+  DotInstance instance = testing::two_task_instance();
+  // Only enough compute for task-hi at z=1 (0.06 s) plus half of task-lo.
+  instance.resources.compute_capacity_s = 0.085;
+  instance.finalize();
+  const BranchOptimizer optimizer(instance);
+  const std::vector<BranchChoice> choices{0, 0};
+  const auto decisions = optimizer.optimize(choices);
+  EXPECT_NEAR(decisions[0].admission_ratio, 1.0, 1e-6);
+  EXPECT_LT(decisions[1].admission_ratio, 0.75);
+  EXPECT_TRUE(DotEvaluator(instance).feasible(decisions));
+}
+
+TEST(BranchOptimizer, RadioCapacityCapsAdmission) {
+  DotInstance instance = testing::two_task_instance();
+  instance.tasks[0].spec.request_rate = 40.0;  // needs 8 RBs at z=1
+  instance.tasks[1].spec.request_rate = 40.0;
+  instance.resources.total_rbs = 8;
+  instance.finalize();
+  const BranchOptimizer optimizer(instance);
+  const std::vector<BranchChoice> choices{0, 0};
+  const auto decisions = optimizer.optimize(choices);
+  // The RB budget cannot serve both at z=1; the solution must be feasible
+  // and prefer the higher-priority task.
+  EXPECT_TRUE(DotEvaluator(instance).feasible(decisions));
+  EXPECT_GE(decisions[0].admission_ratio,
+            decisions[1].admission_ratio - 1e-9);
+  const double shared = decisions[0].admission_ratio * decisions[0].rbs +
+                        decisions[1].admission_ratio * decisions[1].rbs;
+  EXPECT_LE(shared, 8.0 + 1e-6);
+}
+
+TEST(BranchOptimizer, MemoryBlocksSecondTaskWhenNoSharing) {
+  DotInstance instance = testing::two_task_instance();
+  // Room for task-hi's path (33e6) but not for ft-lo on top.
+  instance.resources.memory_capacity_bytes = 35e6;
+  instance.finalize();
+  const BranchOptimizer optimizer(instance);
+  // task-lo chooses its fine-tuned path (option 1, adds ft-lo 6e6).
+  const std::vector<BranchChoice> choices{0, 1};
+  const auto decisions = optimizer.optimize(choices);
+  EXPECT_TRUE(decisions[0].admitted());
+  EXPECT_FALSE(decisions[1].admitted());
+}
+
+TEST(BranchOptimizer, SharingEnablesAdmissionUnderTightMemory) {
+  DotInstance instance = testing::two_task_instance();
+  instance.resources.memory_capacity_bytes = 35e6;
+  instance.finalize();
+  const BranchOptimizer optimizer(instance);
+  // task-lo's fully shared path adds no new memory: both fit.
+  const std::vector<BranchChoice> choices{0, 0};
+  const auto decisions = optimizer.optimize(choices);
+  EXPECT_TRUE(decisions[0].admitted());
+  EXPECT_TRUE(decisions[1].admitted());
+}
+
+TEST(BranchOptimizer, TrainingCostGatesLowPriorityTasks) {
+  DotInstance instance = testing::two_task_instance();
+  instance.tasks[1].spec.priority = 0.01;
+  // Make the fine-tuned block very expensive to train.
+  instance.catalog = [&] {
+    edge::DnnCatalog patched;
+    for (std::size_t i = 0; i < instance.catalog.block_count(); ++i) {
+      edge::CatalogBlock block =
+          instance.catalog.block(static_cast<edge::BlockIndex>(i));
+      if (block.name == "ft-lo") block.training_cost_s = 90.0;
+      patched.add_block(std::move(block));
+    }
+    return patched;
+  }();
+  instance.finalize();
+  const BranchOptimizer optimizer(instance);
+  const std::vector<BranchChoice> choices{0, 1};
+  const auto decisions = optimizer.optimize(choices);
+  // Gain 0.5*0.01 cannot beat the 0.5*0.9 training fraction: rejected.
+  EXPECT_FALSE(decisions[1].admitted());
+}
+
+TEST(BranchOptimizer, SolutionsAlwaysFeasibleOnScenarios) {
+  // Property: whatever the branch, the optimizer's output satisfies every
+  // DOT constraint (checked by the evaluator) on realistic instances.
+  for (const std::size_t num_tasks : {1u, 3u, 5u}) {
+    const DotInstance instance = make_small_scenario(num_tasks);
+    const BranchOptimizer optimizer(instance);
+    const DotEvaluator evaluator(instance);
+    util::Rng rng(1234 + num_tasks);
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<BranchChoice> choices(instance.tasks.size());
+      for (std::size_t t = 0; t < choices.size(); ++t) {
+        const auto count =
+            static_cast<std::int64_t>(instance.tasks[t].options.size());
+        const std::int64_t pick = rng.uniform_int(-1, count - 1);
+        if (pick >= 0) choices[t] = static_cast<std::size_t>(pick);
+      }
+      const auto decisions = optimizer.optimize(choices);
+      const auto violations = evaluator.violations(decisions);
+      EXPECT_TRUE(violations.empty())
+          << "T=" << num_tasks << " trial=" << trial << ": "
+          << (violations.empty() ? "" : violations.front());
+    }
+  }
+}
+
+TEST(BranchOptimizer, GreedyCertifiedAgainstGridSearch) {
+  // Exhaustive (z, r) grid search on the two-task instance provides an
+  // upper bound on how much better a solution could be. The optimizer's
+  // objective must come within a small margin of the grid optimum.
+  const DotInstance instance = testing::two_task_instance();
+  const BranchOptimizer optimizer(instance);
+  const DotEvaluator evaluator(instance);
+  const std::vector<BranchChoice> choices{0, 0};
+  const auto decisions = optimizer.optimize(choices);
+  const double ours = evaluator.evaluate(decisions).objective;
+
+  double best = 1e18;
+  for (int z0 = 0; z0 <= 20; ++z0) {
+    for (int z1 = 0; z1 <= 20; ++z1) {
+      for (std::size_t r0 = 0; r0 <= 6; ++r0) {
+        for (std::size_t r1 = 0; r1 <= 6; ++r1) {
+          std::vector<TaskDecision> candidate(2);
+          candidate[0] = {true, 0, z0 / 20.0, r0};
+          candidate[1] = {true, 0, z1 / 20.0, r1};
+          if (!evaluator.feasible(candidate)) continue;
+          best = std::min(best, evaluator.evaluate(candidate).objective);
+        }
+      }
+    }
+  }
+  EXPECT_LE(ours, best + 0.02);
+}
+
+}  // namespace
+}  // namespace odn::core

@@ -1,0 +1,137 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "test_instances.h"
+
+namespace odn::core {
+namespace {
+
+TEST(Controller, AdmitProducesConsistentPlan) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  const DeploymentPlan plan = controller.admit(instance.catalog,
+                                               instance.tasks);
+  ASSERT_EQ(plan.tasks.size(), 2u);
+  EXPECT_TRUE(plan.tasks[0].admitted);
+  EXPECT_TRUE(plan.tasks[1].admitted);
+  for (const TaskPlan& task : plan.tasks) {
+    if (!task.admitted) continue;
+    EXPECT_GT(task.admitted_rate, 0.0);
+    EXPECT_GT(task.slice_rbs, 0u);
+    EXPECT_FALSE(task.blocks.empty());
+    EXPECT_LE(task.expected_latency_s, task.latency_bound_s + 1e-9);
+    EXPECT_GT(task.accuracy, 0.0);
+  }
+}
+
+TEST(Controller, LedgerTracksCommitments) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  const DeploymentPlan plan = controller.admit(instance.catalog,
+                                               instance.tasks);
+  EXPECT_DOUBLE_EQ(controller.ledger().memory_used_bytes(),
+                   plan.memory_committed_bytes);
+  EXPECT_DOUBLE_EQ(controller.ledger().compute_used_s(),
+                   plan.compute_committed_s);
+  EXPECT_EQ(controller.ledger().rbs_used(), plan.rbs_committed);
+  EXPECT_EQ(controller.deployed_blocks().size(),
+            plan.deployed_blocks.size());
+}
+
+TEST(Controller, AdmitResetsPreviousDeployment) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  const double first_memory = controller.ledger().memory_used_bytes();
+  (void)controller.admit(instance.catalog, instance.tasks);
+  EXPECT_DOUBLE_EQ(controller.ledger().memory_used_bytes(), first_memory);
+}
+
+TEST(Controller, IncrementalAdmissionReusesDeployedBlocks) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+
+  // First wave: only the high-priority task.
+  std::vector<DotTask> wave1{instance.tasks[0]};
+  const DeploymentPlan plan1 = controller.admit(instance.catalog, wave1);
+  ASSERT_TRUE(plan1.tasks[0].admitted);
+  const double memory_after_wave1 = controller.ledger().memory_used_bytes();
+
+  // Second wave: the low-priority task, whose fully shared option reuses
+  // the wave-1 shared blocks — the incremental memory cost must be far
+  // smaller than a fresh deployment.
+  std::vector<DotTask> wave2{instance.tasks[1]};
+  const DeploymentPlan plan2 =
+      controller.admit_incremental(instance.catalog, wave2);
+  EXPECT_TRUE(plan2.tasks[0].admitted);
+  const double incremental_memory =
+      controller.ledger().memory_used_bytes() - memory_after_wave1;
+  EXPECT_LT(incremental_memory, memory_after_wave1 * 0.5);
+}
+
+TEST(Controller, IncrementalAdmissionHonoursDiscountedCapacity) {
+  DotInstance instance = testing::two_task_instance();
+  // Tight memory: each wave's path barely fits alone.
+  instance.resources.memory_capacity_bytes = 35e6;
+  instance.finalize();
+  OffloadnnController controller(instance.resources, instance.radio);
+
+  std::vector<DotTask> wave1{instance.tasks[0]};
+  const DeploymentPlan plan1 = controller.admit(instance.catalog, wave1);
+  ASSERT_TRUE(plan1.tasks[0].admitted);
+
+  // The low task's fine-tuned option would not fit, but its fully shared
+  // option does — the controller must find it.
+  std::vector<DotTask> wave2{instance.tasks[1]};
+  const DeploymentPlan plan2 =
+      controller.admit_incremental(instance.catalog, wave2);
+  EXPECT_TRUE(plan2.tasks[0].admitted);
+  EXPECT_LE(controller.ledger().memory_used_bytes(),
+            instance.resources.memory_capacity_bytes);
+}
+
+TEST(Controller, OptimalSolverOption) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController::Options options;
+  options.use_optimal_solver = true;
+  OffloadnnController controller(instance.resources, instance.radio,
+                                 options);
+  const DeploymentPlan plan = controller.admit(instance.catalog,
+                                               instance.tasks);
+  EXPECT_EQ(plan.solution.solver_name, "optimum");
+}
+
+TEST(Controller, RejectedTasksHaveEmptyPlans) {
+  const DotInstance instance = testing::infeasible_accuracy_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  const DeploymentPlan plan = controller.admit(instance.catalog,
+                                               instance.tasks);
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  EXPECT_FALSE(plan.tasks[0].admitted);
+  EXPECT_EQ(plan.tasks[0].slice_rbs, 0u);
+  EXPECT_TRUE(plan.deployed_blocks.empty());
+  EXPECT_DOUBLE_EQ(plan.memory_committed_bytes, 0.0);
+}
+
+TEST(Controller, DeployedBlocksAreDistinctAndSorted) {
+  const DotInstance instance = make_small_scenario(5);
+  OffloadnnController controller(instance.resources, instance.radio);
+  const DeploymentPlan plan = controller.admit(instance.catalog,
+                                               instance.tasks);
+  for (std::size_t i = 1; i < plan.deployed_blocks.size(); ++i)
+    EXPECT_LT(plan.deployed_blocks[i - 1], plan.deployed_blocks[i]);
+}
+
+TEST(Controller, ResetClearsState) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  controller.reset();
+  EXPECT_DOUBLE_EQ(controller.ledger().memory_used_bytes(), 0.0);
+  EXPECT_TRUE(controller.deployed_blocks().empty());
+}
+
+}  // namespace
+}  // namespace odn::core

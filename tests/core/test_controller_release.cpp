@@ -1,0 +1,120 @@
+// Dynamic churn: controller release() — departures return radio/compute
+// commitments and undeploy blocks no remaining task uses.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/scenarios.h"
+#include "test_instances.h"
+
+namespace odn::core {
+namespace {
+
+TEST(ControllerRelease, ReleaseUnknownTaskReturnsFalse) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  EXPECT_FALSE(controller.release("no-such-task"));
+}
+
+TEST(ControllerRelease, ReleaseFreesComputeAndRadio) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  const double compute_before = controller.ledger().compute_used_s();
+
+  EXPECT_TRUE(controller.release("task-hi"));
+  EXPECT_LT(controller.ledger().compute_used_s(), compute_before);
+  EXPECT_EQ(controller.active_tasks().size(), 1u);
+  EXPECT_EQ(controller.active_tasks()[0], "task-lo");
+}
+
+TEST(ControllerRelease, SharedBlocksStayWhileStillUsed) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  const std::size_t blocks_before = controller.deployed_blocks().size();
+
+  // task-lo shares the backbone with task-hi: releasing task-hi removes
+  // only task-hi's private block(s), never the shared prefix.
+  EXPECT_TRUE(controller.release("task-hi"));
+  EXPECT_LT(controller.deployed_blocks().size(), blocks_before);
+  EXPECT_GE(controller.deployed_blocks().size(), 2u);  // shared A, B live
+}
+
+TEST(ControllerRelease, LastUserUndeploysSharedBlocks) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  EXPECT_TRUE(controller.release("task-hi"));
+  EXPECT_TRUE(controller.release("task-lo"));
+  EXPECT_TRUE(controller.deployed_blocks().empty());
+  EXPECT_DOUBLE_EQ(controller.ledger().memory_used_bytes(), 0.0);
+  EXPECT_EQ(controller.ledger().rbs_used(), 0u);
+}
+
+TEST(ControllerRelease, CapacityReusableAfterRelease) {
+  DotInstance instance = testing::two_task_instance();
+  instance.resources.memory_capacity_bytes = 40e6;  // one path at a time
+  instance.finalize();
+  OffloadnnController controller(instance.resources, instance.radio);
+
+  std::vector<DotTask> hi{instance.tasks[0]};
+  const DeploymentPlan plan1 = controller.admit(instance.catalog, hi);
+  ASSERT_TRUE(plan1.tasks[0].admitted);
+
+  EXPECT_TRUE(controller.release("task-hi"));
+
+  // With task-hi gone, a memory-heavy admission of task-lo's fine-tuned
+  // path must fit again.
+  std::vector<DotTask> lo{instance.tasks[1]};
+  const DeploymentPlan plan2 =
+      controller.admit_incremental(instance.catalog, lo);
+  EXPECT_TRUE(plan2.tasks[0].admitted);
+}
+
+TEST(ControllerRelease, ChurnLoopStaysConsistent) {
+  // Property: repeated admit-incremental/release cycles never leak and
+  // never exceed capacity.
+  const DotInstance instance =
+      make_large_scenario(RequestRate::kLow);
+  OffloadnnController controller(instance.resources, instance.radio);
+
+  std::vector<DotTask> first_half(instance.tasks.begin(),
+                                  instance.tasks.begin() + 10);
+  (void)controller.admit(instance.catalog, first_half);
+
+  for (int round = 0; round < 3; ++round) {
+    // Release the three lowest-priority active tasks...
+    auto active = controller.active_tasks();
+    for (std::size_t i = 0; i < 3 && !active.empty(); ++i) {
+      EXPECT_TRUE(controller.release(active.back()));
+      active.pop_back();
+    }
+    // ...and admit the second half incrementally.
+    std::vector<DotTask> second_half(instance.tasks.begin() + 10,
+                                     instance.tasks.begin() + 15);
+    (void)controller.admit_incremental(instance.catalog, second_half);
+
+    EXPECT_LE(controller.ledger().memory_used_bytes(),
+              instance.resources.memory_capacity_bytes);
+    EXPECT_LE(controller.ledger().compute_used_s(),
+              instance.resources.compute_capacity_s);
+    EXPECT_LE(controller.ledger().rbs_used(),
+              instance.resources.total_rbs);
+    // Release them again so the next round re-admits cleanly.
+    for (const DotTask& task : second_half)
+      (void)controller.release(task.spec.name);
+  }
+}
+
+TEST(ControllerRelease, ResetClearsActiveTasks) {
+  const DotInstance instance = testing::two_task_instance();
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  controller.reset();
+  EXPECT_TRUE(controller.active_tasks().empty());
+  EXPECT_FALSE(controller.release("task-hi"));
+}
+
+}  // namespace
+}  // namespace odn::core

@@ -1,0 +1,173 @@
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+#include "test_instances.h"
+
+namespace odn::core {
+namespace {
+
+std::vector<TaskDecision> both_admitted() {
+  // task-hi on its full option, task-lo on the fully shared option.
+  std::vector<TaskDecision> decisions(2);
+  decisions[0] = {.has_path = true,
+                  .option_index = 0,
+                  .admission_ratio = 1.0,
+                  .rbs = 2};
+  decisions[1] = {.has_path = true,
+                  .option_index = 0,
+                  .admission_ratio = 1.0,
+                  .rbs = 1};
+  return decisions;
+}
+
+TEST(DotEvaluator, ObjectiveByHand) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  const CostBreakdown cost = evaluator.evaluate(both_admitted());
+
+  // Weighted admission: 0.9 + 0.4; rejection 0.
+  EXPECT_NEAR(cost.weighted_admission, 1.3, 1e-12);
+  EXPECT_NEAR(cost.weighted_rejection, 0.0, 1e-12);
+  // Training: only ft-hi (10 s); shared blocks are free.
+  EXPECT_NEAR(cost.training_cost_s, 10.0, 1e-12);
+  EXPECT_NEAR(cost.training_fraction, 0.1, 1e-12);
+  // Radio: (1*2 + 1*1) / 20.
+  EXPECT_NEAR(cost.radio_fraction, 0.15, 1e-12);
+  // Inference: 2*0.030 + 2*0.025 = 0.11 s over C = 1.
+  EXPECT_NEAR(cost.inference_compute_s, 0.11, 1e-12);
+  EXPECT_NEAR(cost.inference_fraction, 0.11, 1e-12);
+  // Memory: shared A+B counted once (25e6) + ft-hi (8e6).
+  EXPECT_NEAR(cost.memory_bytes, 33e6, 1.0);
+  // Objective: 0.5*0 + 0.5*(0.1 + 0.15 + 0.11).
+  EXPECT_NEAR(cost.objective, 0.18, 1e-9);
+  EXPECT_EQ(cost.admitted_tasks, 2u);
+  EXPECT_EQ(cost.fully_admitted_tasks, 2u);
+  EXPECT_EQ(cost.rbs_allocated, 3u);
+}
+
+TEST(DotEvaluator, PartialAdmissionScalesTerms) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  auto decisions = both_admitted();
+  decisions[1].admission_ratio = 0.5;
+  const CostBreakdown cost = evaluator.evaluate(decisions);
+  EXPECT_NEAR(cost.weighted_admission, 0.9 + 0.2, 1e-12);
+  EXPECT_NEAR(cost.weighted_rejection, 0.2, 1e-12);
+  EXPECT_NEAR(cost.inference_compute_s, 2 * 0.030 + 1.0 * 0.025, 1e-12);
+  EXPECT_EQ(cost.fully_admitted_tasks, 1u);
+}
+
+TEST(DotEvaluator, RejectedTaskContributesNoResources) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  auto decisions = both_admitted();
+  decisions[0].admission_ratio = 0.0;
+  const CostBreakdown cost = evaluator.evaluate(decisions);
+  // Only task-lo's fully shared path is active: zero training cost.
+  EXPECT_NEAR(cost.training_cost_s, 0.0, 1e-12);
+  EXPECT_NEAR(cost.memory_bytes, 25e6, 1.0);
+  EXPECT_EQ(cost.admitted_tasks, 1u);
+}
+
+TEST(DotEvaluator, SharedVsPerTaskMemoryAccounting) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator shared(instance, MemoryAccounting::kSharedOnce);
+  const DotEvaluator per_task(instance, MemoryAccounting::kPerTask);
+  const auto decisions = both_admitted();
+  // Shared once: A+B+ft_hi = 33e6. Per task: (A+B+ft_hi) + (A+B) = 58e6.
+  EXPECT_NEAR(shared.evaluate(decisions).memory_bytes, 33e6, 1.0);
+  EXPECT_NEAR(per_task.evaluate(decisions).memory_bytes, 58e6, 1.0);
+}
+
+TEST(DotEvaluator, DecisionSizeMismatchThrows) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  EXPECT_THROW(evaluator.evaluate({}), std::invalid_argument);
+}
+
+TEST(DotEvaluator, FeasibleSolutionHasNoViolations) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  EXPECT_TRUE(evaluator.feasible(both_admitted()));
+}
+
+TEST(DotEvaluator, DetectsAccuracyViolation) {
+  DotInstance instance = testing::two_task_instance();
+  instance.tasks[1].spec.min_accuracy = 0.74;  // lo-shared (0.70) violates
+  instance.finalize();
+  const DotEvaluator evaluator(instance);
+  const auto violations = evaluator.violations(both_admitted());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("(1f)"), std::string::npos);
+}
+
+TEST(DotEvaluator, DetectsBandwidthViolation) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  auto decisions = both_admitted();
+  decisions[0].rbs = 0;  // admitted with no slice at all
+  const auto violations = evaluator.violations(decisions);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(DotEvaluator, DetectsLatencyViolation) {
+  DotInstance instance = testing::two_task_instance();
+  instance.tasks[0].spec.max_latency_s = 0.05;  // < 30 ms compute + tx
+  instance.finalize();
+  const DotEvaluator evaluator(instance);
+  bool found = false;
+  for (const auto& v : evaluator.violations(both_admitted()))
+    if (v.find("(1g)") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DotEvaluator, DetectsComputeOverflow) {
+  DotInstance instance = testing::two_task_instance();
+  instance.resources.compute_capacity_s = 0.05;  // < 0.11 s needed
+  instance.finalize();
+  const DotEvaluator evaluator(instance);
+  bool found = false;
+  for (const auto& v : evaluator.violations(both_admitted()))
+    if (v.find("(1c)") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DotEvaluator, DetectsMemoryOverflow) {
+  DotInstance instance = testing::two_task_instance();
+  instance.resources.memory_capacity_bytes = 30e6;  // < 33e6 needed
+  instance.finalize();
+  const DotEvaluator evaluator(instance);
+  bool found = false;
+  for (const auto& v : evaluator.violations(both_admitted()))
+    if (v.find("(1b)") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DotEvaluator, DetectsRadioOverflow) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  auto decisions = both_admitted();
+  decisions[0].rbs = 15;
+  decisions[1].rbs = 15;
+  bool found = false;
+  for (const auto& v : evaluator.violations(decisions))
+    if (v.find("(1d)") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DotEvaluator, DetectsBadAdmissionRatio) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotEvaluator evaluator(instance);
+  auto decisions = both_admitted();
+  decisions[0].admission_ratio = 1.2;
+  EXPECT_FALSE(evaluator.feasible(decisions));
+}
+
+TEST(DotEvaluator, UnfinalizedInstanceThrows) {
+  DotInstance instance;
+  EXPECT_THROW(DotEvaluator{instance}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace odn::core

@@ -1,0 +1,142 @@
+// Randomized differential testing of the solver stack: generate random
+// DOT instances across a seed sweep and assert the cross-solver
+// invariants that must hold on *every* instance:
+//   - every solver's output is evaluator-feasible,
+//   - optimum <= heuristic <= "admit nothing" in objective,
+//   - beam search never loses to first-branch,
+//   - determinism for a fixed instance.
+#include <gtest/gtest.h>
+
+#include "core/offloadnn_solver.h"
+#include "core/optimal_solver.h"
+#include "util/rng.h"
+
+namespace odn::core {
+namespace {
+
+DotInstance random_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  DotInstance instance;
+  instance.name = "fuzz-" + std::to_string(seed);
+  instance.alpha = rng.uniform(0.2, 0.8);
+  instance.resources.compute_capacity_s = rng.uniform(0.05, 5.0);
+  instance.resources.training_budget_s = rng.uniform(50.0, 2000.0);
+  instance.resources.memory_capacity_bytes = rng.uniform(0.2e9, 4e9);
+  instance.resources.total_rbs =
+      static_cast<std::size_t>(rng.uniform_int(5, 60));
+  instance.radio = rng.bernoulli(0.7)
+                       ? edge::RadioModel::fixed(rng.uniform(100e3, 600e3))
+                       : edge::RadioModel::lte();
+
+  // A pool of blocks: some shared (ct = 0), some task-specific-flavoured.
+  const auto block_count =
+      static_cast<std::size_t>(rng.uniform_int(4, 14));
+  for (std::size_t b = 0; b < block_count; ++b) {
+    edge::CatalogBlock block;
+    const bool shared = rng.bernoulli(0.4);
+    block.kind = shared ? edge::BlockKind::kSharedBase
+                        : edge::BlockKind::kFineTuned;
+    block.name = "blk-" + std::to_string(b);
+    block.inference_time_s = rng.uniform(0.5e-3, 8e-3);
+    block.memory_bytes = rng.uniform(20e6, 600e6);
+    block.training_cost_s = shared ? 0.0 : rng.uniform(5.0, 120.0);
+    instance.catalog.add_block(std::move(block));
+  }
+
+  const auto task_count = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  for (std::size_t t = 0; t < task_count; ++t) {
+    DotTask task;
+    task.spec.name = "task-" + std::to_string(t);
+    task.spec.priority = rng.uniform(0.05, 1.0);
+    task.spec.request_rate = rng.uniform(0.5, 10.0);
+    task.spec.min_accuracy = rng.uniform(0.3, 0.9);
+    task.spec.max_latency_s = rng.uniform(0.05, 1.0);
+    task.spec.snr_db = rng.uniform(-2.0, 22.0);
+    task.spec.qualities = {{rng.uniform(50e3, 500e3), 1.0}};
+    const auto option_count =
+        static_cast<std::size_t>(rng.uniform_int(1, 4));
+    for (std::size_t o = 0; o < option_count; ++o) {
+      PathOption option;
+      option.path.name = "p" + std::to_string(o);
+      option.path.accuracy = rng.uniform(0.3, 0.98);
+      const auto path_length =
+          static_cast<std::size_t>(rng.uniform_int(1, 4));
+      for (std::size_t b = 0; b < path_length; ++b)
+        option.path.blocks.push_back(static_cast<edge::BlockIndex>(
+            rng.uniform_int(0, static_cast<std::int64_t>(block_count) - 1)));
+      option.quality_index = 0;
+      task.options.push_back(std::move(option));
+    }
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.finalize();
+  return instance;
+}
+
+class SolverFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverFuzz, HeuristicAlwaysFeasible) {
+  const DotInstance instance = random_instance(GetParam());
+  const DotSolution solution = OffloadnnSolver{}.solve(instance);
+  const auto violations =
+      DotEvaluator(instance).violations(solution.decisions);
+  EXPECT_TRUE(violations.empty())
+      << instance.name << ": "
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST_P(SolverFuzz, OptimalAlwaysFeasible) {
+  const DotInstance instance = random_instance(GetParam());
+  const DotSolution solution = OptimalSolver{}.solve(instance);
+  const auto violations =
+      DotEvaluator(instance).violations(solution.decisions);
+  EXPECT_TRUE(violations.empty())
+      << instance.name << ": "
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST_P(SolverFuzz, OptimumNeverWorseThanHeuristic) {
+  const DotInstance instance = random_instance(GetParam());
+  const DotSolution optimal = OptimalSolver{}.solve(instance);
+  const DotSolution heuristic = OffloadnnSolver{}.solve(instance);
+  EXPECT_LE(optimal.cost.objective, heuristic.cost.objective + 1e-9)
+      << instance.name;
+}
+
+TEST_P(SolverFuzz, OptimumNeverWorseThanRejectingEverything) {
+  const DotInstance instance = random_instance(GetParam());
+  const DotSolution optimal = OptimalSolver{}.solve(instance);
+  const std::vector<TaskDecision> nothing(instance.tasks.size());
+  const double reject_all =
+      DotEvaluator(instance).evaluate(nothing).objective;
+  EXPECT_LE(optimal.cost.objective, reject_all + 1e-9) << instance.name;
+}
+
+TEST_P(SolverFuzz, BeamNeverLosesToFirstBranch) {
+  const DotInstance instance = random_instance(GetParam());
+  OffloadnnOptions beam_options;
+  beam_options.beam_width = 4;
+  const DotSolution first = OffloadnnSolver{}.solve(instance);
+  const DotSolution beam = OffloadnnSolver{beam_options}.solve(instance);
+  EXPECT_LE(beam.cost.objective, first.cost.objective + 1e-9)
+      << instance.name;
+}
+
+TEST_P(SolverFuzz, HeuristicDeterministic) {
+  const DotInstance instance = random_instance(GetParam());
+  const DotSolution a = OffloadnnSolver{}.solve(instance);
+  const DotSolution b = OffloadnnSolver{}.solve(instance);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t t = 0; t < a.decisions.size(); ++t) {
+    EXPECT_EQ(a.decisions[t].has_path, b.decisions[t].has_path);
+    EXPECT_DOUBLE_EQ(a.decisions[t].admission_ratio,
+                     b.decisions[t].admission_ratio);
+    EXPECT_EQ(a.decisions[t].rbs, b.decisions[t].rbs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
+                         ::testing::Range<std::uint64_t>(1000, 1030));
+
+}  // namespace
+}  // namespace odn::core

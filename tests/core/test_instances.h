@@ -1,0 +1,125 @@
+// Hand-crafted DOT instances for the core solver tests: small enough to
+// reason about by hand or brute-force, structured enough to exercise block
+// sharing and every constraint.
+#pragma once
+
+#include "core/dot_problem.h"
+
+namespace odn::core::testing {
+
+// Catalog with two shared blocks (A, B) and per-task fine-tuned blocks.
+// Instance layout (all tasks λ=2 req/s, B = 100 kb/s per RB):
+//   task hi (p=0.9, A=0.8, L=0.5): two options
+//     opt0: [A, B, ft_hi]      acc 0.85, c = 30 ms, ct = 10
+//     opt1: [A, B, ft_hi_pr]   acc 0.81, c = 15 ms, ct = 12
+//   task lo (p=0.4, A=0.6, L=0.8): two options
+//     opt0: [A, B]             acc 0.70, c = 25 ms, ct = 0 (fully shared)
+//     opt1: [A, ft_lo]         acc 0.75, c = 20 ms, ct = 8
+inline DotInstance two_task_instance() {
+  DotInstance instance;
+  instance.name = "two-task";
+  instance.resources.compute_capacity_s = 1.0;
+  instance.resources.training_budget_s = 100.0;
+  instance.resources.memory_capacity_bytes = 100e6;
+  instance.resources.total_rbs = 20;
+  instance.radio = edge::RadioModel::fixed(100e3);
+  instance.alpha = 0.5;
+
+  auto& catalog = instance.catalog;
+  const auto shared_a = catalog.add_block(
+      {"shared-A", edge::BlockKind::kSharedBase, 10e-3, 10e6, 0.0});
+  const auto shared_b = catalog.add_block(
+      {"shared-B", edge::BlockKind::kSharedBase, 15e-3, 15e6, 0.0});
+  const auto ft_hi = catalog.add_block(
+      {"ft-hi", edge::BlockKind::kFineTuned, 5e-3, 8e6, 10.0});
+  const auto ft_hi_pr = catalog.add_block(
+      {"ft-hi-pruned", edge::BlockKind::kPruned, 2e-3 - 10e-3 + 10e-3, 2e6,
+       12.0});
+  const auto ft_lo = catalog.add_block(
+      {"ft-lo", edge::BlockKind::kFineTuned, 10e-3, 6e6, 8.0});
+
+  {
+    DotTask task;
+    task.spec.name = "task-hi";
+    task.spec.priority = 0.9;
+    task.spec.request_rate = 2.0;
+    task.spec.min_accuracy = 0.8;
+    task.spec.max_latency_s = 0.5;
+    task.spec.qualities = {{20e3, 1.0}};
+    task.options.push_back(
+        {edge::DnnPath{"hi-full", {shared_a, shared_b, ft_hi}, 0.85}, 0});
+    task.options.push_back(
+        {edge::DnnPath{"hi-pruned", {shared_a, shared_b, ft_hi_pr}, 0.81},
+         0});
+    instance.tasks.push_back(std::move(task));
+  }
+  {
+    DotTask task;
+    task.spec.name = "task-lo";
+    task.spec.priority = 0.4;
+    task.spec.request_rate = 2.0;
+    task.spec.min_accuracy = 0.6;
+    task.spec.max_latency_s = 0.8;
+    task.spec.qualities = {{20e3, 1.0}};
+    task.options.push_back(
+        {edge::DnnPath{"lo-shared", {shared_a, shared_b}, 0.70}, 0});
+    task.options.push_back(
+        {edge::DnnPath{"lo-ft", {shared_a, ft_lo}, 0.75}, 0});
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.finalize();
+  return instance;
+}
+
+// One task with one option whose accuracy misses the requirement — every
+// solver must reject it.
+inline DotInstance infeasible_accuracy_instance() {
+  DotInstance instance;
+  instance.name = "infeasible-accuracy";
+  instance.resources.compute_capacity_s = 1.0;
+  instance.resources.training_budget_s = 100.0;
+  instance.resources.memory_capacity_bytes = 1e9;
+  instance.resources.total_rbs = 10;
+  instance.radio = edge::RadioModel::fixed(100e3);
+
+  const auto block = instance.catalog.add_block(
+      {"b", edge::BlockKind::kSharedBase, 1e-3, 1e6, 0.0});
+  DotTask task;
+  task.spec.name = "too-demanding";
+  task.spec.priority = 1.0;
+  task.spec.request_rate = 1.0;
+  task.spec.min_accuracy = 0.99;
+  task.spec.max_latency_s = 0.5;
+  task.spec.qualities = {{10e3, 1.0}};
+  task.options.push_back({edge::DnnPath{"p", {block}, 0.5}, 0});
+  instance.tasks.push_back(std::move(task));
+  instance.finalize();
+  return instance;
+}
+
+// One task whose inference compute time already exceeds its latency bound.
+inline DotInstance infeasible_latency_instance() {
+  DotInstance instance;
+  instance.name = "infeasible-latency";
+  instance.resources.compute_capacity_s = 10.0;
+  instance.resources.training_budget_s = 100.0;
+  instance.resources.memory_capacity_bytes = 1e9;
+  instance.resources.total_rbs = 10;
+  instance.radio = edge::RadioModel::fixed(100e3);
+
+  const auto block = instance.catalog.add_block(
+      {"slow", edge::BlockKind::kSharedBase, 0.4, 1e6, 0.0});
+  DotTask task;
+  task.spec.name = "tight-latency";
+  task.spec.priority = 1.0;
+  task.spec.request_rate = 1.0;
+  task.spec.min_accuracy = 0.1;
+  task.spec.max_latency_s = 0.3;  // < 0.4 s of pure compute
+  task.spec.qualities = {{10e3, 1.0}};
+  task.options.push_back({edge::DnnPath{"p", {block}, 0.9}, 0});
+  instance.tasks.push_back(std::move(task));
+  instance.finalize();
+  return instance;
+}
+
+}  // namespace odn::core::testing

@@ -1,0 +1,105 @@
+// Proposition 1 companion: DOT contains the binary multi-dimensional
+// knapsack problem. These tests build the embedding (one task per item,
+// one dedicated block per task with memory = item weight, priority = item
+// value, alpha = 1 so resource costs vanish) and check that the exhaustive
+// DOT solver recovers the knapsack optimum computed by dynamic programming.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/optimal_solver.h"
+#include "util/rng.h"
+
+namespace odn::core {
+namespace {
+
+struct KnapsackItem {
+  double value;       // in (0, 1]: doubles as the task priority
+  std::size_t weight; // integer memory units
+};
+
+DotInstance knapsack_embedding(const std::vector<KnapsackItem>& items,
+                               std::size_t capacity) {
+  DotInstance instance;
+  instance.name = "knapsack";
+  instance.alpha = 1.0;  // objective reduces to weighted rejection
+  instance.resources.compute_capacity_s = 1e9;   // non-binding
+  instance.resources.training_budget_s = 1.0;
+  instance.resources.memory_capacity_bytes =
+      static_cast<double>(capacity);
+  instance.resources.total_rbs = 10000;          // non-binding
+  instance.radio = edge::RadioModel::fixed(1e9);
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto block = instance.catalog.add_block(
+        {"item-" + std::to_string(i), edge::BlockKind::kFineTuned, 1e-9,
+         static_cast<double>(items[i].weight), 0.0});
+    DotTask task;
+    task.spec.name = "item-" + std::to_string(i);
+    task.spec.priority = items[i].value;
+    task.spec.request_rate = 1.0;
+    task.spec.min_accuracy = 0.0;
+    task.spec.max_latency_s = 1.0;
+    task.spec.qualities = {{1.0, 1.0}};
+    task.options.push_back({edge::DnnPath{"p", {block}, 1.0}, 0});
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.finalize();
+  return instance;
+}
+
+double knapsack_dp(const std::vector<KnapsackItem>& items,
+                   std::size_t capacity) {
+  std::vector<double> best(capacity + 1, 0.0);
+  for (const KnapsackItem& item : items)
+    for (std::size_t w = capacity; w + 1 > item.weight; --w)
+      best[w] = std::max(best[w], best[w - item.weight] + item.value);
+  return best[capacity];
+}
+
+void expect_dot_matches_knapsack(const std::vector<KnapsackItem>& items,
+                                 std::size_t capacity) {
+  const DotInstance instance = knapsack_embedding(items, capacity);
+  const DotSolution solution = OptimalSolver{}.solve(instance);
+  const double dp_value = knapsack_dp(items, capacity);
+  EXPECT_NEAR(solution.cost.weighted_admission, dp_value, 1e-9);
+  // The solution never packs beyond capacity.
+  EXPECT_LE(solution.cost.memory_bytes,
+            static_cast<double>(capacity) + 1e-9);
+}
+
+TEST(KnapsackEmbedding, ClassicInstance) {
+  // Optimal subset is {1, 2} with value 1.0, not the greedy {0}.
+  expect_dot_matches_knapsack(
+      {{0.6, 10}, {0.5, 6}, {0.5, 6}}, 12);
+}
+
+TEST(KnapsackEmbedding, AllItemsFit) {
+  expect_dot_matches_knapsack({{0.3, 1}, {0.4, 2}, {0.2, 3}}, 10);
+}
+
+TEST(KnapsackEmbedding, NothingFits) {
+  expect_dot_matches_knapsack({{0.9, 10}, {0.8, 12}}, 5);
+}
+
+TEST(KnapsackEmbedding, SingleHeavyVsManyLight) {
+  expect_dot_matches_knapsack(
+      {{0.9, 8}, {0.35, 3}, {0.35, 3}, {0.35, 3}}, 9);
+}
+
+TEST(KnapsackEmbedding, RandomInstancesMatchDp) {
+  util::Rng rng(271828);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<KnapsackItem> items;
+    const auto count = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    for (std::size_t i = 0; i < count; ++i)
+      items.push_back(KnapsackItem{
+          rng.uniform(0.05, 1.0),
+          static_cast<std::size_t>(rng.uniform_int(1, 12))});
+    const auto capacity = static_cast<std::size_t>(rng.uniform_int(5, 25));
+    expect_dot_matches_knapsack(items, capacity);
+  }
+}
+
+}  // namespace
+}  // namespace odn::core

@@ -1,0 +1,144 @@
+#include "core/offloadnn_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "util/stopwatch.h"
+#include "test_instances.h"
+
+namespace odn::core {
+namespace {
+
+TEST(OffloadnnSolver, SolvesTwoTaskInstance) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotSolution solution = OffloadnnSolver{}.solve(instance);
+  EXPECT_EQ(solution.solver_name, "OffloaDNN");
+  EXPECT_TRUE(DotEvaluator(instance).feasible(solution.decisions));
+  EXPECT_EQ(solution.cost.admitted_tasks, 2u);
+}
+
+TEST(OffloadnnSolver, PicksLowestInferenceTimeFeasibleVertex) {
+  const DotInstance instance = testing::two_task_instance();
+  const DotSolution solution = OffloadnnSolver{}.solve(instance);
+  // task-hi: pruned option (17 ms) sorts before full (30 ms).
+  EXPECT_EQ(solution.decisions[0].option_index, 1u);
+}
+
+TEST(OffloadnnSolver, DeterministicAcrossRuns) {
+  const DotInstance instance = make_small_scenario(5);
+  const DotSolution a = OffloadnnSolver{}.solve(instance);
+  const DotSolution b = OffloadnnSolver{}.solve(instance);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t t = 0; t < a.decisions.size(); ++t) {
+    EXPECT_EQ(a.decisions[t].option_index, b.decisions[t].option_index);
+    EXPECT_DOUBLE_EQ(a.decisions[t].admission_ratio,
+                     b.decisions[t].admission_ratio);
+    EXPECT_EQ(a.decisions[t].rbs, b.decisions[t].rbs);
+  }
+}
+
+TEST(OffloadnnSolver, FeasibleOnAllScenarios) {
+  for (const std::size_t num_tasks : {1u, 2u, 3u, 4u, 5u}) {
+    const DotInstance instance = make_small_scenario(num_tasks);
+    const DotSolution solution = OffloadnnSolver{}.solve(instance);
+    const auto violations =
+        DotEvaluator(instance).violations(solution.decisions);
+    EXPECT_TRUE(violations.empty())
+        << "T=" << num_tasks << ": "
+        << (violations.empty() ? "" : violations.front());
+  }
+  for (const RequestRate rate :
+       {RequestRate::kLow, RequestRate::kMedium, RequestRate::kHigh}) {
+    const DotInstance instance = make_large_scenario(rate);
+    const DotSolution solution = OffloadnnSolver{}.solve(instance);
+    const auto violations =
+        DotEvaluator(instance).violations(solution.decisions);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front());
+  }
+}
+
+TEST(OffloadnnSolver, MemoryOverflowFallsBackToNextVertex) {
+  DotInstance instance = testing::two_task_instance();
+  // Allow task-hi's pruned path (27e6) but not task-lo adding ft-lo; the
+  // fully shared lo option still fits (no new blocks beyond A, B).
+  instance.resources.memory_capacity_bytes = 41.5e6;
+  instance.finalize();
+  const DotSolution solution = OffloadnnSolver{}.solve(instance);
+  EXPECT_TRUE(solution.decisions[0].admitted());
+  EXPECT_TRUE(solution.decisions[1].admitted());
+  EXPECT_TRUE(DotEvaluator(instance).feasible(solution.decisions));
+}
+
+TEST(OffloadnnSolver, RejectsWhenNothingFits) {
+  DotInstance instance = testing::two_task_instance();
+  instance.resources.memory_capacity_bytes = 1e6;
+  instance.finalize();
+  const DotSolution solution = OffloadnnSolver{}.solve(instance);
+  EXPECT_EQ(solution.cost.admitted_tasks, 0u);
+}
+
+TEST(OffloadnnSolver, RuntimeScalesPolynomially) {
+  // Heuristic runtime at T=20 must stay within milliseconds — a smoke
+  // check for the O(T^2) claim (the optimum at T=5 already takes longer).
+  const DotInstance instance = make_large_scenario(RequestRate::kMedium);
+  util::Stopwatch watch;
+  const DotSolution solution = OffloadnnSolver{}.solve(instance);
+  EXPECT_LT(watch.elapsed_seconds(), 0.5);
+  EXPECT_GT(solution.cost.admitted_tasks, 0u);
+}
+
+TEST(OffloadnnSolver, BeamWidthNeverHurts) {
+  for (const std::size_t num_tasks : {3u, 5u}) {
+    const DotInstance instance = make_small_scenario(num_tasks);
+    OffloadnnOptions narrow;
+    OffloadnnOptions wide;
+    wide.beam_width = 8;
+    const DotSolution first = OffloadnnSolver{narrow}.solve(instance);
+    const DotSolution beam = OffloadnnSolver{wide}.solve(instance);
+    EXPECT_LE(beam.cost.objective, first.cost.objective + 1e-9)
+        << "T=" << num_tasks;
+    EXPECT_TRUE(DotEvaluator(instance).feasible(beam.decisions));
+  }
+}
+
+TEST(OffloadnnSolver, ZeroBeamWidthThrows) {
+  OffloadnnOptions options;
+  options.beam_width = 0;
+  EXPECT_THROW(OffloadnnSolver{options}, std::invalid_argument);
+}
+
+// Every clique ordering must still produce feasible solutions (their
+// quality differs — that's the ablation bench's subject).
+class OrderingSweep : public ::testing::TestWithParam<CliqueOrdering> {};
+
+TEST_P(OrderingSweep, FeasibleSolutions) {
+  OffloadnnOptions options;
+  options.ordering = GetParam();
+  const DotInstance instance = make_small_scenario(5);
+  const DotSolution solution = OffloadnnSolver{options}.solve(instance);
+  EXPECT_TRUE(DotEvaluator(instance).feasible(solution.decisions));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, OrderingSweep,
+                         ::testing::Values(CliqueOrdering::kInferenceTime,
+                                           CliqueOrdering::kMemory,
+                                           CliqueOrdering::kAccuracy,
+                                           CliqueOrdering::kNone));
+
+TEST(OffloadnnSolver, InferenceOrderingMinimizesInferenceCompute) {
+  // The design claim behind Fig. 8 (right): compute-time ordering yields
+  // lower total inference compute than accuracy-greedy ordering.
+  const DotInstance instance = make_large_scenario(RequestRate::kMedium);
+  OffloadnnOptions by_time;
+  OffloadnnOptions by_accuracy;
+  by_accuracy.ordering = CliqueOrdering::kAccuracy;
+  const DotSolution time_solution = OffloadnnSolver{by_time}.solve(instance);
+  const DotSolution accuracy_solution =
+      OffloadnnSolver{by_accuracy}.solve(instance);
+  EXPECT_LT(time_solution.cost.inference_compute_s,
+            accuracy_solution.cost.inference_compute_s);
+}
+
+}  // namespace
+}  // namespace odn::core

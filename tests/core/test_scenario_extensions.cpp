@@ -1,0 +1,119 @@
+// Tests for the extension scenarios: quality-adaptive path generation and
+// the heterogeneous-SNR LTE variant.
+#include <gtest/gtest.h>
+
+#include "baseline/semoran.h"
+#include "core/offloadnn_solver.h"
+#include "core/scenarios.h"
+
+namespace odn::core {
+namespace {
+
+TEST(QualityAdaptive, DoublesOptionCount) {
+  ScenarioOptions options;
+  options.quality_adaptive_paths = true;
+  const DotInstance instance =
+      make_large_scenario(RequestRate::kMedium, options);
+  // Two quality levels per task: each of the 10 templates appears twice.
+  for (const DotTask& task : instance.tasks)
+    EXPECT_EQ(task.options.size(), 20u);
+}
+
+TEST(QualityAdaptive, CompressedOptionsShareBlocksWithFullOnes) {
+  ScenarioOptions options;
+  options.quality_adaptive_paths = true;
+  const DotInstance instance =
+      make_large_scenario(RequestRate::kLow, options);
+  const DotTask& task = instance.tasks[0];
+  // Option 2k and 2k+1 are the same structural path at different quality.
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(task.options[2 * k].path.blocks,
+              task.options[2 * k + 1].path.blocks);
+    EXPECT_LT(task.options[2 * k + 1].accuracy,
+              task.options[2 * k].accuracy);
+    EXPECT_LT(task.options[2 * k + 1].input_bits,
+              task.options[2 * k].input_bits);
+  }
+}
+
+TEST(QualityAdaptive, NeverWorseUnderRadioPressure) {
+  // Letting DOT choose the quality level can only help when radio is the
+  // bottleneck (more options, superset of the original ones).
+  ScenarioOptions adaptive;
+  adaptive.quality_adaptive_paths = true;
+  const DotInstance plain = make_large_scenario(RequestRate::kHigh);
+  const DotInstance rich = make_large_scenario(RequestRate::kHigh, adaptive);
+  const DotSolution plain_solution = OffloadnnSolver{}.solve(plain);
+  const DotSolution rich_solution = OffloadnnSolver{}.solve(rich);
+  EXPECT_GE(rich_solution.cost.weighted_admission,
+            plain_solution.cost.weighted_admission - 0.05);
+  EXPECT_TRUE(DotEvaluator(rich).feasible(rich_solution.decisions));
+}
+
+TEST(HetSnr, UsesLteRadioAndSpreadSnr) {
+  const DotInstance instance =
+      make_heterogeneous_snr_scenario(RequestRate::kLow);
+  EXPECT_FALSE(instance.radio.is_fixed_mode());
+  // SNRs decrease from near-cell-center to cell-edge.
+  EXPECT_GT(instance.tasks.front().spec.snr_db,
+            instance.tasks.back().spec.snr_db);
+  double min_snr = 1e9;
+  double max_snr = -1e9;
+  for (const DotTask& task : instance.tasks) {
+    min_snr = std::min(min_snr, task.spec.snr_db);
+    max_snr = std::max(max_snr, task.spec.snr_db);
+  }
+  EXPECT_GT(max_snr - min_snr, 10.0);  // a real spread
+}
+
+TEST(HetSnr, SolutionsFeasible) {
+  for (const RequestRate rate :
+       {RequestRate::kLow, RequestRate::kMedium, RequestRate::kHigh}) {
+    const DotInstance instance = make_heterogeneous_snr_scenario(rate);
+    const DotSolution solution = OffloadnnSolver{}.solve(instance);
+    const auto violations =
+        DotEvaluator(instance).violations(solution.decisions);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front());
+  }
+}
+
+TEST(HetSnr, CellEdgeTasksNeedBiggerSlicesPerRequest) {
+  const DotInstance instance =
+      make_heterogeneous_snr_scenario(RequestRate::kLow);
+  const DotSolution solution = OffloadnnSolver{}.solve(instance);
+  // Among fully admitted tasks, RBs per unit traffic must grow as SNR
+  // falls (B(σ) shrinks). Compare the best-SNR and worst-SNR admitted
+  // tasks.
+  double best_snr = -1e9;
+  double worst_snr = 1e9;
+  std::size_t best_rbs = 0;
+  std::size_t worst_rbs = 0;
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    const TaskDecision& d = solution.decisions[t];
+    if (!d.admitted() || d.admission_ratio < 0.999) continue;
+    const double snr = instance.tasks[t].spec.snr_db;
+    if (snr > best_snr) {
+      best_snr = snr;
+      best_rbs = d.rbs;
+    }
+    if (snr < worst_snr) {
+      worst_snr = snr;
+      worst_rbs = d.rbs;
+    }
+  }
+  ASSERT_GT(best_snr, worst_snr);
+  EXPECT_GT(worst_rbs, best_rbs);
+}
+
+TEST(HetSnr, BaselineComparableOnSameInstance) {
+  const DotInstance instance =
+      make_heterogeneous_snr_scenario(RequestRate::kMedium);
+  const DotSolution ours = OffloadnnSolver{}.solve(instance);
+  const DotSolution theirs = baseline::SemOranSolver{}.solve(instance);
+  EXPECT_GE(ours.cost.admitted_tasks, theirs.cost.admitted_tasks);
+  EXPECT_LT(ours.cost.memory_bytes, theirs.cost.memory_bytes);
+}
+
+}  // namespace
+}  // namespace odn::core

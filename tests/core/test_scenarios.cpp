@@ -1,0 +1,198 @@
+#include "core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace odn::core {
+namespace {
+
+TEST(SmallScenario, TableIvParameters) {
+  const DotInstance instance = make_small_scenario(5);
+  ASSERT_EQ(instance.tasks.size(), 5u);
+  EXPECT_DOUBLE_EQ(instance.resources.compute_capacity_s, 2.5);
+  EXPECT_DOUBLE_EQ(instance.resources.training_budget_s, 1000.0);
+  EXPECT_DOUBLE_EQ(instance.resources.memory_capacity_bytes, 8e9);
+  EXPECT_EQ(instance.resources.total_rbs, 50u);
+  EXPECT_DOUBLE_EQ(instance.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(instance.radio.bits_per_rb_per_second(20.0), 350e3);
+
+  const double expected_priority[] = {0.8, 0.7, 0.6, 0.5, 0.4};
+  const double expected_accuracy[] = {0.9, 0.8, 0.7, 0.6, 0.5};
+  const double expected_latency[] = {0.2, 0.3, 0.4, 0.5, 0.6};
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(instance.tasks[t].spec.priority, expected_priority[t]);
+    EXPECT_DOUBLE_EQ(instance.tasks[t].spec.min_accuracy,
+                     expected_accuracy[t]);
+    EXPECT_DOUBLE_EQ(instance.tasks[t].spec.max_latency_s,
+                     expected_latency[t]);
+    EXPECT_DOUBLE_EQ(instance.tasks[t].spec.request_rate, 5.0);
+    EXPECT_DOUBLE_EQ(instance.tasks[t].spec.full_quality().bits_per_image,
+                     350e3);
+    // |D| = 3 DNNs x |Π| = 5 paths.
+    EXPECT_EQ(instance.tasks[t].options.size(), 15u);
+  }
+}
+
+TEST(SmallScenario, EveryPathHasFourBlocks) {
+  const DotInstance instance = make_small_scenario(3);
+  for (const DotTask& task : instance.tasks)
+    for (const PathOption& option : task.options)
+      EXPECT_EQ(option.path.blocks.size(), 4u);
+}
+
+TEST(SmallScenario, TaskCountBoundsEnforced) {
+  EXPECT_THROW(make_small_scenario(0), std::invalid_argument);
+  EXPECT_THROW(make_small_scenario(6), std::invalid_argument);
+  EXPECT_NO_THROW(make_small_scenario(1));
+}
+
+TEST(SmallScenario, SharedBlocksReusedAcrossTasks) {
+  const DotInstance instance = make_small_scenario(5);
+  // The all-shared path of task 1 and task 2 on the same family must
+  // reference identical block indices.
+  std::set<edge::BlockIndex> task0_blocks(
+      instance.tasks[0].options[0].path.blocks.begin(),
+      instance.tasks[0].options[0].path.blocks.end());
+  std::size_t shared_count = 0;
+  for (const edge::BlockIndex b : instance.tasks[1].options[0].path.blocks)
+    if (task0_blocks.contains(b)) ++shared_count;
+  EXPECT_EQ(shared_count, 4u);  // fully shared path: all four blocks common
+}
+
+TEST(SmallScenario, FineTunedBlocksAreTaskSpecific) {
+  const DotInstance instance = make_small_scenario(2);
+  // Fully fine-tuned options (last template) must not share any block.
+  const auto& ft0 = instance.tasks[0].options[4].path.blocks;
+  const auto& ft1 = instance.tasks[1].options[4].path.blocks;
+  for (const edge::BlockIndex a : ft0)
+    for (const edge::BlockIndex b : ft1) EXPECT_NE(a, b);
+}
+
+TEST(SmallScenario, SharedBlocksHaveZeroTrainingCost) {
+  const DotInstance instance = make_small_scenario(1);
+  for (std::size_t i = 0; i < instance.catalog.block_count(); ++i) {
+    const auto& block =
+        instance.catalog.block(static_cast<edge::BlockIndex>(i));
+    if (block.kind == edge::BlockKind::kSharedBase)
+      EXPECT_DOUBLE_EQ(block.training_cost_s, 0.0);
+    else
+      EXPECT_GT(block.training_cost_s, 0.0);
+  }
+}
+
+TEST(SmallScenario, FineTuningImprovesAccuracy) {
+  const DotInstance instance = make_small_scenario(1);
+  const auto& options = instance.tasks[0].options;
+  // Template order: all-shared, FT-last, FT-last-pruned, FT-2, FT-all.
+  EXPECT_GT(options[1].accuracy, options[0].accuracy);  // fine-tune helps
+  EXPECT_LT(options[2].accuracy, options[1].accuracy);  // pruning costs
+  EXPECT_GT(options[4].accuracy, options[3].accuracy);  // deeper FT helps
+}
+
+TEST(SmallScenario, PrunedPathsAreFaster) {
+  const DotInstance instance = make_small_scenario(1);
+  const auto& options = instance.tasks[0].options;
+  EXPECT_LT(options[2].inference_time_s, options[1].inference_time_s);
+}
+
+TEST(SmallScenario, DeterministicGivenSeed) {
+  const DotInstance a = make_small_scenario(3);
+  const DotInstance b = make_small_scenario(3);
+  ASSERT_EQ(a.catalog.block_count(), b.catalog.block_count());
+  for (std::size_t t = 0; t < 3; ++t)
+    for (std::size_t o = 0; o < a.tasks[t].options.size(); ++o)
+      EXPECT_DOUBLE_EQ(a.tasks[t].options[o].accuracy,
+                       b.tasks[t].options[o].accuracy);
+}
+
+TEST(SmallScenario, SeedChangesJitter) {
+  ScenarioOptions options;
+  options.seed = 99;
+  const DotInstance a = make_small_scenario(3);
+  const DotInstance b = make_small_scenario(3, options);
+  bool any_different = false;
+  for (std::size_t t = 0; t < 3; ++t)
+    for (std::size_t o = 0; o < a.tasks[t].options.size(); ++o)
+      if (a.tasks[t].options[o].accuracy != b.tasks[t].options[o].accuracy)
+        any_different = true;
+  EXPECT_TRUE(any_different);
+}
+
+TEST(LargeScenario, TableIvParameters) {
+  const DotInstance instance = make_large_scenario(RequestRate::kMedium);
+  ASSERT_EQ(instance.tasks.size(), 20u);
+  EXPECT_DOUBLE_EQ(instance.resources.compute_capacity_s, 10.0);
+  EXPECT_DOUBLE_EQ(instance.resources.memory_capacity_bytes, 16e9);
+  EXPECT_EQ(instance.resources.total_rbs, 100u);
+
+  for (std::size_t t = 0; t < 20; ++t) {
+    const double tau = static_cast<double>(t + 1);
+    EXPECT_NEAR(instance.tasks[t].spec.priority, 1.0 - 0.05 * t, 1e-12);
+    EXPECT_NEAR(instance.tasks[t].spec.min_accuracy, 0.8 - 0.015 * tau,
+                1e-12);
+    EXPECT_NEAR(instance.tasks[t].spec.max_latency_s, 0.2 + 0.02 * tau,
+                1e-12);
+    EXPECT_DOUBLE_EQ(instance.tasks[t].spec.request_rate, 5.0);
+    // |Π| = 10 paths per task.
+    EXPECT_EQ(instance.tasks[t].options.size(), 10u);
+  }
+}
+
+TEST(LargeScenario, RequestRateLevels) {
+  EXPECT_DOUBLE_EQ(request_rate_value(RequestRate::kLow), 2.5);
+  EXPECT_DOUBLE_EQ(request_rate_value(RequestRate::kMedium), 5.0);
+  EXPECT_DOUBLE_EQ(request_rate_value(RequestRate::kHigh), 7.5);
+  EXPECT_DOUBLE_EQ(
+      make_large_scenario(RequestRate::kHigh).tasks[0].spec.request_rate,
+      7.5);
+}
+
+TEST(LargeScenario, TasksShareFamilyPrefixes) {
+  const DotInstance instance = make_large_scenario(RequestRate::kLow);
+  // Tasks 0 and 5 use family 0: their all-shared paths coincide fully.
+  const auto& path_a = instance.tasks[0].options[0].path.blocks;
+  const auto& path_b = instance.tasks[5].options[0].path.blocks;
+  EXPECT_EQ(path_a, path_b);
+  // Tasks 0 and 1 use different families: no overlap at all.
+  const auto& path_c = instance.tasks[1].options[0].path.blocks;
+  for (const edge::BlockIndex a : path_a)
+    for (const edge::BlockIndex c : path_c) EXPECT_NE(a, c);
+}
+
+TEST(LargeScenario, QualityLadderPresent) {
+  const DotInstance instance = make_large_scenario(RequestRate::kMedium);
+  for (const DotTask& task : instance.tasks) {
+    ASSERT_EQ(task.spec.qualities.size(), 2u);
+    EXPECT_GT(task.spec.qualities[0].bits_per_image,
+              task.spec.qualities[1].bits_per_image);
+    EXPECT_GT(task.spec.qualities[0].accuracy_factor,
+              task.spec.qualities[1].accuracy_factor);
+  }
+}
+
+TEST(LargeScenario, FullyPrunedPathsAreMuchFaster) {
+  const DotInstance instance = make_large_scenario(RequestRate::kMedium);
+  const auto& options = instance.tasks[0].options;
+  // Template 0: all shared full; template 1: all shared pruned.
+  EXPECT_LT(options[1].inference_time_s,
+            options[0].inference_time_s * 0.35);
+}
+
+TEST(LargeScenario, EveryTaskHasAtLeastOneFeasibleOption) {
+  for (const RequestRate rate :
+       {RequestRate::kLow, RequestRate::kMedium, RequestRate::kHigh}) {
+    const DotInstance instance = make_large_scenario(rate);
+    for (const DotTask& task : instance.tasks) {
+      bool feasible = false;
+      for (const PathOption& option : task.options)
+        if (option.accuracy >= task.spec.min_accuracy &&
+            option.inference_time_s < task.spec.max_latency_s)
+          feasible = true;
+      EXPECT_TRUE(feasible) << task.spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odn::core

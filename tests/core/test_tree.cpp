@@ -1,0 +1,100 @@
+#include "core/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+#include "test_instances.h"
+
+namespace odn::core {
+namespace {
+
+TEST(SolutionTree, OneLayerPerTaskInPriorityOrder) {
+  const DotInstance instance = testing::two_task_instance();
+  const SolutionTree tree(instance);
+  ASSERT_EQ(tree.num_layers(), 2u);
+  EXPECT_EQ(tree.layer_task(0), 0u);  // priority 0.9 first
+  EXPECT_EQ(tree.layer_task(1), 1u);
+}
+
+TEST(SolutionTree, CliquesSortedByInferenceTime) {
+  const DotInstance instance = make_small_scenario(5);
+  const SolutionTree tree(instance);
+  for (std::size_t layer = 0; layer < tree.num_layers(); ++layer) {
+    const auto clique = tree.layer(layer);
+    for (std::size_t i = 1; i < clique.size(); ++i)
+      EXPECT_LE(clique[i - 1].inference_time_s,
+                clique[i].inference_time_s + 1e-15);
+  }
+}
+
+TEST(SolutionTree, AccuracyFilterRemovesWeakOptions) {
+  const DotInstance instance = testing::two_task_instance();
+  const SolutionTree tree(instance);
+  // task-hi requires 0.8: both options pass (0.85, 0.81).
+  EXPECT_EQ(tree.layer(0).size(), 2u);
+  // task-lo requires 0.6: both options pass.
+  EXPECT_EQ(tree.layer(1).size(), 2u);
+
+  DotInstance strict = testing::two_task_instance();
+  strict.tasks[0].spec.min_accuracy = 0.83;
+  strict.finalize();
+  const SolutionTree strict_tree(strict);
+  EXPECT_EQ(strict_tree.layer(0).size(), 1u);  // only the 0.85 option
+  EXPECT_EQ(strict_tree.filtered_vertices(), 1u);
+}
+
+TEST(SolutionTree, LatencyFilterRemovesSlowOptions) {
+  const DotInstance instance = testing::infeasible_latency_instance();
+  const SolutionTree tree(instance);
+  EXPECT_EQ(tree.layer(0).size(), 0u);
+  EXPECT_EQ(tree.filtered_vertices(), 1u);
+}
+
+TEST(SolutionTree, VertexAttributesPopulated) {
+  const DotInstance instance = testing::two_task_instance();
+  const SolutionTree tree(instance);
+  const TreeVertex& vertex = tree.layer(0).front();
+  EXPECT_GT(vertex.inference_time_s, 0.0);
+  EXPECT_GT(vertex.accuracy, 0.0);
+  EXPECT_GT(vertex.memory_bytes, 0.0);
+  EXPECT_EQ(vertex.task_index, 0u);
+}
+
+TEST(SolutionTree, BranchCountEstimate) {
+  const DotInstance instance = testing::two_task_instance();
+  const SolutionTree tree(instance);
+  EXPECT_DOUBLE_EQ(tree.branch_count_estimate(), 4.0);  // 2 x 2
+}
+
+TEST(SolutionTree, TotalVertices) {
+  const DotInstance instance = make_small_scenario(3);
+  const SolutionTree tree(instance);
+  std::size_t manual = 0;
+  for (std::size_t l = 0; l < tree.num_layers(); ++l)
+    manual += tree.layer(l).size();
+  EXPECT_EQ(tree.total_vertices(), manual);
+  EXPECT_GT(tree.total_vertices(), 0u);
+}
+
+TEST(SolutionTree, BadLayerIndexThrows) {
+  const DotInstance instance = testing::two_task_instance();
+  const SolutionTree tree(instance);
+  EXPECT_THROW(tree.layer(2), std::out_of_range);
+  EXPECT_THROW(tree.layer_task(2), std::out_of_range);
+}
+
+TEST(SolutionTree, UnfinalizedInstanceThrows) {
+  DotInstance instance;
+  EXPECT_THROW(SolutionTree{instance}, std::logic_error);
+}
+
+TEST(SolutionTree, HigherAccuracyRequirementsShrinkCliques) {
+  // Property over the small scenario: task 1 (A = 0.9) must have fewer
+  // feasible vertices than task 5 (A = 0.5).
+  const DotInstance instance = make_small_scenario(5);
+  const SolutionTree tree(instance);
+  EXPECT_LT(tree.layer(0).size(), tree.layer(4).size());
+}
+
+}  // namespace
+}  // namespace odn::core

@@ -1,0 +1,90 @@
+#include "edge/dnn_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace odn::edge {
+namespace {
+
+DnnCatalog sample_catalog() {
+  DnnCatalog catalog;
+  catalog.add_block({"shared-1", BlockKind::kSharedBase, 1.0e-3, 10e6, 0.0});
+  catalog.add_block({"shared-2", BlockKind::kSharedBase, 2.0e-3, 20e6, 0.0});
+  catalog.add_block({"ft-3", BlockKind::kFineTuned, 3.0e-3, 30e6, 50.0});
+  catalog.add_block({"pruned-4", BlockKind::kPruned, 1.0e-3, 8e6, 60.0});
+  return catalog;
+}
+
+TEST(DnnCatalog, AddAndLookup) {
+  DnnCatalog catalog;
+  const BlockIndex index =
+      catalog.add_block({"b", BlockKind::kSharedBase, 1e-3, 1e6, 0.0});
+  EXPECT_EQ(index, 0u);
+  EXPECT_EQ(catalog.block_count(), 1u);
+  EXPECT_EQ(catalog.block(index).name, "b");
+}
+
+TEST(DnnCatalog, BadIndexThrows) {
+  const DnnCatalog catalog;
+  EXPECT_THROW(catalog.block(0), std::out_of_range);
+}
+
+TEST(DnnCatalog, NegativeCostsRejected) {
+  DnnCatalog catalog;
+  EXPECT_THROW(
+      catalog.add_block({"x", BlockKind::kSharedBase, -1.0, 1e6, 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      catalog.add_block({"x", BlockKind::kSharedBase, 1.0, -1e6, 0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      catalog.add_block({"x", BlockKind::kSharedBase, 1.0, 1e6, -1.0}),
+      std::invalid_argument);
+}
+
+TEST(DnnCatalog, PathInferenceTimeSumsAllBlocks) {
+  const DnnCatalog catalog = sample_catalog();
+  DnnPath path{"p", {0, 1, 2, 3}, 0.9};
+  EXPECT_NEAR(catalog.path_inference_time_s(path), 7.0e-3, 1e-12);
+}
+
+TEST(DnnCatalog, PathMemoryCountsDistinctBlocksOnce) {
+  const DnnCatalog catalog = sample_catalog();
+  DnnPath path{"p", {0, 0, 1}, 0.8};  // block 0 referenced twice
+  EXPECT_NEAR(catalog.path_memory_bytes(path), 30e6, 1.0);
+}
+
+TEST(DnnCatalog, PathTrainingCostCountsDistinctBlocksOnce) {
+  const DnnCatalog catalog = sample_catalog();
+  DnnPath path{"p", {2, 3, 3}, 0.8};
+  EXPECT_NEAR(catalog.path_training_cost_s(path), 110.0, 1e-9);
+}
+
+TEST(DnnCatalog, SharedBlocksCostNothingToTrain) {
+  const DnnCatalog catalog = sample_catalog();
+  DnnPath path{"p", {0, 1}, 0.7};
+  EXPECT_DOUBLE_EQ(catalog.path_training_cost_s(path), 0.0);
+}
+
+TEST(DnnCatalog, ValidatePathChecksBlocksAndAccuracy) {
+  const DnnCatalog catalog = sample_catalog();
+  DnnPath empty{"e", {}, 0.5};
+  EXPECT_THROW(catalog.validate_path(empty), std::invalid_argument);
+  DnnPath bad_block{"b", {99}, 0.5};
+  EXPECT_THROW(catalog.validate_path(bad_block), std::out_of_range);
+  DnnPath bad_accuracy{"a", {0}, 1.5};
+  EXPECT_THROW(catalog.validate_path(bad_accuracy), std::invalid_argument);
+  DnnPath good{"g", {0, 1}, 0.9};
+  EXPECT_NO_THROW(catalog.validate_path(good));
+}
+
+TEST(DnnPath, HelpersMatchCatalogMethods) {
+  const DnnCatalog catalog = sample_catalog();
+  DnnPath path{"p", {1, 2}, 0.8};
+  EXPECT_DOUBLE_EQ(path.inference_time_s(catalog.blocks()),
+                   catalog.path_inference_time_s(path));
+  EXPECT_DOUBLE_EQ(path.unique_memory_bytes(catalog.blocks()),
+                   catalog.path_memory_bytes(path));
+}
+
+}  // namespace
+}  // namespace odn::edge

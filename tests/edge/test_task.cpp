@@ -1,0 +1,90 @@
+#include "edge/task.h"
+
+#include <gtest/gtest.h>
+
+namespace odn::edge {
+namespace {
+
+TaskSpec valid_task() {
+  TaskSpec task;
+  task.name = "detect-cars";
+  task.priority = 0.7;
+  task.request_rate = 4.0;
+  task.min_accuracy = 0.5;
+  task.max_latency_s = 0.3;
+  task.qualities = {{350e3, 1.0}};
+  return task;
+}
+
+TEST(TaskSpec, ValidTaskPasses) {
+  EXPECT_NO_THROW(valid_task().validate());
+}
+
+TEST(TaskSpec, EmptyNameThrows) {
+  TaskSpec task = valid_task();
+  task.name.clear();
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+}
+
+TEST(TaskSpec, PriorityOutOfRangeThrows) {
+  TaskSpec task = valid_task();
+  task.priority = 1.5;
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+  task.priority = -0.1;
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+}
+
+TEST(TaskSpec, NonPositiveRateThrows) {
+  TaskSpec task = valid_task();
+  task.request_rate = 0.0;
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+}
+
+TEST(TaskSpec, AccuracyOutOfRangeThrows) {
+  TaskSpec task = valid_task();
+  task.min_accuracy = 1.01;
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+}
+
+TEST(TaskSpec, NonPositiveLatencyThrows) {
+  TaskSpec task = valid_task();
+  task.max_latency_s = 0.0;
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+}
+
+TEST(TaskSpec, NoQualityLevelsThrows) {
+  TaskSpec task = valid_task();
+  task.qualities.clear();
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+  EXPECT_THROW(task.full_quality(), std::logic_error);
+}
+
+TEST(TaskSpec, BadQualityLevelThrows) {
+  TaskSpec task = valid_task();
+  task.qualities = {{0.0, 1.0}};
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+  task.qualities = {{350e3, 1.5}};
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+  task.qualities = {{350e3, 0.0}};
+  EXPECT_THROW(task.validate(), std::invalid_argument);
+}
+
+TEST(TaskSpec, FullQualityIsFirst) {
+  TaskSpec task = valid_task();
+  task.qualities = {{350e3, 1.0}, {200e3, 0.9}};
+  EXPECT_DOUBLE_EQ(task.full_quality().bits_per_image, 350e3);
+}
+
+TEST(ValidateTasks, DuplicateNamesThrow) {
+  std::vector<TaskSpec> tasks{valid_task(), valid_task()};
+  EXPECT_THROW(validate_tasks(tasks), std::invalid_argument);
+}
+
+TEST(ValidateTasks, DistinctNamesPass) {
+  std::vector<TaskSpec> tasks{valid_task(), valid_task()};
+  tasks[1].name = "detect-trains";
+  EXPECT_NO_THROW(validate_tasks(tasks));
+}
+
+}  // namespace
+}  // namespace odn::edge

@@ -1,0 +1,107 @@
+// End-to-end integration: scenarios -> controller -> solver -> emulator,
+// crossing every library boundary the way the bench harnesses do.
+#include <gtest/gtest.h>
+
+#include "baseline/semoran.h"
+#include "core/controller.h"
+#include "core/scenarios.h"
+#include "sim/emulator.h"
+
+namespace odn {
+namespace {
+
+TEST(EndToEnd, SmallScenarioThroughEmulatorMeetsEverySlo) {
+  const core::DotInstance instance = core::make_small_scenario(5);
+  core::OffloadnnController controller(instance.resources, instance.radio);
+  const core::DeploymentPlan plan =
+      controller.admit(instance.catalog, instance.tasks);
+
+  // All five tasks of the paper's small scenario are admitted.
+  std::size_t admitted = 0;
+  for (const core::TaskPlan& task : plan.tasks)
+    if (task.admitted) ++admitted;
+  EXPECT_EQ(admitted, 5u);
+
+  sim::EmulatorOptions options;
+  options.duration_s = 20.0;  // the Fig. 11 horizon
+  sim::EdgeEmulator emulator(plan, instance.radio,
+                             instance.resources.compute_capacity_s, options);
+  const sim::EmulationReport report = emulator.run();
+  EXPECT_EQ(report.total_violations(), 0u);
+  for (const sim::TaskTrace& trace : report.tasks)
+    EXPECT_LT(trace.p95_latency_s(), trace.latency_bound_s);
+}
+
+TEST(EndToEnd, ControllerPlanIsEvaluatorFeasible) {
+  for (const core::RequestRate rate :
+       {core::RequestRate::kLow, core::RequestRate::kMedium,
+        core::RequestRate::kHigh}) {
+    const core::DotInstance instance = core::make_large_scenario(rate);
+    core::OffloadnnController controller(instance.resources, instance.radio);
+    const core::DeploymentPlan plan =
+        controller.admit(instance.catalog, instance.tasks);
+    const auto violations =
+        core::DotEvaluator(instance).violations(plan.solution.decisions);
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front());
+  }
+}
+
+TEST(EndToEnd, IncrementalWavesStayWithinCapacity) {
+  // Dynamic scenario: tasks arrive in waves of five; the controller admits
+  // incrementally, reusing deployed blocks, never exceeding capacity.
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kLow);
+  core::OffloadnnController controller(instance.resources, instance.radio);
+
+  std::size_t total_admitted = 0;
+  for (std::size_t wave = 0; wave < 4; ++wave) {
+    std::vector<core::DotTask> requests(
+        instance.tasks.begin() + static_cast<std::ptrdiff_t>(wave * 5),
+        instance.tasks.begin() + static_cast<std::ptrdiff_t>(wave * 5 + 5));
+    const core::DeploymentPlan plan =
+        wave == 0 ? controller.admit(instance.catalog, requests)
+                  : controller.admit_incremental(instance.catalog, requests);
+    for (const core::TaskPlan& task : plan.tasks)
+      if (task.admitted) ++total_admitted;
+    EXPECT_LE(controller.ledger().memory_used_bytes(),
+              instance.resources.memory_capacity_bytes);
+    EXPECT_LE(controller.ledger().compute_used_s(),
+              instance.resources.compute_capacity_s);
+  }
+  EXPECT_GE(total_admitted, 15u);  // low load: nearly everything fits
+}
+
+TEST(EndToEnd, EmulatorConfirmsLargeScenarioPlans) {
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kMedium);
+  core::OffloadnnController controller(instance.resources, instance.radio);
+  const core::DeploymentPlan plan =
+      controller.admit(instance.catalog, instance.tasks);
+
+  sim::EmulatorOptions options;
+  options.duration_s = 5.0;
+  sim::EdgeEmulator emulator(plan, instance.radio,
+                             instance.resources.compute_capacity_s, options);
+  const sim::EmulationReport report = emulator.run();
+  // Every admitted task transmits and completes requests within bounds.
+  EXPECT_GE(report.tasks.size(), 19u);
+  EXPECT_EQ(report.total_violations(), 0u);
+}
+
+TEST(EndToEnd, OffloadnnBeatsSemOranOnSharedWorkload) {
+  // The two solvers consume the *same* instance object: any difference is
+  // purely algorithmic.
+  const core::DotInstance instance =
+      core::make_large_scenario(core::RequestRate::kMedium);
+  const core::DotSolution ours = core::OffloadnnSolver{}.solve(instance);
+  const core::DotSolution theirs =
+      baseline::SemOranSolver{}.solve(instance);
+  EXPECT_GT(ours.cost.admitted_tasks, theirs.cost.admitted_tasks);
+  EXPECT_LT(ours.cost.memory_bytes, theirs.cost.memory_bytes);
+  EXPECT_LT(ours.cost.inference_compute_s, theirs.cost.inference_compute_s);
+  EXPECT_GT(ours.cost.weighted_admission, theirs.cost.weighted_admission);
+}
+
+}  // namespace
+}  // namespace odn

@@ -1,0 +1,98 @@
+// Numerical gradient checking helper for layer backward passes.
+//
+// For a scalar loss L = Σ output ⊙ weights, the analytic input gradient is
+// backward(weights); central finite differences on the forward pass give
+// the reference.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace odn::nn::testing {
+
+inline Tensor random_tensor(Shape shape, util::Rng& rng, double scale = 1.0) {
+  Tensor tensor(std::move(shape));
+  for (float& x : tensor.data())
+    x = static_cast<float>(rng.normal(0.0, scale));
+  return tensor;
+}
+
+// Scalar loss: dot(output, weights).
+inline double loss_of(const Tensor& output, const Tensor& weights) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i)
+    total += static_cast<double>(output[i]) * weights[i];
+  return total;
+}
+
+// Checks dL/dinput of `layer` against central differences. The layer must
+// be freshly constructed (stateless across calls except caches).
+inline void check_input_gradient(Layer& layer, const Tensor& input,
+                                 util::Rng& rng, double epsilon = 1e-3,
+                                 double tolerance = 5e-2,
+                                 bool fd_training = false) {
+  Tensor probe = input;
+  const Tensor output = layer.forward(probe, /*training=*/true);
+  const Tensor weights = random_tensor(output.shape(), rng);
+  const Tensor grad_input = layer.backward(weights);
+  ASSERT_EQ(grad_input.shape(), input.shape());
+
+  // Spot-check a deterministic subset of coordinates (full sweeps are too
+  // slow for conv layers).
+  const std::size_t stride = std::max<std::size_t>(1, input.size() / 24);
+  for (std::size_t i = 0; i < input.size(); i += stride) {
+    Tensor plus = input;
+    Tensor minus = input;
+    plus[i] += static_cast<float>(epsilon);
+    minus[i] -= static_cast<float>(epsilon);
+    const double loss_plus =
+        loss_of(layer.forward(plus, fd_training), weights);
+    const double loss_minus =
+        loss_of(layer.forward(minus, fd_training), weights);
+    const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    const double analytic = grad_input[i];
+    const double scale = std::max({1.0, std::fabs(numeric),
+                                   std::fabs(analytic)});
+    EXPECT_NEAR(analytic, numeric, tolerance * scale)
+        << "input coordinate " << i;
+  }
+}
+
+// Checks dL/dparam for every parameter of `layer` against central
+// differences.
+inline void check_parameter_gradients(Layer& layer, const Tensor& input,
+                                      util::Rng& rng, double epsilon = 1e-3,
+                                      double tolerance = 5e-2,
+                                      bool fd_training = false) {
+  const Tensor output = layer.forward(input, /*training=*/true);
+  const Tensor weights = random_tensor(output.shape(), rng);
+  layer.zero_grad();
+  (void)layer.backward(weights);
+
+  for (Param* param : layer.parameters()) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, param->value.size() / 16);
+    for (std::size_t i = 0; i < param->value.size(); i += stride) {
+      const float original = param->value[i];
+      param->value[i] = original + static_cast<float>(epsilon);
+      const double loss_plus =
+          loss_of(layer.forward(input, fd_training), weights);
+      param->value[i] = original - static_cast<float>(epsilon);
+      const double loss_minus =
+          loss_of(layer.forward(input, fd_training), weights);
+      param->value[i] = original;
+      const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+      const double analytic = param->grad[i];
+      const double scale = std::max({1.0, std::fabs(numeric),
+                                     std::fabs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tolerance * scale)
+          << "parameter coordinate " << i;
+    }
+  }
+}
+
+}  // namespace odn::nn::testing

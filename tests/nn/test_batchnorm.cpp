@@ -1,0 +1,132 @@
+#include "nn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+using testing::check_input_gradient;
+using testing::check_parameter_gradients;
+using testing::random_tensor;
+
+TEST(BatchNorm2d, TrainingNormalizesBatchStatistics) {
+  BatchNorm2d bn(2);
+  util::Rng rng(11);
+  const Tensor input = random_tensor({4, 2, 3, 3}, rng, 3.0);
+  const Tensor output = bn.forward(input, true);
+
+  // Per channel: mean ~0, variance ~1 after normalization (gamma=1, beta=0).
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t h = 0; h < 3; ++h)
+        for (std::size_t w = 0; w < 3; ++w) {
+          const double v = output.at4(n, c, h, w);
+          sum += v;
+          sum_sq += v * v;
+        }
+    const double count = 4.0 * 9.0;
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sum_sq / count, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, AffineScaleShiftApplied) {
+  BatchNorm2d bn(1);
+  bn.parameters()[0]->value[0] = 2.0f;  // gamma
+  bn.parameters()[1]->value[0] = 5.0f;  // beta
+  util::Rng rng(12);
+  const Tensor input = random_tensor({8, 1, 2, 2}, rng);
+  const Tensor output = bn.forward(input, true);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i) sum += output[i];
+  EXPECT_NEAR(sum / static_cast<double>(output.size()), 5.0, 1e-3);
+}
+
+TEST(BatchNorm2d, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  util::Rng rng(13);
+  for (int step = 0; step < 50; ++step) {
+    Tensor input({16, 1, 2, 2});
+    for (float& x : input.data())
+      x = static_cast<float>(rng.normal(3.0, 2.0));
+    (void)bn.forward(input, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0, 0.3);
+  EXPECT_NEAR(bn.running_var()[0], 4.0, 0.8);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  // Freshly initialized: running mean 0, var 1 -> eval is ~identity.
+  Tensor input({1, 1, 1, 2});
+  input[0] = 3.0f;
+  input[1] = -1.0f;
+  const Tensor output = bn.forward(input, false);
+  EXPECT_NEAR(output[0], 3.0f, 1e-3);
+  EXPECT_NEAR(output[1], -1.0f, 1e-3);
+}
+
+TEST(BatchNorm2d, BadChannelCountThrows) {
+  BatchNorm2d bn(3);
+  EXPECT_THROW(bn.forward(Tensor({1, 2, 2, 2}), false),
+               std::invalid_argument);
+  EXPECT_THROW(BatchNorm2d(0), std::invalid_argument);
+}
+
+TEST(BatchNorm2d, BackwardWithoutForwardThrows) {
+  BatchNorm2d bn(1);
+  EXPECT_THROW(bn.backward(Tensor({1, 1, 2, 2})), std::logic_error);
+}
+
+TEST(BatchNorm2d, NumericInputGradient) {
+  util::Rng rng(14);
+  BatchNorm2d bn(3);
+  const Tensor input = random_tensor({4, 3, 3, 3}, rng);
+  // Batch statistics change with the perturbed input, so finite
+  // differences must run in training mode.
+  check_input_gradient(bn, input, rng, 1e-3, 5e-2, /*fd_training=*/true);
+}
+
+TEST(BatchNorm2d, NumericParameterGradients) {
+  util::Rng rng(15);
+  BatchNorm2d bn(2);
+  const Tensor input = random_tensor({4, 2, 3, 3}, rng);
+  check_parameter_gradients(bn, input, rng, 1e-3, 5e-2,
+                            /*fd_training=*/true);
+}
+
+TEST(BatchNorm2d, FrozenSkipsParameterGradients) {
+  util::Rng rng(16);
+  BatchNorm2d bn(2);
+  bn.set_frozen(true);
+  const Tensor input = random_tensor({2, 2, 2, 2}, rng);
+  (void)bn.forward(input, true);
+  bn.zero_grad();
+  (void)bn.backward(random_tensor({2, 2, 2, 2}, rng));
+  for (Param* p : bn.parameters())
+    EXPECT_FLOAT_EQ(p->grad.abs_sum(), 0.0f);
+}
+
+TEST(BatchNorm2d, RestrictChannelsSlicesState) {
+  BatchNorm2d bn(4);
+  bn.parameters()[0]->value[2] = 7.0f;  // gamma of channel 2
+  bn.restrict_channels({2, 3});
+  EXPECT_EQ(bn.channels(), 2u);
+  EXPECT_FLOAT_EQ(bn.parameters()[0]->value[0], 7.0f);
+  const Tensor input({1, 2, 2, 2});
+  EXPECT_NO_THROW(bn.forward(input, false));
+}
+
+TEST(BatchNorm2d, RestrictBadChannelThrows) {
+  BatchNorm2d bn(2);
+  EXPECT_THROW(bn.restrict_channels({5}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odn::nn

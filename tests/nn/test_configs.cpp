@@ -1,0 +1,133 @@
+#include "nn/configs.h"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+ResNetConfig tiny_config() {
+  ResNetConfig config;
+  config.base_width = 4;
+  config.input_size = 8;
+  config.num_classes = 4;
+  return config;
+}
+
+TEST(Table1, FiveConfigurationsInOrder) {
+  const auto configs = table1_configurations();
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs[0].name, "CONFIG A");
+  EXPECT_TRUE(configs[0].from_scratch);
+  EXPECT_EQ(configs[0].shared_stages, 0u);
+  EXPECT_EQ(configs[1].shared_stages, 4u);  // B: first 4 layer-blocks shared
+  EXPECT_EQ(configs[2].shared_stages, 3u);  // C
+  EXPECT_EQ(configs[3].shared_stages, 2u);  // D
+  EXPECT_EQ(configs[4].shared_stages, 1u);  // E
+}
+
+TEST(Table1, LookupById) {
+  EXPECT_EQ(configuration(ConfigId::kC).name, "CONFIG C");
+  EXPECT_EQ(configuration(ConfigId::kE).shared_stages, 1u);
+}
+
+TEST(InstantiateConfiguration, ConfigAIsFreshRandom) {
+  util::Rng rng(91);
+  ResNet base(tiny_config(), rng);
+  const auto model = instantiate_configuration(
+      base, configuration(ConfigId::kA), 5, rng);
+  EXPECT_EQ(model->num_classes(), 5u);
+  EXPECT_EQ(model->frozen_stages(), 0u);
+  // Fresh init: stage-1 weights differ from the base.
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  float diff = 0.0f;
+  const std::unique_ptr<ResNet> base_copy = base.clone();
+  const Tensor base_feat = base_copy->forward_stage(0, images, false);
+  const Tensor model_feat = model->forward_stage(0, images, false);
+  for (std::size_t i = 0; i < base_feat.size(); ++i)
+    diff += std::abs(base_feat[i] - model_feat[i]);
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(InstantiateConfiguration, SharedConfigsInheritBaseBlocks) {
+  util::Rng rng(92);
+  ResNet base(tiny_config(), rng);
+  const auto model = instantiate_configuration(
+      base, configuration(ConfigId::kC), 5, rng);
+  EXPECT_EQ(model->frozen_stages(), 3u);
+  EXPECT_EQ(model->num_classes(), 5u);
+  // Shared stages compute identical features to the base.
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  const std::unique_ptr<ResNet> base_copy = base.clone();
+  Tensor base_feat = images;
+  Tensor model_feat = images;
+  for (std::size_t s = 0; s < 3; ++s) {
+    base_feat = base_copy->forward_stage(s, base_feat, false);
+    model_feat = model->forward_stage(s, model_feat, false);
+  }
+  for (std::size_t i = 0; i < base_feat.size(); ++i)
+    ASSERT_FLOAT_EQ(base_feat[i], model_feat[i]);
+}
+
+TEST(InstantiateConfiguration, ConfigBFreezesAllStages) {
+  util::Rng rng(93);
+  ResNet base(tiny_config(), rng);
+  const auto model = instantiate_configuration(
+      base, configuration(ConfigId::kB), 3, rng);
+  // Only the classifier head trains.
+  EXPECT_EQ(model->trainable_parameters().size(), 2u);
+}
+
+TEST(PruneFineTunedBlocks, RemovesParametersFromSuffixOnly) {
+  util::Rng rng(94);
+  ResNet base(tiny_config(), rng);
+  auto model = instantiate_configuration(base, configuration(ConfigId::kD),
+                                         4, rng);
+  // CONFIG D: stages 1-2 shared, stages 3-4 fine-tuned.
+  const std::size_t shared_bytes_before =
+      model->stage_parameter_bytes(0) + model->stage_parameter_bytes(1);
+  const std::size_t removed = prune_fine_tuned_blocks(*model, 0.8);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(model->stage_parameter_bytes(0) + model->stage_parameter_bytes(1),
+            shared_bytes_before);
+}
+
+TEST(PruneFineTunedBlocks, ConfigBPrunesNothing) {
+  util::Rng rng(95);
+  ResNet base(tiny_config(), rng);
+  auto model = instantiate_configuration(base, configuration(ConfigId::kB),
+                                         4, rng);
+  // All four layer-blocks are shared; only the head is task-specific and
+  // heads are never pruned.
+  EXPECT_EQ(prune_fine_tuned_blocks(*model, 0.8), 0u);
+}
+
+TEST(PruneFineTunedBlocks, InvalidRatioThrows) {
+  util::Rng rng(96);
+  ResNet base(tiny_config(), rng);
+  auto model = instantiate_configuration(base, configuration(ConfigId::kA),
+                                         4, rng);
+  EXPECT_THROW(prune_fine_tuned_blocks(*model, 1.0), std::invalid_argument);
+  EXPECT_THROW(prune_fine_tuned_blocks(*model, -0.1), std::invalid_argument);
+}
+
+TEST(PruneFineTunedBlocks, MoreSharingMeansFewerPrunedParams) {
+  // CONFIG B-pruned has the fewest pruned blocks (paper Fig. 3 analysis);
+  // CONFIG A-pruned the most.
+  util::Rng rng(97);
+  ResNet base(tiny_config(), rng);
+  std::size_t previous = 0;
+  for (const ConfigId id :
+       {ConfigId::kB, ConfigId::kC, ConfigId::kD, ConfigId::kE,
+        ConfigId::kA}) {
+    auto model =
+        instantiate_configuration(base, configuration(id), 4, rng);
+    const std::size_t removed = prune_fine_tuned_blocks(*model, 0.8);
+    EXPECT_GE(removed, previous);
+    previous = removed;
+  }
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,196 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+using testing::check_input_gradient;
+using testing::check_parameter_gradients;
+using testing::random_tensor;
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  Conv2d conv(1, 1, /*kernel=*/1, /*stride=*/1, /*padding=*/0);
+  conv.weight().value[0] = 1.0f;
+  util::Rng rng(1);
+  const Tensor input = random_tensor({1, 1, 3, 3}, rng);
+  const Tensor output = conv.forward(input, false);
+  ASSERT_EQ(output.shape(), input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    EXPECT_FLOAT_EQ(output[i], input[i]);
+}
+
+TEST(Conv2d, BoxFilterSumsWindow) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  conv.weight().value.fill(1.0f);
+  Tensor input = Tensor::full({1, 1, 3, 3}, 1.0f);
+  const Tensor output = conv.forward(input, false);
+  // Center pixel sees all 9 ones; corners see 4 (zero padding).
+  EXPECT_FLOAT_EQ(output.at4(0, 0, 1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(output.at4(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(output.at4(0, 0, 0, 1), 6.0f);
+}
+
+TEST(Conv2d, StrideHalvesOutput) {
+  Conv2d conv(1, 2, 3, 2, 1);
+  util::Rng rng(2);
+  conv.init_parameters(rng);
+  const Tensor input = random_tensor({2, 1, 8, 8}, rng);
+  const Tensor output = conv.forward(input, false);
+  EXPECT_EQ(output.shape(), (Shape{2, 2, 4, 4}));
+}
+
+TEST(Conv2d, BiasAddsConstant) {
+  Conv2d conv(1, 1, 1, 1, 0, /*with_bias=*/true);
+  conv.weight().value[0] = 0.0f;
+  conv.bias().value[0] = 2.5f;
+  const Tensor input({1, 1, 2, 2});
+  const Tensor output = conv.forward(input, false);
+  for (std::size_t i = 0; i < output.size(); ++i)
+    EXPECT_FLOAT_EQ(output[i], 2.5f);
+}
+
+TEST(Conv2d, BadInputChannelsThrow) {
+  Conv2d conv(3, 4, 3, 1, 1);
+  const Tensor input({1, 2, 8, 8});
+  EXPECT_THROW(conv.forward(input, false), std::invalid_argument);
+}
+
+TEST(Conv2d, ZeroConfigurationThrows) {
+  EXPECT_THROW(Conv2d(0, 1, 3, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 0, 3, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 1, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Conv2d(1, 1, 3, 0, 1), std::invalid_argument);
+}
+
+TEST(Conv2d, BackwardWithoutForwardThrows) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  EXPECT_THROW(conv.backward(Tensor({1, 1, 2, 2})), std::logic_error);
+}
+
+TEST(Conv2d, NumericInputGradientStride1) {
+  util::Rng rng(3);
+  Conv2d conv(2, 3, 3, 1, 1);
+  conv.init_parameters(rng);
+  const Tensor input = random_tensor({2, 2, 5, 5}, rng);
+  check_input_gradient(conv, input, rng);
+}
+
+TEST(Conv2d, NumericInputGradientStride2) {
+  util::Rng rng(4);
+  Conv2d conv(2, 2, 3, 2, 1);
+  conv.init_parameters(rng);
+  const Tensor input = random_tensor({1, 2, 6, 6}, rng);
+  check_input_gradient(conv, input, rng);
+}
+
+TEST(Conv2d, NumericWeightGradient) {
+  util::Rng rng(5);
+  Conv2d conv(2, 2, 3, 1, 1, /*with_bias=*/true);
+  conv.init_parameters(rng);
+  const Tensor input = random_tensor({2, 2, 4, 4}, rng);
+  check_parameter_gradients(conv, input, rng);
+}
+
+TEST(Conv2d, FrozenSkipsWeightGradient) {
+  util::Rng rng(6);
+  Conv2d conv(1, 1, 3, 1, 1);
+  conv.init_parameters(rng);
+  conv.set_frozen(true);
+  const Tensor input = random_tensor({1, 1, 4, 4}, rng);
+  (void)conv.forward(input, true);
+  conv.zero_grad();
+  const Tensor grad = random_tensor({1, 1, 4, 4}, rng);
+  const Tensor grad_input = conv.backward(grad);
+  EXPECT_FLOAT_EQ(conv.weight().grad.abs_sum(), 0.0f);
+  // Input gradient still flows through frozen layers.
+  EXPECT_GT(grad_input.abs_sum(), 0.0f);
+}
+
+TEST(Conv2d, RestrictOutputChannels) {
+  util::Rng rng(7);
+  Conv2d conv(2, 4, 3, 1, 1);
+  conv.init_parameters(rng);
+  const float kept_weight = conv.weight().value.at4(2, 1, 0, 0);
+  conv.restrict_channels({0, 2}, {});
+  EXPECT_EQ(conv.out_channels(), 2u);
+  EXPECT_EQ(conv.in_channels(), 2u);
+  EXPECT_FLOAT_EQ(conv.weight().value.at4(1, 1, 0, 0), kept_weight);
+  const Tensor input({1, 2, 4, 4});
+  EXPECT_EQ(conv.forward(input, false).shape(), (Shape{1, 2, 4, 4}));
+}
+
+TEST(Conv2d, RestrictInputChannels) {
+  util::Rng rng(8);
+  Conv2d conv(4, 2, 3, 1, 1);
+  conv.init_parameters(rng);
+  conv.restrict_channels({}, {1, 3});
+  EXPECT_EQ(conv.in_channels(), 2u);
+  const Tensor input({1, 2, 4, 4});
+  EXPECT_EQ(conv.forward(input, false).shape(), (Shape{1, 2, 4, 4}));
+}
+
+TEST(Conv2d, RestrictBadChannelThrows) {
+  Conv2d conv(2, 2, 3, 1, 1);
+  EXPECT_THROW(conv.restrict_channels({5}, {}), std::out_of_range);
+  EXPECT_THROW(conv.restrict_channels({}, {5}), std::out_of_range);
+}
+
+TEST(Conv2d, RestrictedSliceMatchesOriginalOutput) {
+  // Pruning must preserve the kept channels' outputs exactly.
+  util::Rng rng(9);
+  Conv2d conv(2, 3, 3, 1, 1);
+  conv.init_parameters(rng);
+  const Tensor input = random_tensor({1, 2, 4, 4}, rng);
+  const Tensor full = conv.forward(input, false);
+  Conv2d pruned = conv;
+  pruned.restrict_channels({0, 2}, {});
+  const Tensor reduced = pruned.forward(input, false);
+  for (std::size_t h = 0; h < 4; ++h)
+    for (std::size_t w = 0; w < 4; ++w) {
+      EXPECT_FLOAT_EQ(reduced.at4(0, 0, h, w), full.at4(0, 0, h, w));
+      EXPECT_FLOAT_EQ(reduced.at4(0, 1, h, w), full.at4(0, 2, h, w));
+    }
+}
+
+TEST(Conv2d, MacsPerSample) {
+  const Conv2d conv(3, 8, 3, 1, 1);
+  // 32x32 output, 8 out channels, 3 in channels, 9 taps.
+  EXPECT_EQ(conv.macs_per_sample(32, 32), 32u * 32 * 8 * 3 * 9);
+}
+
+TEST(Conv2d, ParameterCount) {
+  Conv2d conv(3, 8, 3, 1, 1);
+  EXPECT_EQ(conv.parameter_count(), 8u * 3 * 9);
+  Conv2d with_bias(3, 8, 3, 1, 1, true);
+  EXPECT_EQ(with_bias.parameter_count(), 8u * 3 * 9 + 8);
+}
+
+// Parameterized sweep: gradient correctness across geometry combinations.
+struct ConvGeometry {
+  std::size_t in_ch, out_ch, kernel, stride, padding, size;
+};
+
+class ConvGradientSweep : public ::testing::TestWithParam<ConvGeometry> {};
+
+TEST_P(ConvGradientSweep, InputGradientMatchesNumeric) {
+  const ConvGeometry& g = GetParam();
+  util::Rng rng(1000 + g.kernel * 10 + g.stride);
+  Conv2d conv(g.in_ch, g.out_ch, g.kernel, g.stride, g.padding);
+  conv.init_parameters(rng);
+  const Tensor input = random_tensor({1, g.in_ch, g.size, g.size}, rng);
+  check_input_gradient(conv, input, rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradientSweep,
+    ::testing::Values(ConvGeometry{1, 1, 1, 1, 0, 4},
+                      ConvGeometry{2, 3, 3, 1, 1, 5},
+                      ConvGeometry{3, 2, 3, 2, 1, 6},
+                      ConvGeometry{2, 2, 5, 1, 2, 7},
+                      ConvGeometry{4, 1, 1, 2, 0, 6}));
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,106 @@
+// Differential tests: the im2col/GEMM convolution path must agree with
+// the direct path on outputs and on every gradient, across geometries.
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+struct Geometry {
+  std::size_t in_ch, out_ch, kernel, stride, padding, size, batch;
+  bool bias;
+};
+
+class ConvAlgorithmSweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(ConvAlgorithmSweep, ForwardMatchesDirect) {
+  const Geometry& g = GetParam();
+  util::Rng rng(501 + g.kernel);
+  Conv2d conv(g.in_ch, g.out_ch, g.kernel, g.stride, g.padding, g.bias);
+  conv.init_parameters(rng);
+  const Tensor input =
+      testing::random_tensor({g.batch, g.in_ch, g.size, g.size}, rng);
+
+  conv.set_algorithm(ConvAlgorithm::kDirect);
+  const Tensor direct = conv.forward(input, false);
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  const Tensor lowered = conv.forward(input, false);
+
+  ASSERT_EQ(direct.shape(), lowered.shape());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    ASSERT_NEAR(direct[i], lowered[i],
+                1e-4f * (1.0f + std::abs(direct[i])))
+        << "at " << i;
+}
+
+TEST_P(ConvAlgorithmSweep, BackwardMatchesDirect) {
+  const Geometry& g = GetParam();
+  util::Rng rng(601 + g.kernel);
+  Conv2d conv(g.in_ch, g.out_ch, g.kernel, g.stride, g.padding, g.bias);
+  conv.init_parameters(rng);
+  const Tensor input =
+      testing::random_tensor({g.batch, g.in_ch, g.size, g.size}, rng);
+
+  conv.set_algorithm(ConvAlgorithm::kDirect);
+  Tensor out = conv.forward(input, true);
+  const Tensor grad_out = testing::random_tensor(out.shape(), rng);
+  conv.zero_grad();
+  const Tensor gi_direct = conv.backward(grad_out);
+  const Tensor gw_direct = conv.weight().grad;
+
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  (void)conv.forward(input, true);
+  conv.zero_grad();
+  const Tensor gi_lowered = conv.backward(grad_out);
+  const Tensor& gw_lowered = conv.weight().grad;
+
+  for (std::size_t i = 0; i < gi_direct.size(); ++i)
+    ASSERT_NEAR(gi_direct[i], gi_lowered[i],
+                1e-4f * (1.0f + std::abs(gi_direct[i])));
+  for (std::size_t i = 0; i < gw_direct.size(); ++i)
+    ASSERT_NEAR(gw_direct[i], gw_lowered[i],
+                1e-3f * (1.0f + std::abs(gw_direct[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvAlgorithmSweep,
+    ::testing::Values(Geometry{1, 1, 1, 1, 0, 4, 1, false},
+                      Geometry{2, 3, 3, 1, 1, 6, 2, false},
+                      Geometry{3, 2, 3, 2, 1, 8, 1, true},
+                      Geometry{4, 4, 5, 1, 2, 7, 2, false},
+                      Geometry{2, 2, 3, 2, 0, 9, 1, true},
+                      Geometry{8, 8, 3, 1, 1, 16, 1, false}));
+
+TEST(ConvAlgorithm, Im2colNumericGradient) {
+  util::Rng rng(701);
+  Conv2d conv(2, 3, 3, 1, 1);
+  conv.init_parameters(rng);
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  const Tensor input = testing::random_tensor({2, 2, 5, 5}, rng);
+  testing::check_input_gradient(conv, input, rng);
+}
+
+TEST(ConvAlgorithm, Im2colFrozenSkipsWeightGrad) {
+  util::Rng rng(702);
+  Conv2d conv(2, 2, 3, 1, 1);
+  conv.init_parameters(rng);
+  conv.set_algorithm(ConvAlgorithm::kIm2col);
+  conv.set_frozen(true);
+  const Tensor input = testing::random_tensor({1, 2, 4, 4}, rng);
+  (void)conv.forward(input, true);
+  conv.zero_grad();
+  const Tensor grad_input =
+      conv.backward(testing::random_tensor({1, 2, 4, 4}, rng));
+  EXPECT_FLOAT_EQ(conv.weight().grad.abs_sum(), 0.0f);
+  EXPECT_GT(grad_input.abs_sum(), 0.0f);
+}
+
+TEST(ConvAlgorithm, DefaultIsIm2col) {
+  Conv2d conv(1, 1, 3, 1, 1);
+  EXPECT_EQ(conv.algorithm(), ConvAlgorithm::kIm2col);
+}
+
+}  // namespace
+}  // namespace odn::nn

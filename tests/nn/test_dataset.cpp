@@ -1,0 +1,171 @@
+#include "nn/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace odn::nn {
+namespace {
+
+TEST(SyntheticImageGenerator, GeneratesRequestedCounts) {
+  SyntheticImageGenerator gen(16, 1);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 5);
+  EXPECT_EQ(dataset.size(), specs.size() * 5);
+  EXPECT_EQ(dataset.num_classes(), specs.size());
+  EXPECT_EQ(dataset.images().shape(), (Shape{specs.size() * 5, 3, 16, 16}));
+}
+
+TEST(SyntheticImageGenerator, BalancedLabels) {
+  SyntheticImageGenerator gen(16, 2);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 7);
+  std::vector<std::size_t> counts(specs.size(), 0);
+  for (const std::uint16_t label : dataset.labels()) {
+    ASSERT_LT(label, specs.size());
+    ++counts[label];
+  }
+  for (const std::size_t count : counts) EXPECT_EQ(count, 7u);
+}
+
+TEST(SyntheticImageGenerator, DeterministicGivenSeed) {
+  const auto specs = base_class_specs();
+  SyntheticImageGenerator gen_a(16, 33);
+  SyntheticImageGenerator gen_b(16, 33);
+  const Dataset a = gen_a.generate(specs, 2);
+  const Dataset b = gen_b.generate(specs, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.images().size(); ++i)
+    ASSERT_FLOAT_EQ(a.images()[i], b.images()[i]);
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(SyntheticImageGenerator, DifferentSeedsDiffer) {
+  const auto specs = base_class_specs();
+  SyntheticImageGenerator gen_a(16, 1);
+  SyntheticImageGenerator gen_b(16, 2);
+  const Dataset a = gen_a.generate(specs, 1);
+  const Dataset b = gen_b.generate(specs, 1);
+  float difference = 0.0f;
+  for (std::size_t i = 0; i < a.images().size(); ++i)
+    difference += std::abs(a.images()[i] - b.images()[i]);
+  EXPECT_GT(difference, 1.0f);
+}
+
+TEST(SyntheticImageGenerator, PixelsInUnitRange) {
+  SyntheticImageGenerator gen(16, 5);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 2);
+  for (std::size_t i = 0; i < dataset.images().size(); ++i) {
+    ASSERT_GE(dataset.images()[i], 0.0f);
+    ASSERT_LE(dataset.images()[i], 1.0f);
+  }
+}
+
+TEST(SyntheticImageGenerator, ShuffledOrder) {
+  SyntheticImageGenerator gen(16, 9);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 10);
+  // If unshuffled, the first per_class labels would all be 0.
+  bool mixed = false;
+  for (std::size_t i = 0; i < 10; ++i)
+    if (dataset.labels()[i] != dataset.labels()[0]) mixed = true;
+  EXPECT_TRUE(mixed);
+}
+
+TEST(SyntheticImageGenerator, TooSmallImageThrows) {
+  EXPECT_THROW(SyntheticImageGenerator(4, 1), std::invalid_argument);
+}
+
+TEST(SyntheticImageGenerator, EmptySpecsThrow) {
+  SyntheticImageGenerator gen(16, 1);
+  EXPECT_THROW(gen.generate({}, 5), std::invalid_argument);
+  const auto specs = base_class_specs();
+  EXPECT_THROW(gen.generate(specs, 0), std::invalid_argument);
+}
+
+TEST(Dataset, GatherImagesAndLabels) {
+  SyntheticImageGenerator gen(16, 4);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 3);
+  const std::vector<std::size_t> indices{0, 5, 10};
+  const Tensor batch = dataset.gather_images(indices);
+  EXPECT_EQ(batch.shape(), (Shape{3, 3, 16, 16}));
+  const auto labels = dataset.gather_labels(indices);
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[1], dataset.labels()[5]);
+  // Pixel payload matches the source.
+  const std::size_t sample = 3 * 16 * 16;
+  for (std::size_t i = 0; i < sample; ++i)
+    EXPECT_FLOAT_EQ(batch[sample + i], dataset.images()[5 * sample + i]);
+}
+
+TEST(Dataset, GatherOutOfRangeThrows) {
+  SyntheticImageGenerator gen(16, 4);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 1);
+  const std::vector<std::size_t> indices{dataset.size()};
+  EXPECT_THROW(dataset.gather_images(indices), std::out_of_range);
+}
+
+TEST(Dataset, IndicesOfClass) {
+  SyntheticImageGenerator gen(16, 6);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 4);
+  const auto indices = dataset.indices_of_class(2);
+  EXPECT_EQ(indices.size(), 4u);
+  for (const std::size_t i : indices) EXPECT_EQ(dataset.labels()[i], 2);
+}
+
+TEST(Dataset, MismatchedLabelsThrow) {
+  Tensor images({3, 3, 8, 8});
+  std::vector<std::uint16_t> labels{0, 1};  // one short
+  EXPECT_THROW(Dataset(std::move(images), std::move(labels), 2),
+               std::invalid_argument);
+}
+
+TEST(ClassSpecs, BaseSetHasEightDistinctClasses) {
+  const auto specs = base_class_specs();
+  EXPECT_EQ(specs.size(), 8u);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    for (std::size_t j = i + 1; j < specs.size(); ++j)
+      EXPECT_NE(specs[i].label, specs[j].label);
+}
+
+TEST(ClassSpecs, NovelClassesDistinctFromBase) {
+  const auto specs = base_class_specs();
+  const ClassSpec mushroom = mushroom_class_spec();
+  const ClassSpec guitar = electric_guitar_class_spec();
+  for (const ClassSpec& spec : specs) {
+    EXPECT_NE(spec.label, mushroom.label);
+    EXPECT_NE(spec.label, guitar.label);
+  }
+  EXPECT_NE(mushroom.label, guitar.label);
+}
+
+TEST(SyntheticImageGenerator, ClassesAreVisuallyDistinct) {
+  // The mean image of two different classes must differ measurably —
+  // otherwise nothing is learnable.
+  SyntheticImageGenerator gen(16, 12);
+  const auto specs = base_class_specs();
+  const Dataset dataset = gen.generate(specs, 20);
+  auto class_mean = [&](std::uint16_t label) {
+    const auto indices = dataset.indices_of_class(label);
+    const Tensor batch = dataset.gather_images(indices);
+    std::vector<double> mean(3 * 16 * 16, 0.0);
+    for (std::size_t n = 0; n < indices.size(); ++n)
+      for (std::size_t i = 0; i < mean.size(); ++i)
+        mean[i] += batch[n * mean.size() + i];
+    for (double& m : mean) m /= static_cast<double>(indices.size());
+    return mean;
+  };
+  const auto mean0 = class_mean(0);
+  const auto mean1 = class_mean(1);
+  double distance = 0.0;
+  for (std::size_t i = 0; i < mean0.size(); ++i)
+    distance += std::abs(mean0[i] - mean1[i]);
+  EXPECT_GT(distance / static_cast<double>(mean0.size()), 0.01);
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,115 @@
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace odn::nn {
+namespace {
+
+// Naive reference multiply.
+std::vector<float> reference(std::size_t m, std::size_t n, std::size_t k,
+                             const std::vector<float>& a,
+                             const std::vector<float>& b) {
+  std::vector<float> c(m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t kk = 0; kk < k; ++kk)
+        c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+  return c;
+}
+
+std::vector<float> random_matrix(std::size_t size, util::Rng& rng) {
+  std::vector<float> data(size);
+  for (float& x : data) x = static_cast<float>(rng.normal());
+  return data;
+}
+
+TEST(Sgemm, KnownTwoByTwo) {
+  const std::vector<float> a{1, 2, 3, 4};  // [[1,2],[3,4]]
+  const std::vector<float> b{5, 6, 7, 8};  // [[5,6],[7,8]]
+  std::vector<float> c(4, 0.0f);
+  sgemm(2, 2, 2, a.data(), b.data(), c.data());
+  EXPECT_FLOAT_EQ(c[0], 19.0f);
+  EXPECT_FLOAT_EQ(c[1], 22.0f);
+  EXPECT_FLOAT_EQ(c[2], 43.0f);
+  EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Sgemm, MatchesReferenceOnRandomSizes) {
+  util::Rng rng(301);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 20));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 20));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 90));
+    const auto a = random_matrix(m * k, rng);
+    const auto b = random_matrix(k * n, rng);
+    std::vector<float> c(m * n, -1.0f);
+    sgemm(m, n, k, a.data(), b.data(), c.data());
+    const auto expected = reference(m, n, k, a, b);
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_NEAR(c[i], expected[i], 1e-3f * (1.0f + std::abs(expected[i])));
+  }
+}
+
+TEST(Sgemm, AccumulateAddsToExisting) {
+  const std::vector<float> a{2.0f};
+  const std::vector<float> b{3.0f};
+  std::vector<float> c{10.0f};
+  sgemm(1, 1, 1, a.data(), b.data(), c.data(), /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 16.0f);
+  sgemm(1, 1, 1, a.data(), b.data(), c.data(), /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(c[0], 6.0f);
+}
+
+TEST(SgemmAt, MatchesTransposedReference) {
+  util::Rng rng(302);
+  const std::size_t m = 7;
+  const std::size_t n = 9;
+  const std::size_t k = 11;
+  const auto a_t = random_matrix(k * m, rng);  // A stored as (K x M)
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(m * n, 0.0f);
+  sgemm_at(m, n, k, a_t.data(), b.data(), c.data());
+
+  // Materialize A = (A_t)^T and compare against plain sgemm.
+  std::vector<float> a(m * k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t kk = 0; kk < k; ++kk)
+      a[i * k + kk] = a_t[kk * m + i];
+  const auto expected = reference(m, n, k, a, b);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], expected[i], 1e-3f * (1.0f + std::abs(expected[i])));
+}
+
+TEST(SgemmBt, MatchesTransposedReference) {
+  util::Rng rng(303);
+  const std::size_t m = 6;
+  const std::size_t n = 8;
+  const std::size_t k = 13;
+  const auto a = random_matrix(m * k, rng);
+  const auto b_t = random_matrix(n * k, rng);  // B stored as (N x K)
+  std::vector<float> c(m * n, 0.0f);
+  sgemm_bt(m, n, k, a.data(), b_t.data(), c.data());
+
+  std::vector<float> b(k * n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t kk = 0; kk < k; ++kk)
+      b[kk * n + j] = b_t[j * k + kk];
+  const auto expected = reference(m, n, k, a, b);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    ASSERT_NEAR(c[i], expected[i], 1e-3f * (1.0f + std::abs(expected[i])));
+}
+
+TEST(SgemmBt, AccumulateMode) {
+  const std::vector<float> a{1.0f, 2.0f};   // 1x2
+  const std::vector<float> b_t{3.0f, 4.0f}; // 1x2 (N=1, K=2)
+  std::vector<float> c{100.0f};
+  sgemm_bt(1, 1, 2, a.data(), b_t.data(), c.data(), /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 111.0f);
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,153 @@
+#include "nn/simple_layers.h"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+using testing::check_input_gradient;
+using testing::random_tensor;
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor input({1, 1, 1, 4});
+  input[0] = -1.0f;
+  input[1] = 0.0f;
+  input[2] = 2.0f;
+  input[3] = -0.5f;
+  const Tensor output = relu.forward(input, false);
+  EXPECT_FLOAT_EQ(output[0], 0.0f);
+  EXPECT_FLOAT_EQ(output[1], 0.0f);
+  EXPECT_FLOAT_EQ(output[2], 2.0f);
+  EXPECT_FLOAT_EQ(output[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor input({4});
+  input[0] = -1.0f;
+  input[1] = 1.0f;
+  input[2] = 3.0f;
+  input[3] = -2.0f;
+  (void)relu.forward(input, true);
+  Tensor grad = Tensor::full({4}, 5.0f);
+  const Tensor grad_input = relu.backward(grad);
+  EXPECT_FLOAT_EQ(grad_input[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_input[1], 5.0f);
+  EXPECT_FLOAT_EQ(grad_input[2], 5.0f);
+  EXPECT_FLOAT_EQ(grad_input[3], 0.0f);
+}
+
+TEST(ReLU, BackwardWithoutForwardThrows) {
+  ReLU relu;
+  EXPECT_THROW(relu.backward(Tensor({2})), std::logic_error);
+}
+
+TEST(ReLU, NumericInputGradient) {
+  util::Rng rng(101);
+  ReLU relu;
+  const Tensor input = random_tensor({2, 3, 4, 4}, rng);
+  check_input_gradient(relu, input, rng);
+}
+
+TEST(MaxPool2d, ForwardPicksMaxima) {
+  MaxPool2d pool(2);
+  Tensor input({1, 1, 2, 2});
+  input.at4(0, 0, 0, 0) = 1.0f;
+  input.at4(0, 0, 0, 1) = 4.0f;
+  input.at4(0, 0, 1, 0) = 3.0f;
+  input.at4(0, 0, 1, 1) = 2.0f;
+  const Tensor output = pool.forward(input, false);
+  EXPECT_EQ(output.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(output[0], 4.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor input({1, 1, 2, 2});
+  input.at4(0, 0, 0, 1) = 9.0f;
+  (void)pool.forward(input, true);
+  Tensor grad({1, 1, 1, 1});
+  grad[0] = 7.0f;
+  const Tensor grad_input = pool.backward(grad);
+  EXPECT_FLOAT_EQ(grad_input.at4(0, 0, 0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(grad_input.at4(0, 0, 0, 0), 0.0f);
+}
+
+TEST(MaxPool2d, TooSmallInputThrows) {
+  MaxPool2d pool(4);
+  const Tensor input({1, 1, 2, 2});
+  EXPECT_THROW(pool.forward(input, false), std::invalid_argument);
+}
+
+TEST(MaxPool2d, NumericInputGradient) {
+  util::Rng rng(103);
+  MaxPool2d pool(2);
+  const Tensor input = random_tensor({2, 2, 4, 4}, rng);
+  check_input_gradient(pool, input, rng);
+}
+
+TEST(GlobalAvgPool2d, ForwardAverages) {
+  GlobalAvgPool2d pool;
+  Tensor input({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 4; ++i) input[i] = static_cast<float>(i);
+  for (std::size_t i = 4; i < 8; ++i) input[i] = 10.0f;
+  const Tensor output = pool.forward(input, false);
+  EXPECT_EQ(output.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(output.at2(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(output.at2(0, 1), 10.0f);
+}
+
+TEST(GlobalAvgPool2d, BackwardSpreadsUniformly) {
+  GlobalAvgPool2d pool;
+  Tensor input({1, 1, 2, 2});
+  (void)pool.forward(input, true);
+  Tensor grad({1, 1});
+  grad[0] = 8.0f;
+  const Tensor grad_input = pool.backward(grad);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FLOAT_EQ(grad_input[i], 2.0f);
+}
+
+TEST(GlobalAvgPool2d, NumericInputGradient) {
+  util::Rng rng(107);
+  GlobalAvgPool2d pool;
+  const Tensor input = random_tensor({2, 3, 4, 4}, rng);
+  check_input_gradient(pool, input, rng);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flatten;
+  Tensor input({2, 3, 2, 2});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(i);
+  const Tensor output = flatten.forward(input, true);
+  EXPECT_EQ(output.shape(), (Shape{2, 12}));
+  const Tensor grad_input = flatten.backward(output);
+  EXPECT_EQ(grad_input.shape(), input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i)
+    EXPECT_FLOAT_EQ(grad_input[i], input[i]);
+}
+
+TEST(Layers, StatelessLayersHaveNoParameters) {
+  ReLU relu;
+  MaxPool2d pool(2);
+  GlobalAvgPool2d avg;
+  Flatten flatten;
+  EXPECT_TRUE(relu.parameters().empty());
+  EXPECT_TRUE(pool.parameters().empty());
+  EXPECT_TRUE(avg.parameters().empty());
+  EXPECT_TRUE(flatten.parameters().empty());
+}
+
+TEST(Layers, FrozenFlagRoundTrip) {
+  ReLU relu;
+  EXPECT_FALSE(relu.frozen());
+  relu.set_frozen(true);
+  EXPECT_TRUE(relu.frozen());
+}
+
+}  // namespace
+}  // namespace odn::nn

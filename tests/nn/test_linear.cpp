@@ -1,0 +1,109 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+using testing::check_input_gradient;
+using testing::check_parameter_gradients;
+using testing::random_tensor;
+
+TEST(Linear, KnownForward) {
+  Linear linear(2, 2);
+  // W = [[1, 2], [3, 4]], b = [10, 20].
+  linear.weight().value.at2(0, 0) = 1.0f;
+  linear.weight().value.at2(0, 1) = 2.0f;
+  linear.weight().value.at2(1, 0) = 3.0f;
+  linear.weight().value.at2(1, 1) = 4.0f;
+  linear.bias().value[0] = 10.0f;
+  linear.bias().value[1] = 20.0f;
+
+  Tensor input({1, 2});
+  input.at2(0, 0) = 1.0f;
+  input.at2(0, 1) = 1.0f;
+  const Tensor output = linear.forward(input, false);
+  EXPECT_FLOAT_EQ(output.at2(0, 0), 13.0f);
+  EXPECT_FLOAT_EQ(output.at2(0, 1), 27.0f);
+}
+
+TEST(Linear, BatchedForward) {
+  util::Rng rng(21);
+  Linear linear(3, 4);
+  linear.init_parameters(rng);
+  const Tensor input = random_tensor({5, 3}, rng);
+  const Tensor output = linear.forward(input, false);
+  EXPECT_EQ(output.shape(), (Shape{5, 4}));
+}
+
+TEST(Linear, BadInputShapeThrows) {
+  Linear linear(3, 2);
+  EXPECT_THROW(linear.forward(Tensor({1, 4}), false), std::invalid_argument);
+  EXPECT_THROW(linear.forward(Tensor({1, 3, 1, 1}), false),
+               std::invalid_argument);
+}
+
+TEST(Linear, ZeroConfigurationThrows) {
+  EXPECT_THROW(Linear(0, 1), std::invalid_argument);
+  EXPECT_THROW(Linear(1, 0), std::invalid_argument);
+}
+
+TEST(Linear, BackwardWithoutForwardThrows) {
+  Linear linear(2, 2);
+  EXPECT_THROW(linear.backward(Tensor({1, 2})), std::logic_error);
+}
+
+TEST(Linear, NumericInputGradient) {
+  util::Rng rng(22);
+  Linear linear(4, 3);
+  linear.init_parameters(rng);
+  const Tensor input = random_tensor({3, 4}, rng);
+  check_input_gradient(linear, input, rng);
+}
+
+TEST(Linear, NumericParameterGradients) {
+  util::Rng rng(23);
+  Linear linear(3, 2);
+  linear.init_parameters(rng);
+  const Tensor input = random_tensor({4, 3}, rng);
+  check_parameter_gradients(linear, input, rng);
+}
+
+TEST(Linear, FrozenSkipsParameterGradients) {
+  util::Rng rng(24);
+  Linear linear(3, 2);
+  linear.init_parameters(rng);
+  linear.set_frozen(true);
+  const Tensor input = random_tensor({2, 3}, rng);
+  (void)linear.forward(input, true);
+  linear.zero_grad();
+  (void)linear.backward(random_tensor({2, 2}, rng));
+  EXPECT_FLOAT_EQ(linear.weight().grad.abs_sum(), 0.0f);
+  EXPECT_FLOAT_EQ(linear.bias().grad.abs_sum(), 0.0f);
+}
+
+TEST(Linear, RestrictInputsKeepsSelectedColumns) {
+  util::Rng rng(25);
+  Linear linear(4, 2);
+  linear.init_parameters(rng);
+  const float kept = linear.weight().value.at2(1, 3);
+  linear.restrict_inputs({1, 3});
+  EXPECT_EQ(linear.in_features(), 2u);
+  EXPECT_FLOAT_EQ(linear.weight().value.at2(1, 1), kept);
+  EXPECT_NO_THROW(linear.forward(Tensor({1, 2}), false));
+}
+
+TEST(Linear, RestrictBadIndexThrows) {
+  Linear linear(2, 2);
+  EXPECT_THROW(linear.restrict_inputs({9}), std::out_of_range);
+}
+
+TEST(Linear, MacsPerSample) {
+  const Linear linear(128, 10);
+  EXPECT_EQ(linear.macs_per_sample(), 1280u);
+}
+
+}  // namespace
+}  // namespace odn::nn

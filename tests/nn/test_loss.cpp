@@ -1,0 +1,113 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng(31);
+  const Tensor logits = testing::random_tensor({4, 7}, rng, 3.0);
+  const Tensor probs = softmax(logits);
+  for (std::size_t n = 0; n < 4; ++n) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 7; ++k) {
+      EXPECT_GT(probs.at2(n, k), 0.0f);
+      sum += probs.at2(n, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 2});
+  logits.at2(0, 0) = 1000.0f;
+  logits.at2(0, 1) = 999.0f;
+  const Tensor probs = softmax(logits);
+  EXPECT_NEAR(probs.at2(0, 0), 1.0f / (1.0f + std::exp(-1.0f)), 1e-5);
+}
+
+TEST(Softmax, NonRank2Throws) {
+  EXPECT_THROW(softmax(Tensor({2, 2, 2, 2})), std::invalid_argument);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  const Tensor logits({2, 4});  // all-zero logits -> uniform softmax
+  const std::vector<std::uint16_t> labels{0, 3};
+  const LossResult result = cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  Tensor logits({1, 3});
+  logits.at2(0, 1) = 20.0f;
+  const std::vector<std::uint16_t> labels{1};
+  const LossResult result = cross_entropy(logits, labels);
+  EXPECT_LT(result.loss, 1e-4);
+  EXPECT_EQ(result.correct, 1u);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHotOverBatch) {
+  const Tensor logits({2, 2});  // uniform: softmax = 0.5 everywhere
+  const std::vector<std::uint16_t> labels{0, 1};
+  const LossResult result = cross_entropy(logits, labels);
+  EXPECT_NEAR(result.grad_logits.at2(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(result.grad_logits.at2(0, 1), 0.5 / 2.0, 1e-6);
+  EXPECT_NEAR(result.grad_logits.at2(1, 1), (0.5 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(CrossEntropy, GradientMatchesNumeric) {
+  util::Rng rng(33);
+  const Tensor logits = testing::random_tensor({3, 5}, rng);
+  const std::vector<std::uint16_t> labels{4, 0, 2};
+  const LossResult result = cross_entropy(logits, labels);
+
+  constexpr double kEps = 1e-3;
+  for (std::size_t i = 0; i < logits.size(); i += 2) {
+    Tensor plus = logits;
+    Tensor minus = logits;
+    plus[i] += static_cast<float>(kEps);
+    minus[i] -= static_cast<float>(kEps);
+    const double numeric = (cross_entropy(plus, labels).loss -
+                            cross_entropy(minus, labels).loss) /
+                           (2.0 * kEps);
+    EXPECT_NEAR(result.grad_logits[i], numeric, 1e-3);
+  }
+}
+
+TEST(CrossEntropy, CountsCorrectPredictions) {
+  Tensor logits({3, 2});
+  logits.at2(0, 0) = 5.0f;   // predicts 0
+  logits.at2(1, 1) = 5.0f;   // predicts 1
+  logits.at2(2, 0) = 5.0f;   // predicts 0
+  const std::vector<std::uint16_t> labels{0, 1, 1};
+  EXPECT_EQ(cross_entropy(logits, labels).correct, 2u);
+}
+
+TEST(CrossEntropy, LabelCountMismatchThrows) {
+  const Tensor logits({2, 3});
+  const std::vector<std::uint16_t> labels{0};
+  EXPECT_THROW(cross_entropy(logits, labels), std::invalid_argument);
+}
+
+TEST(CrossEntropy, OutOfRangeLabelThrows) {
+  const Tensor logits({1, 3});
+  const std::vector<std::uint16_t> labels{3};
+  EXPECT_THROW(cross_entropy(logits, labels), std::out_of_range);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Tensor logits({2, 3});
+  logits.at2(0, 2) = 1.0f;
+  logits.at2(1, 0) = 4.0f;
+  const auto predictions = argmax_rows(logits);
+  EXPECT_EQ(predictions[0], 2);
+  EXPECT_EQ(predictions[1], 0);
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,128 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace odn::nn {
+namespace {
+
+Param make_param(float value, float grad) {
+  Param param;
+  param.value = Tensor::full({1}, value);
+  param.grad = Tensor::full({1}, grad);
+  return param;
+}
+
+TEST(Sgd, StepDescendsAlongGradient) {
+  Sgd sgd(0.1, /*momentum=*/0.0);
+  Param param = make_param(1.0f, 2.0f);
+  Param* params[] = {&param};
+  sgd.step(params);
+  EXPECT_NEAR(param.value[0], 1.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Sgd sgd(0.1, /*momentum=*/0.9);
+  Param param = make_param(0.0f, 1.0f);
+  Param* params[] = {&param};
+  sgd.step(params);  // v = 1,    w = -0.1
+  sgd.step(params);  // v = 1.9,  w = -0.29
+  EXPECT_NEAR(param.value[0], -0.29f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Sgd sgd(0.1, 0.0, /*weight_decay=*/0.5);
+  Param param = make_param(2.0f, 0.0f);
+  Param* params[] = {&param};
+  sgd.step(params);
+  EXPECT_NEAR(param.value[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6);
+}
+
+TEST(Sgd, StateBytesPerElement) {
+  const Sgd sgd(0.1);
+  EXPECT_EQ(sgd.state_bytes_per_element(), sizeof(float));
+}
+
+TEST(Sgd, HandlesReshapedParam) {
+  // Pruning reshapes parameters mid-training; the momentum buffer must
+  // follow rather than crash.
+  Sgd sgd(0.1, 0.9);
+  Param param = make_param(1.0f, 1.0f);
+  Param* params[] = {&param};
+  sgd.step(params);
+  param.value = Tensor::full({3}, 1.0f);
+  param.grad = Tensor::full({3}, 1.0f);
+  EXPECT_NO_THROW(sgd.step(params));
+  EXPECT_EQ(param.value.size(), 3u);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Adam adam(0.01);
+  Param param = make_param(0.0f, 5.0f);
+  Param* params[] = {&param};
+  adam.step(params);
+  EXPECT_NEAR(param.value[0], -0.01f, 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 — Adam should land near 3.
+  Adam adam(0.1);
+  Param param = make_param(0.0f, 0.0f);
+  Param* params[] = {&param};
+  for (int step = 0; step < 500; ++step) {
+    param.grad[0] = 2.0f * (param.value[0] - 3.0f);
+    adam.step(params);
+  }
+  EXPECT_NEAR(param.value[0], 3.0f, 0.05);
+}
+
+TEST(Adam, StateBytesPerElement) {
+  const Adam adam(0.01);
+  EXPECT_EQ(adam.state_bytes_per_element(), 2 * sizeof(float));
+}
+
+TEST(Adam, LearningRateSetter) {
+  Adam adam(0.01);
+  adam.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.5);
+}
+
+TEST(CosineAnnealingLr, EndpointsAndMidpoint) {
+  const CosineAnnealingLr schedule(0.2, 0.0, 100);
+  EXPECT_NEAR(schedule.lr_at(0), 0.2, 1e-12);
+  EXPECT_NEAR(schedule.lr_at(100), 0.0, 1e-12);
+  EXPECT_NEAR(schedule.lr_at(50), 0.1, 1e-12);
+}
+
+TEST(CosineAnnealingLr, MonotoneDecreasing) {
+  const CosineAnnealingLr schedule(1.0, 0.01, 40);
+  double previous = schedule.lr_at(0);
+  for (std::size_t epoch = 1; epoch <= 40; ++epoch) {
+    const double lr = schedule.lr_at(epoch);
+    EXPECT_LE(lr, previous + 1e-12);
+    previous = lr;
+  }
+}
+
+TEST(CosineAnnealingLr, ClampsBeyondHorizon) {
+  const CosineAnnealingLr schedule(1.0, 0.1, 10);
+  EXPECT_NEAR(schedule.lr_at(25), 0.1, 1e-12);
+}
+
+TEST(CosineAnnealingLr, InvalidArgumentsThrow) {
+  EXPECT_THROW(CosineAnnealingLr(0.1, 0.0, 0), std::invalid_argument);
+  EXPECT_THROW(CosineAnnealingLr(0.1, 0.2, 10), std::invalid_argument);
+}
+
+TEST(CosineAnnealingLr, AppliesToOptimizer) {
+  Sgd sgd(1.0);
+  const CosineAnnealingLr schedule(1.0, 0.0, 2);
+  schedule.apply(sgd, 1);
+  EXPECT_NEAR(sgd.learning_rate(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace odn::nn

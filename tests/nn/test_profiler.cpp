@@ -1,0 +1,74 @@
+#include "nn/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace odn::nn {
+namespace {
+
+ResNetConfig tiny_config() {
+  ResNetConfig config;
+  config.base_width = 8;
+  config.input_size = 16;
+  config.num_classes = 4;
+  return config;
+}
+
+TEST(Profiler, ProducesPositiveMeasurements) {
+  util::Rng rng(61);
+  ResNet model(tiny_config(), rng);
+  Profiler profiler(3);
+  const ModelProfile profile = profiler.profile(model);
+  for (const BlockProfile& stage : profile.stages) {
+    EXPECT_GT(stage.compute_time_ms, 0.0);
+    EXPECT_GT(stage.memory_bytes, 0u);
+    EXPECT_GT(stage.macs, 0u);
+    EXPECT_GT(stage.param_count, 0u);
+  }
+  EXPECT_GT(profile.head.compute_time_ms, 0.0);
+  EXPECT_GT(profile.total_compute_time_ms(), 0.0);
+  EXPECT_GT(profile.total_memory_bytes(), 0u);
+}
+
+TEST(Profiler, MacsMatchModel) {
+  util::Rng rng(62);
+  ResNet model(tiny_config(), rng);
+  Profiler profiler(1);
+  const ModelProfile profile = profiler.profile(model);
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    EXPECT_EQ(profile.stages[s].macs, model.stage_macs_per_sample(s));
+}
+
+TEST(Profiler, PrunedModelIsCheaper) {
+  // Fig. 3 (left): pruned configurations run faster and occupy less.
+  util::Rng rng(63);
+  ResNet model(tiny_config(), rng);
+  Profiler profiler(5);
+  const ModelProfile full = profiler.profile(model);
+
+  auto pruned_model = model.clone();
+  pruned_model->prune_stages(0, 0.2);
+  const ModelProfile pruned = profiler.profile(*pruned_model);
+
+  EXPECT_LT(pruned.total_memory_bytes(), full.total_memory_bytes());
+  std::size_t pruned_macs = 0;
+  std::size_t full_macs = 0;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    pruned_macs += pruned.stages[s].macs;
+    full_macs += full.stages[s].macs;
+  }
+  EXPECT_LT(pruned_macs, full_macs / 2);
+}
+
+TEST(Profiler, TimingIsReasonablyStable) {
+  // The median over repetitions should be repeatable to within a broad
+  // factor (wall-clock noise on shared machines is real).
+  util::Rng rng(64);
+  ResNet model(tiny_config(), rng);
+  Profiler profiler(7);
+  const double a = profiler.profile(model).total_compute_time_ms();
+  const double b = profiler.profile(model).total_compute_time_ms();
+  EXPECT_LT(std::max(a, b) / std::min(a, b), 5.0);
+}
+
+}  // namespace
+}  // namespace odn::nn

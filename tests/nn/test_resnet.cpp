@@ -1,0 +1,239 @@
+#include "nn/resnet.h"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+ResNetConfig tiny_config() {
+  ResNetConfig config;
+  config.base_width = 4;
+  config.input_size = 8;
+  config.num_classes = 3;
+  return config;
+}
+
+TEST(BasicBlock, IdentityBlockPreservesShape) {
+  util::Rng rng(41);
+  BasicBlock block(8, 8, 1);
+  block.init_parameters(rng);
+  EXPECT_FALSE(block.has_projection());
+  const Tensor input = testing::random_tensor({2, 8, 4, 4}, rng);
+  EXPECT_EQ(block.forward(input, false).shape(), input.shape());
+}
+
+TEST(BasicBlock, DownsamplingBlockUsesProjection) {
+  util::Rng rng(42);
+  BasicBlock block(4, 8, 2);
+  block.init_parameters(rng);
+  EXPECT_TRUE(block.has_projection());
+  const Tensor input = testing::random_tensor({2, 4, 8, 8}, rng);
+  EXPECT_EQ(block.forward(input, false).shape(), (Shape{2, 8, 4, 4}));
+}
+
+TEST(BasicBlock, NumericInputGradient) {
+  util::Rng rng(43);
+  BasicBlock block(3, 3, 1);
+  block.init_parameters(rng);
+  const Tensor input = testing::random_tensor({1, 3, 4, 4}, rng, 0.5);
+  testing::check_input_gradient(block, input, rng, 1e-3, 8e-2,
+                                /*fd_training=*/true);
+}
+
+TEST(BasicBlock, PruneInternalChannelsKeepsInterface) {
+  util::Rng rng(44);
+  BasicBlock block(8, 8, 1);
+  block.init_parameters(rng);
+  const std::size_t params_before = block.parameter_count();
+  block.prune_internal_channels({0, 3});
+  EXPECT_EQ(block.internal_channels(), 2u);
+  EXPECT_LT(block.parameter_count(), params_before);
+  // External interface unchanged: 8-channel input and output.
+  const Tensor input = testing::random_tensor({1, 8, 4, 4}, rng);
+  EXPECT_EQ(block.forward(input, false).shape(), input.shape());
+}
+
+TEST(BasicBlock, PruneAllChannelsThrows) {
+  BasicBlock block(4, 4, 1);
+  EXPECT_THROW(block.prune_internal_channels({}), std::invalid_argument);
+}
+
+TEST(BasicBlock, MagnitudesMatchChannelCount) {
+  util::Rng rng(45);
+  BasicBlock block(4, 6, 1);
+  block.init_parameters(rng);
+  EXPECT_EQ(block.internal_channel_magnitudes().size(), 6u);
+}
+
+TEST(ResNet, ForwardProducesLogits) {
+  util::Rng rng(46);
+  ResNet model(tiny_config(), rng);
+  const Tensor images = testing::random_tensor({2, 3, 8, 8}, rng);
+  const Tensor logits = model.forward(images, false);
+  EXPECT_EQ(logits.shape(), (Shape{2, 3}));
+}
+
+TEST(ResNet, StageWiseForwardMatchesFullForward) {
+  util::Rng rng(47);
+  ResNet model(tiny_config(), rng);
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  Tensor x = images;
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    x = model.forward_stage(s, x, false);
+  const Tensor staged = model.forward_head(x, false);
+  const Tensor direct = model.forward(images, false);
+  for (std::size_t i = 0; i < staged.size(); ++i)
+    EXPECT_FLOAT_EQ(staged[i], direct[i]);
+}
+
+TEST(ResNet, CloneProducesIdenticalOutputs) {
+  util::Rng rng(48);
+  ResNet model(tiny_config(), rng);
+  const std::unique_ptr<ResNet> copy = model.clone();
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  const Tensor a = model.forward(images, false);
+  const Tensor b = copy->forward(images, false);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(ResNet, CloneIsDeep) {
+  util::Rng rng(49);
+  ResNet model(tiny_config(), rng);
+  const std::unique_ptr<ResNet> copy = model.clone();
+  // Mutate the original; the clone must not follow.
+  for (Param* p : model.parameters()) p->value.fill(0.0f);
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  EXPECT_GT(copy->forward(images, false).abs_sum(), 0.0f);
+}
+
+TEST(ResNet, FreezeSharedStagesPartitionsParameters) {
+  util::Rng rng(50);
+  ResNet model(tiny_config(), rng);
+  const std::size_t all = model.parameters().size();
+  model.freeze_shared_stages(4);
+  // Only the classifier head (weight + bias) remains trainable.
+  EXPECT_EQ(model.trainable_parameters().size(), 2u);
+  model.freeze_shared_stages(0);
+  EXPECT_EQ(model.trainable_parameters().size(), all);
+  EXPECT_THROW(model.freeze_shared_stages(5), std::invalid_argument);
+}
+
+TEST(ResNet, FreezeMonotonicallyReducesTrainableParams) {
+  util::Rng rng(51);
+  ResNet model(tiny_config(), rng);
+  std::size_t previous = static_cast<std::size_t>(-1);
+  for (std::size_t shared = 0; shared <= 4; ++shared) {
+    model.freeze_shared_stages(shared);
+    std::size_t count = 0;
+    for (Param* p : model.trainable_parameters())
+      count += p->element_count();
+    EXPECT_LT(count, previous);
+    previous = count;
+  }
+}
+
+TEST(ResNet, PruneStagesReducesParameters) {
+  util::Rng rng(52);
+  ResNet model(tiny_config(), rng);
+  const std::size_t before = model.parameter_count();
+  const std::size_t removed = model.prune_stages(2, 0.25);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(model.parameter_count(), before - removed);
+  // Network still runs end to end.
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  EXPECT_EQ(model.forward(images, false).shape(), (Shape{1, 3}));
+}
+
+TEST(ResNet, PruneReducesMacs) {
+  util::Rng rng(53);
+  ResNet model(tiny_config(), rng);
+  const std::size_t before = model.macs_per_sample();
+  model.prune_stages(0, 0.25);
+  EXPECT_LT(model.macs_per_sample(), before / 2);
+}
+
+TEST(ResNet, PruneBadArgumentsThrow) {
+  util::Rng rng(54);
+  ResNet model(tiny_config(), rng);
+  EXPECT_THROW(model.prune_stages(4, 0.5), std::out_of_range);
+  EXPECT_THROW(model.prune_stages(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.prune_stages(0, 1.5), std::invalid_argument);
+}
+
+TEST(ResNet, ReplaceHeadChangesClassCount) {
+  util::Rng rng(55);
+  ResNet model(tiny_config(), rng);
+  model.replace_head(7, rng);
+  EXPECT_EQ(model.num_classes(), 7u);
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  EXPECT_EQ(model.forward(images, false).shape(), (Shape{1, 7}));
+}
+
+TEST(ResNet, BackwardTrainableSkipsFrozenPrefix) {
+  util::Rng rng(56);
+  ResNet model(tiny_config(), rng);
+  model.freeze_shared_stages(2);
+  const Tensor images = testing::random_tensor({2, 3, 8, 8}, rng);
+
+  // Training forward must mirror the Trainer protocol: frozen prefix in
+  // eval mode, trainable suffix in training mode.
+  Tensor x = images;
+  for (std::size_t s = 0; s < 2; ++s) x = model.forward_stage(s, x, false);
+  for (std::size_t s = 2; s < kNumStages; ++s)
+    x = model.forward_stage(s, x, true);
+  const Tensor logits = model.forward_head(x, true);
+
+  model.zero_grad();
+  Tensor grad(logits.shape());
+  grad.fill(0.1f);
+  EXPECT_NO_THROW(model.backward_trainable(grad));
+  // Trainable parameters received gradient...
+  float trainable_grad = 0.0f;
+  for (Param* p : model.trainable_parameters())
+    trainable_grad += p->grad.abs_sum();
+  EXPECT_GT(trainable_grad, 0.0f);
+  // ...and every frozen parameter's gradient stayed zero.
+  float total_grad = 0.0f;
+  for (Param* p : model.parameters()) total_grad += p->grad.abs_sum();
+  EXPECT_FLOAT_EQ(total_grad, trainable_grad);
+}
+
+TEST(ResNet, FootprintAccessorsConsistent) {
+  util::Rng rng(57);
+  ResNet model(tiny_config(), rng);
+  std::size_t stage_bytes = 0;
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    stage_bytes += model.stage_parameter_bytes(s);
+  EXPECT_EQ(stage_bytes + model.head_parameter_bytes(),
+            model.parameter_bytes());
+
+  std::size_t stage_macs = 0;
+  for (std::size_t s = 0; s < kNumStages; ++s)
+    stage_macs += model.stage_macs_per_sample(s);
+  EXPECT_GT(model.macs_per_sample(), stage_macs);  // + head MACs
+}
+
+TEST(ResNet, SummaryMentionsStages) {
+  util::Rng rng(58);
+  ResNet model(tiny_config(), rng);
+  model.freeze_shared_stages(2);
+  const std::string summary = model.summary();
+  EXPECT_NE(summary.find("stage 1"), std::string::npos);
+  EXPECT_NE(summary.find("[frozen/shared]"), std::string::npos);
+}
+
+TEST(ResNet, StructuralIntrospection) {
+  util::Rng rng(59);
+  ResNet model(tiny_config(), rng);
+  EXPECT_EQ(model.num_blocks(0), 2u);
+  EXPECT_EQ(model.block(1, 0).stride(), 2u);
+  EXPECT_EQ(model.stage_input_size(0), 8u);
+  EXPECT_EQ(model.stage_input_size(3), 2u);
+  EXPECT_THROW(model.block(0, 9), std::out_of_range);
+  EXPECT_THROW(model.num_blocks(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,115 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gradient_check.h"
+
+namespace odn::nn {
+namespace {
+
+ResNetConfig tiny_config() {
+  ResNetConfig config;
+  config.base_width = 4;
+  config.input_size = 8;
+  config.num_classes = 3;
+  return config;
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  util::Rng rng(201);
+  ResNet original(tiny_config(), rng);
+  std::stringstream buffer;
+  save_parameters(original, buffer);
+
+  ResNet restored(tiny_config(), rng);  // different random init
+  load_parameters(restored, buffer);
+
+  const Tensor images = testing::random_tensor({2, 3, 8, 8}, rng);
+  const Tensor a = original.forward(images, false);
+  const Tensor b = restored.forward(images, false);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, RoundTripPrunedModel) {
+  util::Rng rng(202);
+  ResNet original(tiny_config(), rng);
+  original.prune_stages(1, 0.5);
+  std::stringstream buffer;
+  save_parameters(original, buffer);
+
+  // The receiver must reconstruct the same pruned architecture (here via
+  // clone); then the weights drop in.
+  std::unique_ptr<ResNet> restored = original.clone();
+  for (Param* p : restored->parameters()) p->value.fill(0.0f);
+  load_parameters(*restored, buffer);
+
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  const Tensor a = original.forward(images, false);
+  const Tensor b = restored->forward(images, false);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, ArchitectureMismatchThrows) {
+  util::Rng rng(203);
+  ResNet original(tiny_config(), rng);
+  std::stringstream buffer;
+  save_parameters(original, buffer);
+
+  ResNetConfig other = tiny_config();
+  other.num_classes = 7;  // head shape differs
+  ResNet wrong(other, rng);
+  EXPECT_THROW(load_parameters(wrong, buffer), std::runtime_error);
+}
+
+TEST(Serialize, PrunedVsUnprunedMismatchThrows) {
+  util::Rng rng(204);
+  ResNet original(tiny_config(), rng);
+  std::stringstream buffer;
+  save_parameters(original, buffer);
+
+  ResNet pruned(tiny_config(), rng);
+  pruned.prune_stages(0, 0.5);
+  EXPECT_THROW(load_parameters(pruned, buffer), std::runtime_error);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  util::Rng rng(205);
+  ResNet model(tiny_config(), rng);
+  std::stringstream buffer("NOPE....garbage");
+  EXPECT_THROW(load_parameters(model, buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  util::Rng rng(206);
+  ResNet model(tiny_config(), rng);
+  std::stringstream buffer;
+  save_parameters(model, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_parameters(model, truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  util::Rng rng(207);
+  ResNet model(tiny_config(), rng);
+  const std::string path = ::testing::TempDir() + "/odn_model.bin";
+  save_parameters(model, path);
+  ResNet restored(tiny_config(), rng);
+  load_parameters(restored, path);
+  const Tensor images = testing::random_tensor({1, 3, 8, 8}, rng);
+  const Tensor a = model.forward(images, false);
+  const Tensor b = restored.forward(images, false);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  util::Rng rng(208);
+  ResNet model(tiny_config(), rng);
+  EXPECT_THROW(load_parameters(model, "/nonexistent/path/model.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odn::nn

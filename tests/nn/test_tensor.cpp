@@ -1,0 +1,132 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace odn::nn {
+namespace {
+
+TEST(Shape, RankAndDims) {
+  const Shape shape{2, 3, 4, 5};
+  EXPECT_EQ(shape.rank(), 4u);
+  EXPECT_EQ(shape[0], 2u);
+  EXPECT_EQ(shape[3], 5u);
+  EXPECT_EQ(shape.element_count(), 120u);
+}
+
+TEST(Shape, EmptyShape) {
+  const Shape shape;
+  EXPECT_EQ(shape.rank(), 0u);
+  EXPECT_EQ(shape.element_count(), 0u);
+}
+
+TEST(Shape, TooManyDimsThrows) {
+  EXPECT_THROW((Shape{1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_FALSE((Shape{2, 3}) == (Shape{3, 2}));
+  EXPECT_FALSE((Shape{2}) == (Shape{2, 1}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{1, 2}).to_string(), "(1, 2)");
+  EXPECT_EQ(Shape{}.to_string(), "()");
+}
+
+TEST(Shape, VectorConstructor) {
+  const Shape shape(std::vector<std::size_t>{4, 7});
+  EXPECT_EQ(shape.rank(), 2u);
+  EXPECT_EQ(shape[1], 7u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor tensor({2, 3});
+  EXPECT_EQ(tensor.size(), 6u);
+  for (std::size_t i = 0; i < tensor.size(); ++i)
+    EXPECT_FLOAT_EQ(tensor[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  const Tensor tensor = Tensor::full({2, 2}, 3.5f);
+  for (std::size_t i = 0; i < tensor.size(); ++i)
+    EXPECT_FLOAT_EQ(tensor[i], 3.5f);
+}
+
+TEST(Tensor, At4RowMajorLayout) {
+  Tensor tensor({2, 3, 4, 5});
+  tensor.at4(1, 2, 3, 4) = 42.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_FLOAT_EQ(tensor[119], 42.0f);
+}
+
+TEST(Tensor, At2Layout) {
+  Tensor tensor({3, 4});
+  tensor.at2(2, 1) = 9.0f;
+  EXPECT_FLOAT_EQ(tensor[9], 9.0f);
+}
+
+TEST(Tensor, AddInplace) {
+  Tensor a = Tensor::full({2, 2}, 1.0f);
+  const Tensor b = Tensor::full({2, 2}, 2.0f);
+  a.add_inplace(b);
+  EXPECT_FLOAT_EQ(a[0], 3.0f);
+}
+
+TEST(Tensor, AddInplaceShapeMismatchThrows) {
+  Tensor a({2, 2});
+  const Tensor b({4});
+  EXPECT_THROW(a.add_inplace(b), std::invalid_argument);
+}
+
+TEST(Tensor, AxpyInplace) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  const Tensor b = Tensor::full({3}, 2.0f);
+  a.axpy_inplace(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, ScaleInplace) {
+  Tensor a = Tensor::full({2}, 4.0f);
+  a.scale_inplace(0.25f);
+  EXPECT_FLOAT_EQ(a[1], 1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor a({2, 6});
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i);
+  const Tensor b = a.reshaped({3, 4});
+  EXPECT_EQ(b.shape(), (Shape{3, 4}));
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_FLOAT_EQ(b[i], static_cast<float>(i));
+}
+
+TEST(Tensor, ReshapeElementMismatchThrows) {
+  const Tensor a({2, 3});
+  EXPECT_THROW(a.reshaped({7}), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor a({4});
+  a[0] = 1.0f;
+  a[1] = -2.0f;
+  a[2] = 3.0f;
+  a[3] = -4.0f;
+  EXPECT_FLOAT_EQ(a.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(a.abs_sum(), 10.0f);
+  EXPECT_FLOAT_EQ(a.max_abs(), 4.0f);
+}
+
+TEST(Tensor, ByteSize) {
+  const Tensor a({10, 10});
+  EXPECT_EQ(a.byte_size(), 400u);
+}
+
+TEST(Tensor, EmptyTensor) {
+  const Tensor a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,196 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+namespace odn::nn {
+namespace {
+
+// A tiny two-class problem the scaled ResNet can overfit within a few
+// epochs — the unit-test-sized stand-in for the Sec. II experiments.
+struct TinyProblem {
+  ResNetConfig config;
+  Dataset train;
+  Dataset test;
+
+  TinyProblem() {
+    config.base_width = 4;
+    config.input_size = 16;
+    config.num_classes = 2;
+    SyntheticImageGenerator gen(16, 7);
+    const std::vector<ClassSpec> specs{base_class_specs()[0],
+                                       base_class_specs()[1]};
+    train = gen.generate(specs, 24);
+    test = gen.generate(specs, 12);
+  }
+};
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  TinyProblem problem;
+  util::Rng rng(71);
+  ResNet model(problem.config, rng);
+  Trainer trainer(model, problem.train, problem.test);
+  TrainOptions options;
+  options.epochs = 6;
+  options.batch_size = 16;
+  options.evaluate_each_epoch = false;
+  const auto history = trainer.train(options);
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+}
+
+TEST(Trainer, AccuracyBeatsChanceAfterTraining) {
+  TinyProblem problem;
+  util::Rng rng(72);
+  ResNet model(problem.config, rng);
+  Trainer trainer(model, problem.train, problem.test);
+  TrainOptions options;
+  options.epochs = 16;
+  options.batch_size = 16;
+  options.evaluate_each_epoch = false;
+  trainer.train(options);
+  // Two balanced classes: chance is 0.5; the width-4 net overfits the
+  // 48-image training set well above that within 16 epochs.
+  EXPECT_GT(trainer.evaluate(problem.train), 0.75);
+}
+
+TEST(Trainer, FrozenPrefixOnlyUpdatesSuffix) {
+  TinyProblem problem;
+  util::Rng rng(73);
+  ResNet model(problem.config, rng);
+  model.freeze_shared_stages(3);
+
+  // Snapshot frozen parameters.
+  std::vector<float> frozen_before;
+  for (Param* p : model.parameters())
+    for (std::size_t i = 0; i < p->value.size(); ++i)
+      frozen_before.push_back(p->value[i]);
+
+  Trainer trainer(model, problem.train, problem.test);
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 16;
+  options.evaluate_each_epoch = false;
+  trainer.train(options);
+
+  // Trainable parameters moved; frozen ones are bit-identical.
+  std::size_t index = 0;
+  float frozen_delta = 0.0f;
+  float trainable_delta = 0.0f;
+  const auto trainable = model.trainable_parameters();
+  for (Param* p : model.parameters()) {
+    const bool is_trainable =
+        std::find(trainable.begin(), trainable.end(), p) != trainable.end();
+    for (std::size_t i = 0; i < p->value.size(); ++i, ++index) {
+      const float delta = std::abs(p->value[i] - frozen_before[index]);
+      (is_trainable ? trainable_delta : frozen_delta) += delta;
+    }
+  }
+  EXPECT_FLOAT_EQ(frozen_delta, 0.0f);
+  EXPECT_GT(trainable_delta, 0.0f);
+}
+
+TEST(Trainer, FrozenPrefixTrainsFasterPerEpoch) {
+  TinyProblem problem;
+  util::Rng rng(74);
+  ResNet full(problem.config, rng);
+  ResNet frozen(problem.config, rng);
+  frozen.freeze_shared_stages(4);
+
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 16;
+  options.evaluate_each_epoch = false;
+
+  Trainer full_trainer(full, problem.train, problem.test);
+  const auto full_history = full_trainer.train(options);
+  Trainer frozen_trainer(frozen, problem.train, problem.test);
+  const auto frozen_history = frozen_trainer.train(options);
+
+  // Second epochs compared (the first frozen epoch pays the one-off
+  // feature-cache precomputation).
+  EXPECT_LT(frozen_history[1].seconds, full_history[1].seconds);
+}
+
+TEST(Trainer, InvalidOptionsThrow) {
+  TinyProblem problem;
+  util::Rng rng(75);
+  ResNet model(problem.config, rng);
+  Trainer trainer(model, problem.train, problem.test);
+  TrainOptions options;
+  options.epochs = 0;
+  EXPECT_THROW(trainer.train(options), std::invalid_argument);
+  options.epochs = 1;
+  options.batch_size = 0;
+  EXPECT_THROW(trainer.train(options), std::invalid_argument);
+}
+
+TEST(Trainer, ClassAccuracyIsPerClass) {
+  TinyProblem problem;
+  util::Rng rng(76);
+  ResNet model(problem.config, rng);
+  Trainer trainer(model, problem.train, problem.test);
+  TrainOptions options;
+  options.epochs = 8;
+  options.batch_size = 16;
+  options.evaluate_each_epoch = false;
+  trainer.train(options);
+  const double class0 = trainer.class_accuracy(problem.train, 0);
+  const double class1 = trainer.class_accuracy(problem.train, 1);
+  const double overall = trainer.evaluate(problem.train);
+  EXPECT_NEAR(0.5 * (class0 + class1), overall, 1e-6);
+}
+
+TEST(Trainer, ClassAccuracyOfAbsentClassIsZero) {
+  TinyProblem problem;
+  util::Rng rng(77);
+  ResNet model(problem.config, rng);
+  Trainer trainer(model, problem.train, problem.test);
+  EXPECT_DOUBLE_EQ(trainer.class_accuracy(problem.train, 99), 0.0);
+}
+
+TEST(TrainerMemoryModel, MoreSharingLessMemory) {
+  // The Fig. 2 (right) ordering: the more layer-blocks are frozen/shared,
+  // the lower the peak training memory.
+  TinyProblem problem;
+  util::Rng rng(78);
+  ResNet model(problem.config, rng);
+  std::size_t previous = static_cast<std::size_t>(-1);
+  for (std::size_t shared = 0; shared <= 4; ++shared) {
+    model.freeze_shared_stages(shared);
+    const std::size_t bytes = Trainer::peak_training_memory_bytes(
+        model, 256, OptimizerKind::kAdam);
+    EXPECT_LT(bytes, previous) << "shared=" << shared;
+    previous = bytes;
+  }
+}
+
+TEST(TrainerMemoryModel, AdamCostsMoreThanSgd) {
+  TinyProblem problem;
+  util::Rng rng(79);
+  ResNet model(problem.config, rng);
+  EXPECT_GT(
+      Trainer::peak_training_memory_bytes(model, 64, OptimizerKind::kAdam),
+      Trainer::peak_training_memory_bytes(model, 64, OptimizerKind::kSgd));
+}
+
+TEST(TrainerMemoryModel, GrowsWithBatchSize) {
+  TinyProblem problem;
+  util::Rng rng(80);
+  ResNet model(problem.config, rng);
+  EXPECT_GT(
+      Trainer::peak_training_memory_bytes(model, 256, OptimizerKind::kAdam),
+      Trainer::peak_training_memory_bytes(model, 32, OptimizerKind::kAdam));
+}
+
+TEST(TrainerComputeModel, FreezingReducesEpochMacs) {
+  TinyProblem problem;
+  util::Rng rng(81);
+  ResNet model(problem.config, rng);
+  const std::size_t full = Trainer::epoch_training_macs(model, 100);
+  model.freeze_shared_stages(3);
+  const std::size_t frozen = Trainer::epoch_training_macs(model, 100);
+  EXPECT_LT(frozen, full / 2);
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,91 @@
+#include "sim/scope_config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.h"
+
+namespace odn::sim {
+namespace {
+
+core::DeploymentPlan plan_for_small() {
+  const core::DotInstance instance = core::make_small_scenario(5);
+  core::OffloadnnController controller(instance.resources, instance.radio);
+  return controller.admit(instance.catalog, instance.tasks);
+}
+
+TEST(ScopeConfig, ContainsOneSlicePerAdmittedTask) {
+  const core::DeploymentPlan plan = plan_for_small();
+  ScopeConfigOptions options;
+  options.total_rbs = 50;
+  const std::string config = scope_config_string(plan, options);
+  std::size_t slices = 0;
+  for (std::size_t pos = config.find("[slice-");
+       pos != std::string::npos; pos = config.find("[slice-", pos + 1))
+    ++slices;
+  std::size_t admitted = 0;
+  for (const core::TaskPlan& task : plan.tasks)
+    if (task.admitted) ++admitted;
+  EXPECT_EQ(slices, admitted);
+  EXPECT_NE(config.find("[default]"), std::string::npos);
+  EXPECT_NE(config.find("tenant = task-1"), std::string::npos);
+}
+
+TEST(ScopeConfig, MasksAreDisjointAndCoverAllocatedRbs) {
+  const core::DeploymentPlan plan = plan_for_small();
+  ScopeConfigOptions options;
+  options.total_rbs = 50;
+  const std::string config = scope_config_string(plan, options);
+
+  // Sum all slice masks bitwise; no RB may be claimed twice.
+  std::vector<int> claims(options.total_rbs, 0);
+  std::size_t pos = 0;
+  while ((pos = config.find("rb_mask = ", pos)) != std::string::npos) {
+    pos += 10;
+    const std::string mask = config.substr(pos, options.total_rbs);
+    const bool is_default =
+        config.rfind("[default]", pos) != std::string::npos &&
+        config.rfind("[default]", pos) > config.rfind("[slice-", pos);
+    if (!is_default)
+      for (std::size_t rb = 0; rb < options.total_rbs; ++rb)
+        if (mask[rb] == '1') ++claims[rb];
+  }
+  for (const int count : claims) EXPECT_LE(count, 1);
+
+  // Claimed RBs match the plan's slice sizes.
+  std::size_t claimed = 0;
+  for (const int count : claims) claimed += static_cast<std::size_t>(count);
+  std::size_t expected = 0;
+  for (const core::TaskPlan& task : plan.tasks)
+    if (task.admitted) expected += task.slice_rbs;
+  EXPECT_EQ(claimed, expected);
+}
+
+TEST(ScopeConfig, HeaderFields) {
+  const core::DeploymentPlan plan = plan_for_small();
+  ScopeConfigOptions options;
+  options.total_rbs = 64;
+  options.cell_id = "test-cell";
+  const std::string config = scope_config_string(plan, options);
+  EXPECT_NE(config.find("id = test-cell"), std::string::npos);
+  EXPECT_NE(config.find("total_rbs = 64"), std::string::npos);
+  EXPECT_NE(config.find("latency_slo_ms = 200"), std::string::npos);
+}
+
+TEST(ScopeConfig, OverflowThrows) {
+  const core::DeploymentPlan plan = plan_for_small();
+  ScopeConfigOptions options;
+  options.total_rbs = 3;  // far fewer than the plan's slices need
+  EXPECT_THROW(scope_config_string(plan, options), std::invalid_argument);
+}
+
+TEST(ScopeConfig, EmptyPlanStillValid) {
+  core::DeploymentPlan plan;  // nothing admitted
+  ScopeConfigOptions options;
+  options.total_rbs = 10;
+  const std::string config = scope_config_string(plan, options);
+  EXPECT_NE(config.find("allocated_rbs = 0"), std::string::npos);
+  EXPECT_NE(config.find("rb_mask = 1111111111"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odn::sim

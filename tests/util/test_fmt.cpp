@@ -1,0 +1,72 @@
+#include "util/fmt.h"
+
+#include <gtest/gtest.h>
+
+namespace odn::util {
+namespace {
+
+TEST(Fmt, PlainPassthrough) {
+  EXPECT_EQ(fmt("hello"), "hello");
+}
+
+TEST(Fmt, SequentialPlaceholders) {
+  EXPECT_EQ(fmt("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Fmt, Strings) {
+  EXPECT_EQ(fmt("hi {}", std::string("world")), "hi world");
+  EXPECT_EQ(fmt("hi {}", "literal"), "hi literal");
+}
+
+TEST(Fmt, Bool) {
+  EXPECT_EQ(fmt("{} {}", true, false), "true false");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(fmt("{:.0f}", 2.7), "3");
+}
+
+TEST(Fmt, ScientificAndGeneral) {
+  EXPECT_EQ(fmt("{:.1e}", 12345.0), "1.2e+04");
+  EXPECT_EQ(fmt("{:.3g}", 0.000123456), "0.000123");
+}
+
+TEST(Fmt, IntegerWidth) {
+  EXPECT_EQ(fmt("{:4d}", 7), "   7");
+}
+
+TEST(Fmt, IntegerWithFloatSpec) {
+  EXPECT_EQ(fmt("{:.1f}", 5), "5.0");
+}
+
+TEST(Fmt, EscapedBraces) {
+  EXPECT_EQ(fmt("{{}}"), "{}");
+  EXPECT_EQ(fmt("{{{}}}", 1), "{1}");
+}
+
+TEST(Fmt, TooFewArgumentsThrows) {
+  EXPECT_THROW(fmt("{} {}", 1), std::out_of_range);
+  EXPECT_THROW((void)fmt("{}"), std::out_of_range);
+}
+
+TEST(Fmt, UnbalancedBraceThrows) {
+  EXPECT_THROW(fmt("{", 1), std::invalid_argument);
+}
+
+TEST(Fmt, ExtraArgumentsIgnored) {
+  EXPECT_EQ(fmt("{}", 1, 2, 3), "1");
+}
+
+TEST(Fmt, NegativeNumbers) {
+  EXPECT_EQ(fmt("{}", -42), "-42");
+  EXPECT_EQ(fmt("{:.1f}", -3.25), "-3.2");
+}
+
+TEST(Fmt, LargeUnsigned) {
+  EXPECT_EQ(fmt("{}", std::size_t{18446744073709551615ull}),
+            "18446744073709551615");
+}
+
+}  // namespace
+}  // namespace odn::util

@@ -1,0 +1,119 @@
+#include "util/mathx.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace odn::util {
+namespace {
+
+TEST(Mean, BasicAndEmpty) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stddev, KnownValue) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(stddev(values), 2.13809, 1e-4);
+}
+
+TEST(Stddev, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  const std::vector<double> constant{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(stddev(constant), 0.0);
+}
+
+TEST(MinMax, Basic) {
+  const std::vector<double> values{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(values), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(values), 7.0);
+  EXPECT_DOUBLE_EQ(min_value({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_value({}), 0.0);
+}
+
+TEST(Linspace, EndpointsExact) {
+  const auto grid = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  EXPECT_NEAR(grid[5], 0.5, 1e-12);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto grid = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_DOUBLE_EQ(grid[0], 3.0);
+}
+
+TEST(Linspace, ZeroCountThrows) {
+  EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Linspace, DescendingRange) {
+  const auto grid = linspace(1.0, 0.0, 3);
+  EXPECT_DOUBLE_EQ(grid[0], 1.0);
+  EXPECT_DOUBLE_EQ(grid[1], 0.5);
+  EXPECT_DOUBLE_EQ(grid[2], 0.0);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> values{1.0, 5.0, 3.0};
+  EXPECT_EQ(moving_average(values, 1), values);
+}
+
+TEST(MovingAverage, WindowThreeCentered) {
+  const std::vector<double> values{0.0, 3.0, 6.0, 9.0};
+  const auto smoothed = moving_average(values, 3);
+  ASSERT_EQ(smoothed.size(), 4u);
+  EXPECT_DOUBLE_EQ(smoothed[0], 1.5);   // (0+3)/2 at the edge
+  EXPECT_DOUBLE_EQ(smoothed[1], 3.0);   // (0+3+6)/3
+  EXPECT_DOUBLE_EQ(smoothed[2], 6.0);   // (3+6+9)/3
+  EXPECT_DOUBLE_EQ(smoothed[3], 7.5);   // (6+9)/2
+}
+
+TEST(MovingAverage, ZeroWindowThrows) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(moving_average(values, 0), std::invalid_argument);
+}
+
+TEST(MovingAverage, EmptyInput) {
+  EXPECT_TRUE(moving_average({}, 3).empty());
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 25.0), 2.5);
+}
+
+TEST(Percentile, InvalidInputsThrow) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0, 1e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-9));
+  EXPECT_TRUE(approx_equal(0.0, 1e-10, 1e-9));
+}
+
+TEST(Clamp, Bounds) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace odn::util
