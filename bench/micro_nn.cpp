@@ -1,9 +1,14 @@
 // Google-benchmark microbenchmarks for the DNN substrate hot paths:
-// convolution forward/backward, full scaled-ResNet inference, training
-// step and the block profiler.
+// raw GEMM throughput, convolution forward/backward, full scaled-ResNet
+// inference, training step and the block profiler. The GEMM and batched
+// conv benches use the global pool — set ODN_THREADS to sweep thread
+// counts (ODN_THREADS=1 pins the serial baseline).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "nn/conv2d.h"
+#include "nn/gemm.h"
 #include "nn/loss.h"
 #include "nn/profiler.h"
 #include "nn/resnet.h"
@@ -18,6 +23,76 @@ nn::Tensor random_input(nn::Shape shape, std::uint64_t seed) {
   for (float& x : tensor.data()) x = static_cast<float>(rng.uniform());
   return tensor;
 }
+
+std::vector<float> random_matrix(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> values(count);
+  for (float& v : values) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return values;
+}
+
+// Square sgemm at sizes straddling the parallel-dispatch threshold
+// (2·m·n·k flops vs the default 2^21): 64^3 stays serial, 128^3 and up
+// fan out across the pool when ODN_THREADS > 1.
+void BM_Sgemm(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> a = random_matrix(size * size, 21);
+  const std::vector<float> b = random_matrix(size * size, 22);
+  std::vector<float> c(size * size, 0.0f);
+  for (auto _ : state) {
+    nn::sgemm(size, size, size, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * size * size * size));
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SgemmAt(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> a = random_matrix(size * size, 23);
+  const std::vector<float> b = random_matrix(size * size, 24);
+  std::vector<float> c(size * size, 0.0f);
+  for (auto _ : state) {
+    nn::sgemm_at(size, size, size, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * size * size * size));
+}
+BENCHMARK(BM_SgemmAt)->Arg(128)->Arg(256);
+
+void BM_SgemmBt(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> a = random_matrix(size * size, 25);
+  const std::vector<float> b = random_matrix(size * size, 26);
+  std::vector<float> c(size * size, 0.0f);
+  for (auto _ : state) {
+    nn::sgemm_bt(size, size, size, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * size * size * size));
+}
+BENCHMARK(BM_SgemmBt)->Arg(128)->Arg(256);
+
+// Batched convolution forward — the batch dimension fans out over the
+// pool, one sample per lane.
+void BM_Conv2dForwardBatched(benchmark::State& state) {
+  util::Rng rng(27);
+  nn::Conv2d conv(16, 16, 3, 1, 1);
+  conv.init_parameters(rng);
+  conv.set_algorithm(nn::ConvAlgorithm::kIm2col);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const nn::Tensor input = random_input({batch, 16, 16, 16}, 28);
+  for (auto _ : state) {
+    auto output = conv.forward(input, false);
+    benchmark::DoNotOptimize(output.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Conv2dForwardBatched)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_Conv2dForward(benchmark::State& state) {
   util::Rng rng(1);

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace odn::core {
 
@@ -137,15 +138,20 @@ DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
   }
 
   // Steps 4-6: allocate resources, deploy blocks, compute per-task plans.
+  // Plan assembly splits into a parallel phase — each task's plan (with its
+  // latency-model evaluation) is built independently into its own slot —
+  // and a serial commitment phase that walks the plans in task order, so
+  // ledger bookkeeping is identical for any thread count.
   DeploymentPlan plan;
   plan.solution = solution;
   std::unordered_set<edge::BlockIndex> new_blocks;
   double shared_rbs = 0.0;
 
-  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+  std::vector<TaskPlan> task_plans(instance.tasks.size());
+  util::global_parallel_for(instance.tasks.size(), [&](std::size_t t) {
     const DotTask& task = instance.tasks[t];
     const TaskDecision& decision = solution.decisions[t];
-    TaskPlan task_plan;
+    TaskPlan& task_plan = task_plans[t];
     task_plan.task_name = task.spec.name;
     task_plan.latency_bound_s = task.spec.max_latency_s;
     task_plan.admitted = decision.admitted();
@@ -161,6 +167,14 @@ DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
       task_plan.accuracy = option.accuracy;
       task_plan.inference_time_s = option.inference_time_s;
       task_plan.input_bits = option.input_bits;
+    }
+  });
+
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    const DotTask& task = instance.tasks[t];
+    const TaskDecision& decision = solution.decisions[t];
+    if (decision.admitted()) {
+      const PathOption& option = task.options[decision.option_index];
       shared_rbs +=
           decision.admission_ratio * static_cast<double>(decision.rbs);
       for (const edge::BlockIndex b : option.path.blocks) {
@@ -178,7 +192,7 @@ DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
                         static_cast<double>(decision.rbs),
           .blocks = option.path.blocks});
     }
-    plan.tasks.push_back(std::move(task_plan));
+    plan.tasks.push_back(std::move(task_plans[t]));
   }
 
   for (const edge::BlockIndex b : new_blocks) {

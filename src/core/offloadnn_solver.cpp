@@ -6,6 +6,7 @@
 
 #include "core/branch_optimizer.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace odn::core {
 namespace {
@@ -161,15 +162,27 @@ DotSolution OffloadnnSolver::solve_beam(const DotInstance& instance,
 
   const BranchOptimizer optimizer(instance);
   const DotEvaluator evaluator(instance);
+
+  // The per-branch (z, r) optimizations are independent; fan them out over
+  // the pool and min-reduce in beam order (strict '<'), which matches the
+  // serial loop's tie-breaking exactly for any thread count.
+  struct BranchResult {
+    std::vector<TaskDecision> decisions;
+    CostBreakdown cost;
+  };
+  std::vector<BranchResult> optimized(beam.size());
+  util::global_parallel_for(beam.size(), [&](std::size_t i) {
+    optimized[i].decisions = optimizer.optimize(beam[i].choices);
+    optimized[i].cost = evaluator.evaluate(optimized[i].decisions);
+  });
+
   DotSolution best;
   best.solver_name = "OffloaDNN-beam";
   bool have_best = false;
-  for (const PartialBranch& branch : beam) {
-    std::vector<TaskDecision> decisions = optimizer.optimize(branch.choices);
-    const CostBreakdown cost = evaluator.evaluate(decisions);
-    if (!have_best || cost.objective < best.cost.objective) {
-      best.decisions = std::move(decisions);
-      best.cost = cost;
+  for (BranchResult& branch : optimized) {
+    if (!have_best || branch.cost.objective < best.cost.objective) {
+      best.decisions = std::move(branch.decisions);
+      best.cost = branch.cost;
       have_best = true;
     }
   }

@@ -6,6 +6,7 @@
 #include "core/branch_optimizer.h"
 #include "util/fmt.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace odn::core {
 namespace {
@@ -93,6 +94,32 @@ void dfs(DfsContext& ctx, std::size_t layer_index) {
   ctx.choices[task_index] = std::nullopt;
 }
 
+// Fresh DFS state for one top-level subtree of the parallel fan-out.
+DfsContext make_context(const DotInstance& instance, const SolutionTree& tree,
+                        const BranchOptimizer& optimizer,
+                        const DotEvaluator& evaluator,
+                        const OptimalSolverOptions& options) {
+  return DfsContext{.instance = instance,
+                    .tree = tree,
+                    .optimizer = optimizer,
+                    .evaluator = evaluator,
+                    .options = options,
+                    .choices =
+                        std::vector<BranchChoice>(instance.tasks.size()),
+                    .block_use = std::vector<std::uint32_t>(
+                        instance.catalog.block_count(), 0),
+                    .memory_used = 0.0,
+                    .training_committed = 0.0,
+                    .best_objective = 0.0,
+                    .have_best = false,
+                    .best_decisions = {},
+                    .branches = 0};
+}
+
+// Minimum subtree branch-count estimate at which the first-layer fan-out
+// is worth dispatching to the pool; below it the serial DFS wins outright.
+constexpr double kParallelBranchThreshold = 64.0;
+
 }  // namespace
 
 OptimalSolver::OptimalSolver(OptimalSolverOptions options)
@@ -115,30 +142,94 @@ DotSolution OptimalSolver::solve(const DotInstance& instance) const {
   const BranchOptimizer optimizer(instance);
   const DotEvaluator evaluator(instance);
 
-  DfsContext ctx{.instance = instance,
-                 .tree = tree,
-                 .optimizer = optimizer,
-                 .evaluator = evaluator,
-                 .options = options_,
-                 .choices = std::vector<BranchChoice>(instance.tasks.size()),
-                 .block_use = std::vector<std::uint32_t>(
-                     instance.catalog.block_count(), 0),
-                 .memory_used = 0.0,
-                 .training_committed = 0.0,
-                 .best_objective = 0.0,
-                 .have_best = false,
-                 .best_decisions = {},
-                 .branches = 0};
-  dfs(ctx, 0);
+  // First-layer fan-out: one subtree per top-level child of the solution
+  // tree — the explicit skip child (index 0) plus one child per vertex of
+  // the first clique. Each subtree runs the unchanged serial DFS on its own
+  // context; the per-subtree minima are then reduced in branch-index order
+  // with a strict '<', which reproduces the serial incumbent rule exactly
+  // (the first branch in DFS order achieving the minimum wins). Results are
+  // therefore bit-identical to the serial traversal for any thread count.
+  const std::size_t fanout =
+      tree.num_layers() == 0 ? 0 : tree.layer(0).size() + 1;
+  const bool parallel = fanout >= 2 && util::global_thread_count() > 1 &&
+                        !util::ThreadPool::in_parallel_region() &&
+                        branches >= kParallelBranchThreshold;
+
+  double best_objective = 0.0;
+  bool have_best = false;
+  std::vector<TaskDecision> best_decisions;
+  std::size_t branches_explored = 0;
+
+  if (!parallel) {
+    DfsContext ctx =
+        make_context(instance, tree, optimizer, evaluator, options_);
+    dfs(ctx, 0);
+    have_best = ctx.have_best;
+    best_objective = ctx.best_objective;
+    best_decisions = std::move(ctx.best_decisions);
+    branches_explored = ctx.branches;
+  } else {
+    struct SubtreeResult {
+      bool have_best = false;
+      double best_objective = 0.0;
+      std::vector<TaskDecision> best_decisions;
+      std::size_t branches = 0;
+    };
+    std::vector<SubtreeResult> results(fanout);
+    const std::size_t task0 = tree.layer_task(0);
+
+    util::global_parallel_for(fanout, [&](std::size_t child) {
+      DfsContext ctx =
+          make_context(instance, tree, optimizer, evaluator, options_);
+      if (child == 0) {
+        // The skip child: the first task is rejected on this subtree.
+        ctx.choices[task0] = std::nullopt;
+        dfs(ctx, 1);
+      } else {
+        const TreeVertex& vertex = tree.layer(0)[child - 1];
+        const PathOption& option =
+            instance.tasks[task0].options[vertex.option_index];
+        for (const edge::BlockIndex b : option.path.blocks) {
+          if (ctx.block_use[b]++ == 0) {
+            ctx.memory_used += instance.catalog.block(b).memory_bytes;
+            ctx.training_committed +=
+                instance.catalog.block(b).training_cost_s;
+          }
+        }
+        if (ctx.memory_used <=
+            instance.resources.memory_capacity_bytes * (1.0 + 1e-12)) {
+          ctx.choices[task0] = vertex.option_index;
+          dfs(ctx, 1);
+        }
+      }
+      results[child] = SubtreeResult{ctx.have_best, ctx.best_objective,
+                                     std::move(ctx.best_decisions),
+                                     ctx.branches};
+    });
+
+    // Deterministic min-reduce in branch order: exact serial tie-breaking.
+    // (With bound_pruning the branch *count* may exceed the serial one —
+    // subtrees prune against local incumbents only — but the reported
+    // optimum and its decisions are unchanged.)
+    for (SubtreeResult& result : results) {
+      branches_explored += result.branches;
+      if (!result.have_best) continue;
+      if (!have_best || result.best_objective < best_objective) {
+        have_best = true;
+        best_objective = result.best_objective;
+        best_decisions = std::move(result.best_decisions);
+      }
+    }
+  }
 
   DotSolution solution;
   solution.solver_name = "optimum";
-  solution.decisions = std::move(ctx.best_decisions);
+  solution.decisions = std::move(best_decisions);
   if (solution.decisions.empty())
     solution.decisions.assign(instance.tasks.size(), TaskDecision{});
   solution.cost = evaluator.evaluate(solution.decisions);
   solution.solve_time_s = watch.elapsed_seconds();
-  solution.branches_explored = ctx.branches;
+  solution.branches_explored = branches_explored;
   return solution;
 }
 

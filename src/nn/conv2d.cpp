@@ -8,6 +8,7 @@
 
 #include "nn/gemm.h"
 #include "util/fmt.h"
+#include "util/thread_pool.h"
 
 namespace odn::nn {
 namespace {
@@ -113,21 +114,20 @@ Tensor Conv2d::forward_direct(const Tensor& input) {
   const std::size_t out_sample = out_channels_ * out_plane;
   const std::size_t w_slice = kernel_ * kernel_;
 
-  if (with_bias_) {
-    for (std::size_t n = 0; n < batch; ++n)
+  // Decomposed as a sum of shifted, scaled input rows: for each kernel tap
+  // (kh, kw), the inner loop over output columns is contiguous in both
+  // input and output, which lets the compiler vectorize it. Samples are
+  // independent (disjoint output slices), so the batch runs on the pool.
+  util::global_parallel_for(batch, [&](std::size_t n) {
+    const float* in_n = in_base + n * in_sample;
+    float* out_n = out_base + n * out_sample;
+    if (with_bias_) {
       for (std::size_t co = 0; co < out_channels_; ++co) {
-        float* row = out_base + n * out_sample + co * out_plane;
+        float* row = out_n + co * out_plane;
         const float b = bias_.value[co];
         for (std::size_t i = 0; i < out_plane; ++i) row[i] = b;
       }
-  }
-
-  // Decomposed as a sum of shifted, scaled input rows: for each kernel tap
-  // (kh, kw), the inner loop over output columns is contiguous in both
-  // input and output, which lets the compiler vectorize it.
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* in_n = in_base + n * in_sample;
-    float* out_n = out_base + n * out_sample;
+    }
     for (std::size_t co = 0; co < out_channels_; ++co) {
       float* out_c = out_n + co * out_plane;
       for (std::size_t ci = 0; ci < in_channels_; ++ci) {
@@ -159,7 +159,7 @@ Tensor Conv2d::forward_direct(const Tensor& input) {
         }
       }
     }
-  }
+  });
 
   return output;
 }
@@ -185,7 +185,6 @@ Tensor Conv2d::backward_direct(const Tensor& grad_output) {
   const float* go_base = grad_output.data().data();
   float* gi_base = grad_input.data().data();
   const float* w_base = weight_.value.data().data();
-  float* wg_base = weight_.grad.data().data();
 
   const std::size_t in_plane = in_h * in_w;
   const std::size_t out_plane = out_h * out_w;
@@ -193,17 +192,27 @@ Tensor Conv2d::backward_direct(const Tensor& grad_output) {
   const std::size_t out_sample = out_channels_ * out_plane;
   const std::size_t w_slice = kernel_ * kernel_;
 
-  for (std::size_t n = 0; n < batch; ++n) {
+  // Weight/bias gradients are shared across the batch; each sample writes
+  // its own partial and the partials are reduced in batch order afterwards,
+  // so the result is independent of how samples map to pool workers.
+  const std::size_t w_count = weight_.grad.data().size();
+  std::vector<float> w_partial(frozen_ ? 0 : batch * w_count, 0.0f);
+  std::vector<float> b_partial(
+      (!frozen_ && with_bias_) ? batch * out_channels_ : 0, 0.0f);
+
+  util::global_parallel_for(batch, [&](std::size_t n) {
     const float* in_n = in_base + n * in_sample;
     const float* go_n = go_base + n * out_sample;
     float* gi_n = gi_base + n * in_sample;
+    float* wg_base = frozen_ ? nullptr : w_partial.data() + n * w_count;
     for (std::size_t co = 0; co < out_channels_; ++co) {
       const float* go_c = go_n + co * out_plane;
       for (std::size_t ci = 0; ci < in_channels_; ++ci) {
         const float* in_c = in_n + ci * in_plane;
         float* gi_c = gi_n + ci * in_plane;
         const float* w_c = w_base + (co * in_channels_ + ci) * w_slice;
-        float* wg_c = wg_base + (co * in_channels_ + ci) * w_slice;
+        float* wg_c =
+            frozen_ ? nullptr : wg_base + (co * in_channels_ + ci) * w_slice;
         for (std::size_t kh = 0; kh < kernel_; ++kh) {
           const ValidRange rh =
               valid_outputs(out_h, in_h, stride_, padding_, kh);
@@ -246,8 +255,21 @@ Tensor Conv2d::backward_direct(const Tensor& grad_output) {
       if (!frozen_ && with_bias_) {
         float bias_grad = 0.0f;
         for (std::size_t i = 0; i < out_plane; ++i) bias_grad += go_c[i];
-        bias_.grad[co] += bias_grad;
+        b_partial[n * out_channels_ + co] += bias_grad;
       }
+    }
+  });
+
+  if (!frozen_) {
+    float* wg = weight_.grad.data().data();
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* partial = w_partial.data() + n * w_count;
+      for (std::size_t i = 0; i < w_count; ++i) wg[i] += partial[i];
+    }
+    if (with_bias_) {
+      for (std::size_t n = 0; n < batch; ++n)
+        for (std::size_t co = 0; co < out_channels_; ++co)
+          bias_.grad[co] += b_partial[n * out_channels_ + co];
     }
   }
 
@@ -327,11 +349,13 @@ Tensor Conv2d::forward_im2col(const Tensor& input) {
   const std::size_t columns = out_h * out_w;
 
   Tensor output({batch, out_channels_, out_h, out_w});
-  std::vector<float> col(lowered_rows * columns);
   const std::size_t in_sample = in_channels_ * in_h * in_w;
   const std::size_t out_sample = out_channels_ * columns;
 
-  for (std::size_t n = 0; n < batch; ++n) {
+  // Samples lower and multiply independently into disjoint output slices;
+  // each pool lane owns its own column scratch.
+  util::global_parallel_for(batch, [&](std::size_t n) {
+    std::vector<float> col(lowered_rows * columns);
     im2col_sample(input.data().data() + n * in_sample, in_h, in_w, out_h,
                   out_w, col.data());
     // out(M x N) = W(M x K_l) * col(K_l x N)
@@ -346,7 +370,7 @@ Tensor Conv2d::forward_im2col(const Tensor& input) {
         for (std::size_t i = 0; i < columns; ++i) row_ptr[i] += b;
       }
     }
-  }
+  });
   return output;
 }
 
@@ -363,23 +387,31 @@ Tensor Conv2d::backward_im2col(const Tensor& grad_output) {
   const std::size_t out_sample = out_channels_ * columns;
 
   Tensor grad_input(input.shape());
-  std::vector<float> col(lowered_rows * columns);
-  std::vector<float> grad_col(lowered_rows * columns);
 
-  for (std::size_t n = 0; n < batch; ++n) {
+  // As in backward_direct: grad_input slices are disjoint per sample, the
+  // shared weight/bias gradients go through per-sample partials reduced in
+  // batch order so the batch can fan out across the pool deterministically.
+  const std::size_t w_count = weight_.grad.data().size();
+  std::vector<float> w_partial(frozen_ ? 0 : batch * w_count, 0.0f);
+  std::vector<float> b_partial(
+      (!frozen_ && with_bias_) ? batch * out_channels_ : 0, 0.0f);
+
+  util::global_parallel_for(batch, [&](std::size_t n) {
+    std::vector<float> grad_col(lowered_rows * columns);
     const float* go_n = grad_output.data().data() + n * out_sample;
     if (!frozen_) {
       // GW(M x K_l) += GO(M x N) * col(K_l x N)^T
+      std::vector<float> col(lowered_rows * columns);
       im2col_sample(input.data().data() + n * in_sample, in_h, in_w, out_h,
                     out_w, col.data());
       sgemm_bt(out_channels_, lowered_rows, columns, go_n, col.data(),
-               weight_.grad.data().data(), /*accumulate=*/true);
+               w_partial.data() + n * w_count, /*accumulate=*/false);
       if (with_bias_) {
         for (std::size_t co = 0; co < out_channels_; ++co) {
           float acc = 0.0f;
           const float* row_ptr = go_n + co * columns;
           for (std::size_t i = 0; i < columns; ++i) acc += row_ptr[i];
-          bias_.grad[co] += acc;
+          b_partial[n * out_channels_ + co] += acc;
         }
       }
     }
@@ -388,6 +420,19 @@ Tensor Conv2d::backward_im2col(const Tensor& grad_output) {
              weight_.value.data().data(), go_n, grad_col.data());
     col2im_sample(grad_col.data(), in_h, in_w, out_h, out_w,
                   grad_input.data().data() + n * in_sample);
+  });
+
+  if (!frozen_) {
+    float* wg = weight_.grad.data().data();
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* partial = w_partial.data() + n * w_count;
+      for (std::size_t i = 0; i < w_count; ++i) wg[i] += partial[i];
+    }
+    if (with_bias_) {
+      for (std::size_t n = 0; n < batch; ++n)
+        for (std::size_t co = 0; co < out_channels_; ++co)
+          bias_.grad[co] += b_partial[n * out_channels_ + co];
+    }
   }
   return grad_input;
 }

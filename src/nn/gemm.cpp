@@ -1,21 +1,43 @@
 #include "nn/gemm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+
+#include "util/thread_pool.h"
 
 namespace odn::nn {
 namespace {
 
 constexpr std::size_t kBlockK = 64;
+// Rows per parallel work item. Fixed (not thread-count dependent): each
+// output row is written by exactly one lane with the same accumulation
+// order as the serial kernel, so the partition never affects the result.
+constexpr std::size_t kRowBlock = 16;
 
-}  // namespace
+std::atomic<std::size_t> g_parallel_threshold{std::size_t{1} << 21};
 
-void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
-           const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+std::size_t row_block_count(std::size_t m) {
+  return (m + kRowBlock - 1) / kRowBlock;
+}
+
+bool dispatch_parallel(std::size_t m, std::size_t n, std::size_t k) {
+  if (m < 2) return false;
+  const std::size_t flops = 2 * m * n * k;
+  return flops >= g_parallel_threshold.load(std::memory_order_relaxed) &&
+         !util::ThreadPool::in_parallel_region() &&
+         util::global_thread_count() > 1;
+}
+
+// The shared row-range kernels: the serial entry points run them over
+// [0, m); the parallel dispatch runs them over disjoint row blocks. The
+// per-element arithmetic is the same either way.
+
+void sgemm_rows(std::size_t i0, std::size_t i1, std::size_t n, std::size_t k,
+                const float* a, const float* b, float* c) {
   for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
     const std::size_t k1 = std::min(k, k0 + kBlockK);
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = i0; i < i1; ++i) {
       float* c_row = c + i * n;
       for (std::size_t kk = k0; kk < k1; ++kk) {
         const float a_ik = a[i * k + kk];
@@ -27,14 +49,14 @@ void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
   }
 }
 
-void sgemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
-              const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+void sgemm_at_rows(std::size_t i0, std::size_t i1, std::size_t m,
+                   std::size_t n, std::size_t k, const float* a,
+                   const float* b, float* c) {
   // A is (K x M): A^T[i][kk] = a[kk * m + i].
   for (std::size_t kk = 0; kk < k; ++kk) {
     const float* a_row = a + kk * m;
     const float* b_row = b + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = i0; i < i1; ++i) {
       const float a_ik = a_row[i];
       if (a_ik == 0.0f) continue;
       float* c_row = c + i * n;
@@ -43,11 +65,12 @@ void sgemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
   }
 }
 
-void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
-              const float* b, float* c, bool accumulate) {
+void sgemm_bt_rows(std::size_t i0, std::size_t i1, std::size_t n,
+                   std::size_t k, const float* a, const float* b, float* c,
+                   bool accumulate) {
   // B is (N x K): rows of B are contiguous in K — the inner loop is a dot
   // product of two contiguous vectors.
-  for (std::size_t i = 0; i < m; ++i) {
+  for (std::size_t i = i0; i < i1; ++i) {
     const float* a_row = a + i * k;
     float* c_row = c + i * n;
     for (std::size_t j = 0; j < n; ++j) {
@@ -57,6 +80,55 @@ void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
       c_row[j] = acc;
     }
   }
+}
+
+}  // namespace
+
+void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+           const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (!dispatch_parallel(m, n, k)) {
+    sgemm_rows(0, m, n, k, a, b, c);
+    return;
+  }
+  util::global_parallel_for(row_block_count(m), [&](std::size_t block) {
+    const std::size_t i0 = block * kRowBlock;
+    sgemm_rows(i0, std::min(m, i0 + kRowBlock), n, k, a, b, c);
+  });
+}
+
+void sgemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (!dispatch_parallel(m, n, k)) {
+    sgemm_at_rows(0, m, m, n, k, a, b, c);
+    return;
+  }
+  util::global_parallel_for(row_block_count(m), [&](std::size_t block) {
+    const std::size_t i0 = block * kRowBlock;
+    sgemm_at_rows(i0, std::min(m, i0 + kRowBlock), m, n, k, a, b, c);
+  });
+}
+
+void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+              const float* b, float* c, bool accumulate) {
+  if (!dispatch_parallel(m, n, k)) {
+    sgemm_bt_rows(0, m, n, k, a, b, c, accumulate);
+    return;
+  }
+  util::global_parallel_for(row_block_count(m), [&](std::size_t block) {
+    const std::size_t i0 = block * kRowBlock;
+    sgemm_bt_rows(i0, std::min(m, i0 + kRowBlock), n, k, a, b, c,
+                  accumulate);
+  });
+}
+
+std::size_t gemm_parallel_threshold() noexcept {
+  return g_parallel_threshold.load(std::memory_order_relaxed);
+}
+
+void set_gemm_parallel_threshold(std::size_t flops) noexcept {
+  g_parallel_threshold.store(flops, std::memory_order_relaxed);
 }
 
 }  // namespace odn::nn

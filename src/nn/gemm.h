@@ -5,6 +5,12 @@
 // rows of B and C and auto-vectorizes; K-blocking keeps the hot rows of B
 // in cache. Not a BLAS replacement — just enough for the layer sizes this
 // library meets.
+//
+// GEMMs whose flop count (2·M·N·K) reaches gemm_parallel_threshold() are
+// partitioned into row blocks across util::global_pool(). Each output row
+// is produced by exactly one lane with the same per-element accumulation
+// order as the serial kernel, so parallel and serial results are
+// bit-identical (the contract tests/nn/test_parallel_gemm.cpp enforces).
 #pragma once
 
 #include <cstddef>
@@ -22,5 +28,11 @@ void sgemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
 // C = A * B^T (+ C if accumulate); B is (N x K) row-major.
 void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
               const float* b, float* c, bool accumulate = false);
+
+// Flop count (2·M·N·K) below which the GEMMs stay on the calling thread;
+// tunable so benchmarks can sweep it and tests can force the parallel path
+// on tiny shapes (set to 0).
+std::size_t gemm_parallel_threshold() noexcept;
+void set_gemm_parallel_threshold(std::size_t flops) noexcept;
 
 }  // namespace odn::nn

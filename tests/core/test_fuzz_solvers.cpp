@@ -9,69 +9,12 @@
 
 #include "core/offloadnn_solver.h"
 #include "core/optimal_solver.h"
-#include "util/rng.h"
+#include "fuzz_instances.h"
 
 namespace odn::core {
 namespace {
 
-DotInstance random_instance(std::uint64_t seed) {
-  util::Rng rng(seed);
-  DotInstance instance;
-  instance.name = "fuzz-" + std::to_string(seed);
-  instance.alpha = rng.uniform(0.2, 0.8);
-  instance.resources.compute_capacity_s = rng.uniform(0.05, 5.0);
-  instance.resources.training_budget_s = rng.uniform(50.0, 2000.0);
-  instance.resources.memory_capacity_bytes = rng.uniform(0.2e9, 4e9);
-  instance.resources.total_rbs =
-      static_cast<std::size_t>(rng.uniform_int(5, 60));
-  instance.radio = rng.bernoulli(0.7)
-                       ? edge::RadioModel::fixed(rng.uniform(100e3, 600e3))
-                       : edge::RadioModel::lte();
-
-  // A pool of blocks: some shared (ct = 0), some task-specific-flavoured.
-  const auto block_count =
-      static_cast<std::size_t>(rng.uniform_int(4, 14));
-  for (std::size_t b = 0; b < block_count; ++b) {
-    edge::CatalogBlock block;
-    const bool shared = rng.bernoulli(0.4);
-    block.kind = shared ? edge::BlockKind::kSharedBase
-                        : edge::BlockKind::kFineTuned;
-    block.name = "blk-" + std::to_string(b);
-    block.inference_time_s = rng.uniform(0.5e-3, 8e-3);
-    block.memory_bytes = rng.uniform(20e6, 600e6);
-    block.training_cost_s = shared ? 0.0 : rng.uniform(5.0, 120.0);
-    instance.catalog.add_block(std::move(block));
-  }
-
-  const auto task_count = static_cast<std::size_t>(rng.uniform_int(1, 4));
-  for (std::size_t t = 0; t < task_count; ++t) {
-    DotTask task;
-    task.spec.name = "task-" + std::to_string(t);
-    task.spec.priority = rng.uniform(0.05, 1.0);
-    task.spec.request_rate = rng.uniform(0.5, 10.0);
-    task.spec.min_accuracy = rng.uniform(0.3, 0.9);
-    task.spec.max_latency_s = rng.uniform(0.05, 1.0);
-    task.spec.snr_db = rng.uniform(-2.0, 22.0);
-    task.spec.qualities = {{rng.uniform(50e3, 500e3), 1.0}};
-    const auto option_count =
-        static_cast<std::size_t>(rng.uniform_int(1, 4));
-    for (std::size_t o = 0; o < option_count; ++o) {
-      PathOption option;
-      option.path.name = "p" + std::to_string(o);
-      option.path.accuracy = rng.uniform(0.3, 0.98);
-      const auto path_length =
-          static_cast<std::size_t>(rng.uniform_int(1, 4));
-      for (std::size_t b = 0; b < path_length; ++b)
-        option.path.blocks.push_back(static_cast<edge::BlockIndex>(
-            rng.uniform_int(0, static_cast<std::int64_t>(block_count) - 1)));
-      option.quality_index = 0;
-      task.options.push_back(std::move(option));
-    }
-    instance.tasks.push_back(std::move(task));
-  }
-  instance.finalize();
-  return instance;
-}
+using testing::random_instance;
 
 class SolverFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,0 +1,237 @@
+// Differential tests for the parallel NN hot paths: with the dispatch
+// threshold forced to zero, every sgemm/sgemm_at/sgemm_bt call and every
+// Conv2d batch fans out across the global pool — and must still be
+// BIT-IDENTICAL to the serial path (set_thread_count(1)). Odd shapes are
+// chosen so row counts do not divide the internal row-block size, batches
+// of one and thread counts exceeding the row count are covered, and both
+// convolution algorithms run forward and backward.
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace odn::nn {
+namespace {
+
+class ParallelGemm : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threshold_ = gemm_parallel_threshold();
+    set_gemm_parallel_threshold(0);  // force the parallel path everywhere
+  }
+  void TearDown() override {
+    set_gemm_parallel_threshold(saved_threshold_);
+    util::set_thread_count(0);  // restore env/hardware sizing
+  }
+
+  // Runs fn twice — serial escape hatch vs a many-thread pool — and hands
+  // both result vectors to the comparison.
+  static void run_serial_and_parallel(
+      const std::function<std::vector<float>()>& fn,
+      std::vector<float>* serial, std::vector<float>* parallel) {
+    util::set_thread_count(1);
+    *serial = fn();
+    util::set_thread_count(8);
+    *parallel = fn();
+  }
+
+  static void expect_bit_identical(const std::vector<float>& serial,
+                                   const std::vector<float>& parallel) {
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << "parallel result differs from serial";
+  }
+
+  std::size_t saved_threshold_ = 0;
+};
+
+std::vector<float> random_values(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> values(count);
+  for (float& v : values)
+    v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return values;
+}
+
+struct GemmShape {
+  std::size_t m, n, k;
+};
+
+// M/N/K deliberately not multiples of the 16-row parallel block; m=2 pits
+// 8 threads against 2 rows; 129 rows exercise a ragged final block.
+const GemmShape kShapes[] = {{1, 1, 1},    {3, 5, 7},   {2, 33, 17},
+                             {17, 1, 33},  {16, 16, 16}, {129, 63, 65},
+                             {47, 31, 129}};
+
+TEST_F(ParallelGemm, SgemmBitIdenticalAcrossOddShapes) {
+  for (const GemmShape& shape : kShapes) {
+    for (const bool accumulate : {false, true}) {
+      const std::vector<float> a = random_values(shape.m * shape.k, 11);
+      const std::vector<float> b = random_values(shape.k * shape.n, 13);
+      const std::vector<float> c0 = random_values(shape.m * shape.n, 17);
+      std::vector<float> serial;
+      std::vector<float> parallel;
+      run_serial_and_parallel(
+          [&] {
+            std::vector<float> c = c0;
+            sgemm(shape.m, shape.n, shape.k, a.data(), b.data(), c.data(),
+                  accumulate);
+            return c;
+          },
+          &serial, &parallel);
+      SCOPED_TRACE(::testing::Message()
+                   << "m=" << shape.m << " n=" << shape.n << " k=" << shape.k
+                   << " accumulate=" << accumulate);
+      expect_bit_identical(serial, parallel);
+    }
+  }
+}
+
+TEST_F(ParallelGemm, SgemmAtBitIdenticalAcrossOddShapes) {
+  for (const GemmShape& shape : kShapes) {
+    for (const bool accumulate : {false, true}) {
+      const std::vector<float> a = random_values(shape.k * shape.m, 19);
+      const std::vector<float> b = random_values(shape.k * shape.n, 23);
+      const std::vector<float> c0 = random_values(shape.m * shape.n, 29);
+      std::vector<float> serial;
+      std::vector<float> parallel;
+      run_serial_and_parallel(
+          [&] {
+            std::vector<float> c = c0;
+            sgemm_at(shape.m, shape.n, shape.k, a.data(), b.data(), c.data(),
+                     accumulate);
+            return c;
+          },
+          &serial, &parallel);
+      SCOPED_TRACE(::testing::Message()
+                   << "m=" << shape.m << " n=" << shape.n << " k=" << shape.k
+                   << " accumulate=" << accumulate);
+      expect_bit_identical(serial, parallel);
+    }
+  }
+}
+
+TEST_F(ParallelGemm, SgemmBtBitIdenticalAcrossOddShapes) {
+  for (const GemmShape& shape : kShapes) {
+    for (const bool accumulate : {false, true}) {
+      const std::vector<float> a = random_values(shape.m * shape.k, 31);
+      const std::vector<float> b = random_values(shape.n * shape.k, 37);
+      const std::vector<float> c0 = random_values(shape.m * shape.n, 41);
+      std::vector<float> serial;
+      std::vector<float> parallel;
+      run_serial_and_parallel(
+          [&] {
+            std::vector<float> c = c0;
+            sgemm_bt(shape.m, shape.n, shape.k, a.data(), b.data(), c.data(),
+                     accumulate);
+            return c;
+          },
+          &serial, &parallel);
+      SCOPED_TRACE(::testing::Message()
+                   << "m=" << shape.m << " n=" << shape.n << " k=" << shape.k
+                   << " accumulate=" << accumulate);
+      expect_bit_identical(serial, parallel);
+    }
+  }
+}
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor tensor(std::move(shape));
+  for (float& x : tensor.data())
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return tensor;
+}
+
+struct ConvCase {
+  std::size_t batch, in_ch, out_ch, kernel, stride, pad, size;
+};
+
+// batch=1 (nothing to fan out), odd batch, and batch smaller than the
+// thread count are all represented.
+const ConvCase kConvCases[] = {{1, 3, 5, 3, 1, 1, 8},
+                               {2, 4, 6, 3, 2, 1, 9},
+                               {5, 2, 3, 2, 1, 0, 7},
+                               {3, 6, 4, 3, 1, 1, 6}};
+
+// Runs one forward+backward and returns (output | grad_input | weight grad
+// | bias grad) concatenated, for bitwise comparison across thread counts.
+std::vector<float> conv_round_trip(const ConvCase& cc,
+                                   ConvAlgorithm algorithm) {
+  util::Rng rng(101);
+  Conv2d conv(cc.in_ch, cc.out_ch, cc.kernel, cc.stride, cc.pad,
+              /*with_bias=*/true);
+  conv.init_parameters(rng);
+  conv.set_algorithm(algorithm);
+  const Tensor input =
+      random_tensor({cc.batch, cc.in_ch, cc.size, cc.size}, 103);
+  const Tensor output = conv.forward(input, /*training=*/true);
+  const Tensor grad_out = random_tensor(output.shape(), 107);
+  const Tensor grad_in = conv.backward(grad_out);
+
+  std::vector<float> all;
+  all.insert(all.end(), output.data().begin(), output.data().end());
+  all.insert(all.end(), grad_in.data().begin(), grad_in.data().end());
+  all.insert(all.end(), conv.weight().grad.data().begin(),
+             conv.weight().grad.data().end());
+  all.insert(all.end(), conv.bias().grad.data().begin(),
+             conv.bias().grad.data().end());
+  return all;
+}
+
+TEST_F(ParallelGemm, Conv2dIm2colForwardBackwardBitIdentical) {
+  for (const ConvCase& cc : kConvCases) {
+    std::vector<float> serial;
+    std::vector<float> parallel;
+    run_serial_and_parallel(
+        [&] { return conv_round_trip(cc, ConvAlgorithm::kIm2col); }, &serial,
+        &parallel);
+    SCOPED_TRACE(::testing::Message() << "batch=" << cc.batch
+                                      << " in=" << cc.in_ch
+                                      << " out=" << cc.out_ch);
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST_F(ParallelGemm, Conv2dDirectForwardBackwardBitIdentical) {
+  for (const ConvCase& cc : kConvCases) {
+    std::vector<float> serial;
+    std::vector<float> parallel;
+    run_serial_and_parallel(
+        [&] { return conv_round_trip(cc, ConvAlgorithm::kDirect); }, &serial,
+        &parallel);
+    SCOPED_TRACE(::testing::Message() << "batch=" << cc.batch
+                                      << " in=" << cc.in_ch
+                                      << " out=" << cc.out_ch);
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST_F(ParallelGemm, ThresholdKeepsSmallGemmsSerial) {
+  // Above-threshold flop counts dispatch, below stay serial — either way
+  // the result is identical; this pins the knob's plumbing.
+  set_gemm_parallel_threshold(std::size_t{1} << 40);  // nothing qualifies
+  util::set_thread_count(8);
+  const std::vector<float> a = random_values(129 * 65, 43);
+  const std::vector<float> b = random_values(65 * 63, 47);
+  std::vector<float> c_big_threshold(129 * 63, 0.0f);
+  sgemm(129, 63, 65, a.data(), b.data(), c_big_threshold.data(), false);
+
+  set_gemm_parallel_threshold(0);  // everything qualifies
+  std::vector<float> c_zero_threshold(129 * 63, 0.0f);
+  sgemm(129, 63, 65, a.data(), b.data(), c_zero_threshold.data(), false);
+  expect_bit_identical(c_big_threshold, c_zero_threshold);
+  EXPECT_EQ(gemm_parallel_threshold(), std::size_t{0});
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,164 @@
+// Concurrency stress tests for the ThreadPool — the races the pool must
+// survive before the hot paths (GEMM, conv batching, solver fan-out) are
+// allowed to trust it. Labelled `race` in CMake so TSan runs can target
+// them: cmake -B build-tsan -DODN_SANITIZE=thread && ctest -L race.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace odn::util {
+namespace {
+
+TEST(ThreadPoolStress, ManyProducerSubmitStorm) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  std::atomic<int> counter{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, WaitIdleUnderConcurrentSubmits) {
+  ThreadPool pool(3);
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 300;
+  std::atomic<int> counter{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  // wait_idle racing the submit storm must neither hang nor crash; each
+  // return is a moment the pool observed an empty in-flight set.
+  while (counter.load() < kProducers * kTasksPerProducer) {
+    pool.wait_idle();
+    std::this_thread::yield();
+  }
+  for (auto& producer : producers) producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallers) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kCount = 2000;
+  std::vector<std::atomic<int>> hits(kCallers * kCount);
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.parallel_for(kCount, [&hits, c](std::size_t i) {
+        hits[static_cast<std::size_t>(c) * kCount + i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolStress, ExceptionStormLeavesPoolUsable) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [](std::size_t i) {
+                                     if (i % 7 == 3)
+                                       throw std::runtime_error("storm");
+                                   }),
+                 std::runtime_error);
+  }
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolStress, DestructorWhileBusyDrainsQueue) {
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i)
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    // Destruction races the still-busy workers; queued tasks must run
+    // to completion before the workers join.
+  }
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.parallel_for(8, [&pool, &counter](std::size_t) {
+    // A nested dispatch from inside a lane must degrade to a serial loop
+    // (blocking on wait_idle here would deadlock the pool).
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    pool.parallel_for(16, [&counter](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 8 * 16);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+// Regression: worker_count is a std::size_t and 0 must be clamped to at
+// least one worker (previously the clamp went through an unsigned/size_t
+// mix with hardware_concurrency()).
+TEST(ThreadPoolStress, ZeroWorkerCountClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), std::size_t{1});
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolStress, GlobalPoolRespectsSetThreadCount) {
+  set_thread_count(3);
+  EXPECT_EQ(global_thread_count(), std::size_t{3});
+  EXPECT_EQ(global_pool().worker_count(), std::size_t{3});
+
+  std::vector<std::atomic<int>> hits(257);
+  global_parallel_for(hits.size(),
+                      [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+
+  // The determinism escape hatch: one thread means serial dispatch on the
+  // calling thread (no pool hand-off at all).
+  set_thread_count(1);
+  EXPECT_EQ(global_thread_count(), std::size_t{1});
+  std::thread::id body_thread;
+  global_parallel_for(4, [&body_thread](std::size_t) {
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+
+  // 0 re-resolves from ODN_THREADS / hardware and clamps to >= 1.
+  set_thread_count(0);
+  EXPECT_GE(global_thread_count(), std::size_t{1});
+}
+
+}  // namespace
+}  // namespace odn::util
