@@ -1,0 +1,36 @@
+#include "runtime/retry_policy.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace odn::runtime {
+
+void RetryPolicy::validate() const {
+  if (max_attempts == 0)
+    throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+  if (backoff_s < 0.0)
+    throw std::invalid_argument("RetryPolicy: negative backoff");
+  if (backoff_multiplier <= 0.0)
+    throw std::invalid_argument("RetryPolicy: non-positive multiplier");
+  if (relaxed_accuracy_factor <= 0.0 || relaxed_accuracy_factor > 1.0)
+    throw std::invalid_argument(
+        "RetryPolicy: relaxed_accuracy_factor outside (0, 1]");
+}
+
+double RetryPolicy::retry_delay_s(std::size_t attempt) const {
+  double delay = backoff_s;
+  for (std::size_t k = 1; k < attempt; ++k) delay *= backoff_multiplier;
+  return delay;
+}
+
+bool RetryPolicy::downgrades(std::size_t attempt) const {
+  return downgrade_final_attempt && max_attempts > 1 &&
+         attempt == max_attempts;
+}
+
+core::DotTask downgraded_task(core::DotTask task, const RetryPolicy& policy) {
+  task.spec.min_accuracy *= policy.relaxed_accuracy_factor;
+  return task;
+}
+
+}  // namespace odn::runtime

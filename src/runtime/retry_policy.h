@@ -1,0 +1,42 @@
+// Admission retry policy for rejected tasks (related work treats churn
+// with deadline/priority-aware re-admission; here rejected jobs back off
+// and retry a bounded number of times, optionally downgrading their
+// accuracy requirement on the final attempt so a relaxed path can still
+// be served instead of dropping the job outright).
+#pragma once
+
+#include <cstddef>
+
+#include "core/dot_problem.h"
+
+namespace odn::runtime {
+
+struct RetryPolicy {
+  // Total admission attempts per job, including the first (1 = no retry).
+  std::size_t max_attempts = 3;
+  // Delay before the first retry; attempt k (1-based retry index) waits
+  // backoff_s * backoff_multiplier^(k-1).
+  double backoff_s = 2.0;
+  double backoff_multiplier = 2.0;
+  // When true, the final attempt relaxes the task's accuracy bound by
+  // relaxed_accuracy_factor (e.g. 0.9 turns A=0.80 into 0.72), widening
+  // the candidate path set.
+  bool downgrade_final_attempt = true;
+  double relaxed_accuracy_factor = 0.9;
+
+  void validate() const;
+
+  // Delay between rejection number `attempt` (1-based: first rejection is
+  // attempt 1) and the next try. Exponential backoff.
+  double retry_delay_s(std::size_t attempt) const;
+
+  // True when `attempt` (1-based attempt about to run) is the last one and
+  // the policy downgrades it.
+  bool downgrades(std::size_t attempt) const;
+};
+
+// Returns `task` with the accuracy requirement relaxed per the policy —
+// the runtime applies this to the final attempt of a rejected job.
+core::DotTask downgraded_task(core::DotTask task, const RetryPolicy& policy);
+
+}  // namespace odn::runtime

@@ -1,0 +1,314 @@
+#include "runtime/serving_runtime.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/emulator.h"
+#include "util/fmt.h"
+#include "util/logging.h"
+#include "util/mathx.h"
+
+namespace odn::runtime {
+namespace {
+
+enum class LoopEventKind : std::uint8_t {
+  kArrival,
+  kDeparture,
+  kRetry,
+  kEpoch,
+};
+
+struct LoopEvent {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  // deterministic tie-break: push order
+  LoopEventKind kind = LoopEventKind::kArrival;
+  std::size_t job = 0;  // index into the jobs vector (unused for kEpoch)
+
+  bool operator>(const LoopEvent& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return sequence > other.sequence;
+  }
+};
+
+struct Job {
+  std::uint64_t trace_id = 0;
+  std::size_t template_index = 0;
+  std::size_t class_index = 0;
+  std::string name;
+  std::size_t attempts = 0;
+  enum class State : std::uint8_t {
+    kPending,   // awaiting first attempt or in retry backoff
+    kActive,    // admitted, serving
+    kRejected,  // attempts exhausted
+    kDeparted,  // released (or left while pending)
+  } state = State::kPending;
+  core::TaskPlan plan;  // valid while kActive
+};
+
+// Epoch emulation seeds: one independent stream per epoch, derived from
+// the base seed with a SplitMix64-style odd-constant mix.
+std::uint64_t epoch_seed(std::uint64_t base, std::size_t epoch) noexcept {
+  return base + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(epoch) + 1);
+}
+
+}  // namespace
+
+void RuntimeOptions::validate() const {
+  if (epoch_s < 0.0)
+    throw std::invalid_argument("RuntimeOptions: negative epoch");
+  if (epoch_s > 0.0 && emulation_window_s <= 0.0)
+    throw std::invalid_argument(
+        "RuntimeOptions: non-positive emulation window");
+  if (class_names.size() != class_boundaries.size() + 1)
+    throw std::invalid_argument(
+        "RuntimeOptions: class_names must be one longer than boundaries");
+  if (!std::is_sorted(class_boundaries.begin(), class_boundaries.end()))
+    throw std::invalid_argument(
+        "RuntimeOptions: class boundaries must be ascending");
+  retry.validate();
+}
+
+ServingRuntime::ServingRuntime(edge::DnnCatalog catalog,
+                               edge::EdgeResources resources,
+                               edge::RadioModel radio,
+                               std::vector<core::DotTask> templates,
+                               RuntimeOptions options)
+    : catalog_(std::move(catalog)),
+      resources_(resources),
+      radio_(radio),
+      templates_(std::move(templates)),
+      options_(std::move(options)),
+      controller_(resources_, radio_, options_.controller) {
+  options_.validate();
+  if (templates_.empty())
+    throw std::invalid_argument("ServingRuntime: no task templates");
+}
+
+std::size_t ServingRuntime::class_of(double priority) const noexcept {
+  std::size_t index = 0;
+  while (index < options_.class_boundaries.size() &&
+         priority >= options_.class_boundaries[index])
+    ++index;
+  return index;
+}
+
+RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
+  trace.validate();
+  if (trace.template_count != templates_.size())
+    throw std::invalid_argument(util::fmt(
+        "ServingRuntime: trace indexes {} templates, runtime has {}",
+        trace.template_count, templates_.size()));
+
+  controller_.reset();
+
+  RuntimeReport report;
+  report.trace_name = trace.name;
+  report.seed = options_.seed;
+  report.horizon_s = trace.horizon_s;
+  report.classes.resize(options_.class_names.size());
+  for (std::size_t c = 0; c < options_.class_names.size(); ++c)
+    report.classes[c].name = options_.class_names[c];
+  report.watermarks.memory_capacity_bytes = resources_.memory_capacity_bytes;
+  report.watermarks.compute_capacity_s = resources_.compute_capacity_s;
+  report.watermarks.rb_capacity = resources_.total_rbs;
+
+  auto observe_ledger = [&] {
+    const edge::ResourceLedger& ledger = controller_.ledger();
+    report.watermarks.peak_memory_bytes = std::max(
+        report.watermarks.peak_memory_bytes, ledger.memory_used_bytes());
+    report.watermarks.peak_compute_s =
+        std::max(report.watermarks.peak_compute_s, ledger.compute_used_s());
+    report.watermarks.peak_rbs =
+        std::max(report.watermarks.peak_rbs, ledger.rbs_used());
+  };
+
+  // Materialize jobs and seed the calendar. Trace events are pushed in
+  // trace order, epoch events afterwards: the sequence counter makes
+  // same-instant ordering deterministic (churn first, then measurement).
+  std::vector<Job> jobs;
+  std::unordered_map<std::uint64_t, std::size_t> job_by_trace_id;
+  std::priority_queue<LoopEvent, std::vector<LoopEvent>,
+                      std::greater<LoopEvent>>
+      calendar;
+  std::uint64_t sequence = 0;
+
+  for (const WorkloadEvent& event : trace.events) {
+    if (event.kind == WorkloadEventKind::kArrival) {
+      Job job;
+      job.trace_id = event.job_id;
+      job.template_index = event.template_index;
+      const core::DotTask& tmpl = templates_[event.template_index];
+      job.class_index = class_of(tmpl.spec.priority);
+      job.name = util::fmt("job-{}/{}", event.job_id, tmpl.spec.name);
+      job_by_trace_id.emplace(event.job_id, jobs.size());
+      calendar.push(LoopEvent{event.time_s, sequence++,
+                              LoopEventKind::kArrival, jobs.size()});
+      jobs.push_back(std::move(job));
+    } else {
+      calendar.push(LoopEvent{event.time_s, sequence++,
+                              LoopEventKind::kDeparture,
+                              job_by_trace_id.at(event.job_id)});
+    }
+  }
+  std::size_t epoch_count = 0;
+  if (options_.epoch_s > 0.0) {
+    for (double t = options_.epoch_s; t <= trace.horizon_s + 1e-9;
+         t += options_.epoch_s)
+      calendar.push(LoopEvent{std::min(t, trace.horizon_s), sequence++,
+                              LoopEventKind::kEpoch, epoch_count++});
+  }
+
+  // One admission attempt for `job` at time `now`; schedules the retry on
+  // rejection.
+  auto attempt_admission = [&](std::size_t job_index, double now) {
+    Job& job = jobs[job_index];
+    ClassStats& stats = report.classes[job.class_index];
+    ++job.attempts;
+
+    core::DotTask task = templates_[job.template_index];
+    task.spec.name = job.name;
+    const bool downgraded = options_.retry.downgrades(job.attempts);
+    if (downgraded) task = downgraded_task(std::move(task), options_.retry);
+
+    const core::DeploymentPlan plan =
+        controller_.admit_incremental(catalog_, {std::move(task)});
+    observe_ledger();
+
+    if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
+      job.state = Job::State::kActive;
+      job.plan = plan.tasks[0];
+      ++stats.admitted;
+      if (job.attempts == 1)
+        ++stats.admitted_first_try;
+      else
+        ++stats.admitted_after_retry;
+      if (downgraded) ++stats.admitted_downgraded;
+      return;
+    }
+
+    if (job.attempts >= options_.retry.max_attempts) {
+      job.state = Job::State::kRejected;
+      ++stats.rejected_final;
+      return;
+    }
+    const double retry_at =
+        now + options_.retry.retry_delay_s(job.attempts);
+    if (retry_at > trace.horizon_s) {
+      // The horizon ends before the backoff expires: the job never gets
+      // another shot. It stays pending; counted at the end.
+      return;
+    }
+    ++stats.retries_scheduled;
+    calendar.push(
+        LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
+  };
+
+  // Epoch measurement: assemble the live deployment and emulate it.
+  auto measure_epoch = [&](double now, std::size_t epoch_index) {
+    EpochSnapshot snapshot;
+    snapshot.time_s = now;
+    snapshot.deployed_blocks = controller_.deployed_blocks().size();
+
+    core::DeploymentPlan live;
+    std::unordered_map<std::string, std::size_t> class_by_name;
+    for (const Job& job : jobs) {
+      if (job.state != Job::State::kActive) continue;
+      live.tasks.push_back(job.plan);
+      class_by_name.emplace(job.name, job.class_index);
+    }
+    snapshot.active_tasks = live.tasks.size();
+
+    if (!live.tasks.empty()) {
+      sim::EmulatorOptions emu_options;
+      emu_options.duration_s = options_.emulation_window_s;
+      emu_options.seed = epoch_seed(options_.seed, epoch_index);
+      emu_options.poisson_arrivals = options_.poisson_emulation;
+      sim::EdgeEmulator emulator(std::move(live), radio_,
+                                 resources_.compute_capacity_s, emu_options);
+      const sim::EmulationReport measured = emulator.run();
+
+      std::vector<double> epoch_latencies;
+      for (const sim::TaskTrace& task_trace : measured.tasks) {
+        const std::size_t class_index =
+            class_by_name.at(task_trace.task_name);
+        ClassStats& stats = report.classes[class_index];
+        for (const sim::LatencySample& sample : task_trace.samples) {
+          stats.latency_samples_s.push_back(sample.latency_s);
+          epoch_latencies.push_back(sample.latency_s);
+        }
+        const std::size_t violations = task_trace.bound_violations();
+        stats.slo_violations += violations;
+        snapshot.slo_violations += violations;
+      }
+      snapshot.samples = epoch_latencies.size();
+      snapshot.p95_latency_s =
+          epoch_latencies.empty()
+              ? 0.0
+              : util::percentile(std::move(epoch_latencies), 95.0);
+      snapshot.gpu_busy_fraction = measured.gpu_busy_fraction;
+    }
+    report.timeline.push_back(snapshot);
+    ++report.epochs;
+  };
+
+  while (!calendar.empty()) {
+    const LoopEvent event = calendar.top();
+    calendar.pop();
+    ++report.events_processed;
+
+    switch (event.kind) {
+      case LoopEventKind::kArrival: {
+        ++report.classes[jobs[event.job].class_index].arrivals;
+        attempt_admission(event.job, event.time);
+        break;
+      }
+      case LoopEventKind::kRetry: {
+        // A departure or the final rejection may have landed during the
+        // backoff; only still-pending jobs retry.
+        if (jobs[event.job].state == Job::State::kPending)
+          attempt_admission(event.job, event.time);
+        break;
+      }
+      case LoopEventKind::kDeparture: {
+        Job& job = jobs[event.job];
+        ClassStats& stats = report.classes[job.class_index];
+        if (job.state == Job::State::kActive) {
+          if (!controller_.release(job.name))
+            throw std::logic_error(util::fmt(
+                "ServingRuntime: active job '{}' unknown to controller",
+                job.name));
+          ++stats.departures;
+          observe_ledger();
+        } else if (job.state == Job::State::kPending) {
+          ++stats.departed_before_admission;
+        }
+        job.state = Job::State::kDeparted;
+        break;
+      }
+      case LoopEventKind::kEpoch: {
+        measure_epoch(event.time, event.job);
+        break;
+      }
+    }
+  }
+
+  for (const Job& job : jobs) {
+    if (job.state == Job::State::kPending)
+      ++report.classes[job.class_index].pending_at_end;
+    if (job.state == Job::State::kActive) ++report.active_at_end;
+  }
+  report.deployed_blocks_at_end = controller_.deployed_blocks().size();
+
+  util::log_info("runtime",
+                 "churn run '{}': {} events, {} epochs, {}/{} admitted, "
+                 "{} SLO violations, {} active at end",
+                 trace.name, report.events_processed, report.epochs,
+                 report.total_admitted(), report.total_arrivals(),
+                 report.total_slo_violations(), report.active_at_end);
+  return report;
+}
+
+}  // namespace odn::runtime

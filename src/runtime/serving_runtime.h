@@ -1,0 +1,84 @@
+// Long-horizon serving runtime — the subsystem that runs the paper's
+// Sec. III-B dynamic scenario over time instead of as a one-shot solve.
+//
+// A deterministic, seedable event loop advances simulated time over a
+// churn workload (WorkloadTrace). At each arrival it instantiates the
+// job's task template and drives the controller's incremental admission;
+// rejections enter the retry policy (bounded attempts, exponential
+// backoff, optional accuracy downgrade on the final try). Departures
+// release the job's commitment. At every epoch boundary the runtime
+// assembles the live deployment into a plan and runs the discrete-event
+// EdgeEmulator against it to collect *measured* latencies, which feed the
+// per-priority-class SLO accounting in RuntimeReport.
+//
+// Determinism contract: given equal (catalog, resources, templates,
+// options, trace), two runs produce byte-identical JSON reports for any
+// ODN_THREADS setting — the controller's parallel plan assembly is
+// bit-identical to serial (see util/thread_pool.h) and every stochastic
+// draw comes from seeded Rng instances owned by this loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "runtime/retry_policy.h"
+#include "runtime/stats.h"
+#include "runtime/workload.h"
+
+namespace odn::runtime {
+
+struct RuntimeOptions {
+  // Base seed for the epoch emulations (each epoch derives its own
+  // stream, so epochs are independent but reproducible).
+  std::uint64_t seed = 2024;
+  // Epoch cadence: every epoch_s of simulated time the live deployment is
+  // measured by the emulator; 0 disables measurement entirely.
+  double epoch_s = 10.0;
+  // Emulated wall-clock per measurement epoch.
+  double emulation_window_s = 5.0;
+  // Poisson request arrivals inside the emulator (bursty measurement
+  // traffic); false falls back to deterministic 1/rate spacing.
+  bool poisson_emulation = true;
+  RetryPolicy retry{};
+  // Priority classes: priority < boundaries[0] maps to class_names[0],
+  // boundaries[i-1] <= p < boundaries[i] to class_names[i], and
+  // p >= boundaries.back() to class_names.back(). Sizes must satisfy
+  // class_names.size() == boundaries.size() + 1.
+  std::vector<double> class_boundaries{0.35, 0.7};
+  std::vector<std::string> class_names{"low", "medium", "high"};
+  core::OffloadnnController::Options controller{};
+
+  void validate() const;
+};
+
+class ServingRuntime {
+ public:
+  ServingRuntime(edge::DnnCatalog catalog, edge::EdgeResources resources,
+                 edge::RadioModel radio,
+                 std::vector<core::DotTask> templates,
+                 RuntimeOptions options = {});
+
+  // Replays the trace from t=0 on a freshly reset controller and returns
+  // the accounting report. The trace's template_count must match the
+  // template set handed to the constructor.
+  RuntimeReport run(const WorkloadTrace& trace);
+
+  // Priority-class index of a template priority (exposed for tests).
+  std::size_t class_of(double priority) const noexcept;
+
+  const core::OffloadnnController& controller() const noexcept {
+    return controller_;
+  }
+
+ private:
+  edge::DnnCatalog catalog_;
+  edge::EdgeResources resources_;
+  edge::RadioModel radio_;
+  std::vector<core::DotTask> templates_;
+  RuntimeOptions options_;
+  core::OffloadnnController controller_;
+};
+
+}  // namespace odn::runtime

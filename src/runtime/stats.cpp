@@ -1,0 +1,166 @@
+#include "runtime/stats.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/mathx.h"
+
+namespace odn::runtime {
+namespace {
+
+// %.17g round-trips every double; fixed formatting keeps equal runs
+// byte-identical.
+std::string json_num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+double ClassStats::admission_rate() const {
+  return arrivals == 0
+             ? 0.0
+             : static_cast<double>(admitted) / static_cast<double>(arrivals);
+}
+
+double ClassStats::p50_latency_s() const {
+  return latency_samples_s.empty()
+             ? 0.0
+             : util::percentile(latency_samples_s, 50.0);
+}
+
+double ClassStats::p95_latency_s() const {
+  return latency_samples_s.empty()
+             ? 0.0
+             : util::percentile(latency_samples_s, 95.0);
+}
+
+double ClassStats::mean_latency_s() const {
+  if (latency_samples_s.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : latency_samples_s) sum += s;
+  return sum / static_cast<double>(latency_samples_s.size());
+}
+
+double ClassStats::slo_violation_rate() const {
+  return latency_samples_s.empty()
+             ? 0.0
+             : static_cast<double>(slo_violations) /
+                   static_cast<double>(latency_samples_s.size());
+}
+
+std::size_t RuntimeReport::total_arrivals() const {
+  std::size_t n = 0;
+  for (const ClassStats& c : classes) n += c.arrivals;
+  return n;
+}
+
+std::size_t RuntimeReport::total_admitted() const {
+  std::size_t n = 0;
+  for (const ClassStats& c : classes) n += c.admitted;
+  return n;
+}
+
+std::size_t RuntimeReport::total_slo_violations() const {
+  std::size_t n = 0;
+  for (const ClassStats& c : classes) n += c.slo_violations;
+  return n;
+}
+
+void RuntimeReport::write_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"schema\": \"odn-runtime-report/1\",\n";
+  out << "  \"trace\": \"" << json_escape(trace_name) << "\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"horizon_s\": " << json_num(horizon_s) << ",\n";
+  out << "  \"events_processed\": " << events_processed << ",\n";
+  out << "  \"epochs\": " << epochs << ",\n";
+
+  out << "  \"classes\": [\n";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const ClassStats& c = classes[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << json_escape(c.name) << "\",\n";
+    out << "      \"arrivals\": " << c.arrivals << ",\n";
+    out << "      \"admitted\": " << c.admitted << ",\n";
+    out << "      \"admitted_first_try\": " << c.admitted_first_try << ",\n";
+    out << "      \"admitted_after_retry\": " << c.admitted_after_retry
+        << ",\n";
+    out << "      \"admitted_downgraded\": " << c.admitted_downgraded
+        << ",\n";
+    out << "      \"retries_scheduled\": " << c.retries_scheduled << ",\n";
+    out << "      \"rejected_final\": " << c.rejected_final << ",\n";
+    out << "      \"departed_before_admission\": "
+        << c.departed_before_admission << ",\n";
+    out << "      \"pending_at_end\": " << c.pending_at_end << ",\n";
+    out << "      \"departures\": " << c.departures << ",\n";
+    out << "      \"admission_rate\": " << json_num(c.admission_rate())
+        << ",\n";
+    out << "      \"latency\": {\n";
+    out << "        \"samples\": " << c.latency_samples_s.size() << ",\n";
+    out << "        \"mean_s\": " << json_num(c.mean_latency_s()) << ",\n";
+    out << "        \"p50_s\": " << json_num(c.p50_latency_s()) << ",\n";
+    out << "        \"p95_s\": " << json_num(c.p95_latency_s()) << "\n";
+    out << "      },\n";
+    out << "      \"slo\": {\n";
+    out << "        \"violations\": " << c.slo_violations << ",\n";
+    out << "        \"violation_rate\": "
+        << json_num(c.slo_violation_rate()) << "\n";
+    out << "      }\n";
+    out << "    }" << (i + 1 < classes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"watermarks\": {\n";
+  out << "    \"peak_memory_bytes\": "
+      << json_num(watermarks.peak_memory_bytes) << ",\n";
+  out << "    \"peak_compute_s\": " << json_num(watermarks.peak_compute_s)
+      << ",\n";
+  out << "    \"peak_rbs\": " << watermarks.peak_rbs << ",\n";
+  out << "    \"memory_capacity_bytes\": "
+      << json_num(watermarks.memory_capacity_bytes) << ",\n";
+  out << "    \"compute_capacity_s\": "
+      << json_num(watermarks.compute_capacity_s) << ",\n";
+  out << "    \"rb_capacity\": " << watermarks.rb_capacity << "\n";
+  out << "  },\n";
+
+  out << "  \"timeline\": [\n";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const EpochSnapshot& e = timeline[i];
+    out << "    {\"t_s\": " << json_num(e.time_s)
+        << ", \"active\": " << e.active_tasks
+        << ", \"deployed_blocks\": " << e.deployed_blocks
+        << ", \"samples\": " << e.samples
+        << ", \"p95_s\": " << json_num(e.p95_latency_s)
+        << ", \"slo_violations\": " << e.slo_violations
+        << ", \"gpu_busy\": " << json_num(e.gpu_busy_fraction) << "}"
+        << (i + 1 < timeline.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"final\": {\n";
+  out << "    \"active_tasks\": " << active_at_end << ",\n";
+  out << "    \"deployed_blocks\": " << deployed_blocks_at_end << "\n";
+  out << "  }\n";
+  out << "}\n";
+}
+
+std::string RuntimeReport::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace odn::runtime

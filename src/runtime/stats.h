@@ -1,0 +1,87 @@
+// SLO accounting for the serving runtime: per-priority-class admission
+// lifecycle counters, measured-latency percentiles and SLO-violation
+// rates, per-epoch timeline snapshots and peak resource watermarks —
+// exported as a machine-readable JSON report (the interface the churn
+// bench and downstream dashboards consume).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace odn::runtime {
+
+// Lifecycle + latency accounting for one priority class.
+struct ClassStats {
+  std::string name;
+
+  // Admission lifecycle (jobs).
+  std::size_t arrivals = 0;
+  std::size_t admitted = 0;            // eventually admitted
+  std::size_t admitted_first_try = 0;
+  std::size_t admitted_after_retry = 0;
+  std::size_t admitted_downgraded = 0;  // admitted on a relaxed final try
+  std::size_t retries_scheduled = 0;
+  std::size_t rejected_final = 0;       // attempts exhausted, never admitted
+  std::size_t departed_before_admission = 0;  // left while still retrying
+  std::size_t pending_at_end = 0;       // horizon hit mid-backoff
+  std::size_t departures = 0;           // released while active
+
+  // Measured latency (epoch emulation samples) against the class tasks'
+  // per-task bounds.
+  std::vector<double> latency_samples_s;
+  std::size_t slo_violations = 0;
+
+  double admission_rate() const;      // admitted / arrivals
+  double p50_latency_s() const;
+  double p95_latency_s() const;
+  double mean_latency_s() const;
+  double slo_violation_rate() const;  // violations / samples
+};
+
+// One epoch-boundary measurement of the live deployment.
+struct EpochSnapshot {
+  double time_s = 0.0;
+  std::size_t active_tasks = 0;
+  std::size_t deployed_blocks = 0;
+  std::size_t samples = 0;
+  double p95_latency_s = 0.0;
+  std::size_t slo_violations = 0;
+  double gpu_busy_fraction = 0.0;
+};
+
+// Peak ledger usage observed over the whole run, against the capacities.
+struct ResourceWatermarks {
+  double peak_memory_bytes = 0.0;
+  double peak_compute_s = 0.0;
+  std::size_t peak_rbs = 0;
+  double memory_capacity_bytes = 0.0;
+  double compute_capacity_s = 0.0;
+  std::size_t rb_capacity = 0;
+};
+
+struct RuntimeReport {
+  std::string trace_name;
+  std::uint64_t seed = 0;
+  double horizon_s = 0.0;
+  std::size_t events_processed = 0;
+  std::size_t epochs = 0;
+  std::vector<ClassStats> classes;  // ascending priority order
+  ResourceWatermarks watermarks;
+  std::vector<EpochSnapshot> timeline;
+  std::size_t active_at_end = 0;
+  std::size_t deployed_blocks_at_end = 0;
+
+  std::size_t total_arrivals() const;
+  std::size_t total_admitted() const;
+  std::size_t total_slo_violations() const;
+
+  // Stable-key-order JSON; doubles printed with %.17g so equal runs
+  // serialize identically (the determinism acceptance check diffs this).
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+};
+
+}  // namespace odn::runtime

@@ -5,6 +5,7 @@
 #include <deque>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "util/mathx.h"
 #include "util/rng.h"
@@ -87,10 +88,9 @@ std::size_t EmulationReport::total_violations() const {
   return count;
 }
 
-EdgeEmulator::EdgeEmulator(const core::DeploymentPlan& plan,
-                           edge::RadioModel radio, double compute_capacity_s,
-                           EmulatorOptions options)
-    : plan_(plan),
+EdgeEmulator::EdgeEmulator(core::DeploymentPlan plan, edge::RadioModel radio,
+                           double compute_capacity_s, EmulatorOptions options)
+    : plan_(std::move(plan)),
       radio_(radio),
       compute_capacity_s_(compute_capacity_s),
       options_(options) {

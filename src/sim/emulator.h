@@ -69,13 +69,17 @@ struct EmulationReport {
 
 class EdgeEmulator {
  public:
-  EdgeEmulator(const core::DeploymentPlan& plan, edge::RadioModel radio,
+  // The plan is stored by value: epoch-driven callers (the serving runtime)
+  // construct an emulator from a freshly assembled plan and may replace or
+  // destroy the source between construction and run(), so holding a
+  // reference would dangle.
+  EdgeEmulator(core::DeploymentPlan plan, edge::RadioModel radio,
                double compute_capacity_s, EmulatorOptions options = {});
 
   EmulationReport run();
 
  private:
-  const core::DeploymentPlan& plan_;
+  core::DeploymentPlan plan_;
   edge::RadioModel radio_;
   double compute_capacity_s_;
   EmulatorOptions options_;

@@ -1,0 +1,112 @@
+// Controller churn invariants — the contract the serving runtime leans
+// on: a full admit/release cycle returns the ledger exactly to zero, and
+// a controller that has been through churn produces bit-identical plans
+// to a factory-fresh one.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/scenarios.h"
+
+namespace odn::core {
+namespace {
+
+void expect_plans_identical(const DeploymentPlan& a,
+                            const DeploymentPlan& b) {
+  // Bit-identity, not near-equality: churn history must not perturb any
+  // arithmetic in the solve or the plan assembly.
+  EXPECT_EQ(a.solution.cost.objective, b.solution.cost.objective);
+  EXPECT_EQ(a.solution.cost.admitted_tasks, b.solution.cost.admitted_tasks);
+  EXPECT_EQ(a.deployed_blocks, b.deployed_blocks);
+  EXPECT_EQ(a.memory_committed_bytes, b.memory_committed_bytes);
+  EXPECT_EQ(a.compute_committed_s, b.compute_committed_s);
+  EXPECT_EQ(a.rbs_committed, b.rbs_committed);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    SCOPED_TRACE(::testing::Message() << "task " << t);
+    EXPECT_EQ(a.tasks[t].task_name, b.tasks[t].task_name);
+    EXPECT_EQ(a.tasks[t].admitted, b.tasks[t].admitted);
+    EXPECT_EQ(a.tasks[t].admission_ratio, b.tasks[t].admission_ratio);
+    EXPECT_EQ(a.tasks[t].admitted_rate, b.tasks[t].admitted_rate);
+    EXPECT_EQ(a.tasks[t].slice_rbs, b.tasks[t].slice_rbs);
+    EXPECT_EQ(a.tasks[t].blocks, b.tasks[t].blocks);
+    EXPECT_EQ(a.tasks[t].expected_latency_s, b.tasks[t].expected_latency_s);
+    EXPECT_EQ(a.tasks[t].accuracy, b.tasks[t].accuracy);
+    EXPECT_EQ(a.tasks[t].inference_time_s, b.tasks[t].inference_time_s);
+    EXPECT_EQ(a.tasks[t].input_bits, b.tasks[t].input_bits);
+  }
+}
+
+TEST(ControllerChurn, FullReleaseReturnsLedgerToZero) {
+  const DotInstance instance = make_large_scenario(RequestRate::kLow);
+  OffloadnnController controller(instance.resources, instance.radio);
+
+  std::vector<DotTask> wave(instance.tasks.begin(),
+                            instance.tasks.begin() + 10);
+  const DeploymentPlan plan = controller.admit(instance.catalog, wave);
+  ASSERT_GT(plan.deployed_blocks.size(), 0u);
+  ASSERT_GT(controller.ledger().memory_used_bytes(), 0.0);
+
+  for (const std::string& name : controller.active_tasks())
+    EXPECT_TRUE(controller.release(name));
+
+  EXPECT_TRUE(controller.active_tasks().empty());
+  EXPECT_TRUE(controller.deployed_blocks().empty());
+  EXPECT_EQ(controller.ledger().memory_used_bytes(), 0.0);
+  EXPECT_EQ(controller.ledger().compute_used_s(), 0.0);
+  EXPECT_EQ(controller.ledger().rbs_used(), 0u);
+}
+
+TEST(ControllerChurn, ReadmissionAfterChurnMatchesFreshAdmitBitForBit) {
+  const DotInstance instance = make_large_scenario(RequestRate::kLow);
+  std::vector<DotTask> wave(instance.tasks.begin(),
+                            instance.tasks.begin() + 10);
+
+  // A controller that went through a full admit/release cycle...
+  OffloadnnController churned(instance.resources, instance.radio);
+  (void)churned.admit(instance.catalog, wave);
+  for (const std::string& name : churned.active_tasks())
+    ASSERT_TRUE(churned.release(name));
+  const DeploymentPlan readmitted = churned.admit(instance.catalog, wave);
+
+  // ...must match a factory-fresh controller exactly.
+  OffloadnnController fresh(instance.resources, instance.radio);
+  const DeploymentPlan baseline = fresh.admit(instance.catalog, wave);
+  expect_plans_identical(readmitted, baseline);
+}
+
+TEST(ControllerChurn, IncrementalReadmissionOnEmptyMatchesFreshAdmit) {
+  // After every task departs, the discounted capacities equal the full
+  // capacities and no block is resident — admit_incremental must solve the
+  // very same problem a fresh admit does.
+  const DotInstance instance = make_small_scenario(5);
+  OffloadnnController controller(instance.resources, instance.radio);
+  (void)controller.admit(instance.catalog, instance.tasks);
+  for (const std::string& name : controller.active_tasks())
+    ASSERT_TRUE(controller.release(name));
+  const DeploymentPlan incremental =
+      controller.admit_incremental(instance.catalog, instance.tasks);
+
+  OffloadnnController fresh(instance.resources, instance.radio);
+  const DeploymentPlan baseline =
+      fresh.admit(instance.catalog, instance.tasks);
+  expect_plans_identical(incremental, baseline);
+}
+
+TEST(ControllerChurn, RepeatedCyclesStayBitStable) {
+  const DotInstance instance = make_small_scenario(4);
+  OffloadnnController controller(instance.resources, instance.radio);
+
+  const DeploymentPlan first =
+      controller.admit(instance.catalog, instance.tasks);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (const std::string& name : controller.active_tasks())
+      ASSERT_TRUE(controller.release(name));
+    EXPECT_EQ(controller.ledger().memory_used_bytes(), 0.0);
+    const DeploymentPlan again =
+        controller.admit(instance.catalog, instance.tasks);
+    expect_plans_identical(again, first);
+  }
+}
+
+}  // namespace
+}  // namespace odn::core

@@ -1,0 +1,175 @@
+// Workload generator + trace IO: determinism, round-trip exactness and
+// the checked-in golden trace that pins generator output across
+// platforms and refactors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/workload.h"
+
+namespace odn::runtime {
+namespace {
+
+WorkloadOptions golden_options() {
+  // Must stay in sync with tests/runtime/golden_trace.odntrace (regenerate
+  // with write_trace if the generator intentionally changes).
+  WorkloadOptions options;
+  options.horizon_s = 30.0;
+  options.seed = 42;
+  options.arrival_rate_per_s = 1.0;
+  options.mean_holding_s = 10.0;
+  options.burst_count = 1;
+  options.burst_arrivals_mean = 5.0;
+  options.burst_span_s = 2.0;
+  return options;
+}
+
+TEST(Workload, GeneratorIsDeterministic) {
+  const WorkloadTrace a = generate_workload(5, golden_options());
+  const WorkloadTrace b = generate_workload(5, golden_options());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    EXPECT_TRUE(a.events[i] == b.events[i]) << "event " << i;
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadOptions other = golden_options();
+  other.seed = 43;
+  const WorkloadTrace a = generate_workload(5, golden_options());
+  const WorkloadTrace b = generate_workload(5, other);
+  bool identical = a.events.size() == b.events.size();
+  if (identical)
+    for (std::size_t i = 0; i < a.events.size(); ++i)
+      identical = identical && a.events[i] == b.events[i];
+  EXPECT_FALSE(identical);
+}
+
+TEST(Workload, GeneratedTraceIsValidAndSorted) {
+  const WorkloadTrace trace = generate_workload(5, golden_options());
+  EXPECT_NO_THROW(trace.validate());
+  EXPECT_GT(trace.arrival_count(), 10u);
+  EXPECT_GT(trace.departure_count(), 0u);
+  EXPECT_LE(trace.departure_count(), trace.arrival_count());
+  for (std::size_t i = 1; i < trace.events.size(); ++i)
+    EXPECT_LE(trace.events[i - 1].time_s, trace.events[i].time_s);
+}
+
+TEST(Workload, SaveLoadRoundTripIsExact) {
+  const WorkloadTrace trace = generate_workload(5, golden_options());
+  std::stringstream buffer;
+  write_trace(trace, buffer);
+  const WorkloadTrace loaded = read_trace(buffer);
+
+  EXPECT_EQ(loaded.name, trace.name);
+  EXPECT_DOUBLE_EQ(loaded.horizon_s, trace.horizon_s);
+  EXPECT_EQ(loaded.template_count, trace.template_count);
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "event " << i);
+    // %.17g round-trips doubles exactly — no tolerance.
+    EXPECT_EQ(loaded.events[i].time_s, trace.events[i].time_s);
+    EXPECT_EQ(loaded.events[i].kind, trace.events[i].kind);
+    EXPECT_EQ(loaded.events[i].job_id, trace.events[i].job_id);
+    EXPECT_EQ(loaded.events[i].template_index,
+              trace.events[i].template_index);
+  }
+}
+
+TEST(Workload, GoldenTracePinsGeneratorDeterminism) {
+  const WorkloadTrace golden = read_trace_file(
+      std::string(ODN_SOURCE_DIR) + "/tests/runtime/golden_trace.odntrace");
+  const WorkloadTrace generated = generate_workload(5, golden_options());
+
+  EXPECT_DOUBLE_EQ(golden.horizon_s, generated.horizon_s);
+  EXPECT_EQ(golden.template_count, generated.template_count);
+  ASSERT_EQ(golden.events.size(), generated.events.size());
+  for (std::size_t i = 0; i < golden.events.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "event " << i);
+    EXPECT_EQ(golden.events[i].kind, generated.events[i].kind);
+    EXPECT_EQ(golden.events[i].job_id, generated.events[i].job_id);
+    EXPECT_EQ(golden.events[i].template_index,
+              generated.events[i].template_index);
+    // Event times come through libm (log in the exponential sampler);
+    // allow a hair of cross-platform slack while pinning the sequence.
+    EXPECT_NEAR(golden.events[i].time_s, generated.events[i].time_s, 1e-9);
+  }
+}
+
+TEST(Workload, BurstsAddArrivals) {
+  WorkloadOptions quiet = golden_options();
+  quiet.burst_count = 0;
+  WorkloadOptions bursty = golden_options();
+  bursty.burst_count = 4;
+  bursty.burst_arrivals_mean = 10.0;
+  const WorkloadTrace a = generate_workload(3, quiet);
+  const WorkloadTrace b = generate_workload(3, bursty);
+  EXPECT_GT(b.arrival_count(), a.arrival_count());
+}
+
+TEST(Workload, TemplateWeightsShapeTheMix) {
+  WorkloadOptions options = golden_options();
+  options.template_weights = {0.0, 0.0, 1.0};  // only template 2 arrives
+  const WorkloadTrace trace = generate_workload(3, options);
+  for (const WorkloadEvent& event : trace.events)
+    EXPECT_EQ(event.template_index, 2u);
+}
+
+TEST(Workload, ValidateRejectsBrokenTraces) {
+  WorkloadTrace trace;
+  trace.horizon_s = 10.0;
+  trace.template_count = 1;
+
+  // Departure for a job that never arrived.
+  trace.events = {{1.0, WorkloadEventKind::kDeparture, 0, 0}};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+
+  // Template index out of range.
+  trace.events = {{1.0, WorkloadEventKind::kArrival, 0, 7}};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+
+  // Unsorted times.
+  trace.events = {{5.0, WorkloadEventKind::kArrival, 0, 0},
+                  {1.0, WorkloadEventKind::kArrival, 1, 0}};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+
+  // Event past the horizon.
+  trace.events = {{11.0, WorkloadEventKind::kArrival, 0, 0}};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+
+  // A well-formed trace passes.
+  trace.events = {{1.0, WorkloadEventKind::kArrival, 0, 0},
+                  {2.0, WorkloadEventKind::kDeparture, 0, 0}};
+  EXPECT_NO_THROW(trace.validate());
+}
+
+TEST(Workload, ReadRejectsMalformedInput) {
+  {
+    std::stringstream in("not a trace\n");
+    EXPECT_THROW(read_trace(in), std::runtime_error);
+  }
+  {
+    std::stringstream in(
+        "ODN-TRACE 1\nname x\nhorizon 10\ntemplates 1\nevents 1\n"
+        "event 1.0 Q 0 0\n");
+    EXPECT_THROW(read_trace(in), std::runtime_error);
+  }
+  {
+    std::stringstream in(
+        "ODN-TRACE 1\nname x\nhorizon 10\ntemplates 1\nevents 2\n"
+        "event 1.0 A 0 0\n");
+    EXPECT_THROW(read_trace(in), std::runtime_error);
+  }
+}
+
+TEST(Workload, GeneratorRejectsBadOptions) {
+  WorkloadOptions options;
+  EXPECT_THROW(generate_workload(0, options), std::invalid_argument);
+  options.horizon_s = -1.0;
+  EXPECT_THROW(generate_workload(1, options), std::invalid_argument);
+  options = WorkloadOptions{};
+  options.template_weights = {1.0, 2.0};  // wrong arity for 3 templates
+  EXPECT_THROW(generate_workload(3, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odn::runtime
