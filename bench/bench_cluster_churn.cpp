@@ -1,0 +1,133 @@
+// Multi-cell cluster churn bench — the serving workload of
+// bench_runtime_churn sharded across N heterogeneous cells behind the
+// ClusterDispatcher. Each cell gets a seeded slice of the large-scale
+// envelope (slightly over-provisioned in aggregate, so single cells
+// overload and the run exercises placement, spillover and flash-crowd
+// migration). Emits the machine-readable cluster JSON report on stdout
+// (human progress on stderr). Deterministic: equal (--cells, --seed,
+// --policy, --horizon) produce byte-identical reports for any ODN_THREADS
+// setting and for --probe serial vs parallel.
+//
+//   $ ./bench_cluster_churn [--cells N] [--seed S] [--policy P]
+//                           [--horizon S] [--probe serial|parallel]
+//                           [--no-migration] [--out report.json]
+#include <cstdint>
+#include <cstdlib>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster_runtime.h"
+#include "core/scenarios.h"
+#include "runtime/workload.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace odn;
+
+  std::size_t cells = 4;
+  std::uint64_t seed = 7;
+  double horizon_s = 60.0;
+  std::string policy = "least_loaded";
+  std::string probe = "parallel";
+  bool migration = true;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cells" && i + 1 < argc) {
+      cells = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--horizon" && i + 1 < argc) {
+      horizon_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--policy" && i + 1 < argc) {
+      policy = argv[++i];
+    } else if (arg == "--probe" && i + 1 < argc) {
+      probe = argv[++i];
+    } else if (arg == "--no-migration") {
+      migration = false;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--cells N] [--seed S] [--policy first_fit|"
+                   "least_loaded|cost_probe] [--horizon S]"
+                   " [--probe serial|parallel] [--no-migration]"
+                   " [--out report.json]\n";
+      return 2;
+    }
+  }
+  if (cells == 0 || (probe != "serial" && probe != "parallel")) {
+    std::cerr << "bench_cluster_churn: bad --cells or --probe value\n";
+    return 2;
+  }
+
+  util::set_log_level(util::LogLevel::kWarn);
+
+  const core::DotInstance scenario =
+      core::make_large_scenario(core::RequestRate::kLow);
+
+  // Per-cell envelope: the single-server capacities scaled to 1.3/N so the
+  // aggregate is ~30 % over-provisioned but every individual cell is small
+  // enough to overload under bursts — spillover and migration territory.
+  edge::EdgeResources base = scenario.resources;
+  const double slice = 1.3 / static_cast<double>(cells);
+  base.memory_capacity_bytes *= slice;
+  base.compute_capacity_s *= slice;
+  base.training_budget_s *= slice;
+  base.total_rbs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(base.total_rbs) * slice)));
+
+  runtime::WorkloadOptions workload;
+  workload.horizon_s = horizon_s;
+  workload.seed = seed;
+  workload.arrival_rate_per_s = 1.2;
+  workload.mean_holding_s = 25.0;
+  workload.burst_count = 2;
+  workload.burst_arrivals_mean = 8.0;
+  workload.burst_span_s = 3.0;
+  const runtime::WorkloadTrace trace =
+      runtime::generate_workload(scenario.tasks.size(), workload);
+  std::cerr << "bench_cluster_churn: trace '" << trace.name << "', "
+            << trace.events.size() << " events (" << trace.arrival_count()
+            << " arrivals) over " << trace.horizon_s << " s, " << cells
+            << " cells, policy " << policy << "\n";
+
+  cluster::ClusterOptions options;
+  options.seed = seed;
+  options.epoch_s = 10.0;
+  options.emulation_window_s = 5.0;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_s = 2.0;
+  options.retry.downgrade_final_attempt = true;
+  options.dispatch.policy = cluster::parse_placement_policy(policy);
+  options.dispatch.parallel_probe = probe == "parallel";
+  options.migrate_on_slo = migration;
+
+  cluster::ClusterRuntime runtime(
+      scenario.catalog,
+      cluster::make_cells(cells, base, seed, /*spread=*/0.35),
+      scenario.radio, scenario.tasks, options);
+  const cluster::ClusterReport report = runtime.run(trace);
+
+  report.write_json(std::cout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_cluster_churn: cannot open " << out_path << "\n";
+      return 1;
+    }
+    report.write_json(out);
+    std::cerr << "bench_cluster_churn: report written to " << out_path
+              << "\n";
+  }
+  std::cerr << "bench_cluster_churn: " << report.total_admitted() << "/"
+            << report.total_arrivals() << " jobs admitted, "
+            << report.migration.migrated << "/"
+            << report.migration.attempted << " migrations, "
+            << report.total_slo_violations() << " SLO violations across "
+            << report.epochs << " epochs\n";
+  return 0;
+}

@@ -1,0 +1,408 @@
+#include "cluster/cluster_runtime.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/emulator.h"
+#include "util/fmt.h"
+#include "util/logging.h"
+#include "util/mathx.h"
+
+namespace odn::cluster {
+namespace {
+
+enum class LoopEventKind : std::uint8_t {
+  kArrival,
+  kDeparture,
+  kRetry,
+  kEpoch,
+};
+
+struct LoopEvent {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  // deterministic tie-break: push order
+  LoopEventKind kind = LoopEventKind::kArrival;
+  std::size_t job = 0;  // index into the jobs vector (epoch index for kEpoch)
+
+  bool operator>(const LoopEvent& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return sequence > other.sequence;
+  }
+};
+
+struct Job {
+  std::uint64_t trace_id = 0;
+  std::size_t template_index = 0;
+  std::size_t class_index = 0;
+  std::string name;
+  std::size_t attempts = 0;
+  std::size_t cell = kNoCell;  // owning cell while kActive
+  enum class State : std::uint8_t {
+    kPending,
+    kActive,
+    kRejected,
+    kDeparted,
+  } state = State::kPending;
+  core::TaskPlan plan;        // valid while kActive
+  core::DotTask admitted_task;  // the (possibly downgraded) admitted spec
+};
+
+// Same SplitMix64-style odd-constant mix as the single-cell runtime; the
+// stream index interleaves (epoch, cell) so every cell of every epoch gets
+// an independent, reproducible emulation stream.
+std::uint64_t epoch_seed(std::uint64_t base, std::size_t stream) noexcept {
+  return base + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(stream) + 1);
+}
+
+}  // namespace
+
+void ClusterOptions::validate() const {
+  if (epoch_s < 0.0)
+    throw std::invalid_argument("ClusterOptions: negative epoch");
+  if (epoch_s > 0.0 && emulation_window_s <= 0.0)
+    throw std::invalid_argument(
+        "ClusterOptions: non-positive emulation window");
+  if (class_names.size() != class_boundaries.size() + 1)
+    throw std::invalid_argument(
+        "ClusterOptions: class_names must be one longer than boundaries");
+  if (!std::is_sorted(class_boundaries.begin(), class_boundaries.end()))
+    throw std::invalid_argument(
+        "ClusterOptions: class boundaries must be ascending");
+  if (migrate_on_slo && migration_batch == 0)
+    throw std::invalid_argument(
+        "ClusterOptions: migration enabled with zero batch");
+  retry.validate();
+}
+
+ClusterRuntime::ClusterRuntime(edge::DnnCatalog catalog,
+                               std::vector<CellSpec> cells,
+                               edge::RadioModel radio,
+                               std::vector<core::DotTask> templates,
+                               ClusterOptions options)
+    : catalog_(std::move(catalog)),
+      radio_(radio),
+      templates_(std::move(templates)),
+      options_(std::move(options)),
+      dispatcher_(std::move(cells), radio_, options_.controller,
+                  options_.dispatch) {
+  options_.validate();
+  if (templates_.empty())
+    throw std::invalid_argument("ClusterRuntime: no task templates");
+}
+
+std::size_t ClusterRuntime::class_of(double priority) const noexcept {
+  std::size_t index = 0;
+  while (index < options_.class_boundaries.size() &&
+         priority >= options_.class_boundaries[index])
+    ++index;
+  return index;
+}
+
+ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
+  trace.validate();
+  if (trace.template_count != templates_.size())
+    throw std::invalid_argument(util::fmt(
+        "ClusterRuntime: trace indexes {} templates, runtime has {}",
+        trace.template_count, templates_.size()));
+
+  dispatcher_.reset();
+  const std::size_t cell_count = dispatcher_.cell_count();
+  const std::size_t class_count = options_.class_names.size();
+
+  ClusterReport report;
+  report.trace_name = trace.name;
+  report.seed = options_.seed;
+  report.horizon_s = trace.horizon_s;
+  report.policy = placement_policy_name(options_.dispatch.policy);
+  report.spillover = options_.dispatch.spillover;
+  report.classes.resize(class_count);
+  for (std::size_t c = 0; c < class_count; ++c)
+    report.classes[c].name = options_.class_names[c];
+  report.cells.resize(cell_count);
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    CellReport& cell = report.cells[i];
+    const EdgeCell& edge_cell = dispatcher_.cell(i);
+    cell.name = edge_cell.name();
+    cell.classes.resize(class_count);
+    for (std::size_t c = 0; c < class_count; ++c)
+      cell.classes[c].name = options_.class_names[c];
+    cell.watermarks.memory_capacity_bytes =
+        edge_cell.resources().memory_capacity_bytes;
+    cell.watermarks.compute_capacity_s =
+        edge_cell.resources().compute_capacity_s;
+    cell.watermarks.rb_capacity = edge_cell.resources().total_rbs;
+  }
+
+  auto observe_cell = [&](std::size_t i) {
+    const edge::ResourceLedger& ledger =
+        dispatcher_.cell(i).controller().ledger();
+    runtime::ResourceWatermarks& w = report.cells[i].watermarks;
+    w.peak_memory_bytes =
+        std::max(w.peak_memory_bytes, ledger.memory_used_bytes());
+    w.peak_compute_s = std::max(w.peak_compute_s, ledger.compute_used_s());
+    w.peak_rbs = std::max(w.peak_rbs, ledger.rbs_used());
+  };
+
+  // Materialize jobs and seed the calendar (same deterministic ordering
+  // discipline as the single-cell runtime: trace order, then epochs, with
+  // the sequence counter breaking same-instant ties in push order).
+  std::vector<Job> jobs;
+  std::unordered_map<std::uint64_t, std::size_t> job_by_trace_id;
+  std::priority_queue<LoopEvent, std::vector<LoopEvent>,
+                      std::greater<LoopEvent>>
+      calendar;
+  std::uint64_t sequence = 0;
+
+  for (const runtime::WorkloadEvent& event : trace.events) {
+    if (event.kind == runtime::WorkloadEventKind::kArrival) {
+      Job job;
+      job.trace_id = event.job_id;
+      job.template_index = event.template_index;
+      const core::DotTask& tmpl = templates_[event.template_index];
+      job.class_index = class_of(tmpl.spec.priority);
+      job.name = util::fmt("job-{}/{}", event.job_id, tmpl.spec.name);
+      job_by_trace_id.emplace(event.job_id, jobs.size());
+      calendar.push(LoopEvent{event.time_s, sequence++,
+                              LoopEventKind::kArrival, jobs.size()});
+      jobs.push_back(std::move(job));
+    } else {
+      calendar.push(LoopEvent{event.time_s, sequence++,
+                              LoopEventKind::kDeparture,
+                              job_by_trace_id.at(event.job_id)});
+    }
+  }
+  std::size_t epoch_count = 0;
+  if (options_.epoch_s > 0.0) {
+    for (double t = options_.epoch_s; t <= trace.horizon_s + 1e-9;
+         t += options_.epoch_s)
+      calendar.push(LoopEvent{std::min(t, trace.horizon_s), sequence++,
+                              LoopEventKind::kEpoch, epoch_count++});
+  }
+
+  auto attempt_admission = [&](std::size_t job_index, double now) {
+    Job& job = jobs[job_index];
+    runtime::ClassStats& stats = report.classes[job.class_index];
+    ++job.attempts;
+
+    core::DotTask task = templates_[job.template_index];
+    task.spec.name = job.name;
+    const bool downgraded = options_.retry.downgrades(job.attempts);
+    if (downgraded)
+      task = runtime::downgraded_task(std::move(task), options_.retry);
+
+    const AdmissionOutcome outcome = dispatcher_.admit(catalog_, task);
+    for (std::size_t i = 0; i < cell_count; ++i) observe_cell(i);
+
+    if (outcome.admitted) {
+      job.state = Job::State::kActive;
+      job.cell = outcome.cell;
+      job.plan = outcome.plan;
+      job.admitted_task = std::move(task);
+      ++stats.admitted;
+      if (job.attempts == 1)
+        ++stats.admitted_first_try;
+      else
+        ++stats.admitted_after_retry;
+      if (downgraded) ++stats.admitted_downgraded;
+      CellReport& cell = report.cells[outcome.cell];
+      if (outcome.spilled)
+        ++cell.admitted_spillover;
+      else
+        ++cell.admitted_preferred;
+      return;
+    }
+
+    if (job.attempts >= options_.retry.max_attempts) {
+      job.state = Job::State::kRejected;
+      ++stats.rejected_final;
+      return;
+    }
+    const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
+    if (retry_at > trace.horizon_s) return;  // horizon ends the backoff
+    ++stats.retries_scheduled;
+    calendar.push(
+        LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
+  };
+
+  // Epoch boundary: measure every cell's live deployment with its own
+  // emulator stream, then run the migration pass over the cells that
+  // showed violations (fixed cell order — deterministic).
+  auto measure_epoch = [&](double now, std::size_t epoch_index) {
+    ClusterEpochSnapshot snapshot;
+    snapshot.time_s = now;
+    std::vector<std::size_t> violations_by_cell(cell_count, 0);
+
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      core::DeploymentPlan live;
+      std::unordered_map<std::string, std::size_t> class_by_name;
+      for (const Job& job : jobs) {
+        if (job.state != Job::State::kActive || job.cell != i) continue;
+        live.tasks.push_back(job.plan);
+        class_by_name.emplace(job.name, job.class_index);
+      }
+      snapshot.active_tasks += live.tasks.size();
+      if (live.tasks.empty()) continue;
+
+      sim::EmulatorOptions emu_options;
+      emu_options.duration_s = options_.emulation_window_s;
+      emu_options.seed =
+          epoch_seed(options_.seed, epoch_index * cell_count + i);
+      emu_options.poisson_arrivals = options_.poisson_emulation;
+      sim::EdgeEmulator emulator(
+          std::move(live), radio_,
+          dispatcher_.cell(i).resources().compute_capacity_s, emu_options);
+      const sim::EmulationReport measured = emulator.run();
+
+      CellReport& cell = report.cells[i];
+      for (const sim::TaskTrace& task_trace : measured.tasks) {
+        const std::size_t class_index = class_by_name.at(task_trace.task_name);
+        runtime::ClassStats& stats = cell.classes[class_index];
+        for (const sim::LatencySample& sample : task_trace.samples)
+          stats.latency_samples_s.push_back(sample.latency_s);
+        const std::size_t violations = task_trace.bound_violations();
+        stats.slo_violations += violations;
+        violations_by_cell[i] += violations;
+        snapshot.slo_violations += violations;
+        snapshot.samples += task_trace.samples.size();
+      }
+      if (violations_by_cell[i] > 0) ++snapshot.cells_violating;
+    }
+
+    // Flash-crowd migration: cells under SLO pressure shed their
+    // lowest-priority jobs to the sibling with the most headroom that
+    // accepts the probe.
+    if (options_.migrate_on_slo && cell_count > 1) {
+      for (std::size_t source = 0; source < cell_count; ++source) {
+        if (violations_by_cell[source] == 0) continue;
+
+        // Candidates: active jobs at `source`, lowest priority first
+        // (ties: lower trace id — deterministic).
+        std::vector<std::size_t> candidates;
+        for (std::size_t j = 0; j < jobs.size(); ++j)
+          if (jobs[j].state == Job::State::kActive && jobs[j].cell == source)
+            candidates.push_back(j);
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const double pa =
+                        templates_[jobs[a].template_index].spec.priority;
+                    const double pb =
+                        templates_[jobs[b].template_index].spec.priority;
+                    if (pa != pb) return pa < pb;
+                    return jobs[a].trace_id < jobs[b].trace_id;
+                  });
+        if (candidates.size() > options_.migration_batch)
+          candidates.resize(options_.migration_batch);
+
+        for (const std::size_t job_index : candidates) {
+          Job& job = jobs[job_index];
+          ++report.migration.attempted;
+
+          // Target order: highest normalized headroom first, index
+          // breaking ties (strict > comparison keeps it deterministic).
+          std::vector<std::size_t> targets;
+          for (std::size_t i = 0; i < cell_count; ++i)
+            if (i != source) targets.push_back(i);
+          std::sort(targets.begin(), targets.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      const double ha =
+                          dispatcher_.cell(a).normalized_headroom();
+                      const double hb =
+                          dispatcher_.cell(b).normalized_headroom();
+                      if (ha != hb) return ha > hb;
+                      return a < b;
+                    });
+
+          bool moved = false;
+          for (const std::size_t target : targets) {
+            core::TaskPlan migrated_plan;
+            if (dispatcher_.migrate(catalog_, job.admitted_task, job.name,
+                                    target, &migrated_plan)) {
+              job.cell = target;
+              job.plan = migrated_plan;
+              ++report.migration.migrated;
+              ++report.cells[source].migrations_out;
+              ++report.cells[target].migrations_in;
+              ++snapshot.migrations;
+              observe_cell(source);
+              observe_cell(target);
+              moved = true;
+              break;
+            }
+          }
+          if (!moved) ++report.migration.no_target;
+        }
+      }
+    }
+
+    report.timeline.push_back(snapshot);
+    ++report.epochs;
+  };
+
+  while (!calendar.empty()) {
+    const LoopEvent event = calendar.top();
+    calendar.pop();
+    ++report.events_processed;
+
+    switch (event.kind) {
+      case LoopEventKind::kArrival: {
+        ++report.classes[jobs[event.job].class_index].arrivals;
+        attempt_admission(event.job, event.time);
+        break;
+      }
+      case LoopEventKind::kRetry: {
+        if (jobs[event.job].state == Job::State::kPending)
+          attempt_admission(event.job, event.time);
+        break;
+      }
+      case LoopEventKind::kDeparture: {
+        Job& job = jobs[event.job];
+        if (job.state == Job::State::kActive) {
+          const std::size_t cell = dispatcher_.release(job.name);
+          if (cell == kNoCell)
+            throw std::logic_error(util::fmt(
+                "ClusterRuntime: active job '{}' unknown to dispatcher",
+                job.name));
+          ++report.cells[cell].classes[job.class_index].departures;
+          observe_cell(cell);
+        } else if (job.state == Job::State::kPending) {
+          ++report.classes[job.class_index].departed_before_admission;
+        }
+        job.state = Job::State::kDeparted;
+        job.cell = kNoCell;
+        break;
+      }
+      case LoopEventKind::kEpoch: {
+        measure_epoch(event.time, event.job);
+        break;
+      }
+    }
+  }
+
+  for (const Job& job : jobs) {
+    if (job.state == Job::State::kPending)
+      ++report.classes[job.class_index].pending_at_end;
+    if (job.state == Job::State::kActive) {
+      ++report.active_at_end;
+      ++report.cells[job.cell].active_at_end;
+    }
+  }
+  for (std::size_t i = 0; i < cell_count; ++i)
+    report.cells[i].deployed_blocks_at_end =
+        dispatcher_.cell(i).controller().deployed_blocks().size();
+
+  util::log_info("cluster",
+                 "cluster run '{}': {} cells, policy {}, {} events, "
+                 "{} epochs, {}/{} admitted, {} migrations, {} SLO "
+                 "violations, {} active at end",
+                 trace.name, cell_count, report.policy,
+                 report.events_processed, report.epochs,
+                 report.total_admitted(), report.total_arrivals(),
+                 report.migration.migrated, report.total_slo_violations(),
+                 report.active_at_end);
+  return report;
+}
+
+}  // namespace odn::cluster

@@ -1,0 +1,163 @@
+#include "cluster/cluster_stats.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace odn::cluster {
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+void write_classes_json(std::ostream& out,
+                        const std::vector<runtime::ClassStats>& classes,
+                        const std::string& indent) {
+  out << "[\n";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    runtime::write_class_stats_json(out, classes[i], indent + "  ");
+    out << (i + 1 < classes.size() ? "," : "") << "\n";
+  }
+  out << indent << "]";
+}
+
+void write_watermarks_json(std::ostream& out,
+                           const runtime::ResourceWatermarks& w,
+                           const std::string& indent) {
+  out << "{\n";
+  out << indent << "  \"peak_memory_bytes\": "
+      << runtime::json_double(w.peak_memory_bytes) << ",\n";
+  out << indent << "  \"peak_compute_s\": "
+      << runtime::json_double(w.peak_compute_s) << ",\n";
+  out << indent << "  \"peak_rbs\": " << w.peak_rbs << ",\n";
+  out << indent << "  \"memory_capacity_bytes\": "
+      << runtime::json_double(w.memory_capacity_bytes) << ",\n";
+  out << indent << "  \"compute_capacity_s\": "
+      << runtime::json_double(w.compute_capacity_s) << ",\n";
+  out << indent << "  \"rb_capacity\": " << w.rb_capacity << "\n";
+  out << indent << "}";
+}
+
+}  // namespace
+
+std::size_t CellReport::admitted() const {
+  return admitted_preferred + admitted_spillover + migrations_in;
+}
+
+std::size_t ClusterReport::total_arrivals() const {
+  std::size_t n = 0;
+  for (const runtime::ClassStats& c : classes) n += c.arrivals;
+  return n;
+}
+
+std::size_t ClusterReport::total_admitted() const {
+  std::size_t n = 0;
+  for (const runtime::ClassStats& c : classes) n += c.admitted;
+  return n;
+}
+
+std::size_t ClusterReport::total_rejected() const {
+  std::size_t n = 0;
+  for (const runtime::ClassStats& c : classes) n += c.rejected_final;
+  return n;
+}
+
+std::size_t ClusterReport::total_slo_violations() const {
+  std::size_t n = 0;
+  for (const CellReport& cell : cells)
+    for (const runtime::ClassStats& c : cell.classes)
+      n += c.slo_violations;
+  return n;
+}
+
+std::vector<runtime::ClassStats> ClusterReport::aggregate_classes() const {
+  std::vector<runtime::ClassStats> aggregate = classes;
+  for (const CellReport& cell : cells)
+    for (std::size_t c = 0; c < cell.classes.size() && c < aggregate.size();
+         ++c)
+      aggregate[c].merge_from(cell.classes[c]);
+  return aggregate;
+}
+
+void ClusterReport::write_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"schema\": \"odn-cluster-report/1\",\n";
+  out << "  \"trace\": \"" << json_escape(trace_name) << "\",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"horizon_s\": " << runtime::json_double(horizon_s) << ",\n";
+  out << "  \"policy\": \"" << json_escape(policy) << "\",\n";
+  out << "  \"spillover\": " << (spillover ? "true" : "false") << ",\n";
+  out << "  \"cell_count\": " << cells.size() << ",\n";
+  out << "  \"events_processed\": " << events_processed << ",\n";
+  out << "  \"epochs\": " << epochs << ",\n";
+
+  out << "  \"classes\": ";
+  write_classes_json(out, classes, "  ");
+  out << ",\n";
+
+  out << "  \"aggregate_classes\": ";
+  write_classes_json(out, aggregate_classes(), "  ");
+  out << ",\n";
+
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellReport& cell = cells[i];
+    out << "    {\n";
+    out << "      \"name\": \"" << json_escape(cell.name) << "\",\n";
+    out << "      \"admitted_preferred\": " << cell.admitted_preferred
+        << ",\n";
+    out << "      \"admitted_spillover\": " << cell.admitted_spillover
+        << ",\n";
+    out << "      \"migrations_in\": " << cell.migrations_in << ",\n";
+    out << "      \"migrations_out\": " << cell.migrations_out << ",\n";
+    out << "      \"active_at_end\": " << cell.active_at_end << ",\n";
+    out << "      \"deployed_blocks_at_end\": "
+        << cell.deployed_blocks_at_end << ",\n";
+    out << "      \"classes\": ";
+    write_classes_json(out, cell.classes, "      ");
+    out << ",\n";
+    out << "      \"watermarks\": ";
+    write_watermarks_json(out, cell.watermarks, "      ");
+    out << "\n";
+    out << "    }" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"migration\": {\n";
+  out << "    \"attempted\": " << migration.attempted << ",\n";
+  out << "    \"migrated\": " << migration.migrated << ",\n";
+  out << "    \"no_target\": " << migration.no_target << "\n";
+  out << "  },\n";
+
+  out << "  \"timeline\": [\n";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const ClusterEpochSnapshot& e = timeline[i];
+    out << "    {\"t_s\": " << runtime::json_double(e.time_s)
+        << ", \"active\": " << e.active_tasks
+        << ", \"samples\": " << e.samples
+        << ", \"slo_violations\": " << e.slo_violations
+        << ", \"cells_violating\": " << e.cells_violating
+        << ", \"migrations\": " << e.migrations << "}"
+        << (i + 1 < timeline.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"final\": {\n";
+  out << "    \"active_tasks\": " << active_at_end << "\n";
+  out << "  }\n";
+  out << "}\n";
+}
+
+std::string ClusterReport::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace odn::cluster

@@ -1,0 +1,83 @@
+// Cluster-wide SLO accounting: per-cell, per-priority-class stats (reusing
+// runtime::ClassStats), placement/spillover/migration counters and the
+// aggregated cluster report — exported as deterministic JSON with the same
+// formatting contract as the single-cell runtime report (stable key order,
+// locale-independent json_double).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/stats.h"
+
+namespace odn::cluster {
+
+// What happened at one cell over the run. Lifecycle fields of the
+// per-class stats cover only events that landed at this cell (admissions,
+// departures, measurement samples); cluster-level outcomes that precede
+// placement (arrivals, final rejections, pending jobs) live in the
+// cluster-wide classes of ClusterReport.
+struct CellReport {
+  std::string name;
+  std::vector<runtime::ClassStats> classes;
+  runtime::ResourceWatermarks watermarks;
+  std::size_t admitted_preferred = 0;  // placed on the policy's choice
+  std::size_t admitted_spillover = 0;  // landed after spillover probing
+  std::size_t migrations_in = 0;
+  std::size_t migrations_out = 0;
+  std::size_t active_at_end = 0;
+  std::size_t deployed_blocks_at_end = 0;
+
+  std::size_t admitted() const;  // preferred + spillover + migrations_in
+};
+
+struct MigrationStats {
+  std::size_t attempted = 0;  // candidate (job, epoch) migration attempts
+  std::size_t migrated = 0;   // released and re-admitted on a sibling
+  std::size_t no_target = 0;  // every sibling probe rejected the move
+};
+
+// One epoch-boundary snapshot of the whole cluster.
+struct ClusterEpochSnapshot {
+  double time_s = 0.0;
+  std::size_t active_tasks = 0;       // across all cells
+  std::size_t samples = 0;
+  std::size_t slo_violations = 0;
+  std::size_t cells_violating = 0;    // cells with >= 1 violation this epoch
+  std::size_t migrations = 0;         // successful moves at this boundary
+};
+
+struct ClusterReport {
+  std::string trace_name;
+  std::uint64_t seed = 0;
+  double horizon_s = 0.0;
+  std::string policy;
+  bool spillover = true;
+  std::size_t events_processed = 0;
+  std::size_t epochs = 0;
+
+  // Cluster-level lifecycle per class (arrivals, retries, rejections,
+  // pending — everything that happens before/without a cell).
+  std::vector<runtime::ClassStats> classes;
+  std::vector<CellReport> cells;
+  MigrationStats migration;
+  std::vector<ClusterEpochSnapshot> timeline;
+  std::size_t active_at_end = 0;
+
+  std::size_t total_arrivals() const;
+  std::size_t total_admitted() const;   // summed over cells
+  std::size_t total_rejected() const;
+  std::size_t total_slo_violations() const;
+
+  // Cluster-wide per-class aggregate: the cluster lifecycle stats merged
+  // with every cell's per-class stats (runtime::ClassStats::merge_from).
+  std::vector<runtime::ClassStats> aggregate_classes() const;
+
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+};
+
+}  // namespace odn::cluster

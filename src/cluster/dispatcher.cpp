@@ -1,0 +1,189 @@
+#include "cluster/dispatcher.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/fmt.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace odn::cluster {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ClusterDispatcher::ClusterDispatcher(
+    std::vector<CellSpec> cells, edge::RadioModel radio,
+    core::OffloadnnController::Options controller_options,
+    DispatcherOptions options)
+    : options_(options) {
+  if (cells.empty())
+    throw std::invalid_argument("ClusterDispatcher: need at least one cell");
+  cells_.reserve(cells.size());
+  for (CellSpec& spec : cells)
+    cells_.emplace_back(std::move(spec), radio, controller_options);
+}
+
+std::vector<double> ClusterDispatcher::probe_objectives(
+    const edge::DnnCatalog& catalog, const core::DotTask& task) const {
+  std::vector<double> objectives(cells_.size(), kInf);
+  auto probe_one = [&](std::size_t i) {
+    const core::DeploymentPlan probe =
+        cells_[i].controller().probe_incremental(catalog, {task});
+    if (probe.tasks.size() == 1 && probe.tasks[0].admitted)
+      objectives[i] = probe.solution.cost.objective;
+  };
+  // Each probe writes only its own slot, and a probe's arithmetic is
+  // independent of which thread runs it, so the parallel fan-out is
+  // bit-identical to the serial loop.
+  if (options_.parallel_probe && cells_.size() > 1) {
+    util::global_parallel_for(cells_.size(), probe_one);
+  } else {
+    for (std::size_t i = 0; i < cells_.size(); ++i) probe_one(i);
+  }
+  return objectives;
+}
+
+std::size_t ClusterDispatcher::choose_cell(const edge::DnnCatalog& catalog,
+                                           const core::DotTask& task) const {
+  switch (options_.policy) {
+    case PlacementPolicy::kFirstFit:
+      // Priority order is the fixed cell order; the admission loop walks
+      // the remaining cells, so the first fitting cell wins.
+      return 0;
+    case PlacementPolicy::kLeastLoaded: {
+      std::size_t best = 0;
+      double best_headroom = cells_[0].normalized_headroom();
+      for (std::size_t i = 1; i < cells_.size(); ++i) {
+        const double headroom = cells_[i].normalized_headroom();
+        // Strict > : ties stay with the lowest index.
+        if (headroom > best_headroom) {
+          best = i;
+          best_headroom = headroom;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kCostProbe: {
+      const std::vector<double> objectives = probe_objectives(catalog, task);
+      std::size_t best = 0;
+      double best_objective = objectives[0];
+      for (std::size_t i = 1; i < cells_.size(); ++i) {
+        // Strict < : ties stay with the lowest index. All-rejecting
+        // probes leave best = 0; the admission attempt then fails there
+        // and spillover confirms the rejection on the siblings.
+        if (objectives[i] < best_objective) {
+          best = i;
+          best_objective = objectives[i];
+        }
+      }
+      return best;
+    }
+  }
+  throw std::logic_error("ClusterDispatcher: invalid placement policy");
+}
+
+AdmissionOutcome ClusterDispatcher::admit(const edge::DnnCatalog& catalog,
+                                          const core::DotTask& task) {
+  if (owner_.count(task.spec.name) != 0)
+    throw std::invalid_argument(util::fmt(
+        "ClusterDispatcher: task '{}' already admitted", task.spec.name));
+
+  AdmissionOutcome outcome;
+  outcome.preferred_cell = choose_cell(catalog, task);
+
+  std::vector<std::size_t> order;
+  order.reserve(cells_.size());
+  order.push_back(outcome.preferred_cell);
+  if (options_.spillover) {
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+      if (i != outcome.preferred_cell) order.push_back(i);
+  }
+
+  for (const std::size_t index : order) {
+    const core::DeploymentPlan plan =
+        cells_[index].controller().admit_incremental(catalog, {task});
+    if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
+      outcome.admitted = true;
+      outcome.cell = index;
+      outcome.spilled = index != outcome.preferred_cell;
+      outcome.plan = plan.tasks[0];
+      owner_.emplace(task.spec.name, index);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+std::size_t ClusterDispatcher::release(const std::string& task_name) {
+  const auto it = owner_.find(task_name);
+  if (it == owner_.end()) return kNoCell;
+  const std::size_t index = it->second;
+  if (!cells_[index].controller().release(task_name))
+    throw std::logic_error(util::fmt(
+        "ClusterDispatcher: owner map says cell {} holds '{}' but the "
+        "controller disagrees",
+        index, task_name));
+  owner_.erase(it);
+  return index;
+}
+
+std::size_t ClusterDispatcher::owner_of(const std::string& task_name) const {
+  const auto it = owner_.find(task_name);
+  return it == owner_.end() ? kNoCell : it->second;
+}
+
+bool ClusterDispatcher::migrate(const edge::DnnCatalog& catalog,
+                                const core::DotTask& task,
+                                const std::string& task_name,
+                                std::size_t target,
+                                core::TaskPlan* migrated_plan) {
+  if (task.spec.name != task_name)
+    throw std::invalid_argument(
+        "ClusterDispatcher: migrate task/spec name mismatch");
+  const std::size_t source = owner_of(task_name);
+  if (source == kNoCell || target >= cells_.size() || target == source)
+    return false;
+
+  // Probe first: the event loop is serial, so the target cell's state
+  // cannot change between the probe and the admission below — a positive
+  // probe guarantees the re-admission lands and the task is never left
+  // without a cell.
+  const core::DeploymentPlan probe =
+      cells_[target].controller().probe_incremental(catalog, {task});
+  if (probe.tasks.size() != 1 || !probe.tasks[0].admitted) return false;
+
+  if (!cells_[source].controller().release(task_name))
+    throw std::logic_error(util::fmt(
+        "ClusterDispatcher: migration source cell {} lost task '{}'",
+        source, task_name));
+  const core::DeploymentPlan plan =
+      cells_[target].controller().admit_incremental(catalog, {task});
+  if (plan.tasks.size() != 1 || !plan.tasks[0].admitted)
+    throw std::logic_error(util::fmt(
+        "ClusterDispatcher: probe admitted '{}' on cell {} but the "
+        "commit rejected it",
+        task_name, target));
+
+  owner_[task_name] = target;
+  if (migrated_plan != nullptr) *migrated_plan = plan.tasks[0];
+  util::log_info("cluster", "migrated '{}' cell {} -> {}", task_name, source,
+                 target);
+  return true;
+}
+
+void ClusterDispatcher::reset() {
+  for (EdgeCell& cell : cells_) cell.controller().reset();
+  owner_.clear();
+}
+
+std::size_t ClusterDispatcher::total_active() const {
+  std::size_t active = 0;
+  for (const EdgeCell& cell : cells_)
+    active += cell.controller().active_tasks().size();
+  return active;
+}
+
+}  // namespace odn::cluster

@@ -1,0 +1,99 @@
+// Cluster-wide admission front door: owns the cells, picks a target cell
+// per placement policy, and spills rejected tasks over to the remaining
+// cells (fixed index order) before the caller's retry policy kicks in.
+//
+// Determinism contract: admission outcomes depend only on (cells, policy,
+// request) — the cost_probe fan-out writes each cell's probe into its own
+// slot and reduces serially in cell order with strict `<` tie-breaking, so
+// ODN_THREADS never changes which cell wins.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cell.h"
+#include "cluster/placement.h"
+#include "core/controller.h"
+#include "edge/dnn_catalog.h"
+#include "edge/radio.h"
+
+namespace odn::cluster {
+
+inline constexpr std::size_t kNoCell = std::numeric_limits<std::size_t>::max();
+
+struct DispatcherOptions {
+  PlacementPolicy policy = PlacementPolicy::kLeastLoaded;
+  // When the preferred cell rejects, try every remaining cell in fixed
+  // index order before reporting the rejection.
+  bool spillover = true;
+  // cost_probe only: fan the per-cell probes out on the global thread
+  // pool. Bit-identical to the serial path (the golden-report ctest pins
+  // it); false forces the serial loop, mostly for differential testing.
+  bool parallel_probe = true;
+};
+
+struct AdmissionOutcome {
+  bool admitted = false;
+  std::size_t cell = kNoCell;       // owning cell when admitted
+  std::size_t preferred_cell = kNoCell;  // the policy's first choice
+  bool spilled = false;             // admitted on a non-preferred cell
+  core::TaskPlan plan;              // valid when admitted
+};
+
+class ClusterDispatcher {
+ public:
+  ClusterDispatcher(std::vector<CellSpec> cells, edge::RadioModel radio,
+                    core::OffloadnnController::Options controller_options,
+                    DispatcherOptions options = {});
+
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  EdgeCell& cell(std::size_t index) { return cells_.at(index); }
+  const EdgeCell& cell(std::size_t index) const { return cells_.at(index); }
+  const DispatcherOptions& options() const noexcept { return options_; }
+
+  // The placement policy's preferred cell for `task` given current load
+  // (no state change; exposed for tests and for migration targeting).
+  std::size_t choose_cell(const edge::DnnCatalog& catalog,
+                          const core::DotTask& task) const;
+
+  // Full admission: preferred cell first, then spillover. Records
+  // ownership on success. Task names must be cluster-unique.
+  AdmissionOutcome admit(const edge::DnnCatalog& catalog,
+                         const core::DotTask& task);
+
+  // Releases the named task from its owning cell; returns the cell index
+  // or kNoCell when the task is unknown.
+  std::size_t release(const std::string& task_name);
+
+  // Owning cell of an admitted task (kNoCell when unknown).
+  std::size_t owner_of(const std::string& task_name) const;
+
+  // Migration primitive: probe `target`, and only when the probe admits,
+  // release the task at its current cell and re-admit it on `target`
+  // (probe == admit on the unchanged cell state, so the move can never
+  // strand the task). Returns true and updates ownership on success;
+  // false leaves everything untouched.
+  bool migrate(const edge::DnnCatalog& catalog, const core::DotTask& task,
+               const std::string& task_name, std::size_t target,
+               core::TaskPlan* migrated_plan = nullptr);
+
+  std::size_t total_active() const;
+
+  // Resets every cell's controller and forgets all ownership.
+  void reset();
+
+ private:
+  // Serial-vs-parallel-identical probe of every cell; slot i holds cell
+  // i's admitted objective (+inf when the probe rejects).
+  std::vector<double> probe_objectives(const edge::DnnCatalog& catalog,
+                                       const core::DotTask& task) const;
+
+  std::vector<EdgeCell> cells_;
+  DispatcherOptions options_;
+  std::unordered_map<std::string, std::size_t> owner_;
+};
+
+}  // namespace odn::cluster

@@ -1,0 +1,28 @@
+#include "cluster/placement.h"
+
+#include <stdexcept>
+
+namespace odn::cluster {
+
+PlacementPolicy parse_placement_policy(const std::string& name) {
+  if (name == "first_fit") return PlacementPolicy::kFirstFit;
+  if (name == "least_loaded") return PlacementPolicy::kLeastLoaded;
+  if (name == "cost_probe") return PlacementPolicy::kCostProbe;
+  throw std::invalid_argument(
+      "parse_placement_policy: unknown policy '" + name +
+      "' (expected first_fit, least_loaded or cost_probe)");
+}
+
+std::string placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return "first_fit";
+    case PlacementPolicy::kLeastLoaded:
+      return "least_loaded";
+    case PlacementPolicy::kCostProbe:
+      return "cost_probe";
+  }
+  throw std::invalid_argument("placement_policy_name: invalid policy");
+}
+
+}  // namespace odn::cluster

@@ -1,0 +1,31 @@
+// Pluggable placement policies for the cluster dispatcher.
+//
+//  - first_fit:    cells are tried in fixed priority order (index order);
+//                  the task lands on the first cell that admits it.
+//  - least_loaded: the cell with the maximum normalized headroom (the
+//                  binding resource dimension) is preferred; ties break to
+//                  the lowest cell index.
+//  - cost_probe:   every cell dry-runs the admission (const
+//                  probe_incremental); the cell with the strictly smallest
+//                  admitted objective delta wins, ties to the lowest cell
+//                  index. Probes fan out on the global thread pool under
+//                  the repo's bit-identical-to-serial determinism contract
+//                  (per-cell result slots, serial fixed-order reduction).
+#pragma once
+
+#include <string>
+
+namespace odn::cluster {
+
+enum class PlacementPolicy : int {
+  kFirstFit = 0,
+  kLeastLoaded = 1,
+  kCostProbe = 2,
+};
+
+// "first_fit" / "least_loaded" / "cost_probe"; throws std::invalid_argument
+// on anything else.
+PlacementPolicy parse_placement_policy(const std::string& name);
+std::string placement_policy_name(PlacementPolicy policy);
+
+}  // namespace odn::cluster

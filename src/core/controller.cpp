@@ -78,17 +78,28 @@ std::vector<std::string> OffloadnnController::active_tasks() const {
 DeploymentPlan OffloadnnController::admit(const edge::DnnCatalog& catalog,
                                           std::vector<DotTask> requests) {
   reset();
-  return run(catalog, std::move(requests), /*incremental=*/false);
+  DeploymentPlan result = plan(catalog, std::move(requests),
+                               /*incremental=*/false);
+  commit(result, catalog);
+  return result;
 }
 
 DeploymentPlan OffloadnnController::admit_incremental(
     const edge::DnnCatalog& catalog, std::vector<DotTask> requests) {
-  return run(catalog, std::move(requests), /*incremental=*/true);
+  DeploymentPlan result = plan(catalog, std::move(requests),
+                               /*incremental=*/true);
+  commit(result, catalog);
+  return result;
 }
 
-DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
-                                        std::vector<DotTask> requests,
-                                        bool incremental) {
+DeploymentPlan OffloadnnController::probe_incremental(
+    const edge::DnnCatalog& catalog, std::vector<DotTask> requests) const {
+  return plan(catalog, std::move(requests), /*incremental=*/true);
+}
+
+DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
+                                         std::vector<DotTask> requests,
+                                         bool incremental) const {
   // Step 2: assemble the DOT inputs — block availability and the (possibly
   // discounted) resource capacities.
   DotInstance instance;
@@ -140,10 +151,11 @@ DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
   // Steps 4-6: allocate resources, deploy blocks, compute per-task plans.
   // Plan assembly splits into a parallel phase — each task's plan (with its
   // latency-model evaluation) is built independently into its own slot —
-  // and a serial commitment phase that walks the plans in task order, so
-  // ledger bookkeeping is identical for any thread count.
-  DeploymentPlan plan;
-  plan.solution = solution;
+  // and a serial aggregation phase that walks the plans in task order, so
+  // the bookkeeping is identical for any thread count. Nothing here
+  // mutates the controller: commit() applies the result.
+  DeploymentPlan result;
+  result.solution = solution;
   std::unordered_set<edge::BlockIndex> new_blocks;
   double shared_rbs = 0.0;
 
@@ -171,40 +183,48 @@ DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
   });
 
   for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
-    const DotTask& task = instance.tasks[t];
     const TaskDecision& decision = solution.decisions[t];
     if (decision.admitted()) {
-      const PathOption& option = task.options[decision.option_index];
+      const PathOption& option =
+          instance.tasks[t].options[decision.option_index];
       shared_rbs +=
           decision.admission_ratio * static_cast<double>(decision.rbs);
       for (const edge::BlockIndex b : option.path.blocks) {
-        block_memory_[b] = catalog.block(b).memory_bytes;
         const bool already_deployed =
             std::find(deployed_blocks_.begin(), deployed_blocks_.end(), b) !=
             deployed_blocks_.end();
         if (!already_deployed) new_blocks.insert(b);
       }
-      active_.push_back(TaskCommitment{
-          .name = task.spec.name,
-          .compute_s = decision.admission_ratio * task.spec.request_rate *
-                       option.inference_time_s,
-          .shared_rbs = decision.admission_ratio *
-                        static_cast<double>(decision.rbs),
-          .blocks = option.path.blocks});
     }
-    plan.tasks.push_back(std::move(task_plans[t]));
+    result.tasks.push_back(std::move(task_plans[t]));
   }
 
   for (const edge::BlockIndex b : new_blocks) {
-    plan.deployed_blocks.push_back(b);
+    result.deployed_blocks.push_back(b);
     // Memory is charged from the *original* catalog (the zeroed copies in
     // the incremental instance only affect the solver's view).
-    plan.memory_committed_bytes += catalog.block(b).memory_bytes;
+    result.memory_committed_bytes += catalog.block(b).memory_bytes;
   }
-  std::sort(plan.deployed_blocks.begin(), plan.deployed_blocks.end());
-  plan.compute_committed_s = solution.cost.inference_compute_s;
-  plan.rbs_committed =
+  std::sort(result.deployed_blocks.begin(), result.deployed_blocks.end());
+  result.compute_committed_s = solution.cost.inference_compute_s;
+  result.rbs_committed =
       static_cast<std::size_t>(std::ceil(shared_rbs - 1e-9));
+  return result;
+}
+
+void OffloadnnController::commit(const DeploymentPlan& plan,
+                                 const edge::DnnCatalog& catalog) {
+  for (const TaskPlan& task : plan.tasks) {
+    if (!task.admitted) continue;
+    for (const edge::BlockIndex b : task.blocks)
+      block_memory_[b] = catalog.block(b).memory_bytes;
+    active_.push_back(TaskCommitment{
+        .name = task.task_name,
+        .compute_s = task.admitted_rate * task.inference_time_s,
+        .shared_rbs = task.admission_ratio *
+                      static_cast<double>(task.slice_rbs),
+        .blocks = task.blocks});
+  }
 
   // The solver honoured the (discounted) capacities, so rebuilding the
   // ledger from the active-task commitments must succeed; a throw here
@@ -214,11 +234,9 @@ DeploymentPlan OffloadnnController::run(const edge::DnnCatalog& catalog,
   util::log_info("controller",
                  "{} admission: {}/{} tasks admitted, {:.1f} MB deployed, "
                  "{} RBs, obj {:.4f}",
-                 solution.solver_name, solution.cost.admitted_tasks,
-                 instance.tasks.size(),
-                 plan.memory_committed_bytes / 1e6, plan.rbs_committed,
-                 solution.cost.objective);
-  return plan;
+                 plan.solution.solver_name, plan.solution.cost.admitted_tasks,
+                 plan.tasks.size(), plan.memory_committed_bytes / 1e6,
+                 plan.rbs_committed, plan.solution.cost.objective);
 }
 
 }  // namespace odn::core

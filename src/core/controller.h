@@ -71,6 +71,15 @@ class OffloadnnController {
   DeploymentPlan admit_incremental(const edge::DnnCatalog& catalog,
                                    std::vector<DotTask> requests);
 
+  // Dry-run of admit_incremental: solves the same discounted instance and
+  // returns the plan admit_incremental would commit, without mutating the
+  // controller. The cluster dispatcher's cost_probe placement fans these
+  // out across cells (const = safe to probe sibling cells concurrently);
+  // determinism follows from the solve being the exact code path the
+  // subsequent admission runs.
+  DeploymentPlan probe_incremental(const edge::DnnCatalog& catalog,
+                                   std::vector<DotTask> requests) const;
+
   // Task departure (dynamic churn): releases the task's radio slice and
   // compute commitment and undeploys blocks no other active task uses.
   // Returns false when no active task has that name.
@@ -96,8 +105,13 @@ class OffloadnnController {
     std::vector<edge::BlockIndex> blocks;
   };
 
-  DeploymentPlan run(const edge::DnnCatalog& catalog,
-                     std::vector<DotTask> requests, bool incremental);
+  // Solve-and-assemble phase: builds the (possibly discounted) instance,
+  // runs the solver and produces the full plan. Const — commits nothing.
+  DeploymentPlan plan(const edge::DnnCatalog& catalog,
+                      std::vector<DotTask> requests, bool incremental) const;
+  // Commitment phase: records the plan's admitted tasks as active
+  // commitments and rebuilds the ledger. `catalog` supplies block memory.
+  void commit(const DeploymentPlan& plan, const edge::DnnCatalog& catalog);
   // Recomputes the ledger and deployed-block list from active_tasks_.
   void rebuild_ledger();
 

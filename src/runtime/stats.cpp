@@ -1,21 +1,14 @@
 #include "runtime/stats.h"
 
-#include <cstdio>
+#include <charconv>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 
 #include "util/mathx.h"
 
 namespace odn::runtime {
 namespace {
-
-// %.17g round-trips every double; fixed formatting keeps equal runs
-// byte-identical.
-std::string json_num(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
 
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -28,6 +21,36 @@ std::string json_escape(const std::string& text) {
 }
 
 }  // namespace
+
+std::string json_double(double value) {
+  // 17 significant digits round-trip every double; general format matches
+  // printf %.17g in the C locale byte for byte, but to_chars ignores the
+  // process locale entirely (no comma decimal separators under de_DE &c).
+  char buffer[64];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value,
+                    std::chars_format::general, 17);
+  if (result.ec != std::errc{})
+    return "0";  // unreachable for finite doubles with this buffer
+  return std::string(buffer, result.ptr);
+}
+
+void ClassStats::merge_from(const ClassStats& other) {
+  arrivals += other.arrivals;
+  admitted += other.admitted;
+  admitted_first_try += other.admitted_first_try;
+  admitted_after_retry += other.admitted_after_retry;
+  admitted_downgraded += other.admitted_downgraded;
+  retries_scheduled += other.retries_scheduled;
+  rejected_final += other.rejected_final;
+  departed_before_admission += other.departed_before_admission;
+  pending_at_end += other.pending_at_end;
+  departures += other.departures;
+  latency_samples_s.insert(latency_samples_s.end(),
+                           other.latency_samples_s.begin(),
+                           other.latency_samples_s.end());
+  slo_violations += other.slo_violations;
+}
 
 double ClassStats::admission_rate() const {
   return arrivals == 0
@@ -79,73 +102,84 @@ std::size_t RuntimeReport::total_slo_violations() const {
   return n;
 }
 
+void write_class_stats_json(std::ostream& out, const ClassStats& c,
+                            const std::string& indent) {
+  out << indent << "{\n";
+  out << indent << "  \"name\": \"" << json_escape(c.name) << "\",\n";
+  out << indent << "  \"arrivals\": " << c.arrivals << ",\n";
+  out << indent << "  \"admitted\": " << c.admitted << ",\n";
+  out << indent << "  \"admitted_first_try\": " << c.admitted_first_try
+      << ",\n";
+  out << indent << "  \"admitted_after_retry\": " << c.admitted_after_retry
+      << ",\n";
+  out << indent << "  \"admitted_downgraded\": " << c.admitted_downgraded
+      << ",\n";
+  out << indent << "  \"retries_scheduled\": " << c.retries_scheduled
+      << ",\n";
+  out << indent << "  \"rejected_final\": " << c.rejected_final << ",\n";
+  out << indent << "  \"departed_before_admission\": "
+      << c.departed_before_admission << ",\n";
+  out << indent << "  \"pending_at_end\": " << c.pending_at_end << ",\n";
+  out << indent << "  \"departures\": " << c.departures << ",\n";
+  out << indent << "  \"admission_rate\": " << json_double(c.admission_rate())
+      << ",\n";
+  out << indent << "  \"latency\": {\n";
+  out << indent << "    \"samples\": " << c.latency_samples_s.size()
+      << ",\n";
+  out << indent << "    \"mean_s\": " << json_double(c.mean_latency_s())
+      << ",\n";
+  out << indent << "    \"p50_s\": " << json_double(c.p50_latency_s())
+      << ",\n";
+  out << indent << "    \"p95_s\": " << json_double(c.p95_latency_s())
+      << "\n";
+  out << indent << "  },\n";
+  out << indent << "  \"slo\": {\n";
+  out << indent << "    \"violations\": " << c.slo_violations << ",\n";
+  out << indent << "    \"violation_rate\": "
+      << json_double(c.slo_violation_rate()) << "\n";
+  out << indent << "  }\n";
+  out << indent << "}";
+}
+
 void RuntimeReport::write_json(std::ostream& out) const {
   out << "{\n";
   out << "  \"schema\": \"odn-runtime-report/1\",\n";
   out << "  \"trace\": \"" << json_escape(trace_name) << "\",\n";
   out << "  \"seed\": " << seed << ",\n";
-  out << "  \"horizon_s\": " << json_num(horizon_s) << ",\n";
+  out << "  \"horizon_s\": " << json_double(horizon_s) << ",\n";
   out << "  \"events_processed\": " << events_processed << ",\n";
   out << "  \"epochs\": " << epochs << ",\n";
 
   out << "  \"classes\": [\n";
   for (std::size_t i = 0; i < classes.size(); ++i) {
-    const ClassStats& c = classes[i];
-    out << "    {\n";
-    out << "      \"name\": \"" << json_escape(c.name) << "\",\n";
-    out << "      \"arrivals\": " << c.arrivals << ",\n";
-    out << "      \"admitted\": " << c.admitted << ",\n";
-    out << "      \"admitted_first_try\": " << c.admitted_first_try << ",\n";
-    out << "      \"admitted_after_retry\": " << c.admitted_after_retry
-        << ",\n";
-    out << "      \"admitted_downgraded\": " << c.admitted_downgraded
-        << ",\n";
-    out << "      \"retries_scheduled\": " << c.retries_scheduled << ",\n";
-    out << "      \"rejected_final\": " << c.rejected_final << ",\n";
-    out << "      \"departed_before_admission\": "
-        << c.departed_before_admission << ",\n";
-    out << "      \"pending_at_end\": " << c.pending_at_end << ",\n";
-    out << "      \"departures\": " << c.departures << ",\n";
-    out << "      \"admission_rate\": " << json_num(c.admission_rate())
-        << ",\n";
-    out << "      \"latency\": {\n";
-    out << "        \"samples\": " << c.latency_samples_s.size() << ",\n";
-    out << "        \"mean_s\": " << json_num(c.mean_latency_s()) << ",\n";
-    out << "        \"p50_s\": " << json_num(c.p50_latency_s()) << ",\n";
-    out << "        \"p95_s\": " << json_num(c.p95_latency_s()) << "\n";
-    out << "      },\n";
-    out << "      \"slo\": {\n";
-    out << "        \"violations\": " << c.slo_violations << ",\n";
-    out << "        \"violation_rate\": "
-        << json_num(c.slo_violation_rate()) << "\n";
-    out << "      }\n";
-    out << "    }" << (i + 1 < classes.size() ? "," : "") << "\n";
+    write_class_stats_json(out, classes[i], "    ");
+    out << (i + 1 < classes.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
 
   out << "  \"watermarks\": {\n";
   out << "    \"peak_memory_bytes\": "
-      << json_num(watermarks.peak_memory_bytes) << ",\n";
-  out << "    \"peak_compute_s\": " << json_num(watermarks.peak_compute_s)
+      << json_double(watermarks.peak_memory_bytes) << ",\n";
+  out << "    \"peak_compute_s\": " << json_double(watermarks.peak_compute_s)
       << ",\n";
   out << "    \"peak_rbs\": " << watermarks.peak_rbs << ",\n";
   out << "    \"memory_capacity_bytes\": "
-      << json_num(watermarks.memory_capacity_bytes) << ",\n";
+      << json_double(watermarks.memory_capacity_bytes) << ",\n";
   out << "    \"compute_capacity_s\": "
-      << json_num(watermarks.compute_capacity_s) << ",\n";
+      << json_double(watermarks.compute_capacity_s) << ",\n";
   out << "    \"rb_capacity\": " << watermarks.rb_capacity << "\n";
   out << "  },\n";
 
   out << "  \"timeline\": [\n";
   for (std::size_t i = 0; i < timeline.size(); ++i) {
     const EpochSnapshot& e = timeline[i];
-    out << "    {\"t_s\": " << json_num(e.time_s)
+    out << "    {\"t_s\": " << json_double(e.time_s)
         << ", \"active\": " << e.active_tasks
         << ", \"deployed_blocks\": " << e.deployed_blocks
         << ", \"samples\": " << e.samples
-        << ", \"p95_s\": " << json_num(e.p95_latency_s)
+        << ", \"p95_s\": " << json_double(e.p95_latency_s)
         << ", \"slo_violations\": " << e.slo_violations
-        << ", \"gpu_busy\": " << json_num(e.gpu_busy_fraction) << "}"
+        << ", \"gpu_busy\": " << json_double(e.gpu_busy_fraction) << "}"
         << (i + 1 < timeline.size() ? "," : "") << "\n";
   }
   out << "  ],\n";

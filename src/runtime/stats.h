@@ -39,7 +39,23 @@ struct ClassStats {
   double p95_latency_s() const;
   double mean_latency_s() const;
   double slo_violation_rate() const;  // violations / samples
+
+  // Aggregation hook (cluster-wide rollups): sums every counter of `other`
+  // into this and appends its latency samples in order. The name is kept.
+  void merge_from(const ClassStats& other);
 };
+
+// Locale-independent double formatting for the JSON reports: std::to_chars
+// with 17 significant digits round-trips every double and, unlike
+// snprintf("%.17g"), never honors the process locale's decimal separator,
+// so reports stay byte-identical (and parseable) under any LC_NUMERIC.
+std::string json_double(double value);
+
+// Writes one ClassStats object (the per-class block of the runtime report)
+// with stable key order. `indent` is prepended to every line; the closing
+// brace gets no trailing newline so callers control the separator.
+void write_class_stats_json(std::ostream& out, const ClassStats& stats,
+                            const std::string& indent);
 
 // One epoch-boundary measurement of the live deployment.
 struct EpochSnapshot {
@@ -78,8 +94,9 @@ struct RuntimeReport {
   std::size_t total_admitted() const;
   std::size_t total_slo_violations() const;
 
-  // Stable-key-order JSON; doubles printed with %.17g so equal runs
-  // serialize identically (the determinism acceptance check diffs this).
+  // Stable-key-order JSON; doubles printed via json_double (17 significant
+  // digits, locale-independent) so equal runs serialize identically (the
+  // determinism acceptance check diffs this).
   void write_json(std::ostream& out) const;
   std::string to_json() const;
 };

@@ -1,0 +1,101 @@
+// make_cells seedable heterogeneity + EdgeCell headroom accounting.
+#include <gtest/gtest.h>
+
+#include "cluster/cell.h"
+#include "core/scenarios.h"
+
+namespace odn::cluster {
+namespace {
+
+edge::EdgeResources base_resources() {
+  edge::EdgeResources base;
+  base.compute_capacity_s = 4.0;
+  base.training_budget_s = 1000.0;
+  base.memory_capacity_bytes = 8e9;
+  base.total_rbs = 50;
+  return base;
+}
+
+TEST(MakeCells, DeterministicForEqualSeeds) {
+  const auto a = make_cells(5, base_resources(), 42);
+  const auto b = make_cells(5, base_resources(), 42);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].resources.memory_capacity_bytes,
+              b[i].resources.memory_capacity_bytes);
+    EXPECT_EQ(a[i].resources.compute_capacity_s,
+              b[i].resources.compute_capacity_s);
+    EXPECT_EQ(a[i].resources.total_rbs, b[i].resources.total_rbs);
+  }
+}
+
+TEST(MakeCells, DifferentSeedsDiffer) {
+  const auto a = make_cells(4, base_resources(), 1);
+  const auto b = make_cells(4, base_resources(), 2);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].resources.memory_capacity_bytes !=
+        b[i].resources.memory_capacity_bytes)
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(MakeCells, SpreadBoundsRespected) {
+  const edge::EdgeResources base = base_resources();
+  const double spread = 0.25;
+  for (const CellSpec& cell : make_cells(16, base, 7, spread)) {
+    EXPECT_GE(cell.resources.memory_capacity_bytes,
+              base.memory_capacity_bytes * (1.0 - spread) - 1.0);
+    EXPECT_LE(cell.resources.memory_capacity_bytes,
+              base.memory_capacity_bytes * (1.0 + spread) + 1.0);
+    EXPECT_GE(cell.resources.compute_capacity_s,
+              base.compute_capacity_s * (1.0 - spread) - 1e-9);
+    EXPECT_LE(cell.resources.compute_capacity_s,
+              base.compute_capacity_s * (1.0 + spread) + 1e-9);
+    EXPECT_GE(cell.resources.total_rbs,
+              static_cast<std::size_t>(50 * (1.0 - spread)) - 1);
+    EXPECT_LE(cell.resources.total_rbs,
+              static_cast<std::size_t>(50 * (1.0 + spread)) + 1);
+  }
+}
+
+TEST(MakeCells, ZeroSpreadYieldsIdenticalCapacities) {
+  const edge::EdgeResources base = base_resources();
+  for (const CellSpec& cell : make_cells(3, base, 9, 0.0)) {
+    EXPECT_EQ(cell.resources.memory_capacity_bytes,
+              base.memory_capacity_bytes);
+    EXPECT_EQ(cell.resources.compute_capacity_s, base.compute_capacity_s);
+    EXPECT_EQ(cell.resources.total_rbs, base.total_rbs);
+  }
+}
+
+TEST(MakeCells, RejectsBadArguments) {
+  EXPECT_THROW(make_cells(0, base_resources(), 1), std::invalid_argument);
+  EXPECT_THROW(make_cells(2, base_resources(), 1, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(make_cells(2, base_resources(), 1, 1.0),
+               std::invalid_argument);
+}
+
+TEST(EdgeCell, HeadroomStartsFullAndTracksAdmissions) {
+  const core::DotInstance instance = core::make_small_scenario(3);
+  EdgeCell cell(CellSpec{"c0", instance.resources}, instance.radio, {});
+  EXPECT_DOUBLE_EQ(cell.normalized_headroom(), 1.0);
+
+  cell.controller().admit_incremental(instance.catalog,
+                                      {instance.tasks[0]});
+  const double after_one = cell.normalized_headroom();
+  EXPECT_LT(after_one, 1.0);
+  EXPECT_GT(after_one, 0.0);
+
+  cell.controller().admit_incremental(instance.catalog,
+                                      {instance.tasks[1]});
+  EXPECT_LT(cell.normalized_headroom(), after_one);
+
+  cell.controller().reset();
+  EXPECT_DOUBLE_EQ(cell.normalized_headroom(), 1.0);
+}
+
+}  // namespace
+}  // namespace odn::cluster

@@ -1,0 +1,101 @@
+// probe_incremental: the const dry-run entry point the cluster dispatcher
+// fans out across cells. A probe must (a) leave the controller bit-for-bit
+// untouched and (b) predict exactly what the subsequent admit_incremental
+// commits — the migration path relies on probe == admit.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "core/scenarios.h"
+
+namespace odn::core {
+namespace {
+
+class ControllerProbeTest : public ::testing::Test {
+ protected:
+  ControllerProbeTest()
+      : instance_(make_small_scenario(5)),
+        controller_(instance_.resources, instance_.radio) {}
+
+  DotInstance instance_;
+  OffloadnnController controller_;
+};
+
+TEST_F(ControllerProbeTest, ProbeDoesNotMutateFreshController) {
+  const DeploymentPlan probe =
+      controller_.probe_incremental(instance_.catalog, {instance_.tasks[0]});
+  EXPECT_TRUE(probe.tasks[0].admitted);
+
+  EXPECT_TRUE(controller_.active_tasks().empty());
+  EXPECT_TRUE(controller_.deployed_blocks().empty());
+  EXPECT_EQ(controller_.ledger().memory_used_bytes(), 0.0);
+  EXPECT_EQ(controller_.ledger().compute_used_s(), 0.0);
+  EXPECT_EQ(controller_.ledger().rbs_used(), 0u);
+}
+
+TEST_F(ControllerProbeTest, ProbeDoesNotMutateLoadedController) {
+  controller_.admit_incremental(instance_.catalog, {instance_.tasks[0]});
+  const auto active_before = controller_.active_tasks();
+  const auto blocks_before = controller_.deployed_blocks();
+  const double memory_before = controller_.ledger().memory_used_bytes();
+  const double compute_before = controller_.ledger().compute_used_s();
+  const std::size_t rbs_before = controller_.ledger().rbs_used();
+
+  controller_.probe_incremental(instance_.catalog, {instance_.tasks[1]});
+
+  EXPECT_EQ(controller_.active_tasks(), active_before);
+  EXPECT_EQ(controller_.deployed_blocks(), blocks_before);
+  EXPECT_EQ(controller_.ledger().memory_used_bytes(), memory_before);
+  EXPECT_EQ(controller_.ledger().compute_used_s(), compute_before);
+  EXPECT_EQ(controller_.ledger().rbs_used(), rbs_before);
+}
+
+TEST_F(ControllerProbeTest, ProbePredictsAdmitExactly) {
+  controller_.admit_incremental(instance_.catalog, {instance_.tasks[0]});
+
+  const DeploymentPlan probe =
+      controller_.probe_incremental(instance_.catalog, {instance_.tasks[1]});
+  const DeploymentPlan admit =
+      controller_.admit_incremental(instance_.catalog, {instance_.tasks[1]});
+
+  ASSERT_EQ(probe.tasks.size(), admit.tasks.size());
+  for (std::size_t t = 0; t < probe.tasks.size(); ++t) {
+    const TaskPlan& p = probe.tasks[t];
+    const TaskPlan& a = admit.tasks[t];
+    EXPECT_EQ(p.admitted, a.admitted);
+    EXPECT_EQ(p.task_name, a.task_name);
+    EXPECT_EQ(p.admission_ratio, a.admission_ratio);
+    EXPECT_EQ(p.admitted_rate, a.admitted_rate);
+    EXPECT_EQ(p.slice_rbs, a.slice_rbs);
+    EXPECT_EQ(p.blocks, a.blocks);
+    EXPECT_EQ(p.expected_latency_s, a.expected_latency_s);
+    EXPECT_EQ(p.accuracy, a.accuracy);
+    EXPECT_EQ(p.inference_time_s, a.inference_time_s);
+  }
+  EXPECT_EQ(probe.deployed_blocks, admit.deployed_blocks);
+  EXPECT_EQ(probe.memory_committed_bytes, admit.memory_committed_bytes);
+  EXPECT_EQ(probe.rbs_committed, admit.rbs_committed);
+  EXPECT_EQ(probe.solution.cost.objective, admit.solution.cost.objective);
+}
+
+TEST_F(ControllerProbeTest, ProbeSeesCommittedCapacityDiscount) {
+  // Fill the controller, then probe a task that no longer fits: the probe
+  // must reflect the discounted capacities, not the full envelope.
+  std::vector<DotTask> all = instance_.tasks;
+  controller_.admit(instance_.catalog, all);
+  const double compute_used = controller_.ledger().compute_used_s();
+  EXPECT_GT(compute_used, 0.0);
+
+  DotTask greedy = instance_.tasks[0];
+  greedy.spec.name = "greedy-duplicate";
+  // Demand more than the leftover compute by inflating the request rate.
+  greedy.spec.request_rate = 1e6;
+  const DeploymentPlan probe =
+      controller_.probe_incremental(instance_.catalog, {greedy});
+  ASSERT_EQ(probe.tasks.size(), 1u);
+  // Full admission at that rate is impossible; a partial ratio (or outright
+  // rejection) proves the discount reached the solver.
+  EXPECT_LT(probe.tasks[0].admission_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace odn::core

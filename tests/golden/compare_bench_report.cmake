@@ -1,0 +1,39 @@
+# Runs a bench binary with a pinned seed and byte-compares its JSON report
+# against a checked-in golden. This is the determinism contract as a ctest:
+# any thread count, and (for the cluster bench) serial vs parallel cost
+# probes, must reproduce the committed report exactly.
+#
+# Invoked by add_test as:
+#   cmake -DBENCH=<binary> -DGOLDEN=<file> -DOUT=<file>
+#         [-DTHREADS=<n>] [-DARGS=<extra cli args>] -P compare_bench_report.cmake
+#
+# An empty THREADS unsets ODN_THREADS so the bench uses every core.
+if(NOT BENCH OR NOT GOLDEN OR NOT OUT)
+  message(FATAL_ERROR "BENCH, GOLDEN and OUT are all required")
+endif()
+
+separate_arguments(bench_args NATIVE_COMMAND "${ARGS}")
+if(THREADS)
+  set(bench_env ODN_THREADS=${THREADS})
+else()
+  set(bench_env --unset=ODN_THREADS)
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env ${bench_env}
+          ${BENCH} ${bench_args} --out ${OUT}
+  RESULT_VARIABLE run_result
+  OUTPUT_QUIET)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with '${run_result}'")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR
+          "report ${OUT} differs from golden ${GOLDEN} — if the change is "
+          "intentional, regenerate the golden with the command above and "
+          "commit it; otherwise the determinism contract is broken")
+endif()

@@ -102,6 +102,25 @@ TEST(Percentile, InvalidInputsThrow) {
   EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
 }
 
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  for (const double pct : {0.0, 37.5, 50.0, 95.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile({42.0}, pct), 42.0);
+}
+
+TEST(Percentile, TwoSamplesInterpolateLinearly) {
+  std::vector<double> values{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 95.0), 19.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 100.0), 20.0);
+}
+
+TEST(Percentile, AllEqualSamplesCollapse) {
+  std::vector<double> values(7, 3.25);
+  for (const double pct : {0.0, 50.0, 95.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(values, pct), 3.25);
+}
+
 TEST(ApproxEqual, RelativeAndAbsolute) {
   EXPECT_TRUE(approx_equal(1.0, 1.0));
   EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0, 1e-9));
