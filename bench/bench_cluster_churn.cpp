@@ -20,11 +20,16 @@
 
 #include "cluster/cluster_runtime.h"
 #include "core/scenarios.h"
+#include "obs/session.h"
 #include "runtime/workload.h"
 #include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace odn;
+
+  // ODN_TRACE=<path> / ODN_METRICS=<path> dump a Perfetto trace and a
+  // Prometheus snapshot at exit; stdout stays pure report JSON.
+  obs::EnvSession obs_session;
 
   std::size_t cells = 4;
   std::uint64_t seed = 7;

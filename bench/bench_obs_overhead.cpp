@@ -1,0 +1,71 @@
+// Observability overhead micros — the cost model DESIGN.md §6 promises:
+// a disabled span site is one branch on a relaxed atomic load, counter
+// increments are single relaxed fetch_adds, and an enabled span is two
+// clock reads plus a buffered event. Run with --benchmark_filter=Span to
+// compare the disabled/enabled pair directly.
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+void BM_SpanDisabled(benchmark::State& state) {
+  odn::obs::set_tracing_enabled(false);
+  for (auto _ : state) {
+    ODN_TRACE_SPAN("bench", "obs.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  odn::obs::reset_tracing();  // drop prior events, start clean
+  odn::obs::set_tracing_enabled(true);
+  for (auto _ : state) {
+    ODN_TRACE_SPAN("bench", "obs.enabled");
+    benchmark::ClobberMemory();
+  }
+  // Cap the buffer: discard the recorded events between runs so repeated
+  // iterations cannot grow memory without bound.
+  odn::obs::reset_tracing();
+}
+BENCHMARK(BM_SpanEnabled)->Iterations(1 << 20);
+
+void BM_CounterInc(benchmark::State& state) {
+  odn::obs::Counter& counter = odn::obs::MetricsRegistry::global().counter(
+      "odn_bench_counter_inc_total");
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_GaugeAdd(benchmark::State& state) {
+  odn::obs::Gauge& gauge =
+      odn::obs::MetricsRegistry::global().gauge("odn_bench_gauge");
+  for (auto _ : state) {
+    gauge.add(0.5);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_GaugeAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  odn::obs::Histogram& histogram =
+      odn::obs::MetricsRegistry::global().histogram(
+          "odn_bench_latency_seconds", {0.01, 0.1, 1.0});
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram.observe(value);
+    value += 0.001;
+    if (value > 2.0) value = 0.0;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -17,12 +17,17 @@
 #include <string>
 
 #include "core/scenarios.h"
+#include "obs/session.h"
 #include "runtime/serving_runtime.h"
 #include "runtime/workload.h"
 #include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace odn;
+
+  // ODN_TRACE=<path> / ODN_METRICS=<path> dump a Perfetto trace and a
+  // Prometheus snapshot at exit; stdout stays pure report JSON.
+  obs::EnvSession obs_session;
 
   std::uint64_t seed = 7;
   double horizon_s = 90.0;

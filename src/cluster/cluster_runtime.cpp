@@ -6,10 +6,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/emulator.h"
 #include "util/fmt.h"
 #include "util/logging.h"
 #include "util/mathx.h"
+#include "util/stopwatch.h"
 
 namespace odn::cluster {
 namespace {
@@ -102,6 +105,8 @@ std::size_t ClusterRuntime::class_of(double priority) const noexcept {
 }
 
 ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
+  ODN_TRACE_SPAN("cluster", "cluster.run");
+  util::Stopwatch run_watch;
   trace.validate();
   if (trace.template_count != templates_.size())
     throw std::invalid_argument(util::fmt(
@@ -230,7 +235,20 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
   // Epoch boundary: measure every cell's live deployment with its own
   // emulator stream, then run the migration pass over the cells that
   // showed violations (fixed cell order — deterministic).
+  // Epoch + migration accounting in the global registry; all increments
+  // happen on the serial event loop (deterministic for any ODN_THREADS).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& epochs_total = registry.counter("odn_cluster_epochs_total");
+  obs::Counter& migrations_attempted =
+      registry.counter("odn_cluster_migrations_attempted_total");
+  obs::Counter& migrations_done =
+      registry.counter("odn_cluster_migrations_total");
+  obs::Counter& migrations_no_target =
+      registry.counter("odn_cluster_migration_no_target_total");
+
   auto measure_epoch = [&](double now, std::size_t epoch_index) {
+    ODN_TRACE_SPAN("cluster", "cluster.epoch");
+    util::Stopwatch epoch_watch;
     ClusterEpochSnapshot snapshot;
     snapshot.time_s = now;
     std::vector<std::size_t> violations_by_cell(cell_count, 0);
@@ -299,6 +317,7 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         for (const std::size_t job_index : candidates) {
           Job& job = jobs[job_index];
           ++report.migration.attempted;
+          migrations_attempted.inc();
 
           // Target order: highest normalized headroom first, index
           // breaking ties (strict > comparison keeps it deterministic).
@@ -323,6 +342,7 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
               job.cell = target;
               job.plan = migrated_plan;
               ++report.migration.migrated;
+              migrations_done.inc();
               ++report.cells[source].migrations_out;
               ++report.cells[target].migrations_in;
               ++snapshot.migrations;
@@ -332,13 +352,18 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
               break;
             }
           }
-          if (!moved) ++report.migration.no_target;
+          if (!moved) {
+            ++report.migration.no_target;
+            migrations_no_target.inc();
+          }
         }
       }
     }
 
+    snapshot.measure_wall_s = epoch_watch.elapsed_seconds();
     report.timeline.push_back(snapshot);
     ++report.epochs;
+    epochs_total.inc();
   };
 
   while (!calendar.empty()) {
@@ -392,6 +417,7 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
   for (std::size_t i = 0; i < cell_count; ++i)
     report.cells[i].deployed_blocks_at_end =
         dispatcher_.cell(i).controller().deployed_blocks().size();
+  report.run_wall_s = run_watch.elapsed_seconds();
 
   util::log_info("cluster",
                  "cluster run '{}': {} cells, policy {}, {} events, "

@@ -48,6 +48,11 @@ struct ClusterEpochSnapshot {
   std::size_t slo_violations = 0;
   std::size_t cells_violating = 0;    // cells with >= 1 violation this epoch
   std::size_t migrations = 0;         // successful moves at this boundary
+
+  // Monotonic wall time for this epoch's measurement + migration pass.
+  // Diagnostics only: never serialized (the golden byte-compare forbids
+  // wall-clock data in the report).
+  double measure_wall_s = 0.0;
 };
 
 struct ClusterReport {
@@ -66,6 +71,10 @@ struct ClusterReport {
   MigrationStats migration;
   std::vector<ClusterEpochSnapshot> timeline;
   std::size_t active_at_end = 0;
+
+  // Monotonic wall time for the whole run() call; excluded from write_json
+  // like ClusterEpochSnapshot::measure_wall_s.
+  double run_wall_s = 0.0;
 
   std::size_t total_arrivals() const;
   std::size_t total_admitted() const;   // summed over cells

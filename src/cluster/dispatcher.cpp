@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fmt.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -11,6 +13,28 @@ namespace odn::cluster {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Placement accounting. The probe counters increment once per (task, cell)
+// probe and each probe's verdict is independent of which thread runs it,
+// so the totals match the serial loop for any ODN_THREADS.
+struct DispatcherMetrics {
+  obs::Counter& placement_attempts;
+  obs::Counter& spillovers;
+  obs::Counter& releases;
+  obs::Counter& probe_admits;
+  obs::Counter& probe_rejects;
+
+  static DispatcherMetrics& instance() {
+    static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static DispatcherMetrics metrics{
+        registry.counter("odn_cluster_placement_attempts_total"),
+        registry.counter("odn_cluster_spillovers_total"),
+        registry.counter("odn_cluster_releases_total"),
+        registry.counter("odn_cluster_probe_admits_total"),
+        registry.counter("odn_cluster_probe_rejects_total")};
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -28,12 +52,18 @@ ClusterDispatcher::ClusterDispatcher(
 
 std::vector<double> ClusterDispatcher::probe_objectives(
     const edge::DnnCatalog& catalog, const core::DotTask& task) const {
+  ODN_TRACE_SPAN("cluster", "cluster.probe");
+  DispatcherMetrics& metrics = DispatcherMetrics::instance();
   std::vector<double> objectives(cells_.size(), kInf);
   auto probe_one = [&](std::size_t i) {
     const core::DeploymentPlan probe =
         cells_[i].controller().probe_incremental(catalog, {task});
-    if (probe.tasks.size() == 1 && probe.tasks[0].admitted)
+    if (probe.tasks.size() == 1 && probe.tasks[0].admitted) {
       objectives[i] = probe.solution.cost.objective;
+      metrics.probe_admits.inc();
+    } else {
+      metrics.probe_rejects.inc();
+    }
   };
   // Each probe writes only its own slot, and a probe's arithmetic is
   // independent of which thread runs it, so the parallel fan-out is
@@ -87,6 +117,7 @@ std::size_t ClusterDispatcher::choose_cell(const edge::DnnCatalog& catalog,
 
 AdmissionOutcome ClusterDispatcher::admit(const edge::DnnCatalog& catalog,
                                           const core::DotTask& task) {
+  ODN_TRACE_SPAN("cluster", "cluster.admit");
   if (owner_.count(task.spec.name) != 0)
     throw std::invalid_argument(util::fmt(
         "ClusterDispatcher: task '{}' already admitted", task.spec.name));
@@ -102,13 +133,16 @@ AdmissionOutcome ClusterDispatcher::admit(const edge::DnnCatalog& catalog,
       if (i != outcome.preferred_cell) order.push_back(i);
   }
 
+  DispatcherMetrics& metrics = DispatcherMetrics::instance();
   for (const std::size_t index : order) {
+    metrics.placement_attempts.inc();
     const core::DeploymentPlan plan =
         cells_[index].controller().admit_incremental(catalog, {task});
     if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
       outcome.admitted = true;
       outcome.cell = index;
       outcome.spilled = index != outcome.preferred_cell;
+      if (outcome.spilled) metrics.spillovers.inc();
       outcome.plan = plan.tasks[0];
       owner_.emplace(task.spec.name, index);
       return outcome;
@@ -127,6 +161,7 @@ std::size_t ClusterDispatcher::release(const std::string& task_name) {
         "controller disagrees",
         index, task_name));
   owner_.erase(it);
+  DispatcherMetrics::instance().releases.inc();
   return index;
 }
 
@@ -140,6 +175,7 @@ bool ClusterDispatcher::migrate(const edge::DnnCatalog& catalog,
                                 const std::string& task_name,
                                 std::size_t target,
                                 core::TaskPlan* migrated_plan) {
+  ODN_TRACE_SPAN("cluster", "cluster.migrate");
   if (task.spec.name != task_name)
     throw std::invalid_argument(
         "ClusterDispatcher: migrate task/spec name mismatch");

@@ -5,10 +5,43 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace odn::core {
+namespace {
+
+// Controller-level admission accounting (DESIGN.md §6 naming scheme).
+// Counter increments happen on the serial plan/commit path or inside the
+// cluster probe fan-out, whose per-cell call counts are thread-count
+// invariant — so these totals snapshot identically for any ODN_THREADS.
+struct ControllerMetrics {
+  obs::Counter& plans;
+  obs::Counter& probes;
+  obs::Counter& commits;
+  obs::Counter& admissions;
+  obs::Counter& rejections;
+  obs::Counter& releases;
+  obs::Histogram& expected_latency;
+
+  static ControllerMetrics& instance() {
+    static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static ControllerMetrics metrics{
+        registry.counter("odn_controller_plans_total"),
+        registry.counter("odn_controller_probes_total"),
+        registry.counter("odn_controller_commits_total"),
+        registry.counter("odn_controller_admissions_total"),
+        registry.counter("odn_controller_rejections_total"),
+        registry.counter("odn_controller_releases_total"),
+        registry.histogram("odn_controller_expected_latency_seconds",
+                           {0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0})};
+    return metrics;
+  }
+};
+
+}  // namespace
 
 OffloadnnController::OffloadnnController(const edge::EdgeResources& resources,
                                          edge::RadioModel radio,
@@ -59,8 +92,10 @@ bool OffloadnnController::release(const std::string& task_name) {
                      return task.name == task_name;
                    });
   if (it == active_.end()) return false;
+  ODN_TRACE_SPAN("controller", "controller.release");
   active_.erase(it);
   rebuild_ledger();
+  ControllerMetrics::instance().releases.inc();
   util::log_info("controller", "released task '{}': {} blocks deployed, "
                  "{:.1f} MB resident",
                  task_name, deployed_blocks_.size(),
@@ -94,12 +129,16 @@ DeploymentPlan OffloadnnController::admit_incremental(
 
 DeploymentPlan OffloadnnController::probe_incremental(
     const edge::DnnCatalog& catalog, std::vector<DotTask> requests) const {
+  ODN_TRACE_SPAN("controller", "controller.probe_incremental");
+  ControllerMetrics::instance().probes.inc();
   return plan(catalog, std::move(requests), /*incremental=*/true);
 }
 
 DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
                                          std::vector<DotTask> requests,
                                          bool incremental) const {
+  ODN_TRACE_SPAN("controller", "controller.plan");
+  ControllerMetrics::instance().plans.inc();
   // Step 2: assemble the DOT inputs — block availability and the (possibly
   // discounted) resource capacities.
   DotInstance instance;
@@ -179,6 +218,10 @@ DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
       task_plan.accuracy = option.accuracy;
       task_plan.inference_time_s = option.inference_time_s;
       task_plan.input_bits = option.input_bits;
+      // Safe from parallel lanes: histogram accumulators commute, and the
+      // set of observed values is partition-independent.
+      ControllerMetrics::instance().expected_latency.observe(
+          task_plan.expected_latency_s);
     }
   });
 
@@ -214,6 +257,15 @@ DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
 
 void OffloadnnController::commit(const DeploymentPlan& plan,
                                  const edge::DnnCatalog& catalog) {
+  ODN_TRACE_SPAN("controller", "controller.commit");
+  ControllerMetrics& metrics = ControllerMetrics::instance();
+  metrics.commits.inc();
+  for (const TaskPlan& task : plan.tasks) {
+    if (task.admitted)
+      metrics.admissions.inc();
+    else
+      metrics.rejections.inc();
+  }
   for (const TaskPlan& task : plan.tasks) {
     if (!task.admitted) continue;
     for (const edge::BlockIndex b : task.blocks)

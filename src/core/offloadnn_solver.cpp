@@ -5,11 +5,36 @@
 #include <vector>
 
 #include "core/branch_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace odn::core {
 namespace {
+
+// Tree-traversal accounting. The traversal phases are serial (only the
+// per-branch (z, r) optimization fans out), so every count is
+// thread-count invariant; sites accumulate locally and publish once per
+// solve to keep the hot loops free of atomics.
+struct SolverMetrics {
+  obs::Counter& solves;
+  obs::Counter& vertices_visited;
+  obs::Counter& branches_pruned;  // memory-overflow vertex skips
+  obs::Counter& cliques_built;    // tree layers ranked per solve
+  obs::Counter& beam_branches;    // branches handed to the optimizer
+
+  static SolverMetrics& instance() {
+    static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static SolverMetrics metrics{
+        registry.counter("odn_solver_offloadnn_solves_total"),
+        registry.counter("odn_solver_offloadnn_vertices_visited_total"),
+        registry.counter("odn_solver_offloadnn_branches_pruned_total"),
+        registry.counter("odn_solver_offloadnn_cliques_built_total"),
+        registry.counter("odn_solver_offloadnn_beam_branches_total")};
+    return metrics;
+  }
+};
 
 // Re-rank a clique copy by the requested ablation ordering.
 std::vector<TreeVertex> ordered_clique(std::span<const TreeVertex> clique,
@@ -52,8 +77,12 @@ OffloadnnSolver::OffloadnnSolver(OffloadnnOptions options)
 }
 
 DotSolution OffloadnnSolver::solve(const DotInstance& instance) const {
+  ODN_TRACE_SPAN("solver", "solver.offloadnn");
   util::Stopwatch watch;
   const SolutionTree tree(instance);
+  SolverMetrics& metrics = SolverMetrics::instance();
+  metrics.solves.inc();
+  metrics.cliques_built.inc(tree.num_layers());
   DotSolution solution = options_.beam_width == 1
                              ? solve_first_branch(instance, tree)
                              : solve_beam(instance, tree);
@@ -66,6 +95,8 @@ DotSolution OffloadnnSolver::solve_first_branch(
   std::vector<BranchChoice> choices(instance.tasks.size());
   std::vector<std::uint32_t> block_use(instance.catalog.block_count(), 0);
   double memory_used = 0.0;
+  std::size_t visited = 0;
+  std::size_t pruned = 0;
 
   for (std::size_t layer = 0; layer < tree.num_layers(); ++layer) {
     const std::size_t task_index = tree.layer_task(layer);
@@ -75,19 +106,26 @@ DotSolution OffloadnnSolver::solve_first_branch(
     for (const TreeVertex& vertex : clique) {
       const PathOption& option =
           instance.tasks[task_index].options[vertex.option_index];
+      ++visited;
       double memory_delta = 0.0;
       for (const edge::BlockIndex b : option.path.blocks)
         if (block_use[b] == 0)
           memory_delta += instance.catalog.block(b).memory_bytes;
       if (memory_used + memory_delta >
-          instance.resources.memory_capacity_bytes * (1.0 + 1e-12))
+          instance.resources.memory_capacity_bytes * (1.0 + 1e-12)) {
+        ++pruned;
         continue;  // this vertex would overflow memory; try the next one
+      }
       choices[task_index] = vertex.option_index;
       memory_used += memory_delta;
       for (const edge::BlockIndex b : option.path.blocks) ++block_use[b];
       break;  // first-fit: the leftmost feasible vertex wins
     }
   }
+  SolverMetrics& metrics = SolverMetrics::instance();
+  metrics.vertices_visited.inc(visited);
+  metrics.branches_pruned.inc(pruned);
+  metrics.beam_branches.inc(1);
 
   const BranchOptimizer optimizer(instance);
   const DotEvaluator evaluator(instance);
@@ -112,6 +150,8 @@ DotSolution OffloadnnSolver::solve_beam(const DotInstance& instance,
   root.choices.assign(instance.tasks.size(), std::nullopt);
   root.block_use.assign(instance.catalog.block_count(), 0);
   std::vector<PartialBranch> beam{std::move(root)};
+  std::size_t visited = 0;
+  std::size_t pruned = 0;
 
   for (std::size_t layer = 0; layer < tree.num_layers(); ++layer) {
     const std::size_t task_index = tree.layer_task(layer);
@@ -124,6 +164,7 @@ DotSolution OffloadnnSolver::solve_beam(const DotInstance& instance,
       for (const TreeVertex& vertex : clique) {
         const PathOption& option =
             instance.tasks[task_index].options[vertex.option_index];
+        ++visited;
         double memory_delta = 0.0;
         double training_delta = 0.0;
         for (const edge::BlockIndex b : option.path.blocks)
@@ -132,8 +173,10 @@ DotSolution OffloadnnSolver::solve_beam(const DotInstance& instance,
             training_delta += instance.catalog.block(b).training_cost_s;
           }
         if (parent.memory_used + memory_delta >
-            instance.resources.memory_capacity_bytes * (1.0 + 1e-12))
+            instance.resources.memory_capacity_bytes * (1.0 + 1e-12)) {
+          ++pruned;
           continue;
+        }
         PartialBranch child = parent;
         child.choices[task_index] = vertex.option_index;
         child.memory_used += memory_delta;
@@ -159,6 +202,10 @@ DotSolution OffloadnnSolver::solve_beam(const DotInstance& instance,
       expanded.resize(options_.beam_width);
     beam = std::move(expanded);
   }
+  SolverMetrics& metrics = SolverMetrics::instance();
+  metrics.vertices_visited.inc(visited);
+  metrics.branches_pruned.inc(pruned);
+  metrics.beam_branches.inc(beam.size());
 
   const BranchOptimizer optimizer(instance);
   const DotEvaluator evaluator(instance);

@@ -4,12 +4,37 @@
 #include <vector>
 
 #include "core/branch_optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fmt.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace odn::core {
 namespace {
+
+// Exhaustive-traversal accounting. Caveat (mirrors branches_explored in
+// DotSolution): with bound_pruning enabled the parallel fan-out prunes
+// against per-subtree incumbents, so visited/pruned totals may exceed the
+// serial run's — these counters are deterministic for a fixed thread
+// count, not across ODN_THREADS. The churn benches never run this solver,
+// so the golden metrics contract is unaffected.
+struct OptimalMetrics {
+  obs::Counter& solves;
+  obs::Counter& vertices_visited;
+  obs::Counter& branches_explored;  // complete leaves evaluated
+  obs::Counter& bound_pruned;       // subtrees cut by the lower bound
+
+  static OptimalMetrics& instance() {
+    static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    static OptimalMetrics metrics{
+        registry.counter("odn_solver_optimal_solves_total"),
+        registry.counter("odn_solver_optimal_vertices_visited_total"),
+        registry.counter("odn_solver_optimal_branches_explored_total"),
+        registry.counter("odn_solver_optimal_bound_pruned_total")};
+    return metrics;
+  }
+};
 
 // DFS state shared across the recursion.
 struct DfsContext {
@@ -28,6 +53,8 @@ struct DfsContext {
   bool have_best = false;
   std::vector<TaskDecision> best_decisions;
   std::size_t branches = 0;
+  std::size_t visited = 0;  // tree vertices applied (feasible or not)
+  std::size_t pruned = 0;   // bound-pruned subtrees
 };
 
 void dfs(DfsContext& ctx, std::size_t layer_index) {
@@ -49,7 +76,10 @@ void dfs(DfsContext& ctx, std::size_t layer_index) {
     // committed on this branch (every other objective term can be zero).
     const double bound = (1.0 - ctx.instance.alpha) * ctx.training_committed /
                          ctx.instance.resources.training_budget_s;
-    if (bound >= ctx.best_objective) return;
+    if (bound >= ctx.best_objective) {
+      ++ctx.pruned;
+      return;
+    }
   }
 
   const std::size_t task_index = ctx.tree.layer_task(layer_index);
@@ -65,6 +95,7 @@ void dfs(DfsContext& ctx, std::size_t layer_index) {
   for (const TreeVertex& vertex : layer) {
     const PathOption& option =
         ctx.instance.tasks[task_index].options[vertex.option_index];
+    ++ctx.visited;
 
     // Apply the vertex: count newly used blocks once.
     double memory_delta = 0.0;
@@ -126,6 +157,7 @@ OptimalSolver::OptimalSolver(OptimalSolverOptions options)
     : options_(options) {}
 
 DotSolution OptimalSolver::solve(const DotInstance& instance) const {
+  ODN_TRACE_SPAN("solver", "solver.optimal");
   util::Stopwatch watch;
   const SolutionTree tree(instance);
 
@@ -159,6 +191,8 @@ DotSolution OptimalSolver::solve(const DotInstance& instance) const {
   bool have_best = false;
   std::vector<TaskDecision> best_decisions;
   std::size_t branches_explored = 0;
+  std::size_t vertices_visited = 0;
+  std::size_t bound_pruned = 0;
 
   if (!parallel) {
     DfsContext ctx =
@@ -168,12 +202,16 @@ DotSolution OptimalSolver::solve(const DotInstance& instance) const {
     best_objective = ctx.best_objective;
     best_decisions = std::move(ctx.best_decisions);
     branches_explored = ctx.branches;
+    vertices_visited = ctx.visited;
+    bound_pruned = ctx.pruned;
   } else {
     struct SubtreeResult {
       bool have_best = false;
       double best_objective = 0.0;
       std::vector<TaskDecision> best_decisions;
       std::size_t branches = 0;
+      std::size_t visited = 0;
+      std::size_t pruned = 0;
     };
     std::vector<SubtreeResult> results(fanout);
     const std::size_t task0 = tree.layer_task(0);
@@ -204,7 +242,7 @@ DotSolution OptimalSolver::solve(const DotInstance& instance) const {
       }
       results[child] = SubtreeResult{ctx.have_best, ctx.best_objective,
                                      std::move(ctx.best_decisions),
-                                     ctx.branches};
+                                     ctx.branches, ctx.visited, ctx.pruned};
     });
 
     // Deterministic min-reduce in branch order: exact serial tie-breaking.
@@ -213,6 +251,8 @@ DotSolution OptimalSolver::solve(const DotInstance& instance) const {
     // optimum and its decisions are unchanged.)
     for (SubtreeResult& result : results) {
       branches_explored += result.branches;
+      vertices_visited += result.visited;
+      bound_pruned += result.pruned;
       if (!result.have_best) continue;
       if (!have_best || result.best_objective < best_objective) {
         have_best = true;
@@ -221,6 +261,12 @@ DotSolution OptimalSolver::solve(const DotInstance& instance) const {
       }
     }
   }
+
+  OptimalMetrics& metrics = OptimalMetrics::instance();
+  metrics.solves.inc();
+  metrics.vertices_visited.inc(vertices_visited);
+  metrics.branches_explored.inc(branches_explored);
+  metrics.bound_pruned.inc(bound_pruned);
 
   DotSolution solution;
   solution.solver_name = "optimum";

@@ -1,0 +1,47 @@
+#include "obs/session.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace odn::obs {
+
+EnvSession::EnvSession() {
+  if (const char* trace = std::getenv("ODN_TRACE");
+      trace != nullptr && *trace != '\0') {
+    trace_path_ = trace;
+    set_tracing_enabled(true);
+  }
+  if (const char* metrics = std::getenv("ODN_METRICS");
+      metrics != nullptr && *metrics != '\0') {
+    metrics_path_ = metrics;
+  }
+}
+
+EnvSession::~EnvSession() {
+  if (!trace_path_.empty()) {
+    set_tracing_enabled(false);
+    if (write_trace_json(trace_path_)) {
+      std::fprintf(stderr, "obs: trace written to %s\n", trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "obs: cannot write trace to %s\n",
+                   trace_path_.c_str());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    if (out) {
+      MetricsRegistry::global().write_prometheus(out);
+      std::fprintf(stderr, "obs: metrics written to %s\n",
+                   metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "obs: cannot write metrics to %s\n",
+                   metrics_path_.c_str());
+    }
+  }
+}
+
+}  // namespace odn::obs

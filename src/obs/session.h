@@ -1,0 +1,35 @@
+// Environment-driven observability bootstrap for bench/example mains.
+//
+// Declare one EnvSession at the top of main():
+//
+//   ODN_TRACE=out.json   ./bench_runtime_churn   # Perfetto trace at exit
+//   ODN_METRICS=out.prom ./bench_runtime_churn   # Prometheus text at exit
+//
+// The constructor reads both variables and enables the tracer when
+// ODN_TRACE is set; the destructor drains the trace to the requested path
+// and writes the global metrics registry snapshot. Neither file touches
+// stdout, so golden-compared report streams stay byte-identical with
+// observability on or off.
+#pragma once
+
+#include <string>
+
+namespace odn::obs {
+
+class EnvSession {
+ public:
+  EnvSession();
+  ~EnvSession();
+
+  EnvSession(const EnvSession&) = delete;
+  EnvSession& operator=(const EnvSession&) = delete;
+
+  bool tracing() const noexcept { return !trace_path_.empty(); }
+  bool metrics() const noexcept { return !metrics_path_.empty(); }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace odn::obs

@@ -6,10 +6,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/emulator.h"
 #include "util/fmt.h"
 #include "util/logging.h"
 #include "util/mathx.h"
+#include "util/stopwatch.h"
 
 namespace odn::runtime {
 namespace {
@@ -95,7 +98,19 @@ std::size_t ServingRuntime::class_of(double priority) const noexcept {
   return index;
 }
 
+// Per-priority-class metric handles, resolved once per run() so the event
+// loop increments through cached pointers instead of registry lookups.
+struct ClassCounters {
+  obs::Counter* arrivals;
+  obs::Counter* admissions;
+  obs::Counter* rejections;
+  obs::Counter* retries;
+  obs::Counter* slo_violations;
+};
+
 RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
+  ODN_TRACE_SPAN("runtime", "runtime.run");
+  util::Stopwatch run_watch;
   trace.validate();
   if (trace.template_count != templates_.size())
     throw std::invalid_argument(util::fmt(
@@ -114,6 +129,28 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
   report.watermarks.memory_capacity_bytes = resources_.memory_capacity_bytes;
   report.watermarks.compute_capacity_s = resources_.compute_capacity_s;
   report.watermarks.rb_capacity = resources_.total_rbs;
+
+  // Global-registry counters mirror the ClassStats accounting (DESIGN.md
+  // §6). Everything below increments on the serial event loop, so the
+  // snapshots are byte-identical for any ODN_THREADS.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  std::vector<ClassCounters> class_metrics;
+  class_metrics.reserve(options_.class_names.size());
+  for (const std::string& class_name : options_.class_names) {
+    const obs::Labels labels{{"class", class_name}};
+    class_metrics.push_back(ClassCounters{
+        &registry.counter("odn_runtime_arrivals_total", labels),
+        &registry.counter("odn_runtime_admissions_total", labels),
+        &registry.counter("odn_runtime_rejections_total", labels),
+        &registry.counter("odn_runtime_retries_total", labels),
+        &registry.counter("odn_runtime_slo_violations_total", labels)});
+  }
+  obs::Counter& epochs_total = registry.counter("odn_runtime_epochs_total");
+  obs::Counter& samples_total =
+      registry.counter("odn_runtime_emulation_samples_total");
+  obs::Histogram& epoch_latency = registry.histogram(
+      "odn_runtime_epoch_latency_seconds",
+      {0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0});
 
   auto observe_ledger = [&] {
     const edge::ResourceLedger& ledger = controller_.ledger();
@@ -164,8 +201,10 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
   // One admission attempt for `job` at time `now`; schedules the retry on
   // rejection.
   auto attempt_admission = [&](std::size_t job_index, double now) {
+    ODN_TRACE_SPAN("runtime", "runtime.admit");
     Job& job = jobs[job_index];
     ClassStats& stats = report.classes[job.class_index];
+    ClassCounters& counters = class_metrics[job.class_index];
     ++job.attempts;
 
     core::DotTask task = templates_[job.template_index];
@@ -181,6 +220,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       job.state = Job::State::kActive;
       job.plan = plan.tasks[0];
       ++stats.admitted;
+      counters.admissions->inc();
       if (job.attempts == 1)
         ++stats.admitted_first_try;
       else
@@ -192,6 +232,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++stats.rejected_final;
+      counters.rejections->inc();
       return;
     }
     const double retry_at =
@@ -202,12 +243,15 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       return;
     }
     ++stats.retries_scheduled;
+    counters.retries->inc();
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
 
   // Epoch measurement: assemble the live deployment and emulate it.
   auto measure_epoch = [&](double now, std::size_t epoch_index) {
+    ODN_TRACE_SPAN("runtime", "runtime.epoch");
+    util::Stopwatch epoch_watch;
     EpochSnapshot snapshot;
     snapshot.time_s = now;
     snapshot.deployed_blocks = controller_.deployed_blocks().size();
@@ -238,10 +282,14 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         for (const sim::LatencySample& sample : task_trace.samples) {
           stats.latency_samples_s.push_back(sample.latency_s);
           epoch_latencies.push_back(sample.latency_s);
+          // Emulated (virtual-time) latencies: deterministic per seed, so
+          // the histogram buckets snapshot identically across thread counts.
+          epoch_latency.observe(sample.latency_s);
         }
         const std::size_t violations = task_trace.bound_violations();
         stats.slo_violations += violations;
         snapshot.slo_violations += violations;
+        class_metrics[class_index].slo_violations->inc(violations);
       }
       snapshot.samples = epoch_latencies.size();
       snapshot.p95_latency_s =
@@ -250,8 +298,11 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
               : util::percentile(std::move(epoch_latencies), 95.0);
       snapshot.gpu_busy_fraction = measured.gpu_busy_fraction;
     }
+    samples_total.inc(snapshot.samples);
+    snapshot.measure_wall_s = epoch_watch.elapsed_seconds();
     report.timeline.push_back(snapshot);
     ++report.epochs;
+    epochs_total.inc();
   };
 
   while (!calendar.empty()) {
@@ -262,6 +313,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     switch (event.kind) {
       case LoopEventKind::kArrival: {
         ++report.classes[jobs[event.job].class_index].arrivals;
+        class_metrics[jobs[event.job].class_index].arrivals->inc();
         attempt_admission(event.job, event.time);
         break;
       }
@@ -301,6 +353,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     if (job.state == Job::State::kActive) ++report.active_at_end;
   }
   report.deployed_blocks_at_end = controller_.deployed_blocks().size();
+  report.run_wall_s = run_watch.elapsed_seconds();
 
   util::log_info("runtime",
                  "churn run '{}': {} events, {} epochs, {}/{} admitted, "

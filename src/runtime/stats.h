@@ -66,6 +66,11 @@ struct EpochSnapshot {
   double p95_latency_s = 0.0;
   std::size_t slo_violations = 0;
   double gpu_busy_fraction = 0.0;
+
+  // Monotonic wall time spent in this epoch's measurement (emulation +
+  // sample accounting). Diagnostics only: write_json never serializes it,
+  // so golden-compared reports stay free of wall-clock noise.
+  double measure_wall_s = 0.0;
 };
 
 // Peak ledger usage observed over the whole run, against the capacities.
@@ -89,6 +94,11 @@ struct RuntimeReport {
   std::vector<EpochSnapshot> timeline;
   std::size_t active_at_end = 0;
   std::size_t deployed_blocks_at_end = 0;
+
+  // Monotonic wall time for the whole run() call. Like
+  // EpochSnapshot::measure_wall_s this is diagnostics only — excluded from
+  // write_json so the report bytes stay deterministic.
+  double run_wall_s = 0.0;
 
   std::size_t total_arrivals() const;
   std::size_t total_admitted() const;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/mathx.h"
 #include "util/rng.h"
 
@@ -99,6 +101,7 @@ EdgeEmulator::EdgeEmulator(core::DeploymentPlan plan, edge::RadioModel radio,
 }
 
 EmulationReport EdgeEmulator::run() {
+  ODN_TRACE_SPAN("sim", "sim.emulate");
   // Admitted tasks only.
   std::vector<std::size_t> admitted;
   for (std::size_t t = 0; t < plan_.tasks.size(); ++t)
@@ -280,6 +283,15 @@ EmulationReport EdgeEmulator::run() {
       report.tasks[i].peak_slice_queue = peak_queue[i];
     }
   }
+
+  // The event loop is serial and seeded, so these totals are deterministic
+  // for a given plan regardless of ODN_THREADS.
+  static obs::Counter& emulations =
+      obs::MetricsRegistry::global().counter("odn_sim_emulations_total");
+  static obs::Counter& request_count =
+      obs::MetricsRegistry::global().counter("odn_sim_requests_total");
+  emulations.inc();
+  request_count.inc(report.total_requests);
   return report;
 }
 

@@ -3,11 +3,19 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace odn::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// The injected sink, guarded by its mutex. Logging is never on a hot path
+// (see the header), so one uncontended lock per line is fine — and it also
+// serializes custom sinks, which therefore need no internal locking.
+std::mutex g_sink_mutex;
+LogSink g_sink;
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -25,8 +33,20 @@ const char* level_tag(LogLevel level) noexcept {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message) {
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_sink) {
+      g_sink(level, component, message);
+      return;
+    }
+  }
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   const double elapsed =

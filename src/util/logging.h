@@ -4,6 +4,7 @@
 // the emulator and the bench harnesses, where a human follows progress.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -17,7 +18,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-// Core sink: timestamped line to stderr. Thread-safe (single write call).
+// Injectable sink: every log_message at or above the level threshold is
+// delivered here instead of stderr. Sinks are invoked under an internal
+// mutex (no thread-safety burden on the sink, but it must not log
+// re-entrantly). Pass nullptr/{} to restore the stderr default. Tests use
+// this to capture log lines instead of scraping stderr.
+using LogSink = std::function<void(LogLevel level, std::string_view component,
+                                   std::string_view message)>;
+void set_log_sink(LogSink sink);
+
+// Core entry point: formats a timestamped line to the active sink (stderr
+// by default). Thread-safe.
 void log_message(LogLevel level, std::string_view component,
                  std::string_view message);
 

@@ -6,6 +6,9 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace odn::util {
 namespace {
 
@@ -72,7 +75,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    {
+      ODN_TRACE_SPAN("pool", "pool.task");
+      task();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
@@ -193,11 +199,22 @@ void set_thread_count(std::size_t count) {
 void global_parallel_for(std::size_t count,
                          const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  // Dispatch metrics count call sites and index totals — both are
+  // thread-count invariant (the serial fallback counts identically), so
+  // they stay inside the deterministic-snapshot contract. Per-lane or
+  // per-chunk counts would not be; those exist only as trace spans.
+  static obs::Counter& dispatches =
+      obs::MetricsRegistry::global().counter("odn_pool_parallel_for_total");
+  static obs::Counter& indices = obs::MetricsRegistry::global().counter(
+      "odn_pool_parallel_indices_total");
+  dispatches.inc();
+  indices.inc(count);
   if (count == 1 || ThreadPool::in_parallel_region() ||
       global_thread_count() <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  ODN_TRACE_SPAN("pool", "pool.parallel_for");
   global_pool().parallel_for(count, body);
 }
 

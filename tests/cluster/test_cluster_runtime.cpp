@@ -45,6 +45,13 @@ TEST(ClusterRuntime, ConservationEveryArrivalAccountedOnce) {
   ClusterRuntime cluster = small_cluster(3);
   const ClusterReport report = cluster.run(trace);
 
+  // Wall-clock diagnostics are populated but stay out of the serialized
+  // report (the golden byte-compare forbids wall-clock fields).
+  EXPECT_GT(report.run_wall_s, 0.0);
+  for (const ClusterEpochSnapshot& epoch : report.timeline)
+    EXPECT_GE(epoch.measure_wall_s, 0.0);
+  EXPECT_EQ(report.to_json().find("wall"), std::string::npos);
+
   std::size_t arrivals = 0;
   std::size_t retries = 0;
   for (const runtime::ClassStats& c : report.classes) {

@@ -5,9 +5,13 @@
 #
 # Invoked by add_test as:
 #   cmake -DBENCH=<binary> -DGOLDEN=<file> -DOUT=<file>
-#         [-DTHREADS=<n>] [-DARGS=<extra cli args>] -P compare_bench_report.cmake
+#         [-DTHREADS=<n>] [-DARGS=<extra cli args>] [-DTRACE=<file>]
+#         -P compare_bench_report.cmake
 #
 # An empty THREADS unsets ODN_THREADS so the bench uses every core.
+# TRACE runs the bench with ODN_TRACE pointing at <file> and additionally
+# checks the emitted trace is a Chrome trace_event JSON — the report bytes
+# must not change with tracing on (DESIGN.md §6).
 if(NOT BENCH OR NOT GOLDEN OR NOT OUT)
   message(FATAL_ERROR "BENCH, GOLDEN and OUT are all required")
 endif()
@@ -18,6 +22,14 @@ if(THREADS)
 else()
   set(bench_env --unset=ODN_THREADS)
 endif()
+# Hermetic observability: only a TRACE run traces; nothing inherits
+# ODN_TRACE/ODN_METRICS from the invoking environment.
+if(TRACE)
+  list(APPEND bench_env ODN_TRACE=${TRACE})
+else()
+  list(APPEND bench_env --unset=ODN_TRACE)
+endif()
+list(APPEND bench_env --unset=ODN_METRICS)
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env ${bench_env}
@@ -36,4 +48,16 @@ if(NOT diff_result EQUAL 0)
           "report ${OUT} differs from golden ${GOLDEN} — if the change is "
           "intentional, regenerate the golden with the command above and "
           "commit it; otherwise the determinism contract is broken")
+endif()
+
+if(TRACE)
+  if(NOT EXISTS ${TRACE})
+    message(FATAL_ERROR "trace file ${TRACE} was not written")
+  endif()
+  file(READ ${TRACE} trace_head LIMIT 16)
+  if(NOT trace_head MATCHES "^{\"traceEvents\"")
+    message(FATAL_ERROR
+            "trace file ${TRACE} is not trace_event JSON (starts with "
+            "'${trace_head}')")
+  endif()
 endif()

@@ -1,0 +1,114 @@
+// Observability × determinism: the global registry's snapshot bytes and
+// the runtime report bytes must be identical across ODN_THREADS settings,
+// and identical with tracing on or off (DESIGN.md §6). This is the ctest
+// twin of the traced golden bench checks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/scenarios.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/serving_runtime.h"
+#include "runtime/workload.h"
+#include "util/thread_pool.h"
+
+namespace odn::obs {
+namespace {
+
+runtime::WorkloadTrace churn_trace() {
+  runtime::WorkloadOptions options;
+  options.horizon_s = 25.0;
+  options.seed = 21;
+  options.arrival_rate_per_s = 0.8;
+  options.mean_holding_s = 10.0;
+  return runtime::generate_workload(5, options);
+}
+
+runtime::ServingRuntime churn_runtime() {
+  runtime::RuntimeOptions options;
+  options.epoch_s = 10.0;
+  options.emulation_window_s = 4.0;
+  const core::DotInstance instance = core::make_small_scenario(5);
+  return runtime::ServingRuntime(instance.catalog, instance.resources,
+                                 instance.radio, instance.tasks, options);
+}
+
+// One full churn run against a zeroed global registry; returns the report
+// JSON and the registry snapshot.
+struct RunResult {
+  std::string report;
+  std::string metrics;
+};
+
+RunResult run_once(const runtime::WorkloadTrace& trace) {
+  MetricsRegistry::global().reset_values();
+  RunResult result;
+  result.report = churn_runtime().run(trace).to_json();
+  result.metrics = MetricsRegistry::global().to_prometheus();
+  return result;
+}
+
+TEST(ObsIntegration, MetricSnapshotsIdenticalAcrossThreadCounts) {
+  const runtime::WorkloadTrace trace = churn_trace();
+
+  util::set_thread_count(1);
+  const RunResult serial = run_once(trace);
+  util::set_thread_count(4);
+  const RunResult four = run_once(trace);
+  util::set_thread_count(8);
+  const RunResult eight = run_once(trace);
+  util::set_thread_count(0);
+
+  EXPECT_EQ(serial.report, four.report);
+  EXPECT_EQ(serial.report, eight.report);
+  // The §6 contract: counter totals and histogram bucket counts are
+  // byte-identical for any ODN_THREADS.
+  EXPECT_EQ(serial.metrics, four.metrics);
+  EXPECT_EQ(serial.metrics, eight.metrics);
+
+  // The run actually exercised the instrumented paths.
+  EXPECT_NE(serial.metrics.find("odn_controller_plans_total"),
+            std::string::npos);
+  EXPECT_NE(serial.metrics.find("odn_runtime_epochs_total 2"),
+            std::string::npos);  // horizon 25 s / epoch 10 s -> t = 10, 20
+  EXPECT_NE(serial.metrics.find("odn_solver_offloadnn_solves_total"),
+            std::string::npos);
+}
+
+TEST(ObsIntegration, TracingDoesNotPerturbReportsOrMetrics) {
+  const runtime::WorkloadTrace trace = churn_trace();
+
+  reset_tracing();
+  const RunResult untraced = run_once(trace);
+
+  set_tracing_enabled(true);
+  const RunResult traced = run_once(trace);
+  const std::size_t events = buffered_event_count();
+  reset_tracing();
+
+  // Tracing on: same report bytes, same metric snapshot, and the trace
+  // buffers actually captured the spans.
+  EXPECT_EQ(untraced.report, traced.report);
+  EXPECT_EQ(untraced.metrics, traced.metrics);
+  EXPECT_GT(events, 0u);
+}
+
+TEST(ObsIntegration, ReportJsonCarriesNoWallClockFields) {
+  const runtime::WorkloadTrace trace = churn_trace();
+  const runtime::RuntimeReport report = churn_runtime().run(trace);
+
+  // The wall-clock diagnostics are populated...
+  EXPECT_GT(report.run_wall_s, 0.0);
+  ASSERT_FALSE(report.timeline.empty());
+  for (const runtime::EpochSnapshot& epoch : report.timeline)
+    EXPECT_GE(epoch.measure_wall_s, 0.0);
+
+  // ...but never serialized: the golden byte-compare forbids wall-clock
+  // data in the report stream.
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.find("wall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odn::obs

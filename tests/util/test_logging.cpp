@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "util/stopwatch.h"
 
 namespace odn::util {
@@ -35,6 +38,42 @@ TEST(Logging, SuppressedBelowThreshold) {
   log_debug("test", "{} {} {}", 1);  // too few args — must not throw
   set_log_level(previous);
   SUCCEED();
+}
+
+TEST(Logging, InjectedSinkCapturesFormattedLines) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kInfo);
+
+  struct Line {
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+  std::vector<Line> captured;
+  set_log_sink([&](LogLevel level, std::string_view component,
+                   std::string_view message) {
+    captured.push_back(
+        Line{level, std::string(component), std::string(message)});
+  });
+
+  log_info("capture", "value {} of {}", 3, "x");
+  log_warn("capture", "plain");
+  // Below the threshold: filtered before reaching the sink.
+  log_debug("capture", "never {}", 1);
+
+  set_log_sink(nullptr);  // restore the stderr default
+  set_log_level(previous);
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].component, "capture");
+  EXPECT_EQ(captured[0].message, "value 3 of x");
+  EXPECT_EQ(captured[1].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[1].message, "plain");
+
+  // After restoring the default, logging must not invoke the old sink.
+  log_info("capture", "post-restore");
+  EXPECT_EQ(captured.size(), 2u);
 }
 
 TEST(Stopwatch, MeasuresElapsedTime) {
