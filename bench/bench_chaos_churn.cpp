@@ -1,0 +1,185 @@
+// Chaos variant of bench_cluster_churn: the identical multi-cell churn
+// workload with a deterministic fault schedule replayed at epoch
+// boundaries (cell crash/recover, radio degradation, latency inflation,
+// solver-budget exhaustion). The report gains a "faults" block with the
+// recovery ledger and per-fault-class SLO impact. Deterministic: equal
+// (--cells, --seed, --policy, --horizon, fault plan) produce
+// byte-identical reports for any ODN_THREADS setting; with no fault
+// source configured the plan is empty and the output is byte-identical
+// to bench_cluster_churn for the same flags.
+//
+//   $ ./bench_chaos_churn [--cells N] [--seed S] [--policy P]
+//                         [--horizon S] [--probe serial|parallel]
+//                         [--no-migration] [--fault-seed S]
+//                         [--faults plan.txt] [--out report.json]
+//
+// Fault sources (highest precedence first): --faults <file> loads an
+// ODN-FAULTS schedule, --fault-seed S generates one over the horizon,
+// and the ODN_FAULTS environment variable acts as a default --faults.
+#include <cstdint>
+#include <cstdlib>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster_runtime.h"
+#include "core/scenarios.h"
+#include "fault/fault_plan.h"
+#include "obs/session.h"
+#include "runtime/workload.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace odn;
+
+  // ODN_TRACE=<path> / ODN_METRICS=<path> dump a Perfetto trace and a
+  // Prometheus snapshot at exit; stdout stays pure report JSON.
+  obs::EnvSession obs_session;
+
+  std::size_t cells = 4;
+  std::uint64_t seed = 7;
+  double horizon_s = 60.0;
+  std::string policy = "least_loaded";
+  std::string probe = "parallel";
+  bool migration = true;
+  std::string out_path;
+  bool have_fault_seed = false;
+  std::uint64_t fault_seed = 0;
+  std::string fault_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cells" && i + 1 < argc) {
+      cells = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--horizon" && i + 1 < argc) {
+      horizon_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--policy" && i + 1 < argc) {
+      policy = argv[++i];
+    } else if (arg == "--probe" && i + 1 < argc) {
+      probe = argv[++i];
+    } else if (arg == "--no-migration") {
+      migration = false;
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_seed =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+      have_fault_seed = true;
+    } else if (arg == "--faults" && i + 1 < argc) {
+      fault_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--cells N] [--seed S] [--policy first_fit|"
+                   "least_loaded|cost_probe] [--horizon S]"
+                   " [--probe serial|parallel] [--no-migration]"
+                   " [--fault-seed S] [--faults plan.txt]"
+                   " [--out report.json]\n";
+      return 2;
+    }
+  }
+  if (cells == 0 || (probe != "serial" && probe != "parallel")) {
+    std::cerr << "bench_chaos_churn: bad --cells or --probe value\n";
+    return 2;
+  }
+  if (fault_path.empty() && !have_fault_seed) {
+    if (const char* env = std::getenv("ODN_FAULTS"); env && *env)
+      fault_path = env;
+  }
+
+  util::set_log_level(util::LogLevel::kWarn);
+
+  fault::FaultPlan plan;
+  if (!fault_path.empty()) {
+    try {
+      plan = fault::read_fault_plan_file(fault_path);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_chaos_churn: cannot load fault plan '" << fault_path
+                << "': " << e.what() << "\n";
+      return 2;
+    }
+    if (plan.cell_count != cells) {
+      std::cerr << "bench_chaos_churn: fault plan is for " << plan.cell_count
+                << " cells, bench runs " << cells << "\n";
+      return 2;
+    }
+  } else if (have_fault_seed) {
+    fault::FaultPlanOptions fault_options;
+    fault_options.seed = fault_seed;
+    fault_options.horizon_s = horizon_s;
+    plan = fault::generate_fault_plan(cells, fault_options);
+  }
+  if (!plan.empty())
+    std::cerr << "bench_chaos_churn: fault plan '" << plan.name << "', "
+              << plan.events.size() << " events over " << plan.horizon_s
+              << " s\n";
+
+  const core::DotInstance scenario =
+      core::make_large_scenario(core::RequestRate::kLow);
+
+  // Per-cell envelope: identical to bench_cluster_churn — 1.3/N of the
+  // single-server capacities, so the fault-free run is byte-identical.
+  edge::EdgeResources base = scenario.resources;
+  const double slice = 1.3 / static_cast<double>(cells);
+  base.memory_capacity_bytes *= slice;
+  base.compute_capacity_s *= slice;
+  base.training_budget_s *= slice;
+  base.total_rbs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(base.total_rbs) * slice)));
+
+  runtime::WorkloadOptions workload;
+  workload.horizon_s = horizon_s;
+  workload.seed = seed;
+  workload.arrival_rate_per_s = 1.2;
+  workload.mean_holding_s = 25.0;
+  workload.burst_count = 2;
+  workload.burst_arrivals_mean = 8.0;
+  workload.burst_span_s = 3.0;
+  const runtime::WorkloadTrace trace =
+      runtime::generate_workload(scenario.tasks.size(), workload);
+  std::cerr << "bench_chaos_churn: trace '" << trace.name << "', "
+            << trace.events.size() << " events (" << trace.arrival_count()
+            << " arrivals) over " << trace.horizon_s << " s, " << cells
+            << " cells, policy " << policy << "\n";
+
+  cluster::ClusterOptions options;
+  options.seed = seed;
+  options.epoch_s = 10.0;
+  options.emulation_window_s = 5.0;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_s = 2.0;
+  options.retry.downgrade_final_attempt = true;
+  options.dispatch.policy = cluster::parse_placement_policy(policy);
+  options.dispatch.parallel_probe = probe == "parallel";
+  options.migrate_on_slo = migration;
+  options.faults = plan;
+
+  cluster::ClusterRuntime runtime(
+      scenario.catalog,
+      cluster::make_cells(cells, base, seed, /*spread=*/0.35),
+      scenario.radio, scenario.tasks, options);
+  const cluster::ClusterReport report = runtime.run(trace);
+
+  report.write_json(std::cout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_chaos_churn: cannot open " << out_path << "\n";
+      return 1;
+    }
+    report.write_json(out);
+    std::cerr << "bench_chaos_churn: report written to " << out_path << "\n";
+  }
+  std::cerr << "bench_chaos_churn: " << report.total_admitted() << "/"
+            << report.total_arrivals() << " jobs admitted, "
+            << report.faults.events_applied << " fault events, "
+            << report.faults.displaced << " displaced ("
+            << report.faults.displaced_replaced << " replaced, "
+            << report.faults.displaced_readmitted << " readmitted, "
+            << report.faults.displaced_rejected << " rejected), "
+            << report.total_slo_violations() << " SLO violations across "
+            << report.epochs << " epochs\n";
+  return 0;
+}

@@ -49,8 +49,21 @@ class EdgeCell {
   // so the binding dimension of each cell drives placement.
   double normalized_headroom() const noexcept;
 
+  // Effective radio (the base model scaled by the current derate) — what
+  // admission solves against and what epoch measurement emulates with.
+  const edge::RadioModel& radio() const noexcept { return effective_radio_; }
+  double radio_derate() const noexcept { return radio_derate_; }
+
+  // Fault injection: derates the cell radio by an absolute factor in
+  // (0, 1] (1 restores the base model). Applies to future solves only; the
+  // federation layer re-validates the cell's active tasks.
+  void set_radio_derate(double factor);
+
  private:
   CellSpec spec_;
+  edge::RadioModel base_radio_;
+  edge::RadioModel effective_radio_;
+  double radio_derate_ = 1.0;
   core::OffloadnnController controller_;
 };
 

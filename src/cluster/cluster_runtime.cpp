@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/emulator.h"
@@ -42,6 +43,9 @@ struct Job {
   std::size_t class_index = 0;
   std::string name;
   std::size_t attempts = 0;
+  // Displaced by a fault (crash / radio re-validation): retries route to
+  // the readmission path and all accounting goes to the fault ledger.
+  bool readmitting = false;
   std::size_t cell = kNoCell;  // owning cell while kActive
   enum class State : std::uint8_t {
     kPending,
@@ -77,6 +81,12 @@ void ClusterOptions::validate() const {
   if (migrate_on_slo && migration_batch == 0)
     throw std::invalid_argument(
         "ClusterOptions: migration enabled with zero batch");
+  if (!faults.empty()) {
+    faults.validate();
+    if (epoch_s <= 0.0)
+      throw std::invalid_argument(
+          "ClusterOptions: fault plan needs a positive epoch cadence");
+  }
   retry.validate();
 }
 
@@ -94,6 +104,11 @@ ClusterRuntime::ClusterRuntime(edge::DnnCatalog catalog,
   options_.validate();
   if (templates_.empty())
     throw std::invalid_argument("ClusterRuntime: no task templates");
+  if (!options_.faults.empty() &&
+      options_.faults.cell_count != dispatcher_.cell_count())
+    throw std::invalid_argument(util::fmt(
+        "ClusterRuntime: fault plan targets {} cells, cluster has {}",
+        options_.faults.cell_count, dispatcher_.cell_count()));
 }
 
 std::size_t ClusterRuntime::class_of(double priority) const noexcept {
@@ -150,6 +165,27 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     w.peak_compute_s = std::max(w.peak_compute_s, ledger.compute_used_s());
     w.peak_rbs = std::max(w.peak_rbs, ledger.rbs_used());
   };
+
+  // Fault injection: the injector replays the plan at epoch boundaries;
+  // recovery re-places displaced jobs through the dispatcher (policy +
+  // spillover over the accepting cells). Fault metrics only enter the
+  // global registry when a plan is configured.
+  fault::FaultInjector injector(options_.faults);
+  report.faults.enabled = !options_.faults.empty();
+  obs::Counter* fault_events_total = nullptr;
+  obs::Counter* fault_displaced_total = nullptr;
+  obs::Counter* fault_replacements_total = nullptr;
+  obs::Counter* fault_rejections_total = nullptr;
+  if (!injector.idle()) {
+    obs::MetricsRegistry& fault_registry = obs::MetricsRegistry::global();
+    fault_events_total = &fault_registry.counter("odn_fault_events_total");
+    fault_displaced_total =
+        &fault_registry.counter("odn_fault_displaced_total");
+    fault_replacements_total =
+        &fault_registry.counter("odn_fault_replacements_total");
+    fault_rejections_total =
+        &fault_registry.counter("odn_fault_rejections_total");
+  }
 
   // Materialize jobs and seed the calendar (same deterministic ordering
   // discipline as the single-cell runtime: trace order, then epochs, with
@@ -232,6 +268,134 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
 
+  // Readmission of a displaced job: the dispatcher re-places it over the
+  // accepting cells (preferred cell first, spillover next — "spillover
+  // first"), and only exhausted attempts reject ("reject last"). All
+  // accounting goes to the fault ledger; the job's admission lifecycle
+  // counters were settled at first admission.
+  auto attempt_readmission = [&](std::size_t job_index, double now) {
+    ODN_TRACE_SPAN("fault", "fault.readmit");
+    Job& job = jobs[job_index];
+    ++job.attempts;
+
+    core::DotTask task = job.admitted_task;  // keeps any prior downgrade
+    if (options_.retry.downgrades(job.attempts))
+      task = runtime::downgraded_task(std::move(task), options_.retry);
+
+    const AdmissionOutcome outcome = dispatcher_.admit(catalog_, task);
+    for (std::size_t i = 0; i < cell_count; ++i) observe_cell(i);
+
+    if (outcome.admitted) {
+      job.state = Job::State::kActive;
+      job.readmitting = false;
+      job.cell = outcome.cell;
+      job.plan = outcome.plan;
+      job.admitted_task = std::move(task);
+      if (job.attempts == 1)
+        ++report.faults.displaced_replaced;
+      else
+        ++report.faults.displaced_readmitted;
+      fault_replacements_total->inc();
+      return;
+    }
+    if (job.attempts >= options_.retry.max_attempts) {
+      job.state = Job::State::kRejected;
+      ++report.faults.displaced_rejected;
+      fault_rejections_total->inc();
+      return;
+    }
+    const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
+    if (retry_at > trace.horizon_s) return;  // stays displaced-pending
+    ++report.faults.readmission_retries;
+    calendar.push(
+        LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
+  };
+
+  // Active jobs of one cell in displacement order: highest priority first
+  // (they re-place against the surviving capacity first), ties by trace id.
+  auto displacement_order = [&](std::size_t cell) {
+    std::vector<std::size_t> order;
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (jobs[j].state == Job::State::kActive && jobs[j].cell == cell)
+        order.push_back(j);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double pa = templates_[jobs[a].template_index].spec.priority;
+      const double pb = templates_[jobs[b].template_index].spec.priority;
+      if (pa != pb) return pa > pb;
+      return jobs[a].trace_id < jobs[b].trace_id;
+    });
+    return order;
+  };
+
+  auto displace = [&](std::size_t job_index) {
+    Job& job = jobs[job_index];
+    job.state = Job::State::kPending;
+    job.readmitting = true;
+    job.attempts = 0;
+    job.cell = kNoCell;
+    ++report.faults.displaced;
+    fault_displaced_total->inc();
+  };
+
+  // Fault application at the epoch boundary: replay every due event, run
+  // its recovery action and re-sync the dispatcher's admission gate with
+  // the injector's per-cell state.
+  auto apply_faults = [&](double now) {
+    if (injector.idle()) return;
+    const std::vector<fault::FaultEvent> events = injector.advance(now);
+    if (events.empty()) return;
+    ODN_TRACE_SPAN("fault", "fault.apply");
+    for (const fault::FaultEvent& event : events) {
+      report.faults.record_event(event.kind);
+      fault_events_total->inc();
+      switch (event.kind) {
+        case fault::FaultEventKind::kCellCrash: {
+          // The cell's controller state is lost; every task it served is
+          // displaced and re-placed over the surviving cells.
+          const std::vector<std::size_t> order =
+              displacement_order(event.cell);
+          dispatcher_.crash_cell(event.cell);
+          observe_cell(event.cell);
+          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) attempt_readmission(j, now);
+          break;
+        }
+        case fault::FaultEventKind::kRadioDegrade: {
+          // Admissions on this cell were solved against the nominal
+          // radio; release them and re-run admission under the derated
+          // model (they may land back on the same cell at a lower rate,
+          // or spill to a sibling).
+          dispatcher_.cell(event.cell).set_radio_derate(event.magnitude);
+          const std::vector<std::size_t> order =
+              displacement_order(event.cell);
+          for (const std::size_t j : order) {
+            if (dispatcher_.release(jobs[j].name) == kNoCell)
+              throw std::logic_error(util::fmt(
+                  "ClusterRuntime: displaced job '{}' unknown to dispatcher",
+                  jobs[j].name));
+          }
+          observe_cell(event.cell);
+          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) attempt_readmission(j, now);
+          break;
+        }
+        case fault::FaultEventKind::kRadioRestore:
+          dispatcher_.cell(event.cell).set_radio_derate(1.0);
+          break;
+        case fault::FaultEventKind::kCellRecover:
+        case fault::FaultEventKind::kLatencyInflate:
+        case fault::FaultEventKind::kLatencyRestore:
+        case fault::FaultEventKind::kBudgetExhaust:
+        case fault::FaultEventKind::kBudgetRestore:
+          break;
+      }
+      // Admission gate follows the injector state (a recovered cell may
+      // still be budget-exhausted, and vice versa).
+      dispatcher_.set_accepting(event.cell,
+                                injector.state(event.cell).accepting());
+    }
+  };
+
   // Epoch boundary: measure every cell's live deployment with its own
   // emulator stream, then run the migration pass over the cells that
   // showed violations (fixed cell order — deterministic).
@@ -269,24 +433,69 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       emu_options.seed =
           epoch_seed(options_.seed, epoch_index * cell_count + i);
       emu_options.poisson_arrivals = options_.poisson_emulation;
+      // Each cell measures with its own effective radio (derated while a
+      // radio fault is active; identical to the shared model otherwise).
       sim::EdgeEmulator emulator(
-          std::move(live), radio_,
+          std::move(live), dispatcher_.cell(i).radio(),
           dispatcher_.cell(i).resources().compute_capacity_s, emu_options);
       const sim::EmulationReport measured = emulator.run();
 
+      // Latency inflation scales measured samples at accounting time; a
+      // factor of 1 is the bit-exact identity.
+      const double latency_factor =
+          injector.idle() ? 1.0 : injector.state(i).latency_factor;
       CellReport& cell = report.cells[i];
       for (const sim::TaskTrace& task_trace : measured.tasks) {
         const std::size_t class_index = class_by_name.at(task_trace.task_name);
         runtime::ClassStats& stats = cell.classes[class_index];
-        for (const sim::LatencySample& sample : task_trace.samples)
-          stats.latency_samples_s.push_back(sample.latency_s);
-        const std::size_t violations = task_trace.bound_violations();
+        std::size_t violations = 0;
+        for (const sim::LatencySample& sample : task_trace.samples) {
+          const double measured_s = latency_factor == 1.0
+                                        ? sample.latency_s
+                                        : sample.latency_s * latency_factor;
+          stats.latency_samples_s.push_back(measured_s);
+          if (measured_s > task_trace.latency_bound_s) ++violations;
+        }
         stats.slo_violations += violations;
         violations_by_cell[i] += violations;
         snapshot.slo_violations += violations;
         snapshot.samples += task_trace.samples.size();
       }
       if (violations_by_cell[i] > 0) ++snapshot.cells_violating;
+    }
+
+    // Per-fault-class SLO impact: a violating cell's violations count
+    // toward every fault class locally active on it; a nominal cell under
+    // pressure while a sibling is down counts as crash impact, and only
+    // fault-free epochs/cells land in the clear bucket.
+    if (!injector.idle() && snapshot.slo_violations > 0) {
+      bool any_down = false;
+      for (std::size_t i = 0; i < cell_count; ++i)
+        if (!injector.state(i).up) any_down = true;
+      for (std::size_t i = 0; i < cell_count; ++i) {
+        const std::size_t violations = violations_by_cell[i];
+        if (violations == 0) continue;
+        const fault::CellFaultState& cell_state = injector.state(i);
+        bool attributed = false;
+        if (cell_state.bandwidth_factor != 1.0) {
+          report.faults.violations_during_radio += violations;
+          attributed = true;
+        }
+        if (cell_state.latency_factor != 1.0) {
+          report.faults.violations_during_latency += violations;
+          attributed = true;
+        }
+        if (cell_state.budget_exhausted) {
+          report.faults.violations_during_budget += violations;
+          attributed = true;
+        }
+        if (!attributed) {
+          if (any_down)
+            report.faults.violations_during_crash += violations;
+          else
+            report.faults.violations_clear += violations;
+        }
+      }
     }
 
     // Flash-crowd migration: cells under SLO pressure shed their
@@ -378,8 +587,12 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         break;
       }
       case LoopEventKind::kRetry: {
-        if (jobs[event.job].state == Job::State::kPending)
-          attempt_admission(event.job, event.time);
+        if (jobs[event.job].state == Job::State::kPending) {
+          if (jobs[event.job].readmitting)
+            attempt_readmission(event.job, event.time);
+          else
+            attempt_admission(event.job, event.time);
+        }
         break;
       }
       case LoopEventKind::kDeparture: {
@@ -393,13 +606,17 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
           ++report.cells[cell].classes[job.class_index].departures;
           observe_cell(cell);
         } else if (job.state == Job::State::kPending) {
-          ++report.classes[job.class_index].departed_before_admission;
+          if (job.readmitting)
+            ++report.faults.displaced_departed;
+          else
+            ++report.classes[job.class_index].departed_before_admission;
         }
         job.state = Job::State::kDeparted;
         job.cell = kNoCell;
         break;
       }
       case LoopEventKind::kEpoch: {
+        apply_faults(event.time);
         measure_epoch(event.time, event.job);
         break;
       }
@@ -407,8 +624,12 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
   }
 
   for (const Job& job : jobs) {
-    if (job.state == Job::State::kPending)
-      ++report.classes[job.class_index].pending_at_end;
+    if (job.state == Job::State::kPending) {
+      if (job.readmitting)
+        ++report.faults.displaced_pending_at_end;
+      else
+        ++report.classes[job.class_index].pending_at_end;
+    }
     if (job.state == Job::State::kActive) {
       ++report.active_at_end;
       ++report.cells[job.cell].active_at_end;

@@ -23,6 +23,7 @@
 
 #include "cluster/cluster_stats.h"
 #include "cluster/dispatcher.h"
+#include "fault/fault_plan.h"
 #include "runtime/retry_policy.h"
 #include "runtime/workload.h"
 
@@ -45,6 +46,10 @@ struct ClusterOptions {
   // to the sibling cells (highest normalized headroom first).
   bool migrate_on_slo = true;
   std::size_t migration_batch = 2;
+  // Deterministic fault schedule applied at epoch boundaries. An empty
+  // plan is a strict no-op (byte-identical reports). A non-empty plan must
+  // match the cluster's cell count and needs a positive epoch cadence.
+  fault::FaultPlan faults{};
 
   void validate() const;
 };

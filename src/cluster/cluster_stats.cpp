@@ -148,6 +148,12 @@ void ClusterReport::write_json(std::ostream& out) const {
   }
   out << "  ],\n";
 
+  if (faults.enabled) {
+    out << "  \"faults\": ";
+    faults.write_json(out, "  ");
+    out << ",\n";
+  }
+
   out << "  \"final\": {\n";
   out << "    \"active_tasks\": " << active_at_end << "\n";
   out << "  }\n";

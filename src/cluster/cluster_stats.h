@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_stats.h"
 #include "runtime/stats.h"
 
 namespace odn::cluster {
@@ -71,6 +72,10 @@ struct ClusterReport {
   MigrationStats migration;
   std::vector<ClusterEpochSnapshot> timeline;
   std::size_t active_at_end = 0;
+
+  // Fault + recovery accounting; serialized only when enabled (non-empty
+  // fault plan), so fault-free cluster reports keep their exact bytes.
+  fault::FaultStats faults;
 
   // Monotonic wall time for the whole run() call; excluded from write_json
   // like ClusterEpochSnapshot::measure_wall_s.

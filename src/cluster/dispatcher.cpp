@@ -1,5 +1,6 @@
 #include "cluster/dispatcher.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -48,6 +49,7 @@ ClusterDispatcher::ClusterDispatcher(
   cells_.reserve(cells.size());
   for (CellSpec& spec : cells)
     cells_.emplace_back(std::move(spec), radio, controller_options);
+  accepting_.assign(cells_.size(), true);
 }
 
 std::vector<double> ClusterDispatcher::probe_objectives(
@@ -56,6 +58,10 @@ std::vector<double> ClusterDispatcher::probe_objectives(
   DispatcherMetrics& metrics = DispatcherMetrics::instance();
   std::vector<double> objectives(cells_.size(), kInf);
   auto probe_one = [&](std::size_t i) {
+    // Non-accepting cells (crashed / budget-exhausted) keep their +inf
+    // slot without probing; the mask only changes on the serial event
+    // loop, so the skip is identical for any thread count.
+    if (!accepting_[i]) return;
     const core::DeploymentPlan probe =
         cells_[i].controller().probe_incremental(catalog, {task});
     if (probe.tasks.size() == 1 && probe.tasks[0].admitted) {
@@ -78,15 +84,26 @@ std::vector<double> ClusterDispatcher::probe_objectives(
 
 std::size_t ClusterDispatcher::choose_cell(const edge::DnnCatalog& catalog,
                                            const core::DotTask& task) const {
+  // Every policy ranges over the accepting cells only; with every cell
+  // fenced off (cluster-wide outage) there is no preferred cell at all.
+  std::size_t first_accepting = kNoCell;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (accepting_[i]) {
+      first_accepting = i;
+      break;
+    }
+  if (first_accepting == kNoCell) return kNoCell;
+
   switch (options_.policy) {
     case PlacementPolicy::kFirstFit:
       // Priority order is the fixed cell order; the admission loop walks
       // the remaining cells, so the first fitting cell wins.
-      return 0;
+      return first_accepting;
     case PlacementPolicy::kLeastLoaded: {
-      std::size_t best = 0;
-      double best_headroom = cells_[0].normalized_headroom();
-      for (std::size_t i = 1; i < cells_.size(); ++i) {
+      std::size_t best = first_accepting;
+      double best_headroom = cells_[best].normalized_headroom();
+      for (std::size_t i = best + 1; i < cells_.size(); ++i) {
+        if (!accepting_[i]) continue;
         const double headroom = cells_[i].normalized_headroom();
         // Strict > : ties stay with the lowest index.
         if (headroom > best_headroom) {
@@ -98,12 +115,13 @@ std::size_t ClusterDispatcher::choose_cell(const edge::DnnCatalog& catalog,
     }
     case PlacementPolicy::kCostProbe: {
       const std::vector<double> objectives = probe_objectives(catalog, task);
-      std::size_t best = 0;
-      double best_objective = objectives[0];
-      for (std::size_t i = 1; i < cells_.size(); ++i) {
+      std::size_t best = first_accepting;
+      double best_objective = objectives[best];
+      for (std::size_t i = best + 1; i < cells_.size(); ++i) {
         // Strict < : ties stay with the lowest index. All-rejecting
-        // probes leave best = 0; the admission attempt then fails there
-        // and spillover confirms the rejection on the siblings.
+        // probes leave best = first_accepting; the admission attempt then
+        // fails there and spillover confirms the rejection on the
+        // siblings. Non-accepting cells hold +inf, so they never win.
         if (objectives[i] < best_objective) {
           best = i;
           best_objective = objectives[i];
@@ -124,13 +142,15 @@ AdmissionOutcome ClusterDispatcher::admit(const edge::DnnCatalog& catalog,
 
   AdmissionOutcome outcome;
   outcome.preferred_cell = choose_cell(catalog, task);
+  // Cluster-wide outage: every cell fenced off, nothing to try.
+  if (outcome.preferred_cell == kNoCell) return outcome;
 
   std::vector<std::size_t> order;
   order.reserve(cells_.size());
   order.push_back(outcome.preferred_cell);
   if (options_.spillover) {
     for (std::size_t i = 0; i < cells_.size(); ++i)
-      if (i != outcome.preferred_cell) order.push_back(i);
+      if (i != outcome.preferred_cell && accepting_[i]) order.push_back(i);
   }
 
   DispatcherMetrics& metrics = DispatcherMetrics::instance();
@@ -180,7 +200,8 @@ bool ClusterDispatcher::migrate(const edge::DnnCatalog& catalog,
     throw std::invalid_argument(
         "ClusterDispatcher: migrate task/spec name mismatch");
   const std::size_t source = owner_of(task_name);
-  if (source == kNoCell || target >= cells_.size() || target == source)
+  if (source == kNoCell || target >= cells_.size() || target == source ||
+      !accepting_[target])
     return false;
 
   // Probe first: the event loop is serial, so the target cell's state
@@ -210,8 +231,37 @@ bool ClusterDispatcher::migrate(const edge::DnnCatalog& catalog,
   return true;
 }
 
+void ClusterDispatcher::set_accepting(std::size_t index, bool accepting) {
+  accepting_.at(index) = accepting;
+}
+
+std::vector<std::string> ClusterDispatcher::crash_cell(std::size_t index) {
+  if (index >= cells_.size())
+    throw std::invalid_argument("ClusterDispatcher: crash of unknown cell");
+  std::vector<std::string> displaced;
+  for (const auto& [name, cell] : owner_)
+    if (cell == index) displaced.push_back(name);
+  std::sort(displaced.begin(), displaced.end());
+  for (const std::string& name : displaced) owner_.erase(name);
+  cells_[index].controller().reset();
+  accepting_[index] = false;
+  util::log_info("cluster", "cell {} crashed, {} tasks displaced", index,
+                 displaced.size());
+  return displaced;
+}
+
+void ClusterDispatcher::recover_cell(std::size_t index) {
+  if (index >= cells_.size())
+    throw std::invalid_argument("ClusterDispatcher: recover of unknown cell");
+  accepting_[index] = true;
+}
+
 void ClusterDispatcher::reset() {
-  for (EdgeCell& cell : cells_) cell.controller().reset();
+  for (EdgeCell& cell : cells_) {
+    cell.set_radio_derate(1.0);  // clear any fault derate from a prior run
+    cell.controller().reset();
+  }
+  accepting_.assign(cells_.size(), true);
   owner_.clear();
 }
 

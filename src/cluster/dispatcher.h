@@ -82,6 +82,20 @@ class ClusterDispatcher {
 
   std::size_t total_active() const;
 
+  // Fault injection: a non-accepting cell is skipped by choose_cell,
+  // spillover and migrate (its active tasks keep running — only new
+  // placements are gated). All cells accept by default and after reset().
+  bool accepting(std::size_t index) const { return accepting_.at(index); }
+  void set_accepting(std::size_t index, bool accepting);
+
+  // Cell crash: wipes the cell's controller state (ledger, deployments),
+  // forgets every ownership entry pointing at it and stops accepting.
+  // Returns the names of the displaced tasks in lexicographic order so the
+  // caller can re-place them deterministically. recover_cell re-enables
+  // admission on the (now empty) cell.
+  std::vector<std::string> crash_cell(std::size_t index);
+  void recover_cell(std::size_t index);
+
   // Resets every cell's controller and forgets all ownership.
   void reset();
 
@@ -93,6 +107,7 @@ class ClusterDispatcher {
 
   std::vector<EdgeCell> cells_;
   DispatcherOptions options_;
+  std::vector<bool> accepting_;  // admission gate per cell (fault state)
   std::unordered_map<std::string, std::size_t> owner_;
 };
 

@@ -88,6 +88,13 @@ class OffloadnnController {
   // Names of the currently active (admitted, not released) tasks.
   std::vector<std::string> active_tasks() const;
 
+  // Swaps the radio model used by future solves (fault injection: a
+  // degraded or restored cell radio). Existing commitments are untouched —
+  // the caller re-validates active tasks by releasing and re-admitting
+  // them under the new model.
+  void set_radio(const edge::RadioModel& radio) { radio_ = radio; }
+  const edge::RadioModel& radio() const noexcept { return radio_; }
+
   const edge::ResourceLedger& ledger() const noexcept { return ledger_; }
   const std::vector<edge::BlockIndex>& deployed_blocks() const noexcept {
     return deployed_blocks_;

@@ -42,13 +42,21 @@ RadioModel RadioModel::lte() {
   return model;
 }
 
+RadioModel RadioModel::scaled(double factor) const {
+  if (factor <= 0.0)
+    throw std::invalid_argument("RadioModel::scaled: non-positive factor");
+  RadioModel model = *this;
+  model.derate_ *= factor;
+  return model;
+}
+
 double RadioModel::bits_per_rb_per_second(double snr_db) const noexcept {
-  if (fixed_mode_) return fixed_rate_;
+  if (fixed_mode_) return fixed_rate_ * derate_;
   double efficiency = kCqiTable[0].spectral_efficiency;
   for (const CqiEntry& entry : kCqiTable) {
     if (snr_db >= entry.snr_db) efficiency = entry.spectral_efficiency;
   }
-  return efficiency * kRbBandwidthHz * kEffectiveFraction;
+  return efficiency * kRbBandwidthHz * kEffectiveFraction * derate_;
 }
 
 double RadioModel::transmission_time_s(double bits, std::size_t rbs,

@@ -34,6 +34,14 @@ class RadioModel {
   // Minimum integer RBs to sustain `bits_per_second` of offered load.
   std::size_t min_rbs_for_rate(double bits_per_second, double snr_db) const;
 
+  // A copy of this model with its throughput scaled by `factor` (stacking
+  // multiplicatively with any existing derate). Fault injection uses this
+  // to model radio-bandwidth degradation: factor in (0, 1] derates every
+  // SNR point uniformly; 1 is the identity (bit-exact, since multiplying a
+  // finite double by 1.0 is exact).
+  RadioModel scaled(double factor) const;
+  double derate() const noexcept { return derate_; }
+
   // Introspection (serialization support).
   bool is_fixed_mode() const noexcept { return fixed_mode_; }
   double fixed_rate_bits_per_second() const noexcept { return fixed_rate_; }
@@ -43,6 +51,7 @@ class RadioModel {
 
   bool fixed_mode_ = true;
   double fixed_rate_ = 350e3;  // 0.35 Mbps (Table IV)
+  double derate_ = 1.0;        // multiplicative throughput factor
 };
 
 // A radio slice: the RBs dedicated to one task's uplink traffic.

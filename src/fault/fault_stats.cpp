@@ -1,0 +1,75 @@
+#include "fault/fault_stats.h"
+
+#include <ostream>
+
+namespace odn::fault {
+
+void FaultStats::record_event(FaultEventKind kind) {
+  ++events_applied;
+  switch (kind) {
+    case FaultEventKind::kCellCrash:
+      ++cell_crashes;
+      break;
+    case FaultEventKind::kCellRecover:
+      ++cell_recoveries;
+      break;
+    case FaultEventKind::kRadioDegrade:
+      ++radio_degradations;
+      break;
+    case FaultEventKind::kRadioRestore:
+      ++radio_restores;
+      break;
+    case FaultEventKind::kLatencyInflate:
+      ++latency_inflations;
+      break;
+    case FaultEventKind::kLatencyRestore:
+      ++latency_restores;
+      break;
+    case FaultEventKind::kBudgetExhaust:
+      ++budget_exhaustions;
+      break;
+    case FaultEventKind::kBudgetRestore:
+      ++budget_restores;
+      break;
+  }
+}
+
+void FaultStats::write_json(std::ostream& out,
+                            const std::string& indent) const {
+  out << "{\n";
+  out << indent << "  \"events_applied\": " << events_applied << ",\n";
+  out << indent << "  \"cell_crashes\": " << cell_crashes << ",\n";
+  out << indent << "  \"cell_recoveries\": " << cell_recoveries << ",\n";
+  out << indent << "  \"radio_degradations\": " << radio_degradations
+      << ",\n";
+  out << indent << "  \"radio_restores\": " << radio_restores << ",\n";
+  out << indent << "  \"latency_inflations\": " << latency_inflations
+      << ",\n";
+  out << indent << "  \"latency_restores\": " << latency_restores << ",\n";
+  out << indent << "  \"budget_exhaustions\": " << budget_exhaustions
+      << ",\n";
+  out << indent << "  \"budget_restores\": " << budget_restores << ",\n";
+  out << indent << "  \"displaced\": " << displaced << ",\n";
+  out << indent << "  \"displaced_replaced\": " << displaced_replaced
+      << ",\n";
+  out << indent << "  \"displaced_readmitted\": " << displaced_readmitted
+      << ",\n";
+  out << indent << "  \"displaced_rejected\": " << displaced_rejected
+      << ",\n";
+  out << indent << "  \"displaced_departed\": " << displaced_departed
+      << ",\n";
+  out << indent << "  \"displaced_pending_at_end\": "
+      << displaced_pending_at_end << ",\n";
+  out << indent << "  \"readmission_retries\": " << readmission_retries
+      << ",\n";
+  out << indent << "  \"slo_impact\": {\n";
+  out << indent << "    \"crash\": " << violations_during_crash << ",\n";
+  out << indent << "    \"radio\": " << violations_during_radio << ",\n";
+  out << indent << "    \"latency\": " << violations_during_latency << ",\n";
+  out << indent << "    \"budget\": " << violations_during_budget << ",\n";
+  out << indent << "    \"clear\": " << violations_clear << "\n";
+  out << indent << "  }\n";
+  out << indent << "}";
+}
+
+}  // namespace odn::fault

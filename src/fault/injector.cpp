@@ -1,0 +1,59 @@
+#include "fault/injector.h"
+
+#include <stdexcept>
+
+#include "util/fmt.h"
+
+namespace odn::fault {
+
+FaultInjector::FaultInjector() : states_(1) {}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+  states_.resize(plan_.cell_count);
+}
+
+std::vector<FaultEvent> FaultInjector::advance(double now) {
+  std::vector<FaultEvent> applied;
+  while (cursor_ < plan_.events.size() &&
+         plan_.events[cursor_].time_s <= now + 1e-9) {
+    const FaultEvent& event = plan_.events[cursor_++];
+    CellFaultState& state = states_[event.cell];
+    switch (event.kind) {
+      case FaultEventKind::kCellCrash:
+        state.up = false;
+        break;
+      case FaultEventKind::kCellRecover:
+        state.up = true;
+        break;
+      case FaultEventKind::kRadioDegrade:
+        state.bandwidth_factor = event.magnitude;
+        break;
+      case FaultEventKind::kRadioRestore:
+        state.bandwidth_factor = 1.0;
+        break;
+      case FaultEventKind::kLatencyInflate:
+        state.latency_factor = event.magnitude;
+        break;
+      case FaultEventKind::kLatencyRestore:
+        state.latency_factor = 1.0;
+        break;
+      case FaultEventKind::kBudgetExhaust:
+        state.budget_exhausted = true;
+        break;
+      case FaultEventKind::kBudgetRestore:
+        state.budget_exhausted = false;
+        break;
+    }
+    applied.push_back(event);
+  }
+  return applied;
+}
+
+bool FaultInjector::all_clear() const noexcept {
+  for (const CellFaultState& state : states_)
+    if (!state.nominal()) return false;
+  return true;
+}
+
+}  // namespace odn::fault

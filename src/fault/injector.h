@@ -1,0 +1,64 @@
+// FaultInjector: replays a FaultPlan against per-cell fault state.
+//
+// The injector is a pure, serial state machine: advance(now) applies every
+// not-yet-applied event with time <= now in plan order and returns them, so
+// the caller (the runtime's epoch handler) can run the matching recovery
+// action per event. All state lives in CellFaultState values — the injector
+// never touches controllers or ledgers itself, which is what makes an empty
+// plan a true no-op (idle() short-circuits before any fault branch).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_plan.h"
+
+namespace odn::fault {
+
+// Live fault state of one cell. The four fault classes are independent
+// dimensions; accepting() is the admission gate (a crashed or
+// budget-exhausted cell takes no new tasks).
+struct CellFaultState {
+  bool up = true;
+  double bandwidth_factor = 1.0;  // radio derate, 1 when nominal
+  double latency_factor = 1.0;    // measured-latency inflation, 1 nominal
+  bool budget_exhausted = false;
+
+  bool accepting() const noexcept { return up && !budget_exhausted; }
+  bool nominal() const noexcept {
+    return up && bandwidth_factor == 1.0 && latency_factor == 1.0 &&
+           !budget_exhausted;
+  }
+};
+
+class FaultInjector {
+ public:
+  // Idle injector: no plan, one nominal cell.
+  FaultInjector();
+  explicit FaultInjector(FaultPlan plan);
+
+  bool idle() const noexcept { return plan_.empty(); }
+  std::size_t cell_count() const noexcept { return states_.size(); }
+  const CellFaultState& state(std::size_t cell) const {
+    return states_.at(cell);
+  }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  // Applies every pending event with time_s <= now (plus the usual 1e-9
+  // epoch tolerance) to the per-cell states and returns them in plan order.
+  std::vector<FaultEvent> advance(double now);
+
+  std::size_t events_applied() const noexcept { return cursor_; }
+  std::size_t events_remaining() const noexcept {
+    return plan_.events.size() - cursor_;
+  }
+  // True when every cell is back to nominal state.
+  bool all_clear() const noexcept;
+
+ private:
+  FaultPlan plan_;
+  std::vector<CellFaultState> states_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace odn::fault

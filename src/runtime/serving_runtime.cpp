@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/emulator.h"
@@ -42,13 +43,18 @@ struct Job {
   std::size_t class_index = 0;
   std::string name;
   std::size_t attempts = 0;
+  // A displaced job (fault recovery) retries through the same backoff
+  // machinery but keeps its fault accounting separate from the admission
+  // lifecycle counters — the readmitting flag routes it.
+  bool readmitting = false;
   enum class State : std::uint8_t {
     kPending,   // awaiting first attempt or in retry backoff
     kActive,    // admitted, serving
     kRejected,  // attempts exhausted
     kDeparted,  // released (or left while pending)
   } state = State::kPending;
-  core::TaskPlan plan;  // valid while kActive
+  core::TaskPlan plan;          // valid while kActive
+  core::DotTask admitted_task;  // the (possibly downgraded) admitted spec
 };
 
 // Epoch emulation seeds: one independent stream per epoch, derived from
@@ -71,6 +77,15 @@ void RuntimeOptions::validate() const {
   if (!std::is_sorted(class_boundaries.begin(), class_boundaries.end()))
     throw std::invalid_argument(
         "RuntimeOptions: class boundaries must be ascending");
+  if (!faults.empty()) {
+    faults.validate();
+    if (faults.cell_count != 1)
+      throw std::invalid_argument(
+          "RuntimeOptions: fault plan targets more than one cell");
+    if (epoch_s <= 0.0)
+      throw std::invalid_argument(
+          "RuntimeOptions: fault plan needs a positive epoch cadence");
+  }
   retry.validate();
 }
 
@@ -118,6 +133,9 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         trace.template_count, templates_.size()));
 
   controller_.reset();
+  // A previous faulted run may have left the controller's radio derated;
+  // every run starts from the base model.
+  controller_.set_radio(radio_);
 
   RuntimeReport report;
   report.trace_name = trace.name;
@@ -151,6 +169,27 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
   obs::Histogram& epoch_latency = registry.histogram(
       "odn_runtime_epoch_latency_seconds",
       {0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0});
+
+  // Fault injection: the injector replays the configured plan at epoch
+  // boundaries; live_radio tracks the (possibly derated) radio the
+  // emulator measures with. Fault metrics only enter the global registry
+  // when a plan is configured, so fault-free metric snapshots keep their
+  // exact series set.
+  fault::FaultInjector injector(options_.faults);
+  report.faults.enabled = !options_.faults.empty();
+  edge::RadioModel live_radio = radio_;
+  obs::Counter* fault_events_total = nullptr;
+  obs::Counter* fault_displaced_total = nullptr;
+  obs::Counter* fault_replacements_total = nullptr;
+  obs::Counter* fault_rejections_total = nullptr;
+  if (!injector.idle()) {
+    fault_events_total = &registry.counter("odn_fault_events_total");
+    fault_displaced_total = &registry.counter("odn_fault_displaced_total");
+    fault_replacements_total =
+        &registry.counter("odn_fault_replacements_total");
+    fault_rejections_total =
+        &registry.counter("odn_fault_rejections_total");
+  }
 
   auto observe_ledger = [&] {
     const edge::ResourceLedger& ledger = controller_.ledger();
@@ -212,13 +251,24 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     const bool downgraded = options_.retry.downgrades(job.attempts);
     if (downgraded) task = downgraded_task(std::move(task), options_.retry);
 
-    const core::DeploymentPlan plan =
-        controller_.admit_incremental(catalog_, {std::move(task)});
-    observe_ledger();
+    // A crashed or budget-exhausted cell rejects without solving; the
+    // rejection enters the same backoff machinery as a capacity miss.
+    bool admitted = false;
+    core::TaskPlan task_plan;
+    if (injector.state(0).accepting()) {
+      const core::DeploymentPlan plan =
+          controller_.admit_incremental(catalog_, {task});
+      observe_ledger();
+      if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
+        admitted = true;
+        task_plan = plan.tasks[0];
+      }
+    }
 
-    if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
+    if (admitted) {
       job.state = Job::State::kActive;
-      job.plan = plan.tasks[0];
+      job.plan = std::move(task_plan);
+      job.admitted_task = std::move(task);
       ++stats.admitted;
       counters.admissions->inc();
       if (job.attempts == 1)
@@ -248,6 +298,136 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
 
+  // Readmission attempt for a displaced job: same bounded-backoff /
+  // accuracy-downgrade policy as first admission, but all accounting goes
+  // to the fault ledger — the job's admission lifecycle counters were
+  // settled when it was first admitted.
+  auto attempt_readmission = [&](std::size_t job_index, double now) {
+    ODN_TRACE_SPAN("fault", "fault.readmit");
+    Job& job = jobs[job_index];
+    ++job.attempts;
+
+    core::DotTask task = job.admitted_task;  // keeps any prior downgrade
+    if (options_.retry.downgrades(job.attempts))
+      task = downgraded_task(std::move(task), options_.retry);
+
+    bool admitted = false;
+    core::TaskPlan task_plan;
+    if (injector.state(0).accepting()) {
+      const core::DeploymentPlan plan =
+          controller_.admit_incremental(catalog_, {task});
+      observe_ledger();
+      if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
+        admitted = true;
+        task_plan = plan.tasks[0];
+      }
+    }
+
+    if (admitted) {
+      job.state = Job::State::kActive;
+      job.readmitting = false;
+      job.plan = std::move(task_plan);
+      job.admitted_task = std::move(task);
+      if (job.attempts == 1)
+        ++report.faults.displaced_replaced;
+      else
+        ++report.faults.displaced_readmitted;
+      fault_replacements_total->inc();
+      return;
+    }
+    if (job.attempts >= options_.retry.max_attempts) {
+      job.state = Job::State::kRejected;
+      ++report.faults.displaced_rejected;
+      fault_rejections_total->inc();
+      return;
+    }
+    const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
+    if (retry_at > trace.horizon_s) return;  // stays displaced-pending
+    ++report.faults.readmission_retries;
+    calendar.push(
+        LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
+  };
+
+  // Active jobs in displacement order: highest priority first (they grab
+  // the surviving capacity first), ties by trace id — deterministic.
+  auto displacement_order = [&] {
+    std::vector<std::size_t> order;
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (jobs[j].state == Job::State::kActive) order.push_back(j);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double pa = templates_[jobs[a].template_index].spec.priority;
+      const double pb = templates_[jobs[b].template_index].spec.priority;
+      if (pa != pb) return pa > pb;
+      return jobs[a].trace_id < jobs[b].trace_id;
+    });
+    return order;
+  };
+
+  auto displace = [&](std::size_t job_index) {
+    Job& job = jobs[job_index];
+    job.state = Job::State::kPending;
+    job.readmitting = true;
+    job.attempts = 0;
+    ++report.faults.displaced;
+    fault_displaced_total->inc();
+  };
+
+  // Fault application at the epoch boundary: replay every due event, run
+  // its recovery action, and account the transition.
+  auto apply_faults = [&](double now) {
+    if (injector.idle()) return;
+    const std::vector<fault::FaultEvent> events = injector.advance(now);
+    if (events.empty()) return;
+    ODN_TRACE_SPAN("fault", "fault.apply");
+    for (const fault::FaultEvent& event : events) {
+      report.faults.record_event(event.kind);
+      fault_events_total->inc();
+      switch (event.kind) {
+        case fault::FaultEventKind::kCellCrash: {
+          // The cell's state is lost: reset the controller and displace
+          // every active job. The cell stops accepting until recovery, so
+          // readmission attempts back off until then.
+          const std::vector<std::size_t> order = displacement_order();
+          controller_.reset();
+          observe_ledger();
+          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) attempt_readmission(j, now);
+          break;
+        }
+        case fault::FaultEventKind::kRadioDegrade: {
+          // Admissions were solved against the nominal radio; re-run them
+          // under the derated model (release everything, then readmit in
+          // priority order — failures enter the backoff/downgrade policy).
+          live_radio = radio_.scaled(event.magnitude);
+          controller_.set_radio(live_radio);
+          const std::vector<std::size_t> order = displacement_order();
+          for (const std::size_t j : order) {
+            if (!controller_.release(jobs[j].name))
+              throw std::logic_error(util::fmt(
+                  "ServingRuntime: displaced job '{}' unknown to controller",
+                  jobs[j].name));
+          }
+          observe_ledger();
+          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) attempt_readmission(j, now);
+          break;
+        }
+        case fault::FaultEventKind::kRadioRestore:
+          live_radio = radio_;
+          controller_.set_radio(live_radio);
+          break;
+        case fault::FaultEventKind::kCellRecover:
+        case fault::FaultEventKind::kLatencyInflate:
+        case fault::FaultEventKind::kLatencyRestore:
+        case fault::FaultEventKind::kBudgetExhaust:
+        case fault::FaultEventKind::kBudgetRestore:
+          // State-only transitions: the injector's per-cell state gates
+          // admission (accepting()) and measurement (latency_factor).
+          break;
+      }
+    }
+  };
+
   // Epoch measurement: assemble the live deployment and emulate it.
   auto measure_epoch = [&](double now, std::size_t epoch_index) {
     ODN_TRACE_SPAN("runtime", "runtime.epoch");
@@ -270,23 +450,32 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       emu_options.duration_s = options_.emulation_window_s;
       emu_options.seed = epoch_seed(options_.seed, epoch_index);
       emu_options.poisson_arrivals = options_.poisson_emulation;
-      sim::EdgeEmulator emulator(std::move(live), radio_,
+      sim::EdgeEmulator emulator(std::move(live), live_radio,
                                  resources_.compute_capacity_s, emu_options);
       const sim::EmulationReport measured = emulator.run();
 
+      // Latency inflation scales the measured samples at accounting time
+      // (a factor of 1 is the bit-exact identity, so fault-free epochs
+      // reproduce the pre-fault bytes).
+      const double latency_factor =
+          injector.idle() ? 1.0 : injector.state(0).latency_factor;
       std::vector<double> epoch_latencies;
       for (const sim::TaskTrace& task_trace : measured.tasks) {
         const std::size_t class_index =
             class_by_name.at(task_trace.task_name);
         ClassStats& stats = report.classes[class_index];
+        std::size_t violations = 0;
         for (const sim::LatencySample& sample : task_trace.samples) {
-          stats.latency_samples_s.push_back(sample.latency_s);
-          epoch_latencies.push_back(sample.latency_s);
+          const double measured_s = latency_factor == 1.0
+                                        ? sample.latency_s
+                                        : sample.latency_s * latency_factor;
+          stats.latency_samples_s.push_back(measured_s);
+          epoch_latencies.push_back(measured_s);
           // Emulated (virtual-time) latencies: deterministic per seed, so
           // the histogram buckets snapshot identically across thread counts.
-          epoch_latency.observe(sample.latency_s);
+          epoch_latency.observe(measured_s);
+          if (measured_s > task_trace.latency_bound_s) ++violations;
         }
-        const std::size_t violations = task_trace.bound_violations();
         stats.slo_violations += violations;
         snapshot.slo_violations += violations;
         class_metrics[class_index].slo_violations->inc(violations);
@@ -297,6 +486,31 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
               ? 0.0
               : util::percentile(std::move(epoch_latencies), 95.0);
       snapshot.gpu_busy_fraction = measured.gpu_busy_fraction;
+
+      // Per-fault-class SLO impact: attribute this epoch's violations to
+      // every fault class active on the cell (clear when nominal).
+      if (!injector.idle() && snapshot.slo_violations > 0) {
+        const fault::CellFaultState& cell_state = injector.state(0);
+        bool attributed = false;
+        if (!cell_state.up) {
+          report.faults.violations_during_crash += snapshot.slo_violations;
+          attributed = true;
+        }
+        if (cell_state.bandwidth_factor != 1.0) {
+          report.faults.violations_during_radio += snapshot.slo_violations;
+          attributed = true;
+        }
+        if (cell_state.latency_factor != 1.0) {
+          report.faults.violations_during_latency += snapshot.slo_violations;
+          attributed = true;
+        }
+        if (cell_state.budget_exhausted) {
+          report.faults.violations_during_budget += snapshot.slo_violations;
+          attributed = true;
+        }
+        if (!attributed)
+          report.faults.violations_clear += snapshot.slo_violations;
+      }
     }
     samples_total.inc(snapshot.samples);
     snapshot.measure_wall_s = epoch_watch.elapsed_seconds();
@@ -319,9 +533,14 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       }
       case LoopEventKind::kRetry: {
         // A departure or the final rejection may have landed during the
-        // backoff; only still-pending jobs retry.
-        if (jobs[event.job].state == Job::State::kPending)
-          attempt_admission(event.job, event.time);
+        // backoff; only still-pending jobs retry. Displaced jobs retry
+        // through the readmission path (fault accounting).
+        if (jobs[event.job].state == Job::State::kPending) {
+          if (jobs[event.job].readmitting)
+            attempt_readmission(event.job, event.time);
+          else
+            attempt_admission(event.job, event.time);
+        }
         break;
       }
       case LoopEventKind::kDeparture: {
@@ -335,12 +554,16 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
           ++stats.departures;
           observe_ledger();
         } else if (job.state == Job::State::kPending) {
-          ++stats.departed_before_admission;
+          if (job.readmitting)
+            ++report.faults.displaced_departed;
+          else
+            ++stats.departed_before_admission;
         }
         job.state = Job::State::kDeparted;
         break;
       }
       case LoopEventKind::kEpoch: {
+        apply_faults(event.time);
         measure_epoch(event.time, event.job);
         break;
       }
@@ -348,8 +571,12 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
   }
 
   for (const Job& job : jobs) {
-    if (job.state == Job::State::kPending)
-      ++report.classes[job.class_index].pending_at_end;
+    if (job.state == Job::State::kPending) {
+      if (job.readmitting)
+        ++report.faults.displaced_pending_at_end;
+      else
+        ++report.classes[job.class_index].pending_at_end;
+    }
     if (job.state == Job::State::kActive) ++report.active_at_end;
   }
   report.deployed_blocks_at_end = controller_.deployed_blocks().size();

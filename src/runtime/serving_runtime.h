@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "fault/fault_plan.h"
 #include "runtime/retry_policy.h"
 #include "runtime/stats.h"
 #include "runtime/workload.h"
@@ -49,6 +50,11 @@ struct RuntimeOptions {
   std::vector<double> class_boundaries{0.35, 0.7};
   std::vector<std::string> class_names{"low", "medium", "high"};
   core::OffloadnnController::Options controller{};
+  // Deterministic fault schedule, applied at epoch boundaries. An empty
+  // plan is a strict no-op (report bytes identical to a fault-free build
+  // of the options). A non-empty plan requires cell_count == 1 and a
+  // positive epoch cadence (faults apply at epoch boundaries only).
+  fault::FaultPlan faults{};
 
   void validate() const;
 };

@@ -184,6 +184,12 @@ void RuntimeReport::write_json(std::ostream& out) const {
   }
   out << "  ],\n";
 
+  if (faults.enabled) {
+    out << "  \"faults\": ";
+    faults.write_json(out, "  ");
+    out << ",\n";
+  }
+
   out << "  \"final\": {\n";
   out << "    \"active_tasks\": " << active_at_end << ",\n";
   out << "    \"deployed_blocks\": " << deployed_blocks_at_end << "\n";

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_stats.h"
+
 namespace odn::runtime {
 
 // Lifecycle + latency accounting for one priority class.
@@ -94,6 +96,11 @@ struct RuntimeReport {
   std::vector<EpochSnapshot> timeline;
   std::size_t active_at_end = 0;
   std::size_t deployed_blocks_at_end = 0;
+
+  // Fault + recovery accounting. Serialized (as a "faults" block) only
+  // when enabled — a run with no fault plan keeps its report bytes
+  // identical to the pre-fault schema.
+  fault::FaultStats faults;
 
   // Monotonic wall time for the whole run() call. Like
   // EpochSnapshot::measure_wall_s this is diagnostics only — excluded from

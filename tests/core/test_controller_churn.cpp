@@ -6,6 +6,7 @@
 
 #include "core/controller.h"
 #include "core/scenarios.h"
+#include "invariant_check.h"
 
 namespace odn::core {
 namespace {
@@ -45,6 +46,8 @@ TEST(ControllerChurn, FullReleaseReturnsLedgerToZero) {
   const DeploymentPlan plan = controller.admit(instance.catalog, wave);
   ASSERT_GT(plan.deployed_blocks.size(), 0u);
   ASSERT_GT(controller.ledger().memory_used_bytes(), 0.0);
+  odn::testing::check_plan_invariants(plan, wave, instance.catalog,
+                                      instance.resources, instance.radio);
 
   for (const std::string& name : controller.active_tasks())
     EXPECT_TRUE(controller.release(name));
@@ -72,6 +75,9 @@ TEST(ControllerChurn, ReadmissionAfterChurnMatchesFreshAdmitBitForBit) {
   OffloadnnController fresh(instance.resources, instance.radio);
   const DeploymentPlan baseline = fresh.admit(instance.catalog, wave);
   expect_plans_identical(readmitted, baseline);
+  odn::testing::check_plan_invariants(readmitted, wave, instance.catalog,
+                                      instance.resources, instance.radio,
+                                      "readmitted");
 }
 
 TEST(ControllerChurn, IncrementalReadmissionOnEmptyMatchesFreshAdmit) {

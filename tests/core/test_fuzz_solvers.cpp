@@ -1,7 +1,8 @@
 // Randomized differential testing of the solver stack: generate random
 // DOT instances across a seed sweep and assert the cross-solver
 // invariants that must hold on *every* instance:
-//   - every solver's output is evaluator-feasible,
+//   - every solver's output is evaluator-feasible AND passes the
+//     independent constraint re-derivation in invariant_check.h,
 //   - optimum <= heuristic <= "admit nothing" in objective,
 //   - beam search never loses to first-branch,
 //   - determinism for a fixed instance.
@@ -10,6 +11,7 @@
 #include "core/offloadnn_solver.h"
 #include "core/optimal_solver.h"
 #include "fuzz_instances.h"
+#include "invariant_check.h"
 
 namespace odn::core {
 namespace {
@@ -26,6 +28,8 @@ TEST_P(SolverFuzz, HeuristicAlwaysFeasible) {
   EXPECT_TRUE(violations.empty())
       << instance.name << ": "
       << (violations.empty() ? "" : violations.front());
+  odn::testing::check_dot_invariants(instance, solution.decisions,
+                                     instance.name);
 }
 
 TEST_P(SolverFuzz, OptimalAlwaysFeasible) {
@@ -36,6 +40,8 @@ TEST_P(SolverFuzz, OptimalAlwaysFeasible) {
   EXPECT_TRUE(violations.empty())
       << instance.name << ": "
       << (violations.empty() ? "" : violations.front());
+  odn::testing::check_dot_invariants(instance, solution.decisions,
+                                     instance.name);
 }
 
 TEST_P(SolverFuzz, OptimumNeverWorseThanHeuristic) {

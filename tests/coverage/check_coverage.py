@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Per-library line-coverage gate over raw gcov JSON (no gcovr needed).
+
+Walks a --coverage build tree for .gcda note/data pairs, runs
+`gcov --json-format --stdout` on each, aggregates executed/executable
+lines per first-level library under src/ (a line is covered when any
+translation unit executed it — headers appear in many TUs), and compares
+the per-library percentages against the checked-in floors file.
+
+Usage:
+  check_coverage.py --build-dir build-cov --source-dir . \
+      --floors tests/coverage/floors.txt [--gcov gcov-12]
+
+Floors file: `<library> <min_percent>` per line, '#' comments. Libraries
+under src/ without a floor line are reported but never fail the gate.
+Exit status: 0 when every floored library holds its floor, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                # Absolute: gcov runs with cwd set to the object directory.
+                yield os.path.abspath(os.path.join(root, name))
+
+
+def gcov_json_documents(gcov, gcda_path):
+    """Runs gcov in JSON mode and yields the parsed documents (one per
+    input file; every line of stdout is a standalone JSON object)."""
+    result = subprocess.run(
+        [gcov, "--json-format", "--stdout", gcda_path],
+        capture_output=True,
+        text=True,
+        cwd=os.path.dirname(gcda_path),
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"gcov failed on {gcda_path}: {result.stderr.strip()}"
+        )
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        yield json.loads(line)
+
+
+def library_of(path, src_prefix):
+    """Maps an absolute source path to its library name (first directory
+    under src/), or None for out-of-tree / non-library files."""
+    real = os.path.realpath(path)
+    if not real.startswith(src_prefix):
+        return None
+    relative = real[len(src_prefix):]
+    parts = relative.split(os.sep)
+    return parts[0] if len(parts) > 1 else None
+
+
+def collect_line_hits(build_dir, source_dir, gcov):
+    """{library: {(file, line): max_count}} across every TU."""
+    src_prefix = os.path.join(os.path.realpath(source_dir), "src") + os.sep
+    hits = {}
+    gcda_files = list(find_gcda(build_dir))
+    if not gcda_files:
+        raise RuntimeError(
+            f"no .gcda files under {build_dir} — build with "
+            "-DODN_COVERAGE=ON and run the test suite first"
+        )
+    for gcda in gcda_files:
+        for document in gcov_json_documents(gcov, gcda):
+            for entry in document.get("files", []):
+                source = entry.get("file", "")
+                if not os.path.isabs(source):
+                    source = os.path.join(os.path.dirname(gcda), source)
+                library = library_of(source, src_prefix)
+                if library is None:
+                    continue
+                per_line = hits.setdefault(library, {})
+                key_base = os.path.realpath(source)
+                for line in entry.get("lines", []):
+                    key = (key_base, line["line_number"])
+                    count = line.get("count", 0)
+                    if count > per_line.get(key, -1):
+                        per_line[key] = count
+    return hits
+
+
+def read_floors(path):
+    floors = {}
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            text = raw.split("#", 1)[0].strip()
+            if not text:
+                continue
+            name, value = text.split()
+            floors[name] = float(value)
+    return floors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-dir", required=True)
+    parser.add_argument("--floors", required=True)
+    parser.add_argument("--gcov", default="gcov")
+    args = parser.parse_args()
+
+    floors = read_floors(args.floors)
+    hits = collect_line_hits(args.build_dir, args.source_dir, args.gcov)
+
+    failures = []
+    print(f"{'library':<12} {'lines':>7} {'covered':>8} {'percent':>8} "
+          f"{'floor':>7}")
+    for library in sorted(set(hits) | set(floors)):
+        per_line = hits.get(library, {})
+        total = len(per_line)
+        covered = sum(1 for count in per_line.values() if count > 0)
+        percent = 100.0 * covered / total if total else 0.0
+        floor = floors.get(library)
+        floor_text = f"{floor:.1f}" if floor is not None else "-"
+        print(f"{library:<12} {total:>7} {covered:>8} {percent:>7.1f}% "
+              f"{floor_text:>7}")
+        if floor is None:
+            continue
+        if total == 0:
+            failures.append(f"{library}: no coverage data found")
+        elif percent < floor:
+            failures.append(
+                f"{library}: line coverage {percent:.1f}% is below the "
+                f"floor {floor:.1f}%"
+            )
+
+    if failures:
+        print("\ncoverage gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\ncoverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+// FaultInjector: event replay semantics (apply everything due, in plan
+// order, exactly once), per-cell state transitions and the idle fast
+// path for empty plans.
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+
+namespace odn::fault {
+namespace {
+
+FaultPlan two_cell_plan() {
+  FaultPlan plan;
+  plan.name = "two-cell";
+  plan.horizon_s = 50.0;
+  plan.cell_count = 2;
+  plan.events = {
+      {10.0, FaultEventKind::kCellCrash, 0, 1.0},
+      {10.0, FaultEventKind::kRadioDegrade, 1, 0.5},
+      {20.0, FaultEventKind::kCellRecover, 0, 1.0},
+      {25.0, FaultEventKind::kLatencyInflate, 0, 2.0},
+      {30.0, FaultEventKind::kRadioRestore, 1, 1.0},
+      {40.0, FaultEventKind::kBudgetExhaust, 1, 1.0},
+      {45.0, FaultEventKind::kLatencyRestore, 0, 1.0},
+  };
+  return plan;
+}
+
+TEST(FaultInjector, DefaultConstructedIsIdle) {
+  FaultInjector injector;
+  EXPECT_TRUE(injector.idle());
+  EXPECT_TRUE(injector.all_clear());
+  EXPECT_TRUE(injector.state(0).nominal());
+  EXPECT_TRUE(injector.advance(1e9).empty());
+}
+
+TEST(FaultInjector, AppliesDueEventsInPlanOrder) {
+  FaultInjector injector(two_cell_plan());
+  EXPECT_FALSE(injector.idle());
+
+  const auto first = injector.advance(10.0);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].kind, FaultEventKind::kCellCrash);
+  EXPECT_EQ(first[0].cell, 0u);
+  EXPECT_EQ(first[1].kind, FaultEventKind::kRadioDegrade);
+  EXPECT_EQ(first[1].cell, 1u);
+
+  EXPECT_FALSE(injector.state(0).up);
+  EXPECT_FALSE(injector.state(0).accepting());
+  EXPECT_EQ(injector.state(1).bandwidth_factor, 0.5);
+  EXPECT_TRUE(injector.state(1).accepting());
+  EXPECT_FALSE(injector.all_clear());
+
+  // Nothing new between events; no event is applied twice.
+  EXPECT_TRUE(injector.advance(15.0).empty());
+  EXPECT_EQ(injector.events_applied(), 2u);
+  EXPECT_EQ(injector.events_remaining(), 5u);
+}
+
+TEST(FaultInjector, RecoveryRestoresNominalState) {
+  FaultInjector injector(two_cell_plan());
+  (void)injector.advance(50.0);  // replay the whole plan
+  EXPECT_EQ(injector.events_applied(), 7u);
+  EXPECT_EQ(injector.events_remaining(), 0u);
+
+  EXPECT_TRUE(injector.state(0).up);
+  EXPECT_TRUE(injector.state(0).nominal());
+  // Cell 1's budget exhaustion never recovers inside the horizon.
+  EXPECT_TRUE(injector.state(1).up);
+  EXPECT_TRUE(injector.state(1).budget_exhausted);
+  EXPECT_FALSE(injector.state(1).accepting());
+  EXPECT_FALSE(injector.all_clear());
+}
+
+TEST(FaultInjector, LatencyAndBudgetAreStateOnly) {
+  FaultInjector injector(two_cell_plan());
+  (void)injector.advance(25.0);
+  EXPECT_EQ(injector.state(0).latency_factor, 2.0);
+  EXPECT_TRUE(injector.state(0).accepting());  // inflated but admitting
+  (void)injector.advance(40.0);
+  EXPECT_TRUE(injector.state(1).budget_exhausted);
+  EXPECT_FALSE(injector.state(1).accepting());  // solver budget gone
+  EXPECT_TRUE(injector.state(1).up);            // but the cell is not down
+}
+
+TEST(FaultInjector, BoundaryTimestampIsInclusive) {
+  FaultPlan plan;
+  plan.horizon_s = 10.0;
+  plan.cell_count = 1;
+  plan.events = {{10.0, FaultEventKind::kCellCrash, 0, 1.0}};
+  FaultInjector injector(plan);
+  // Epoch boundaries land exactly on event times; the injector must treat
+  // `time_s <= now` inclusively (with tolerance) or horizon-edge events
+  // would silently never fire.
+  EXPECT_EQ(injector.advance(10.0).size(), 1u);
+}
+
+TEST(FaultInjector, InvalidPlanThrowsAtConstruction) {
+  FaultPlan plan;
+  plan.horizon_s = 10.0;
+  plan.cell_count = 1;
+  plan.events = {{2.0, FaultEventKind::kCellRecover, 0, 1.0}};
+  EXPECT_THROW(FaultInjector{plan}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odn::fault

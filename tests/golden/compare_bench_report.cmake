@@ -30,6 +30,9 @@ else()
   list(APPEND bench_env --unset=ODN_TRACE)
 endif()
 list(APPEND bench_env --unset=ODN_METRICS)
+# And no inherited fault schedule: ODN_FAULTS would silently turn a
+# golden run into a chaos run.
+list(APPEND bench_env --unset=ODN_FAULTS)
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env ${bench_env}
@@ -44,10 +47,48 @@ execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
   RESULT_VARIABLE diff_result)
 if(NOT diff_result EQUAL 0)
+  # Show the actual divergence: a unified diff when a diff tool exists,
+  # otherwise the first mismatching lines — "the files differ" alone is
+  # useless for debugging a broken determinism contract.
+  find_program(DIFF_TOOL NAMES diff)
+  if(DIFF_TOOL)
+    execute_process(
+      COMMAND ${DIFF_TOOL} -u ${GOLDEN} ${OUT}
+      OUTPUT_VARIABLE diff_text
+      ERROR_QUIET)
+  else()
+    file(STRINGS ${GOLDEN} golden_lines)
+    file(STRINGS ${OUT} out_lines)
+    list(LENGTH golden_lines golden_count)
+    list(LENGTH out_lines out_count)
+    set(diff_text "")
+    set(line 0)
+    while(line LESS golden_count AND line LESS out_count)
+      list(GET golden_lines ${line} golden_line)
+      list(GET out_lines ${line} out_line)
+      if(NOT golden_line STREQUAL out_line)
+        math(EXPR human_line "${line} + 1")
+        string(APPEND diff_text
+               "line ${human_line}:\n-${golden_line}\n+${out_line}\n")
+        break()
+      endif()
+      math(EXPR line "${line} + 1")
+    endwhile()
+    if(diff_text STREQUAL "" AND NOT golden_count EQUAL out_count)
+      set(diff_text
+          "line counts differ: golden ${golden_count}, report ${out_count}\n")
+    endif()
+  endif()
+  # Keep the failure readable: the full report can be thousands of lines.
+  string(REGEX MATCH "^([^\n]*\n){1,60}" diff_head "${diff_text}")
+  if(NOT diff_head)
+    set(diff_head "${diff_text}")
+  endif()
   message(FATAL_ERROR
           "report ${OUT} differs from golden ${GOLDEN} — if the change is "
           "intentional, regenerate the golden with the command above and "
-          "commit it; otherwise the determinism contract is broken")
+          "commit it; otherwise the determinism contract is broken.\n"
+          "First mismatching lines (golden vs report):\n${diff_head}")
 endif()
 
 if(TRACE)

@@ -1,0 +1,24 @@
+# Minimal stand-in bench for the compare-script selftest. The compare
+# script invokes `${BENCH} ${ARGS} --out <path>`; run as
+#   cmake -DSRC=<report> -P fake_bench.cmake --out <path>
+# this scans the trailing script arguments for --out and copies SRC there,
+# mimicking a bench writing its report (stdout stays empty, which the
+# compare script ignores anyway).
+if(NOT SRC)
+  message(FATAL_ERROR "fake_bench: SRC is required")
+endif()
+set(out "")
+math(EXPR last "${CMAKE_ARGC} - 1")
+foreach(i RANGE ${last})
+  if("${CMAKE_ARGV${i}}" STREQUAL "--out")
+    math(EXPR next "${i} + 1")
+    if(next GREATER last)
+      message(FATAL_ERROR "fake_bench: --out without a path")
+    endif()
+    set(out "${CMAKE_ARGV${next}}")
+  endif()
+endforeach()
+if(out STREQUAL "")
+  message(FATAL_ERROR "fake_bench: no --out argument")
+endif()
+configure_file(${SRC} ${out} COPYONLY)
