@@ -132,6 +132,18 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
   const std::size_t cell_count = dispatcher_.cell_count();
   const std::size_t class_count = options_.class_names.size();
 
+  // The catalog is fixed for the whole run: one digest up front serves
+  // every admission's cache keys instead of one O(blocks) encode per
+  // admission. Skipped when no cache would read it.
+  core::Fingerprint catalog_fp;
+  const core::Fingerprint* catalog_fp_ptr = nullptr;
+  if (dispatcher_.plan_cache() != nullptr ||
+      (cell_count > 0 &&
+       dispatcher_.cell(0).controller().solver_cache() != nullptr)) {
+    catalog_fp = core::catalog_digest(catalog_);
+    catalog_fp_ptr = &catalog_fp;
+  }
+
   ClusterReport report;
   report.trace_name = trace.name;
   report.seed = options_.seed;
@@ -234,7 +246,8 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     if (downgraded)
       task = runtime::downgraded_task(std::move(task), options_.retry);
 
-    const AdmissionOutcome outcome = dispatcher_.admit(catalog_, task);
+    const AdmissionOutcome outcome =
+        dispatcher_.admit(catalog_, task, catalog_fp_ptr);
     for (std::size_t i = 0; i < cell_count; ++i) observe_cell(i);
 
     if (outcome.admitted) {
@@ -282,7 +295,8 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     if (options_.retry.downgrades(job.attempts))
       task = runtime::downgraded_task(std::move(task), options_.retry);
 
-    const AdmissionOutcome outcome = dispatcher_.admit(catalog_, task);
+    const AdmissionOutcome outcome =
+        dispatcher_.admit(catalog_, task, catalog_fp_ptr);
     for (std::size_t i = 0; i < cell_count; ++i) observe_cell(i);
 
     if (outcome.admitted) {

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 
+#include "core/fingerprint.h"
+#include "core/plan_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fmt.h"
@@ -24,6 +28,12 @@ struct DispatcherMetrics {
   obs::Counter& releases;
   obs::Counter& probe_admits;
   obs::Counter& probe_rejects;
+  // Shared-plan-cache accounting: cells answered straight from the
+  // cross-cell cache, and probes avoided because a sibling cell's probe
+  // this round had the exact same cache key. Dedup/lookup run on the
+  // serial phase of probe_objectives, so both are ODN_THREADS-invariant.
+  obs::Counter& probe_cache_hits;
+  obs::Counter& probe_dedup_saved;
 
   static DispatcherMetrics& instance() {
     static obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
@@ -32,7 +42,9 @@ struct DispatcherMetrics {
         registry.counter("odn_cluster_spillovers_total"),
         registry.counter("odn_cluster_releases_total"),
         registry.counter("odn_cluster_probe_admits_total"),
-        registry.counter("odn_cluster_probe_rejects_total")};
+        registry.counter("odn_cluster_probe_rejects_total"),
+        registry.counter("odn_cluster_probe_cache_hits_total"),
+        registry.counter("odn_cluster_probe_dedup_saved_total")};
     return metrics;
   }
 };
@@ -50,40 +62,153 @@ ClusterDispatcher::ClusterDispatcher(
   for (CellSpec& spec : cells)
     cells_.emplace_back(std::move(spec), radio, controller_options);
   accepting_.assign(cells_.size(), true);
+  // One plan cache shared by every cell (or nullptr everywhere when
+  // disabled, so the cluster has a uniform cold baseline). Admissions and
+  // migrations run on the serial event loop; the cost_probe fan-out keeps
+  // its own shared-cache accesses serial (see probe_objectives).
+  if (options_.plan_cache)
+    plan_cache_ =
+        std::make_shared<core::PlanCache>(options_.plan_cache_capacity);
+  for (EdgeCell& cell : cells_) cell.controller().set_plan_cache(plan_cache_);
+}
+
+bool ClusterDispatcher::caching_enabled() const noexcept {
+  // Cells share one Options struct (set in the constructor), so the first
+  // cell's solver memo is representative of all of them.
+  return plan_cache_ != nullptr ||
+         (!cells_.empty() &&
+          cells_.front().controller().solver_cache() != nullptr);
 }
 
 std::vector<double> ClusterDispatcher::probe_objectives(
-    const edge::DnnCatalog& catalog, const core::DotTask& task) const {
+    const edge::DnnCatalog& catalog, const core::DotTask& task,
+    const core::Fingerprint* digest) const {
   ODN_TRACE_SPAN("cluster", "cluster.probe");
   DispatcherMetrics& metrics = DispatcherMetrics::instance();
   std::vector<double> objectives(cells_.size(), kInf);
-  auto probe_one = [&](std::size_t i) {
-    // Non-accepting cells (crashed / budget-exhausted) keep their +inf
-    // slot without probing; the mask only changes on the serial event
-    // loop, so the skip is identical for any thread count.
-    if (!accepting_[i]) return;
-    const core::DeploymentPlan probe =
-        cells_[i].controller().probe_incremental(catalog, {task});
-    if (probe.tasks.size() == 1 && probe.tasks[0].admitted) {
-      objectives[i] = probe.solution.cost.objective;
-      metrics.probe_admits.inc();
+
+  if (plan_cache_ == nullptr) {
+    auto probe_one = [&](std::size_t i) {
+      // Non-accepting cells (crashed / budget-exhausted) keep their +inf
+      // slot without probing; the mask only changes on the serial event
+      // loop, so the skip is identical for any thread count.
+      if (!accepting_[i]) return;
+      const core::DeploymentPlan probe =
+          cells_[i].controller().probe_incremental(catalog, {task}, digest);
+      if (probe.tasks.size() == 1 && probe.tasks[0].admitted) {
+        objectives[i] = probe.solution.cost.objective;
+        metrics.probe_admits.inc();
+      } else {
+        metrics.probe_rejects.inc();
+      }
+    };
+    // Each probe writes only its own slot, and a probe's arithmetic is
+    // independent of which thread runs it, so the parallel fan-out is
+    // bit-identical to the serial loop.
+    if (options_.parallel_probe && cells_.size() > 1) {
+      util::global_parallel_for(cells_.size(), probe_one);
     } else {
-      metrics.probe_rejects.inc();
+      for (std::size_t i = 0; i < cells_.size(); ++i) probe_one(i);
+    }
+    return objectives;
+  }
+
+  // Shared-cache path, three phases. Equal probe_cache_key strings are a
+  // proof the probes would return identical bytes (the key is the
+  // canonical encoding of the discounted sub-instance, catalog
+  // digest-compressed), so each distinct key is probed once and its
+  // verdict settled onto every cell in the
+  // group. The shared cache is only touched from the serial phases; only
+  // distinct cache-missing sub-instances fan out to the pool, each solved
+  // through probe_incremental_uncached against a different cell's private
+  // solver memo. Verdicts, per-cell admit/reject counters and cache
+  // hit/miss counts are therefore all ODN_THREADS-invariant.
+  const std::vector<core::DotTask> requests{task};
+  struct Group {
+    std::string key;
+    std::vector<std::size_t> cells;
+    core::DeploymentPlan solved;  // filled in phase 2 on a cache miss
+  };
+  std::vector<Group> groups;
+  // No reallocation: the key-indexing views below point into groups' keys.
+  groups.reserve(cells_.size());
+  std::unordered_map<std::string_view, std::size_t> by_key;
+
+  // Phase 1 (serial): key every accepting cell and group equal keys. The
+  // catalog digest — the one O(blocks) key component — is computed at most
+  // once per admission (admit() passes it in) and shared by all N cells'
+  // keys and by the miss solves below.
+  const core::Fingerprint digest_local =
+      digest != nullptr ? *digest : core::catalog_digest(catalog);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!accepting_[i]) continue;
+    std::string key = cells_[i].controller().probe_cache_key(catalog, requests,
+                                                             &digest_local);
+    const auto it = by_key.find(key);
+    if (it != by_key.end()) {
+      groups[it->second].cells.push_back(i);
+      continue;
+    }
+    groups.push_back(Group{std::move(key), {i}, {}});
+    by_key.emplace(std::string_view(groups.back().key), groups.size() - 1);
+  }
+  for (const Group& group : groups)
+    if (group.cells.size() > 1)
+      metrics.probe_dedup_saved.inc(group.cells.size() - 1);
+
+  const auto settle = [&](const Group& group,
+                          const core::DeploymentPlan& plan) {
+    const bool admitted = plan.tasks.size() == 1 && plan.tasks[0].admitted;
+    for (const std::size_t i : group.cells) {
+      if (admitted) {
+        objectives[i] = plan.solution.cost.objective;
+        metrics.probe_admits.inc();
+      } else {
+        metrics.probe_rejects.inc();
+      }
     }
   };
-  // Each probe writes only its own slot, and a probe's arithmetic is
-  // independent of which thread runs it, so the parallel fan-out is
-  // bit-identical to the serial loop.
-  if (options_.parallel_probe && cells_.size() > 1) {
-    util::global_parallel_for(cells_.size(), probe_one);
+
+  // Phase 1b (serial): answer groups straight from the shared cache.
+  // Hit groups settle immediately — the cached pointer must not be held
+  // across the phase-3 inserts, which may evict it.
+  std::vector<std::size_t> missing;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (const core::DeploymentPlan* hit = plan_cache_->find(groups[g].key)) {
+      metrics.probe_cache_hits.inc(groups[g].cells.size());
+      settle(groups[g], *hit);
+    } else {
+      missing.push_back(g);
+    }
+  }
+
+  // Phase 2: solve each missing group once, through its first cell. Cells
+  // appear in exactly one group, so no controller (and no private solver
+  // memo) is ever touched by two threads.
+  const auto solve_one = [&](std::size_t m) {
+    Group& group = groups[missing[m]];
+    group.solved =
+        cells_[group.cells.front()]
+            .controller()
+            .probe_incremental_uncached(catalog, requests, &digest_local);
+  };
+  if (options_.parallel_probe && missing.size() > 1) {
+    util::global_parallel_for(missing.size(), solve_one);
   } else {
-    for (std::size_t i = 0; i < cells_.size(); ++i) probe_one(i);
+    for (std::size_t m = 0; m < missing.size(); ++m) solve_one(m);
+  }
+
+  // Phase 3 (serial): publish the solved plans and settle their groups.
+  for (const std::size_t g : missing) {
+    plan_cache_->insert(std::move(groups[g].key), groups[g].solved);
+    settle(groups[g], groups[g].solved);
   }
   return objectives;
 }
 
-std::size_t ClusterDispatcher::choose_cell(const edge::DnnCatalog& catalog,
-                                           const core::DotTask& task) const {
+std::size_t ClusterDispatcher::choose_cell(
+    const edge::DnnCatalog& catalog, const core::DotTask& task,
+    const core::Fingerprint* digest) const {
   // Every policy ranges over the accepting cells only; with every cell
   // fenced off (cluster-wide outage) there is no preferred cell at all.
   std::size_t first_accepting = kNoCell;
@@ -114,7 +239,8 @@ std::size_t ClusterDispatcher::choose_cell(const edge::DnnCatalog& catalog,
       return best;
     }
     case PlacementPolicy::kCostProbe: {
-      const std::vector<double> objectives = probe_objectives(catalog, task);
+      const std::vector<double> objectives =
+          probe_objectives(catalog, task, digest);
       std::size_t best = first_accepting;
       double best_objective = objectives[best];
       for (std::size_t i = best + 1; i < cells_.size(); ++i) {
@@ -134,14 +260,26 @@ std::size_t ClusterDispatcher::choose_cell(const edge::DnnCatalog& catalog,
 }
 
 AdmissionOutcome ClusterDispatcher::admit(const edge::DnnCatalog& catalog,
-                                          const core::DotTask& task) {
+                                          const core::DotTask& task,
+                                          const core::Fingerprint* digest) {
   ODN_TRACE_SPAN("cluster", "cluster.admit");
   if (owner_.count(task.spec.name) != 0)
     throw std::invalid_argument(util::fmt(
         "ClusterDispatcher: task '{}' already admitted", task.spec.name));
 
+  // One catalog digest per admission, shared by the probe fan-out and
+  // every admission attempt's cache keys — taken from the caller when
+  // provided, computed here otherwise (skipped when no cache would read
+  // it: the cold path must not pay for the warm path's keys).
+  core::Fingerprint digest_local;
+  const core::Fingerprint* digest_ptr = digest;
+  if (digest_ptr == nullptr && caching_enabled()) {
+    digest_local = core::catalog_digest(catalog);
+    digest_ptr = &digest_local;
+  }
+
   AdmissionOutcome outcome;
-  outcome.preferred_cell = choose_cell(catalog, task);
+  outcome.preferred_cell = choose_cell(catalog, task, digest_ptr);
   // Cluster-wide outage: every cell fenced off, nothing to try.
   if (outcome.preferred_cell == kNoCell) return outcome;
 
@@ -157,7 +295,8 @@ AdmissionOutcome ClusterDispatcher::admit(const edge::DnnCatalog& catalog,
   for (const std::size_t index : order) {
     metrics.placement_attempts.inc();
     const core::DeploymentPlan plan =
-        cells_[index].controller().admit_incremental(catalog, {task});
+        cells_[index].controller().admit_incremental(catalog, {task},
+                                                     digest_ptr);
     if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
       outcome.admitted = true;
       outcome.cell = index;
@@ -208,8 +347,15 @@ bool ClusterDispatcher::migrate(const edge::DnnCatalog& catalog,
   // cannot change between the probe and the admission below — a positive
   // probe guarantees the re-admission lands and the task is never left
   // without a cell.
+  core::Fingerprint digest;
+  const core::Fingerprint* digest_ptr = nullptr;
+  if (caching_enabled()) {
+    digest = core::catalog_digest(catalog);
+    digest_ptr = &digest;
+  }
   const core::DeploymentPlan probe =
-      cells_[target].controller().probe_incremental(catalog, {task});
+      cells_[target].controller().probe_incremental(catalog, {task},
+                                                    digest_ptr);
   if (probe.tasks.size() != 1 || !probe.tasks[0].admitted) return false;
 
   if (!cells_[source].controller().release(task_name))
@@ -217,7 +363,8 @@ bool ClusterDispatcher::migrate(const edge::DnnCatalog& catalog,
         "ClusterDispatcher: migration source cell {} lost task '{}'",
         source, task_name));
   const core::DeploymentPlan plan =
-      cells_[target].controller().admit_incremental(catalog, {task});
+      cells_[target].controller().admit_incremental(catalog, {task},
+                                                    digest_ptr);
   if (plan.tasks.size() != 1 || !plan.tasks[0].admitted)
     throw std::logic_error(util::fmt(
         "ClusterDispatcher: probe admitted '{}' on cell {} but the "

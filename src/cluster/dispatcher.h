@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,13 @@ struct DispatcherOptions {
   // pool. Bit-identical to the serial path (the golden-report ctest pins
   // it); false forces the serial loop, mostly for differential testing.
   bool parallel_probe = true;
+  // Shared cross-cell plan cache (DESIGN.md §8): one core::PlanCache
+  // replaces every cell's private one, so identical probe sub-instances
+  // collapse across sibling cells (probes are pure — an exact-key hit is
+  // bit-identical to solving). false disables plan caching on every cell,
+  // giving a uniform cold baseline for differential runs.
+  bool plan_cache = true;
+  std::size_t plan_cache_capacity = 1024;
 };
 
 struct AdmissionOutcome {
@@ -54,15 +62,31 @@ class ClusterDispatcher {
   const EdgeCell& cell(std::size_t index) const { return cells_.at(index); }
   const DispatcherOptions& options() const noexcept { return options_; }
 
+  // The shared cross-cell plan cache (nullptr when options disabled it).
+  // Survives reset()/crash_cell: entries are keyed by the cells' full
+  // committed state, so stale keys can never falsely hit.
+  const std::shared_ptr<core::PlanCache>& plan_cache() const noexcept {
+    return plan_cache_;
+  }
+
   // The placement policy's preferred cell for `task` given current load
-  // (no state change; exposed for tests and for migration targeting).
+  // (no state change; exposed for tests and for migration targeting). The
+  // optional `digest` (must equal core::catalog_digest(catalog)) lets the
+  // cost_probe fan-out skip re-encoding the catalog; admit() computes it
+  // once per admission and threads it through.
   std::size_t choose_cell(const edge::DnnCatalog& catalog,
-                          const core::DotTask& task) const;
+                          const core::DotTask& task,
+                          const core::Fingerprint* digest = nullptr) const;
 
   // Full admission: preferred cell first, then spillover. Records
-  // ownership on success. Task names must be cluster-unique.
+  // ownership on success. Task names must be cluster-unique. The optional
+  // `digest` (must equal core::catalog_digest(catalog)) spares the
+  // per-admission O(blocks) catalog encode the cache keys otherwise pay —
+  // callers that admit many tasks against one fixed catalog compute it
+  // once up front.
   AdmissionOutcome admit(const edge::DnnCatalog& catalog,
-                         const core::DotTask& task);
+                         const core::DotTask& task,
+                         const core::Fingerprint* digest = nullptr);
 
   // Releases the named task from its owning cell; returns the cell index
   // or kNoCell when the task is unknown.
@@ -101,14 +125,24 @@ class ClusterDispatcher {
 
  private:
   // Serial-vs-parallel-identical probe of every cell; slot i holds cell
-  // i's admitted objective (+inf when the probe rejects).
+  // i's admitted objective (+inf when the probe rejects). With the shared
+  // plan cache on, probes are first deduplicated by exact cache key — the
+  // cache itself is only ever touched serially; only cache-missing
+  // distinct sub-instances fan out to the pool.
   std::vector<double> probe_objectives(const edge::DnnCatalog& catalog,
-                                       const core::DotTask& task) const;
+                                       const core::DotTask& task,
+                                       const core::Fingerprint* digest) const;
+
+  // Whether any cache that keys on the catalog is live (the shared plan
+  // cache or the cells' solver memos) — if none is, computing a catalog
+  // digest up front would be pure overhead on the cold path.
+  bool caching_enabled() const noexcept;
 
   std::vector<EdgeCell> cells_;
   DispatcherOptions options_;
   std::vector<bool> accepting_;  // admission gate per cell (fault state)
   std::unordered_map<std::string, std::size_t> owner_;
+  std::shared_ptr<core::PlanCache> plan_cache_;
 };
 
 }  // namespace odn::cluster

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
+#include "core/fingerprint.h"
+#include "core/plan_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -49,7 +52,16 @@ OffloadnnController::OffloadnnController(const edge::EdgeResources& resources,
     : resources_(resources),
       radio_(radio),
       options_(options),
-      ledger_(resources) {}
+      ledger_(resources) {
+  if (options_.cache.plan_cache)
+    plan_cache_ = std::make_shared<PlanCache>(options_.cache.plan_capacity);
+  if (options_.cache.solver_cache)
+    solver_cache_ = std::make_unique<SolverCache>(options_.cache.solver);
+}
+
+void OffloadnnController::set_plan_cache(std::shared_ptr<PlanCache> cache) {
+  plan_cache_ = std::move(cache);
+}
 
 OffloadnnController::OffloadnnController(const edge::EdgeResources& resources,
                                          edge::RadioModel radio)
@@ -114,31 +126,114 @@ DeploymentPlan OffloadnnController::admit(const edge::DnnCatalog& catalog,
                                           std::vector<DotTask> requests) {
   reset();
   DeploymentPlan result = plan(catalog, std::move(requests),
-                               /*incremental=*/false);
+                               /*incremental=*/false, /*use_plan_cache=*/true);
   commit(result, catalog);
   return result;
 }
 
 DeploymentPlan OffloadnnController::admit_incremental(
-    const edge::DnnCatalog& catalog, std::vector<DotTask> requests) {
-  DeploymentPlan result = plan(catalog, std::move(requests),
-                               /*incremental=*/true);
+    const edge::DnnCatalog& catalog, std::vector<DotTask> requests,
+    const Fingerprint* digest) {
+  DeploymentPlan result =
+      plan(catalog, std::move(requests),
+           /*incremental=*/true, /*use_plan_cache=*/true, digest);
   commit(result, catalog);
   return result;
 }
 
 DeploymentPlan OffloadnnController::probe_incremental(
-    const edge::DnnCatalog& catalog, std::vector<DotTask> requests) const {
+    const edge::DnnCatalog& catalog, std::vector<DotTask> requests,
+    const Fingerprint* digest) const {
   ODN_TRACE_SPAN("controller", "controller.probe_incremental");
   ControllerMetrics::instance().probes.inc();
-  return plan(catalog, std::move(requests), /*incremental=*/true);
+  return plan(catalog, std::move(requests), /*incremental=*/true,
+              /*use_plan_cache=*/true, digest);
+}
+
+DeploymentPlan OffloadnnController::probe_incremental_uncached(
+    const edge::DnnCatalog& catalog, std::vector<DotTask> requests,
+    const Fingerprint* digest) const {
+  ODN_TRACE_SPAN("controller", "controller.probe_incremental");
+  ControllerMetrics::instance().probes.inc();
+  return plan(catalog, std::move(requests), /*incremental=*/true,
+              /*use_plan_cache=*/false, digest);
+}
+
+std::string OffloadnnController::probe_cache_key(
+    const edge::DnnCatalog& catalog, const std::vector<DotTask>& requests,
+    const Fingerprint* digest) const {
+  return plan_key(catalog, requests, /*incremental=*/true, digest);
+}
+
+std::string OffloadnnController::plan_key(
+    const edge::DnnCatalog& catalog, const std::vector<DotTask>& requests,
+    bool incremental, const Fingerprint* digest) const {
+  const Fingerprint catalog_fp =
+      digest != nullptr ? *digest : catalog_digest(catalog);
+  CanonicalWriter writer;
+  writer.u8(2);  // key-format version (2: catalog digest-compressed)
+  writer.boolean(incremental);
+  writer.boolean(options_.use_optimal_solver);
+  writer.u8(static_cast<std::uint8_t>(options_.heuristic.ordering));
+  writer.size(options_.heuristic.beam_width);
+  writer.f64(options_.alpha);
+  encode_resources(writer, resources_);
+  writer.f64(ledger_.compute_used_s());
+  writer.f64(ledger_.memory_used_bytes());
+  writer.size(ledger_.rbs_used());
+  encode_radio(writer, radio_);
+  writer.size(deployed_blocks_.size());
+  for (const edge::BlockIndex b : deployed_blocks_) writer.u32(b);
+  writer.u64(catalog_fp.hi);
+  writer.u64(catalog_fp.lo);
+  writer.size(catalog.block_count());
+  encode_task_set(writer, requests);
+  return writer.take();
 }
 
 DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
                                          std::vector<DotTask> requests,
-                                         bool incremental) const {
+                                         bool incremental, bool use_plan_cache,
+                                         const Fingerprint* digest) const {
   ODN_TRACE_SPAN("controller", "controller.plan");
   ControllerMetrics::instance().plans.inc();
+
+  // Warm path: an exact-key hit is a proof that state and request set are
+  // identical to a previously solved plan, so the cached bytes ARE the
+  // cold result. Keys are name-blind (names never enter the solve), so
+  // the caller-facing task names are rewritten positionally; the latency
+  // histogram is replayed to keep its totals equal to the cold path's.
+  std::string cache_key;
+  PlanCache* cache = use_plan_cache ? plan_cache_.get() : nullptr;
+  SolverCache* const memo = solver_cache_.get();
+
+  // The caller catalog's digest — the one O(blocks) key component — is
+  // computed at most once per plan and shared by the plan key and (through
+  // the deployed-block composition below) the solver memo keys. Callers
+  // that fan many plans out against one catalog pass it in and the encode
+  // disappears entirely.
+  Fingerprint caller_fp;
+  if (digest != nullptr) {
+    caller_fp = *digest;
+  } else if (cache != nullptr || memo != nullptr) {
+    caller_fp = catalog_digest(catalog);
+  }
+
+  if (cache != nullptr) {
+    cache_key = plan_key(catalog, requests, incremental, &caller_fp);
+    if (const DeploymentPlan* hit = cache->find(cache_key)) {
+      ODN_TRACE_SPAN("solver", "solver.warm");
+      DeploymentPlan result = *hit;
+      for (std::size_t t = 0; t < requests.size(); ++t) {
+        result.tasks[t].task_name = requests[t].spec.name;
+        if (result.tasks[t].admitted)
+          ControllerMetrics::instance().expected_latency.observe(
+              result.tasks[t].expected_latency_s);
+      }
+      return result;
+    }
+  }
+
   // Step 2: assemble the DOT inputs — block availability and the (possibly
   // discounted) resource capacities.
   DotInstance instance;
@@ -159,32 +254,37 @@ DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
             ? resources_.total_rbs - ledger_.rbs_used()
             : 1;
     // Already-deployed blocks are free: they are resident and trained
-    // (the paper's dynamic-scenario rule).
-    for (const edge::BlockIndex b : deployed_blocks_) {
-      // DnnCatalog is append-only; rebuild the block with zero costs.
-      edge::CatalogBlock zeroed = instance.catalog.block(b);
-      zeroed.memory_bytes = 0.0;
-      zeroed.training_cost_s = 0.0;
-      instance.catalog = [&] {
-        edge::DnnCatalog patched;
-        for (std::size_t i = 0; i < instance.catalog.block_count(); ++i) {
-          edge::CatalogBlock copy =
-              instance.catalog.block(static_cast<edge::BlockIndex>(i));
-          if (i == b) copy = zeroed;
-          patched.add_block(std::move(copy));
-        }
-        return patched;
-      }();
-    }
+    // (the paper's dynamic-scenario rule). The patch zeroes them in place
+    // on the instance's private copy — O(deployed), not O(blocks), which
+    // matters when probes fan this out per admission.
+    for (const edge::BlockIndex b : deployed_blocks_)
+      instance.catalog.mark_deployed(b);
   }
   instance.finalize();
 
-  // Step 3: solve DOT.
+  // Step 3: solve DOT (warm-started through the solver memos when on).
+  // The solver keys on the *instance* catalog, which differs from the
+  // caller's exactly when the deployed-block patch rebuilt it — in that
+  // case the digest is composed from the caller digest and the deployed
+  // set (which together determine the patched content) in O(deployed),
+  // instead of re-encoding the patched catalog in O(blocks).
+  Fingerprint instance_fp = caller_fp;
+  if (memo != nullptr && incremental && !deployed_blocks_.empty()) {
+    CanonicalWriter patch_writer;
+    patch_writer.u8(0x50);  // 'P': patched-catalog digest lineage
+    patch_writer.u64(caller_fp.hi);
+    patch_writer.u64(caller_fp.lo);
+    patch_writer.size(deployed_blocks_.size());
+    for (const edge::BlockIndex b : deployed_blocks_) patch_writer.u32(b);
+    instance_fp = patch_writer.fingerprint();
+  }
   DotSolution solution;
   if (options_.use_optimal_solver) {
-    solution = OptimalSolver{}.solve(instance);
+    solution = OptimalSolver{}.solve(instance, memo,
+                                     memo != nullptr ? &instance_fp : nullptr);
   } else {
-    solution = OffloadnnSolver{options_.heuristic}.solve(instance);
+    solution = OffloadnnSolver{options_.heuristic}.solve(
+        instance, memo, memo != nullptr ? &instance_fp : nullptr);
   }
 
   // Steps 4-6: allocate resources, deploy blocks, compute per-task plans.
@@ -233,9 +333,8 @@ DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
       shared_rbs +=
           decision.admission_ratio * static_cast<double>(decision.rbs);
       for (const edge::BlockIndex b : option.path.blocks) {
-        const bool already_deployed =
-            std::find(deployed_blocks_.begin(), deployed_blocks_.end(), b) !=
-            deployed_blocks_.end();
+        const bool already_deployed = std::binary_search(
+            deployed_blocks_.begin(), deployed_blocks_.end(), b);
         if (!already_deployed) new_blocks.insert(b);
       }
     }
@@ -252,6 +351,7 @@ DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
   result.compute_committed_s = solution.cost.inference_compute_s;
   result.rbs_committed =
       static_cast<std::size_t>(std::ceil(shared_rbs - 1e-9));
+  if (cache != nullptr) cache->insert(std::move(cache_key), result);
   return result;
 }
 

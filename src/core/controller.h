@@ -14,15 +14,36 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/fingerprint.h"
 #include "core/offloadnn_solver.h"
 #include "core/optimal_solver.h"
 #include "core/solution.h"
+#include "core/solver_cache.h"
 #include "edge/resources.h"
 
 namespace odn::core {
+
+class PlanCache;
+
+// Warm-start/caching knobs (DESIGN.md §8). Defaults keep every cache on:
+// cached paths return results bit-identical to a cold solve (the
+// differential suite enforces this), so the only observable differences
+// are speed and the odn_*_cache_* metrics.
+struct CacheOptions {
+  // Memoize whole DeploymentPlans keyed by the exact (state, request-set)
+  // encoding. The cluster dispatcher replaces the per-controller cache
+  // with one shared across cells.
+  bool plan_cache = true;
+  std::size_t plan_capacity = 256;
+  // Memoize cliques, per-branch (z, r) sub-solutions and full solutions
+  // inside the solvers.
+  bool solver_cache = true;
+  SolverCache::Options solver{};
+};
 
 struct TaskPlan {
   std::string task_name;
@@ -53,6 +74,7 @@ class OffloadnnController {
     bool use_optimal_solver = false;  // exhaustive DOT solve (small scale)
     OffloadnnOptions heuristic{};     // heuristic configuration otherwise
     double alpha = 0.5;
+    CacheOptions cache{};
   };
 
   OffloadnnController(const edge::EdgeResources& resources,
@@ -67,18 +89,52 @@ class OffloadnnController {
                        std::vector<DotTask> requests);
 
   // Incremental admission: already-deployed blocks cost nothing, committed
-  // resources are discounted. Admitted tasks add to the deployment.
+  // resources are discounted. Admitted tasks add to the deployment. The
+  // optional `digest` (must equal catalog_digest(catalog)) saves the
+  // O(blocks) catalog encode the cache keys otherwise pay — callers that
+  // issue many admissions against one catalog compute it once.
   DeploymentPlan admit_incremental(const edge::DnnCatalog& catalog,
-                                   std::vector<DotTask> requests);
+                                   std::vector<DotTask> requests,
+                                   const Fingerprint* digest = nullptr);
 
   // Dry-run of admit_incremental: solves the same discounted instance and
   // returns the plan admit_incremental would commit, without mutating the
   // controller. The cluster dispatcher's cost_probe placement fans these
   // out across cells (const = safe to probe sibling cells concurrently);
   // determinism follows from the solve being the exact code path the
-  // subsequent admission runs.
+  // subsequent admission runs. `digest` as in admit_incremental.
   DeploymentPlan probe_incremental(const edge::DnnCatalog& catalog,
-                                   std::vector<DotTask> requests) const;
+                                   std::vector<DotTask> requests,
+                                   const Fingerprint* digest = nullptr) const;
+
+  // probe_incremental with the plan cache bypassed (the solver memos still
+  // apply). The cluster dispatcher solves shared-cache misses through this
+  // in parallel, keeping every access to the shared cache itself serial.
+  DeploymentPlan probe_incremental_uncached(
+      const edge::DnnCatalog& catalog, std::vector<DotTask> requests,
+      const Fingerprint* digest = nullptr) const;
+
+  // Canonical cache key of the incremental sub-instance `requests` against
+  // the current committed state (options, discounted capacities, ledger
+  // usage, deployed blocks, radio, catalog digest, request set). Equal
+  // keys guarantee bit-identical probe results; the cluster dispatcher
+  // groups per-cell probes by this key to deduplicate the fan-out. The
+  // optional precomputed `digest` (must be catalog_digest(catalog)) lets
+  // that fan-out encode the catalog once instead of once per cell.
+  std::string probe_cache_key(const edge::DnnCatalog& catalog,
+                              const std::vector<DotTask>& requests,
+                              const Fingerprint* digest = nullptr) const;
+
+  // Replaces the plan cache (by default a private per-controller one) —
+  // the dispatcher points every cell at one shared instance so identical
+  // probes collapse across cells. nullptr disables plan caching.
+  void set_plan_cache(std::shared_ptr<PlanCache> cache);
+  const std::shared_ptr<PlanCache>& plan_cache() const noexcept {
+    return plan_cache_;
+  }
+  const SolverCache* solver_cache() const noexcept {
+    return solver_cache_.get();
+  }
 
   // Task departure (dynamic churn): releases the task's radio slice and
   // compute commitment and undeploys blocks no other active task uses.
@@ -113,9 +169,19 @@ class OffloadnnController {
   };
 
   // Solve-and-assemble phase: builds the (possibly discounted) instance,
-  // runs the solver and produces the full plan. Const — commits nothing.
+  // runs the solver and produces the full plan. Const — commits nothing
+  // (the caches it warms are accelerators whose hits are bit-identical to
+  // cold solves, so probe results stay semantically const).
   DeploymentPlan plan(const edge::DnnCatalog& catalog,
-                      std::vector<DotTask> requests, bool incremental) const;
+                      std::vector<DotTask> requests, bool incremental,
+                      bool use_plan_cache,
+                      const Fingerprint* digest = nullptr) const;
+  // The canonical encoding plan() keys its cache on: exact in every
+  // component except the catalog, which enters as its 128-bit digest
+  // (recomputed from `catalog` unless the caller passes it in).
+  std::string plan_key(const edge::DnnCatalog& catalog,
+                       const std::vector<DotTask>& requests, bool incremental,
+                       const Fingerprint* digest = nullptr) const;
   // Commitment phase: records the plan's admitted tasks as active
   // commitments and rebuilds the ledger. `catalog` supplies block memory.
   void commit(const DeploymentPlan& plan, const edge::DnnCatalog& catalog);
@@ -131,6 +197,11 @@ class OffloadnnController {
   // Memory of every block ever seen at admission (release needs it after
   // the admitting catalog has gone out of scope).
   std::unordered_map<edge::BlockIndex, double> block_memory_;
+  // Solve accelerators (DESIGN.md §8), mutable behind const probes. Both
+  // survive reset(): entries are keyed by the full state, so stale keys
+  // can never falsely hit — warmth only ever changes speed, not bits.
+  mutable std::shared_ptr<PlanCache> plan_cache_;
+  mutable std::unique_ptr<SolverCache> solver_cache_;
 };
 
 }  // namespace odn::core

@@ -16,11 +16,14 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/solution.h"
 #include "core/tree.h"
 
 namespace odn::core {
+
+class SolverCache;
 
 // How each clique is ordered before first-fit selection — the design
 // choice the paper motivates (inference-compute-time ordering); the other
@@ -42,12 +45,28 @@ class OffloadnnSolver {
   explicit OffloadnnSolver(OffloadnnOptions options = {});
 
   DotSolution solve(const DotInstance& instance) const;
+  // Warm-startable solve: `cache` memoizes cliques, per-branch (z, r)
+  // sub-solutions and full solutions across calls (DESIGN.md §8). The
+  // result is bit-identical to the cold overload for any cache state —
+  // keys are exact instance encodings, so a hit proves equality. Pass the
+  // owning controller's cache from serial contexts only.
+  DotSolution solve(const DotInstance& instance, SolverCache* cache) const;
+  // As above, with the instance catalog's key digest precomputed by the
+  // caller — the one O(blocks) key component, so callers that already know
+  // it (the controller composes it from the caller catalog's digest and
+  // the deployed-block patch) skip the encode entirely. `catalog_fp` must
+  // identify instance.catalog's content: pass catalog_digest(...) or a
+  // composed lineage digest that is injective over the content.
+  DotSolution solve(const DotInstance& instance, SolverCache* cache,
+                    const Fingerprint* catalog_fp) const;
 
  private:
   DotSolution solve_first_branch(const DotInstance& instance,
-                                 const SolutionTree& tree) const;
+                                 const SolutionTree& tree, SolverCache* cache,
+                                 const std::string& branch_prefix) const;
   DotSolution solve_beam(const DotInstance& instance,
-                         const SolutionTree& tree) const;
+                         const SolutionTree& tree, SolverCache* cache,
+                         const std::string& branch_prefix) const;
 
   OffloadnnOptions options_;
 };

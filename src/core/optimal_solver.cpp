@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "core/branch_optimizer.h"
+#include "core/fingerprint.h"
+#include "core/solver_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fmt.h"
@@ -157,9 +159,51 @@ OptimalSolver::OptimalSolver(OptimalSolverOptions options)
     : options_(options) {}
 
 DotSolution OptimalSolver::solve(const DotInstance& instance) const {
+  return solve(instance, nullptr);
+}
+
+DotSolution OptimalSolver::solve(const DotInstance& instance,
+                                 SolverCache* cache) const {
+  return solve(instance, cache, nullptr);
+}
+
+DotSolution OptimalSolver::solve(const DotInstance& instance,
+                                 SolverCache* cache,
+                                 const Fingerprint* catalog_fp) const {
   ODN_TRACE_SPAN("solver", "solver.optimal");
   util::Stopwatch watch;
-  const SolutionTree tree(instance);
+
+  // At most one catalog encode per solve (none when the caller precomputed
+  // the digest — see OffloadnnSolver::solve): the digest feeds the solve
+  // key here and the tree's clique keys below.
+  Fingerprint digest;
+  std::string solve_key;
+  if (cache != nullptr) {
+    digest = catalog_fp != nullptr ? *catalog_fp
+                                   : catalog_digest(instance.catalog);
+    CanonicalWriter writer;
+    writer.u8(0x58);  // 'X': this solver's full-solve key space
+    writer.boolean(options_.bound_pruning);
+    writer.f64(options_.max_branches);
+    writer.f64(instance.alpha);
+    encode_resources(writer, instance.resources);
+    encode_radio(writer, instance.radio);
+    writer.u64(digest.hi);
+    writer.u64(digest.lo);
+    writer.size(instance.catalog.block_count());
+    encode_task_set(writer, instance.tasks);
+    solve_key = writer.take();
+    if (const DotSolution* hit = cache->find_solve(solve_key)) {
+      ODN_TRACE_SPAN("solver", "solver.warm");
+      OptimalMetrics::instance().solves.inc();
+      DotSolution solution = *hit;
+      solution.solve_time_s = watch.elapsed_seconds();
+      return solution;
+    }
+  }
+
+  const SolutionTree tree(instance, cache, cache != nullptr ? &digest
+                                                            : nullptr);
 
   // Include the skip child in the size estimate.
   double branches = 1.0;
@@ -276,6 +320,7 @@ DotSolution OptimalSolver::solve(const DotInstance& instance) const {
   solution.cost = evaluator.evaluate(solution.decisions);
   solution.solve_time_s = watch.elapsed_seconds();
   solution.branches_explored = branches_explored;
+  if (cache != nullptr) cache->insert_solve(std::move(solve_key), solution);
   return solution;
 }
 

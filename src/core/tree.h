@@ -19,8 +19,11 @@
 #include <vector>
 
 #include "core/dot_problem.h"
+#include "core/fingerprint.h"
 
 namespace odn::core {
+
+class SolverCache;
 
 struct TreeVertex {
   std::size_t task_index;     // original task index in the instance
@@ -35,6 +38,17 @@ struct TreeVertex {
 class SolutionTree {
  public:
   explicit SolutionTree(const DotInstance& instance);
+  // Cache-aware construction: per-task cliques are memoized in `cache`
+  // (keyed by the exact task encoding + catalog digest), so unchanged
+  // tasks reuse their filtered-and-sorted clique across epochs. nullptr
+  // falls back to the cold build; the built layers are bit-identical
+  // either way. The cache must not be shared across threads.
+  SolutionTree(const DotInstance& instance, SolverCache* cache);
+  // As above with a precomputed catalog_digest(instance.catalog), so a
+  // solver that already encoded the catalog for its own keys does not
+  // encode it a second time here. nullptr recomputes internally.
+  SolutionTree(const DotInstance& instance, SolverCache* cache,
+               const Fingerprint* digest);
 
   const DotInstance& instance() const noexcept { return instance_; }
 

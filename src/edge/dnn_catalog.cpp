@@ -32,6 +32,15 @@ BlockIndex DnnCatalog::add_block(CatalogBlock block) {
   return static_cast<BlockIndex>(blocks_.size() - 1);
 }
 
+void DnnCatalog::mark_deployed(BlockIndex index) {
+  if (index >= blocks_.size())
+    throw std::out_of_range(
+        util::fmt("DnnCatalog: block index {} out of {}", index,
+                  blocks_.size()));
+  blocks_[index].memory_bytes = 0.0;
+  blocks_[index].training_cost_s = 0.0;
+}
+
 const CatalogBlock& DnnCatalog::block(BlockIndex index) const {
   if (index >= blocks_.size())
     throw std::out_of_range(

@@ -53,6 +53,12 @@ class DnnCatalog {
   std::size_t block_count() const noexcept { return blocks_.size(); }
   const std::vector<CatalogBlock>& blocks() const noexcept { return blocks_; }
 
+  // Zeroes µ(s) and ct(s) for an already-deployed block: it is resident
+  // and trained, so an incremental solve sees it as free (the paper's
+  // dynamic-scenario rule). The controller applies this to its private
+  // instance copy in O(deployed) — repository catalogs are never mutated.
+  void mark_deployed(BlockIndex index);
+
   // Sum of c(s) over a path's blocks.
   double path_inference_time_s(const DnnPath& path) const;
   // Sum of µ(s) over the path's *distinct* blocks.

@@ -6,6 +6,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/fingerprint.h"
+#include "core/plan_cache.h"
+#include "core/solver_cache.h"
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -137,6 +140,18 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
   // every run starts from the base model.
   controller_.set_radio(radio_);
 
+  // The catalog is fixed for the whole run, so every admission's cache
+  // keys share one catalog digest — encode it once here instead of once
+  // per admission. Skipped when no cache would ever read it (cold runs
+  // pay nothing).
+  core::Fingerprint catalog_fp;
+  const core::Fingerprint* catalog_fp_ptr = nullptr;
+  if (controller_.plan_cache() != nullptr ||
+      controller_.solver_cache() != nullptr) {
+    catalog_fp = core::catalog_digest(catalog_);
+    catalog_fp_ptr = &catalog_fp;
+  }
+
   RuntimeReport report;
   report.trace_name = trace.name;
   report.seed = options_.seed;
@@ -257,7 +272,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     core::TaskPlan task_plan;
     if (injector.state(0).accepting()) {
       const core::DeploymentPlan plan =
-          controller_.admit_incremental(catalog_, {task});
+          controller_.admit_incremental(catalog_, {task}, catalog_fp_ptr);
       observe_ledger();
       if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
         admitted = true;
@@ -315,7 +330,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     core::TaskPlan task_plan;
     if (injector.state(0).accepting()) {
       const core::DeploymentPlan plan =
-          controller_.admit_incremental(catalog_, {task});
+          controller_.admit_incremental(catalog_, {task}, catalog_fp_ptr);
       observe_ledger();
       if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
         admitted = true;
@@ -588,6 +603,22 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
                  trace.name, report.events_processed, report.epochs,
                  report.total_admitted(), report.total_arrivals(),
                  report.total_slo_violations(), report.active_at_end);
+  // Warm-start accounting (DESIGN.md §8). Purely informational: hits are
+  // bit-identical to cold solves, so these numbers never change a report.
+  if (const std::shared_ptr<core::PlanCache>& plans = controller_.plan_cache()) {
+    const core::PlanCacheStats s = plans->stats();
+    util::log_info("runtime", "plan cache: {} hits, {} misses, {} evictions",
+                   s.hits, s.misses, s.evictions);
+  }
+  if (const core::SolverCache* memo = controller_.solver_cache()) {
+    const core::SolverCacheStats s = memo->stats();
+    util::log_info("runtime",
+                   "solver memos: cliques {}/{}, branches {}/{}, "
+                   "solves {}/{} (hits/misses), {} evictions",
+                   s.clique_hits, s.clique_misses, s.branch_hits,
+                   s.branch_misses, s.solve_hits, s.solve_misses,
+                   s.evictions);
+  }
   return report;
 }
 
