@@ -1,0 +1,231 @@
+// Preemption churn bench — the serving runtime under deadline/priority
+// QoS-annotated overload, sweeping deadline tightness and priority mix
+// through the preemption ladder (src/sched/).
+//
+// Without any sched flag (--tightness / --mix) this is *exactly*
+// bench_runtime_churn: no QoS annotation, scheduling disabled, and the
+// report must be byte-identical to that bench's output for equal
+// seed/horizon (the golden_preempt_noop_differential ctest pins it).
+//
+// With sched flags it runs one full serving run per (tightness, mix)
+// combination — QoS-annotated workload, preemption ladder enabled — and
+// emits a sweep document embedding every run's report. Deterministic:
+// equal seeds produce byte-identical output for any ODN_THREADS setting.
+//
+//   $ ./bench_preempt_churn [--seed N] [--horizon S] [--out sweep.json]
+//       [--tightness T]... [--mix balanced|high|low]...
+//       [--max-victims K] [--no-downgrade] [--no-preempt]
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.h"
+#include "obs/session.h"
+#include "runtime/serving_runtime.h"
+#include "runtime/stats.h"
+#include "runtime/workload.h"
+#include "util/logging.h"
+
+namespace {
+
+struct SweepConfig {
+  std::uint64_t seed = 7;
+  double horizon_s = 90.0;
+  std::string out_path;
+  std::vector<double> tightness;   // empty + empty mixes => plain churn
+  std::vector<std::string> mixes;
+  std::size_t max_victims = 2;
+  bool allow_downgrade = true;
+  bool allow_preempt = true;
+};
+
+// Priority-mix presets: band weights for WorkloadQosOptions::priority_mix
+// (low / medium / high priority thirds of [0, 1)).
+std::vector<double> mix_weights(const std::string& name) {
+  if (name == "balanced") return {1.0, 1.0, 1.0};
+  if (name == "high") return {1.0, 1.0, 3.0};
+  if (name == "low") return {3.0, 1.0, 1.0};
+  return {};
+}
+
+// The exact workload + runtime configuration of bench_runtime_churn; the
+// sweep only ever adds QoS annotation and sched options on top, so the
+// no-sched run stays byte-identical to that bench.
+odn::runtime::WorkloadOptions base_workload(const SweepConfig& config) {
+  odn::runtime::WorkloadOptions workload;
+  workload.horizon_s = config.horizon_s;
+  workload.seed = config.seed;
+  workload.arrival_rate_per_s = 1.2;
+  workload.mean_holding_s = 25.0;
+  workload.burst_count = 2;
+  workload.burst_arrivals_mean = 8.0;
+  workload.burst_span_s = 3.0;
+  return workload;
+}
+
+odn::runtime::RuntimeOptions base_options(const SweepConfig& config) {
+  odn::runtime::RuntimeOptions options;
+  options.seed = config.seed;
+  options.epoch_s = 10.0;
+  options.emulation_window_s = 5.0;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_s = 2.0;
+  options.retry.downgrade_final_attempt = true;
+  return options;
+}
+
+odn::runtime::RuntimeReport run_once(const odn::core::DotInstance& scenario,
+                                     const SweepConfig& config,
+                                     double tightness,
+                                     const std::string& mix) {
+  using namespace odn;
+  runtime::WorkloadOptions workload = base_workload(config);
+  runtime::RuntimeOptions options = base_options(config);
+  const bool sched = tightness > 0.0;
+  if (sched) {
+    workload.qos.enabled = true;
+    workload.qos.deadline_tightness = tightness;
+    workload.qos.priority_mix = mix_weights(mix);
+    options.sched.enabled = true;
+    options.sched.max_victims = config.max_victims;
+    options.sched.allow_downgrade = config.allow_downgrade;
+    options.sched.allow_preempt = config.allow_preempt;
+  }
+  const runtime::WorkloadTrace trace =
+      runtime::generate_workload(scenario.tasks.size(), workload);
+  std::cerr << "bench_preempt_churn: trace '" << trace.name << "', "
+            << trace.events.size() << " events (" << trace.arrival_count()
+            << " arrivals), tightness "
+            << (sched ? runtime::json_double(tightness) : std::string("off"))
+            << ", mix " << (sched ? mix : std::string("n/a")) << "\n";
+  runtime::ServingRuntime serving(scenario.catalog, scenario.resources,
+                                  scenario.radio, scenario.tasks, options);
+  return serving.run(trace);
+}
+
+void write_sweep_json(std::ostream& out, const SweepConfig& config,
+                      const std::vector<double>& tightness,
+                      const std::vector<std::string>& mixes,
+                      const std::vector<odn::runtime::RuntimeReport>& reports) {
+  using odn::runtime::json_double;
+  out << "{\n";
+  out << "  \"schema\": \"odn-preempt-sweep/1\",\n";
+  out << "  \"seed\": " << config.seed << ",\n";
+  out << "  \"horizon_s\": " << json_double(config.horizon_s) << ",\n";
+  out << "  \"runs\": [\n";
+  std::size_t index = 0;
+  for (std::size_t t = 0; t < tightness.size(); ++t) {
+    for (std::size_t m = 0; m < mixes.size(); ++m, ++index) {
+      out << "    {\n";
+      out << "      \"tightness\": " << json_double(tightness[t]) << ",\n";
+      out << "      \"mix\": \"" << mixes[m] << "\",\n";
+      out << "      \"report\": ";
+      reports[index].write_json(out);  // ends with "}\n"
+      out << "    }" << (index + 1 < reports.size() ? "," : "") << "\n";
+    }
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odn;
+
+  obs::EnvSession obs_session;
+
+  SweepConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      config.seed =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--horizon" && i + 1 < argc) {
+      config.horizon_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--out" && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else if (arg == "--tightness" && i + 1 < argc) {
+      config.tightness.push_back(std::strtod(argv[++i], nullptr));
+    } else if (arg == "--mix" && i + 1 < argc) {
+      const std::string mix = argv[++i];
+      if (mix_weights(mix).empty()) {
+        std::cerr << "bench_preempt_churn: unknown mix '" << mix
+                  << "' (want balanced|high|low)\n";
+        return 2;
+      }
+      config.mixes.push_back(mix);
+    } else if (arg == "--max-victims" && i + 1 < argc) {
+      config.max_victims =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--no-downgrade") {
+      config.allow_downgrade = false;
+    } else if (arg == "--no-preempt") {
+      config.allow_preempt = false;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--seed N] [--horizon S] [--out sweep.json]"
+                   " [--tightness T]... [--mix balanced|high|low]..."
+                   " [--max-victims K] [--no-downgrade] [--no-preempt]\n";
+      return 2;
+    }
+  }
+
+  util::set_log_level(util::LogLevel::kWarn);
+
+  const core::DotInstance scenario =
+      core::make_large_scenario(core::RequestRate::kLow);
+
+  // No sched flags at all: the bench degenerates to bench_runtime_churn
+  // (plain report on stdout, byte-identical for equal seed/horizon).
+  if (config.tightness.empty() && config.mixes.empty()) {
+    const runtime::RuntimeReport report = run_once(scenario, config, 0.0, "");
+    report.write_json(std::cout);
+    if (!config.out_path.empty()) {
+      std::ofstream out(config.out_path);
+      if (!out) {
+        std::cerr << "bench_preempt_churn: cannot open " << config.out_path
+                  << "\n";
+        return 1;
+      }
+      report.write_json(out);
+    }
+    std::cerr << "bench_preempt_churn: no-op run (scheduling off), "
+              << report.total_admitted() << "/" << report.total_arrivals()
+              << " jobs admitted\n";
+    return 0;
+  }
+  if (config.tightness.empty()) config.tightness.push_back(1.0);
+  if (config.mixes.empty()) config.mixes.emplace_back("balanced");
+
+  std::vector<runtime::RuntimeReport> reports;
+  reports.reserve(config.tightness.size() * config.mixes.size());
+  for (const double tightness : config.tightness)
+    for (const std::string& mix : config.mixes)
+      reports.push_back(run_once(scenario, config, tightness, mix));
+
+  write_sweep_json(std::cout, config, config.tightness, config.mixes,
+                   reports);
+  if (!config.out_path.empty()) {
+    std::ofstream out(config.out_path);
+    if (!out) {
+      std::cerr << "bench_preempt_churn: cannot open " << config.out_path
+                << "\n";
+      return 1;
+    }
+    write_sweep_json(out, config, config.tightness, config.mixes, reports);
+  }
+  std::size_t preemptions = 0, downgrades = 0;
+  for (const runtime::RuntimeReport& report : reports) {
+    preemptions += report.sched.preemptions;
+    downgrades += report.sched.downgrades;
+  }
+  std::cerr << "bench_preempt_churn: " << reports.size() << " runs, "
+            << preemptions << " preemptions, " << downgrades
+            << " downgrades\n";
+  return 0;
+}

@@ -9,6 +9,9 @@
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sched/conservation.h"
+#include "sched/deadline_monitor.h"
+#include "sched/policy.h"
 #include "sim/emulator.h"
 #include "util/fmt.h"
 #include "util/logging.h"
@@ -43,9 +46,19 @@ struct Job {
   std::size_t class_index = 0;
   std::string name;
   std::size_t attempts = 0;
+  // Effective priority and admit-by deadline. Without scheduling (or QoS
+  // annotations) these mirror the template priority and the configured
+  // default, so every pre-sched code path reads identical values.
+  double priority = 0.0;
+  double deadline_s = 0.0;
   // Displaced by a fault (crash / radio re-validation): retries route to
   // the readmission path and all accounting goes to the fault ledger.
   bool readmitting = false;
+  // Ladder outcomes (scheduling only): evicted by the preemption rung /
+  // re-shaped by the downgrade rung. Like `readmitting`, sched_preempted
+  // routes the job's retries to the sched readmission path.
+  bool sched_preempted = false;
+  bool sched_downgraded = false;
   std::size_t cell = kNoCell;  // owning cell while kActive
   enum class State : std::uint8_t {
     kPending,
@@ -63,6 +76,40 @@ struct Job {
 std::uint64_t epoch_seed(std::uint64_t base, std::size_t stream) noexcept {
   return base + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(stream) + 1);
 }
+
+// Ladder host over one dispatcher cell. Probes are const dry-runs on that
+// cell's controller; commits go through ClusterDispatcher::admit_on and
+// releases through the dispatcher's owner map, so the ladder can never
+// leave ownership bookkeeping and cell ledgers disagreeing.
+class DispatcherSchedHost final : public sched::SchedHost {
+ public:
+  DispatcherSchedHost(ClusterDispatcher& dispatcher, std::size_t cell,
+                      const edge::DnnCatalog& catalog,
+                      const core::Fingerprint* digest)
+      : dispatcher_(dispatcher),
+        cell_(cell),
+        catalog_(catalog),
+        digest_(digest) {}
+
+  core::DeploymentPlan probe(
+      std::vector<core::DotTask> requests) const override {
+    return dispatcher_.cell(cell_).controller().probe_incremental(
+        catalog_, std::move(requests), digest_);
+  }
+  core::DeploymentPlan commit(std::vector<core::DotTask> requests) override {
+    return dispatcher_.admit_on(cell_, catalog_, std::move(requests),
+                                digest_);
+  }
+  bool release(const std::string& name) override {
+    return dispatcher_.release(name) != kNoCell;
+  }
+
+ private:
+  ClusterDispatcher& dispatcher_;
+  std::size_t cell_;
+  const edge::DnnCatalog& catalog_;
+  const core::Fingerprint* digest_;
+};
 
 }  // namespace
 
@@ -87,6 +134,7 @@ void ClusterOptions::validate() const {
       throw std::invalid_argument(
           "ClusterOptions: fault plan needs a positive epoch cadence");
   }
+  if (sched.enabled) sched.validate();
   retry.validate();
 }
 
@@ -199,6 +247,32 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         &fault_registry.counter("odn_fault_rejections_total");
   }
 
+  // Preemption/deadline scheduling (src/sched/). The ladder runs on this
+  // serial loop against one cell at a time, in the same order the
+  // dispatcher tried them; like fault metrics, sched metrics only enter
+  // the registry when the feature is on, so disabled runs keep their exact
+  // metric series set and report bytes.
+  const bool sched_on = options_.sched.enabled;
+  report.sched.enabled = sched_on;
+  sched::DeadlineMonitor deadline_monitor;
+  obs::Counter* sched_probes_total = nullptr;
+  obs::Counter* sched_preemptions_total = nullptr;
+  obs::Counter* sched_downgrades_total = nullptr;
+  obs::Counter* sched_readmissions_total = nullptr;
+  obs::Counter* sched_rejections_total = nullptr;
+  if (sched_on) {
+    obs::MetricsRegistry& sched_registry = obs::MetricsRegistry::global();
+    sched_probes_total = &sched_registry.counter("odn_sched_probes_total");
+    sched_preemptions_total =
+        &sched_registry.counter("odn_sched_preemptions_total");
+    sched_downgrades_total =
+        &sched_registry.counter("odn_sched_downgrades_total");
+    sched_readmissions_total =
+        &sched_registry.counter("odn_sched_readmissions_total");
+    sched_rejections_total =
+        &sched_registry.counter("odn_sched_ladder_rejections_total");
+  }
+
   // Materialize jobs and seed the calendar (same deterministic ordering
   // discipline as the single-cell runtime: trace order, then epochs, with
   // the sequence counter breaking same-instant ties in push order).
@@ -215,8 +289,16 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       job.trace_id = event.job_id;
       job.template_index = event.template_index;
       const core::DotTask& tmpl = templates_[event.template_index];
-      job.class_index = class_of(tmpl.spec.priority);
+      // QoS annotations only take effect under scheduling; otherwise the
+      // job mirrors its template exactly (pre-sched byte identity).
+      const bool use_qos = sched_on && event.has_qos;
+      job.priority = use_qos ? event.priority : tmpl.spec.priority;
+      job.deadline_s =
+          use_qos ? event.deadline_s : options_.sched.default_deadline_s;
+      job.class_index = class_of(job.priority);
       job.name = util::fmt("job-{}/{}", event.job_id, tmpl.spec.name);
+      if (sched_on)
+        deadline_monitor.track(event.job_id, event.time_s, job.deadline_s);
       job_by_trace_id.emplace(event.job_id, jobs.size());
       calendar.push(LoopEvent{event.time_s, sequence++,
                               LoopEventKind::kArrival, jobs.size()});
@@ -235,6 +317,67 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
                               LoopEventKind::kEpoch, epoch_count++});
   }
 
+  // No-orphaned-resources conservation: after every ladder application and
+  // at each epoch boundary, every cell's ledger and deployed blocks must
+  // re-derive exactly from the plans it currently serves
+  // (sched/conservation.h). A violation is an internal invariant break.
+  auto check_conservation = [&](const char* where) {
+    if (!sched_on) return;
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      std::vector<std::pair<std::string, const core::TaskPlan*>> served;
+      for (const Job& job : jobs)
+        if (job.state == Job::State::kActive && job.cell == i)
+          served.emplace_back(job.name, &job.plan);
+      if (const auto violation = sched::find_orphaned_resources(
+              dispatcher_.cell(i).controller(), served, catalog_))
+        throw std::logic_error(
+            util::fmt("ClusterRuntime: orphaned resources on cell {} {}: {}",
+                      i, where, *violation));
+    }
+  };
+
+  // Applies ladder victim outcomes to the cluster's books: re-shaped plans
+  // replace the served ones (same cell), preempted jobs lose their cell
+  // and re-enter placement through the sched readmission path (first retry
+  // after one backoff interval).
+  auto apply_victims = [&](const std::vector<sched::VictimOutcome>& victims,
+                           double now) {
+    for (const sched::VictimOutcome& outcome : victims) {
+      Job& victim = jobs[job_by_trace_id.at(outcome.id)];
+      switch (outcome.fate) {
+        case sched::VictimOutcome::Fate::kDowngraded:
+          victim.plan = outcome.plan;
+          victim.admitted_task = outcome.task;
+          victim.sched_downgraded = true;
+          ++report.sched.downgrades;
+          sched_downgrades_total->inc();
+          deadline_monitor.on_downgraded(victim.trace_id);
+          break;
+        case sched::VictimOutcome::Fate::kRestored:
+          // Rolled back — same spec, freshly solved plan, same cell.
+          victim.plan = outcome.plan;
+          victim.admitted_task = outcome.task;
+          break;
+        case sched::VictimOutcome::Fate::kPreempted: {
+          victim.state = Job::State::kPending;
+          victim.sched_preempted = true;
+          victim.attempts = 0;
+          victim.cell = kNoCell;
+          ++report.sched.preemptions;
+          sched_preemptions_total->inc();
+          deadline_monitor.on_preempted(victim.trace_id);
+          const double retry_at = now + options_.retry.retry_delay_s(1);
+          if (retry_at > trace.horizon_s) break;  // preempted-pending
+          ++report.sched.readmission_retries;
+          calendar.push(LoopEvent{retry_at, sequence++,
+                                  LoopEventKind::kRetry,
+                                  job_by_trace_id.at(outcome.id)});
+          break;
+        }
+      }
+    }
+  };
+
   auto attempt_admission = [&](std::size_t job_index, double now) {
     Job& job = jobs[job_index];
     runtime::ClassStats& stats = report.classes[job.class_index];
@@ -242,6 +385,7 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
 
     core::DotTask task = templates_[job.template_index];
     task.spec.name = job.name;
+    if (sched_on) task.spec.priority = job.priority;
     const bool downgraded = options_.retry.downgrades(job.attempts);
     if (downgraded)
       task = runtime::downgraded_task(std::move(task), options_.retry);
@@ -266,12 +410,92 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         ++cell.admitted_spillover;
       else
         ++cell.admitted_preferred;
+      if (sched_on) {
+        ++report.sched.admitted_plain;
+        deadline_monitor.on_admitted(job.trace_id, now, downgraded);
+        check_conservation("after plain admission");
+      }
       return;
+    }
+
+    // Ladder fallback: every accepting cell rejected the plain placement.
+    // Walk the same cell order the dispatcher tried (preferred first, then
+    // accepting siblings when spillover is on) and let the preemption
+    // ladder downgrade or evict lower-priority jobs served there. Cells
+    // with nothing served need no ladder — the plain rejection above
+    // already is the rung-1 answer.
+    if (sched_on && outcome.preferred_cell != kNoCell) {
+      std::vector<std::size_t> order;
+      order.push_back(outcome.preferred_cell);
+      if (options_.dispatch.spillover)
+        for (std::size_t i = 0; i < cell_count; ++i)
+          if (i != outcome.preferred_cell && dispatcher_.accepting(i))
+            order.push_back(i);
+      bool ladder_ran = false;
+      for (const std::size_t cell_index : order) {
+        std::vector<sched::SchedCandidate> candidates;
+        for (const Job& served : jobs)
+          if (served.state == Job::State::kActive &&
+              served.cell == cell_index)
+            candidates.push_back(sched::SchedCandidate{
+                served.trace_id, served.priority, served.admitted_task,
+                served.sched_downgraded});
+        if (candidates.empty()) continue;
+        ladder_ran = true;
+        DispatcherSchedHost host(dispatcher_, cell_index, catalog_,
+                                 catalog_fp_ptr);
+        const sched::LadderOutcome ladder = sched::run_preemption_ladder(
+            host, task, candidates, options_.sched);
+        report.sched.probes += ladder.probes;
+        report.sched.rollbacks += ladder.rollbacks;
+        sched_probes_total->inc(ladder.probes);
+        apply_victims(ladder.victims, now);
+        for (std::size_t i = 0; i < cell_count; ++i) observe_cell(i);
+        if (ladder.action != sched::SchedAction::kReject) {
+          job.state = Job::State::kActive;
+          job.cell = cell_index;
+          job.plan = ladder.plan;
+          job.admitted_task = std::move(task);
+          ++stats.admitted;
+          if (job.attempts == 1)
+            ++stats.admitted_first_try;
+          else
+            ++stats.admitted_after_retry;
+          if (downgraded) ++stats.admitted_downgraded;
+          CellReport& cell = report.cells[cell_index];
+          if (cell_index == outcome.preferred_cell)
+            ++cell.admitted_preferred;
+          else
+            ++cell.admitted_spillover;
+          switch (ladder.action) {
+            case sched::SchedAction::kAdmit:
+              ++report.sched.admitted_plain;
+              break;
+            case sched::SchedAction::kDowngrade:
+              ++report.sched.admitted_by_downgrade;
+              break;
+            case sched::SchedAction::kPreempt:
+              ++report.sched.admitted_by_preemption;
+              break;
+            case sched::SchedAction::kReject:
+              break;
+          }
+          deadline_monitor.on_admitted(job.trace_id, now, downgraded);
+          check_conservation("after ladder admission");
+          return;
+        }
+        check_conservation("after ladder rejection");
+      }
+      if (ladder_ran) {
+        ++report.sched.ladder_rejected;
+        sched_rejections_total->inc();
+      }
     }
 
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++stats.rejected_final;
+      if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
@@ -292,7 +516,8 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     ++job.attempts;
 
     core::DotTask task = job.admitted_task;  // keeps any prior downgrade
-    if (options_.retry.downgrades(job.attempts))
+    const bool downgraded = options_.retry.downgrades(job.attempts);
+    if (downgraded)
       task = runtime::downgraded_task(std::move(task), options_.retry);
 
     const AdmissionOutcome outcome =
@@ -310,17 +535,62 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       else
         ++report.faults.displaced_readmitted;
       fault_replacements_total->inc();
+      if (sched_on)
+        deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
       return;
     }
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++report.faults.displaced_rejected;
       fault_rejections_total->inc();
+      if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
     if (retry_at > trace.horizon_s) return;  // stays displaced-pending
     ++report.faults.readmission_retries;
+    calendar.push(
+        LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
+  };
+
+  // Readmission attempt for a ladder-preempted job: plain dispatcher
+  // placement (policy + spillover; no cascading ladder — an evicted job
+  // must not evict others) with the same bounded-backoff / downgrade
+  // policy, accounted to the sched ledger.
+  auto attempt_sched_readmission = [&](std::size_t job_index, double now) {
+    ODN_TRACE_SPAN("sched", "sched.readmit");
+    Job& job = jobs[job_index];
+    ++job.attempts;
+
+    core::DotTask task = job.admitted_task;  // the shape it was serving at
+    const bool downgraded = options_.retry.downgrades(job.attempts);
+    if (downgraded)
+      task = runtime::downgraded_task(std::move(task), options_.retry);
+
+    const AdmissionOutcome outcome =
+        dispatcher_.admit(catalog_, task, catalog_fp_ptr);
+    for (std::size_t i = 0; i < cell_count; ++i) observe_cell(i);
+
+    if (outcome.admitted) {
+      job.state = Job::State::kActive;
+      job.sched_preempted = false;  // this preemption is resolved
+      job.cell = outcome.cell;
+      job.plan = outcome.plan;
+      job.admitted_task = std::move(task);
+      ++report.sched.preempted_readmitted;
+      sched_readmissions_total->inc();
+      deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
+      return;
+    }
+    if (job.attempts >= options_.retry.max_attempts) {
+      job.state = Job::State::kRejected;
+      ++report.sched.preempted_rejected;
+      deadline_monitor.on_rejected(job.trace_id);
+      return;
+    }
+    const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
+    if (retry_at > trace.horizon_s) return;  // stays preempted-pending
+    ++report.sched.readmission_retries;
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
@@ -332,10 +602,11 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     for (std::size_t j = 0; j < jobs.size(); ++j)
       if (jobs[j].state == Job::State::kActive && jobs[j].cell == cell)
         order.push_back(j);
+    // job.priority equals the template priority whenever scheduling (or
+    // QoS) is off, so the order is unchanged on pre-sched configurations.
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const double pa = templates_[jobs[a].template_index].spec.priority;
-      const double pb = templates_[jobs[b].template_index].spec.priority;
-      if (pa != pb) return pa > pb;
+      if (jobs[a].priority != jobs[b].priority)
+        return jobs[a].priority > jobs[b].priority;
       return jobs[a].trace_id < jobs[b].trace_id;
     });
     return order;
@@ -345,10 +616,17 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     Job& job = jobs[job_index];
     job.state = Job::State::kPending;
     job.readmitting = true;
+    // A fault displacement supersedes a pending ladder preemption: the
+    // job re-enters through the fault readmission path.
+    job.sched_preempted = false;
     job.attempts = 0;
     job.cell = kNoCell;
     ++report.faults.displaced;
     fault_displaced_total->inc();
+    if (sched_on) {
+      ++report.sched.fault_displacements;
+      deadline_monitor.on_preempted(job.trace_id);
+    }
   };
 
   // Fault application at the epoch boundary: replay every due event, run
@@ -525,13 +803,12 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         for (std::size_t j = 0; j < jobs.size(); ++j)
           if (jobs[j].state == Job::State::kActive && jobs[j].cell == source)
             candidates.push_back(j);
+        // Effective priority (mirrors the template when sched/QoS is off,
+        // so pre-sched migration order is unchanged).
         std::sort(candidates.begin(), candidates.end(),
                   [&](std::size_t a, std::size_t b) {
-                    const double pa =
-                        templates_[jobs[a].template_index].spec.priority;
-                    const double pb =
-                        templates_[jobs[b].template_index].spec.priority;
-                    if (pa != pb) return pa < pb;
+                    if (jobs[a].priority != jobs[b].priority)
+                      return jobs[a].priority < jobs[b].priority;
                     return jobs[a].trace_id < jobs[b].trace_id;
                   });
         if (candidates.size() > options_.migration_batch)
@@ -601,9 +878,15 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         break;
       }
       case LoopEventKind::kRetry: {
+        // A departure or the final rejection may have landed during the
+        // backoff; only still-pending jobs retry. Displaced jobs retry
+        // through the fault readmission path, ladder-preempted jobs
+        // through the sched readmission path.
         if (jobs[event.job].state == Job::State::kPending) {
           if (jobs[event.job].readmitting)
             attempt_readmission(event.job, event.time);
+          else if (jobs[event.job].sched_preempted)
+            attempt_sched_readmission(event.job, event.time);
           else
             attempt_admission(event.job, event.time);
         }
@@ -622,16 +905,24 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         } else if (job.state == Job::State::kPending) {
           if (job.readmitting)
             ++report.faults.displaced_departed;
+          else if (job.sched_preempted)
+            ++report.sched.preempted_departed;
           else
             ++report.classes[job.class_index].departed_before_admission;
         }
         job.state = Job::State::kDeparted;
         job.cell = kNoCell;
+        if (sched_on) deadline_monitor.on_departed(job.trace_id);
         break;
       }
       case LoopEventKind::kEpoch: {
         apply_faults(event.time);
         measure_epoch(event.time, event.job);
+        if (sched_on) {
+          report.sched.timeline.push_back(
+              deadline_monitor.snapshot(event.time));
+          check_conservation("at epoch boundary");
+        }
         break;
       }
     }
@@ -641,6 +932,8 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     if (job.state == Job::State::kPending) {
       if (job.readmitting)
         ++report.faults.displaced_pending_at_end;
+      else if (job.sched_preempted)
+        ++report.sched.preempted_pending_at_end;
       else
         ++report.classes[job.class_index].pending_at_end;
     }
@@ -652,6 +945,10 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
   for (std::size_t i = 0; i < cell_count; ++i)
     report.cells[i].deployed_blocks_at_end =
         dispatcher_.cell(i).controller().deployed_blocks().size();
+  if (sched_on) {
+    deadline_monitor.finalize(report.sched);
+    check_conservation("at end of run");
+  }
   report.run_wall_s = run_watch.elapsed_seconds();
 
   util::log_info("cluster",

@@ -26,6 +26,7 @@
 #include "fault/fault_plan.h"
 #include "runtime/retry_policy.h"
 #include "runtime/workload.h"
+#include "sched/options.h"
 
 namespace odn::cluster {
 
@@ -50,6 +51,13 @@ struct ClusterOptions {
   // plan is a strict no-op (byte-identical reports). A non-empty plan must
   // match the cluster's cell count and needs a positive epoch cadence.
   fault::FaultPlan faults{};
+  // Preemption- and deadline-aware scheduling (src/sched/). Disabled is a
+  // strict no-op: arrivals take the exact pre-sched dispatcher path and
+  // the cluster report stays byte-identical. Enabled, an arrival the
+  // dispatcher rejects runs the preemption ladder per cell in the same
+  // order the dispatcher tried them (preferred first, then accepting
+  // siblings when spillover is on).
+  sched::SchedOptions sched{};
 
   void validate() const;
 };

@@ -154,6 +154,12 @@ void ClusterReport::write_json(std::ostream& out) const {
     out << ",\n";
   }
 
+  if (sched.enabled) {
+    out << "  \"sched\": ";
+    sched.write_json(out, "  ");
+    out << ",\n";
+  }
+
   out << "  \"final\": {\n";
   out << "    \"active_tasks\": " << active_at_end << "\n";
   out << "  }\n";

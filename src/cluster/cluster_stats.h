@@ -13,6 +13,7 @@
 
 #include "fault/fault_stats.h"
 #include "runtime/stats.h"
+#include "sched/sched_stats.h"
 
 namespace odn::cluster {
 
@@ -76,6 +77,11 @@ struct ClusterReport {
   // Fault + recovery accounting; serialized only when enabled (non-empty
   // fault plan), so fault-free cluster reports keep their exact bytes.
   fault::FaultStats faults;
+
+  // Preemption/deadline scheduling accounting (cluster-wide: ladder
+  // decisions on any cell, victims, deadline buckets). Serialized as a
+  // "sched" block only when enabled, for the same reason as `faults`.
+  sched::SchedStats sched;
 
   // Monotonic wall time for the whole run() call; excluded from write_json
   // like ClusterEpochSnapshot::measure_wall_s.

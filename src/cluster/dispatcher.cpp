@@ -310,6 +310,24 @@ AdmissionOutcome ClusterDispatcher::admit(const edge::DnnCatalog& catalog,
   return outcome;
 }
 
+core::DeploymentPlan ClusterDispatcher::admit_on(
+    std::size_t index, const edge::DnnCatalog& catalog,
+    std::vector<core::DotTask> requests, const core::Fingerprint* digest) {
+  if (!accepting_.at(index))
+    throw std::invalid_argument(util::fmt(
+        "ClusterDispatcher: admit_on targets non-accepting cell {}", index));
+  for (const core::DotTask& request : requests)
+    if (owner_.count(request.spec.name) != 0)
+      throw std::invalid_argument(util::fmt(
+          "ClusterDispatcher: task '{}' already admitted",
+          request.spec.name));
+  const core::DeploymentPlan plan = cells_[index].controller().admit_incremental(
+      catalog, std::move(requests), digest);
+  for (const core::TaskPlan& task : plan.tasks)
+    if (task.admitted) owner_.emplace(task.task_name, index);
+  return plan;
+}
+
 std::size_t ClusterDispatcher::release(const std::string& task_name) {
   const auto it = owner_.find(task_name);
   if (it == owner_.end()) return kNoCell;

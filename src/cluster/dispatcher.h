@@ -88,6 +88,17 @@ class ClusterDispatcher {
                          const core::DotTask& task,
                          const core::Fingerprint* digest = nullptr);
 
+  // Scheduling primitive (src/sched/): commits a joint request set on one
+  // specific cell — no placement policy, no spillover — and records
+  // ownership of every admitted task. The preemption ladder needs this so
+  // a downgrade commit {arrival, re-shaped victims} lands atomically on
+  // exactly the cell whose state it probed. Request names must not be
+  // currently owned; the cell must be accepting.
+  core::DeploymentPlan admit_on(std::size_t index,
+                                const edge::DnnCatalog& catalog,
+                                std::vector<core::DotTask> requests,
+                                const core::Fingerprint* digest = nullptr);
+
   // Releases the named task from its owning cell; returns the cell index
   // or kNoCell when the task is unknown.
   std::size_t release(const std::string& task_name);

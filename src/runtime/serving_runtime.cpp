@@ -12,6 +12,9 @@
 #include "fault/injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sched/conservation.h"
+#include "sched/deadline_monitor.h"
+#include "sched/policy.h"
 #include "sim/emulator.h"
 #include "util/fmt.h"
 #include "util/logging.h"
@@ -46,10 +49,20 @@ struct Job {
   std::size_t class_index = 0;
   std::string name;
   std::size_t attempts = 0;
+  // Effective priority and admit-by deadline. Without scheduling (or QoS
+  // annotations) these mirror the template priority and the configured
+  // default, so every pre-sched code path reads identical values.
+  double priority = 0.0;
+  double deadline_s = 0.0;
   // A displaced job (fault recovery) retries through the same backoff
   // machinery but keeps its fault accounting separate from the admission
   // lifecycle counters — the readmitting flag routes it.
   bool readmitting = false;
+  // Ladder outcomes (scheduling only): evicted by the preemption rung /
+  // re-shaped by the downgrade rung. Like `readmitting`, sched_preempted
+  // routes the job's retries to the sched readmission path.
+  bool sched_preempted = false;
+  bool sched_downgraded = false;
   enum class State : std::uint8_t {
     kPending,   // awaiting first attempt or in retry backoff
     kActive,    // admitted, serving
@@ -89,6 +102,7 @@ void RuntimeOptions::validate() const {
       throw std::invalid_argument(
           "RuntimeOptions: fault plan needs a positive epoch cadence");
   }
+  if (sched.enabled) sched.validate();
   retry.validate();
 }
 
@@ -206,6 +220,33 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         &registry.counter("odn_fault_rejections_total");
   }
 
+  // Preemption/deadline scheduling (src/sched/). Everything the scheduler
+  // does runs on this serial loop through the same probe/commit machinery
+  // as plain admission; like fault metrics, sched metrics only enter the
+  // registry when the feature is on, so disabled runs keep their exact
+  // metric series set and report bytes.
+  const bool sched_on = options_.sched.enabled;
+  report.sched.enabled = sched_on;
+  sched::DeadlineMonitor deadline_monitor;
+  sched::ControllerSchedHost sched_host(controller_, catalog_,
+                                        catalog_fp_ptr);
+  obs::Counter* sched_probes_total = nullptr;
+  obs::Counter* sched_preemptions_total = nullptr;
+  obs::Counter* sched_downgrades_total = nullptr;
+  obs::Counter* sched_readmissions_total = nullptr;
+  obs::Counter* sched_rejections_total = nullptr;
+  if (sched_on) {
+    sched_probes_total = &registry.counter("odn_sched_probes_total");
+    sched_preemptions_total =
+        &registry.counter("odn_sched_preemptions_total");
+    sched_downgrades_total =
+        &registry.counter("odn_sched_downgrades_total");
+    sched_readmissions_total =
+        &registry.counter("odn_sched_readmissions_total");
+    sched_rejections_total =
+        &registry.counter("odn_sched_ladder_rejections_total");
+  }
+
   auto observe_ledger = [&] {
     const edge::ResourceLedger& ledger = controller_.ledger();
     report.watermarks.peak_memory_bytes = std::max(
@@ -232,8 +273,16 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       job.trace_id = event.job_id;
       job.template_index = event.template_index;
       const core::DotTask& tmpl = templates_[event.template_index];
-      job.class_index = class_of(tmpl.spec.priority);
+      // QoS annotations only take effect under scheduling; otherwise the
+      // job mirrors its template exactly (pre-sched byte identity).
+      const bool use_qos = sched_on && event.has_qos;
+      job.priority = use_qos ? event.priority : tmpl.spec.priority;
+      job.deadline_s =
+          use_qos ? event.deadline_s : options_.sched.default_deadline_s;
+      job.class_index = class_of(job.priority);
       job.name = util::fmt("job-{}/{}", event.job_id, tmpl.spec.name);
+      if (sched_on)
+        deadline_monitor.track(event.job_id, event.time_s, job.deadline_s);
       job_by_trace_id.emplace(event.job_id, jobs.size());
       calendar.push(LoopEvent{event.time_s, sequence++,
                               LoopEventKind::kArrival, jobs.size()});
@@ -252,6 +301,62 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
                               LoopEventKind::kEpoch, epoch_count++});
   }
 
+  // No-orphaned-resources conservation: after every ladder application and
+  // at each epoch boundary, the controller's ledger and deployed blocks
+  // must re-derive exactly from the currently-served plans
+  // (sched/conservation.h). A violation is an internal invariant break.
+  auto check_conservation = [&](const char* where) {
+    if (!sched_on) return;
+    std::vector<std::pair<std::string, const core::TaskPlan*>> served;
+    for (const Job& job : jobs)
+      if (job.state == Job::State::kActive)
+        served.emplace_back(job.name, &job.plan);
+    if (const auto violation =
+            sched::find_orphaned_resources(controller_, served, catalog_))
+      throw std::logic_error(util::fmt(
+          "ServingRuntime: orphaned resources {}: {}", where, *violation));
+  };
+
+  // Applies ladder victim outcomes to the runtime's books: re-shaped plans
+  // replace the served ones, preempted jobs re-enter admission through the
+  // sched readmission path (first retry after one backoff interval).
+  auto apply_victims = [&](const std::vector<sched::VictimOutcome>& victims,
+                           double now) {
+    for (const sched::VictimOutcome& outcome : victims) {
+      Job& victim = jobs[job_by_trace_id.at(outcome.id)];
+      switch (outcome.fate) {
+        case sched::VictimOutcome::Fate::kDowngraded:
+          victim.plan = outcome.plan;
+          victim.admitted_task = outcome.task;
+          victim.sched_downgraded = true;
+          ++report.sched.downgrades;
+          sched_downgrades_total->inc();
+          deadline_monitor.on_downgraded(victim.trace_id);
+          break;
+        case sched::VictimOutcome::Fate::kRestored:
+          // Rolled back — same spec, freshly solved plan.
+          victim.plan = outcome.plan;
+          victim.admitted_task = outcome.task;
+          break;
+        case sched::VictimOutcome::Fate::kPreempted: {
+          victim.state = Job::State::kPending;
+          victim.sched_preempted = true;
+          victim.attempts = 0;
+          ++report.sched.preemptions;
+          sched_preemptions_total->inc();
+          deadline_monitor.on_preempted(victim.trace_id);
+          const double retry_at = now + options_.retry.retry_delay_s(1);
+          if (retry_at > trace.horizon_s) break;  // preempted-pending
+          ++report.sched.readmission_retries;
+          calendar.push(LoopEvent{retry_at, sequence++,
+                                  LoopEventKind::kRetry,
+                                  job_by_trace_id.at(outcome.id)});
+          break;
+        }
+      }
+    }
+  };
+
   // One admission attempt for `job` at time `now`; schedules the retry on
   // rejection.
   auto attempt_admission = [&](std::size_t job_index, double now) {
@@ -263,6 +368,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
 
     core::DotTask task = templates_[job.template_index];
     task.spec.name = job.name;
+    if (sched_on) task.spec.priority = job.priority;
     const bool downgraded = options_.retry.downgrades(job.attempts);
     if (downgraded) task = downgraded_task(std::move(task), options_.retry);
 
@@ -271,12 +377,50 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     bool admitted = false;
     core::TaskPlan task_plan;
     if (injector.state(0).accepting()) {
-      const core::DeploymentPlan plan =
-          controller_.admit_incremental(catalog_, {task}, catalog_fp_ptr);
-      observe_ledger();
-      if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
-        admitted = true;
-        task_plan = plan.tasks[0];
+      if (sched_on) {
+        // Preemption ladder: probe-as-is first, then downgrade or evict
+        // lower-priority served jobs (see sched/policy.h). Victim outcomes
+        // apply even when the arrival is rejected (rollback re-shapes).
+        std::vector<sched::SchedCandidate> candidates;
+        for (const Job& served : jobs)
+          if (served.state == Job::State::kActive)
+            candidates.push_back(sched::SchedCandidate{
+                served.trace_id, served.priority, served.admitted_task,
+                served.sched_downgraded});
+        const sched::LadderOutcome outcome = sched::run_preemption_ladder(
+            sched_host, task, candidates, options_.sched);
+        report.sched.probes += outcome.probes;
+        report.sched.rollbacks += outcome.rollbacks;
+        sched_probes_total->inc(outcome.probes);
+        apply_victims(outcome.victims, now);
+        observe_ledger();
+        switch (outcome.action) {
+          case sched::SchedAction::kAdmit:
+            ++report.sched.admitted_plain;
+            break;
+          case sched::SchedAction::kDowngrade:
+            ++report.sched.admitted_by_downgrade;
+            break;
+          case sched::SchedAction::kPreempt:
+            ++report.sched.admitted_by_preemption;
+            break;
+          case sched::SchedAction::kReject:
+            ++report.sched.ladder_rejected;
+            sched_rejections_total->inc();
+            break;
+        }
+        if (outcome.action != sched::SchedAction::kReject) {
+          admitted = true;
+          task_plan = outcome.plan;
+        }
+      } else {
+        const core::DeploymentPlan plan =
+            controller_.admit_incremental(catalog_, {task}, catalog_fp_ptr);
+        observe_ledger();
+        if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
+          admitted = true;
+          task_plan = plan.tasks[0];
+        }
       }
     }
 
@@ -291,13 +435,19 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       else
         ++stats.admitted_after_retry;
       if (downgraded) ++stats.admitted_downgraded;
+      if (sched_on) {
+        deadline_monitor.on_admitted(job.trace_id, now, downgraded);
+        check_conservation("after ladder admission");
+      }
       return;
     }
+    if (sched_on) check_conservation("after ladder rejection");
 
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++stats.rejected_final;
       counters.rejections->inc();
+      if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at =
@@ -323,8 +473,8 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     ++job.attempts;
 
     core::DotTask task = job.admitted_task;  // keeps any prior downgrade
-    if (options_.retry.downgrades(job.attempts))
-      task = downgraded_task(std::move(task), options_.retry);
+    const bool downgraded = options_.retry.downgrades(job.attempts);
+    if (downgraded) task = downgraded_task(std::move(task), options_.retry);
 
     bool admitted = false;
     core::TaskPlan task_plan;
@@ -348,12 +498,15 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       else
         ++report.faults.displaced_readmitted;
       fault_replacements_total->inc();
+      if (sched_on)
+        deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
       return;
     }
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++report.faults.displaced_rejected;
       fault_rejections_total->inc();
+      if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
@@ -363,16 +516,64 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
 
+  // Readmission attempt for a ladder-preempted job: plain admission (no
+  // cascading ladder — an evicted job must not evict others) with the same
+  // bounded-backoff / downgrade policy, accounted to the sched ledger.
+  auto attempt_sched_readmission = [&](std::size_t job_index, double now) {
+    ODN_TRACE_SPAN("sched", "sched.readmit");
+    Job& job = jobs[job_index];
+    ++job.attempts;
+
+    core::DotTask task = job.admitted_task;  // the shape it was serving at
+    const bool downgraded = options_.retry.downgrades(job.attempts);
+    if (downgraded) task = downgraded_task(std::move(task), options_.retry);
+
+    bool admitted = false;
+    core::TaskPlan task_plan;
+    if (injector.state(0).accepting()) {
+      const core::DeploymentPlan plan =
+          controller_.admit_incremental(catalog_, {task}, catalog_fp_ptr);
+      observe_ledger();
+      if (plan.tasks.size() == 1 && plan.tasks[0].admitted) {
+        admitted = true;
+        task_plan = plan.tasks[0];
+      }
+    }
+
+    if (admitted) {
+      job.state = Job::State::kActive;
+      job.sched_preempted = false;  // this preemption is resolved
+      job.plan = std::move(task_plan);
+      job.admitted_task = std::move(task);
+      ++report.sched.preempted_readmitted;
+      sched_readmissions_total->inc();
+      deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
+      return;
+    }
+    if (job.attempts >= options_.retry.max_attempts) {
+      job.state = Job::State::kRejected;
+      ++report.sched.preempted_rejected;
+      deadline_monitor.on_rejected(job.trace_id);
+      return;
+    }
+    const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
+    if (retry_at > trace.horizon_s) return;  // stays preempted-pending
+    ++report.sched.readmission_retries;
+    calendar.push(
+        LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
+  };
+
   // Active jobs in displacement order: highest priority first (they grab
   // the surviving capacity first), ties by trace id — deterministic.
+  // job.priority equals the template priority whenever scheduling (or QoS)
+  // is off, so the order is unchanged on pre-sched configurations.
   auto displacement_order = [&] {
     std::vector<std::size_t> order;
     for (std::size_t j = 0; j < jobs.size(); ++j)
       if (jobs[j].state == Job::State::kActive) order.push_back(j);
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const double pa = templates_[jobs[a].template_index].spec.priority;
-      const double pb = templates_[jobs[b].template_index].spec.priority;
-      if (pa != pb) return pa > pb;
+      if (jobs[a].priority != jobs[b].priority)
+        return jobs[a].priority > jobs[b].priority;
       return jobs[a].trace_id < jobs[b].trace_id;
     });
     return order;
@@ -382,9 +583,16 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     Job& job = jobs[job_index];
     job.state = Job::State::kPending;
     job.readmitting = true;
+    // A fault displacement supersedes a pending ladder preemption: the
+    // job re-enters through the fault readmission path.
+    job.sched_preempted = false;
     job.attempts = 0;
     ++report.faults.displaced;
     fault_displaced_total->inc();
+    if (sched_on) {
+      ++report.sched.fault_displacements;
+      deadline_monitor.on_preempted(job.trace_id);
+    }
   };
 
   // Fault application at the epoch boundary: replay every due event, run
@@ -549,10 +757,13 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       case LoopEventKind::kRetry: {
         // A departure or the final rejection may have landed during the
         // backoff; only still-pending jobs retry. Displaced jobs retry
-        // through the readmission path (fault accounting).
+        // through the fault readmission path, ladder-preempted jobs
+        // through the sched readmission path.
         if (jobs[event.job].state == Job::State::kPending) {
           if (jobs[event.job].readmitting)
             attempt_readmission(event.job, event.time);
+          else if (jobs[event.job].sched_preempted)
+            attempt_sched_readmission(event.job, event.time);
           else
             attempt_admission(event.job, event.time);
         }
@@ -571,15 +782,23 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         } else if (job.state == Job::State::kPending) {
           if (job.readmitting)
             ++report.faults.displaced_departed;
+          else if (job.sched_preempted)
+            ++report.sched.preempted_departed;
           else
             ++stats.departed_before_admission;
         }
         job.state = Job::State::kDeparted;
+        if (sched_on) deadline_monitor.on_departed(job.trace_id);
         break;
       }
       case LoopEventKind::kEpoch: {
         apply_faults(event.time);
         measure_epoch(event.time, event.job);
+        if (sched_on) {
+          report.sched.timeline.push_back(
+              deadline_monitor.snapshot(event.time));
+          check_conservation("at epoch boundary");
+        }
         break;
       }
     }
@@ -589,12 +808,18 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     if (job.state == Job::State::kPending) {
       if (job.readmitting)
         ++report.faults.displaced_pending_at_end;
+      else if (job.sched_preempted)
+        ++report.sched.preempted_pending_at_end;
       else
         ++report.classes[job.class_index].pending_at_end;
     }
     if (job.state == Job::State::kActive) ++report.active_at_end;
   }
   report.deployed_blocks_at_end = controller_.deployed_blocks().size();
+  if (sched_on) {
+    deadline_monitor.finalize(report.sched);
+    check_conservation("at end of run");
+  }
   report.run_wall_s = run_watch.elapsed_seconds();
 
   util::log_info("runtime",

@@ -27,6 +27,7 @@
 #include "runtime/retry_policy.h"
 #include "runtime/stats.h"
 #include "runtime/workload.h"
+#include "sched/options.h"
 
 namespace odn::runtime {
 
@@ -55,6 +56,11 @@ struct RuntimeOptions {
   // of the options). A non-empty plan requires cell_count == 1 and a
   // positive epoch cadence (faults apply at epoch boundaries only).
   fault::FaultPlan faults{};
+  // Preemption- and deadline-aware scheduling (src/sched/). Disabled is a
+  // strict no-op: the runtime takes the exact pre-sched code path and the
+  // report stays byte-identical (the bench_preempt_churn differential
+  // golden pins this).
+  sched::SchedOptions sched{};
 
   void validate() const;
 };

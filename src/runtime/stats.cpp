@@ -1,38 +1,22 @@
 #include "runtime/stats.h"
 
-#include <charconv>
 #include <ostream>
 #include <sstream>
-#include <system_error>
 
+#include "util/json.h"
 #include "util/mathx.h"
 
 namespace odn::runtime {
 namespace {
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char ch : text) {
-    if (ch == '"' || ch == '\\') out.push_back('\\');
-    out.push_back(ch);
-  }
-  return out;
-}
+using util::json_escape;
 
 }  // namespace
 
 std::string json_double(double value) {
-  // 17 significant digits round-trip every double; general format matches
-  // printf %.17g in the C locale byte for byte, but to_chars ignores the
-  // process locale entirely (no comma decimal separators under de_DE &c).
-  char buffer[64];
-  const auto result =
-      std::to_chars(buffer, buffer + sizeof(buffer), value,
-                    std::chars_format::general, 17);
-  if (result.ec != std::errc{})
-    return "0";  // unreachable for finite doubles with this buffer
-  return std::string(buffer, result.ptr);
+  // Canonical implementation lives in util/json.h so libraries below
+  // odn_runtime (e.g. odn_sched) share the exact byte contract.
+  return util::json_double(value);
 }
 
 void ClassStats::merge_from(const ClassStats& other) {
@@ -187,6 +171,12 @@ void RuntimeReport::write_json(std::ostream& out) const {
   if (faults.enabled) {
     out << "  \"faults\": ";
     faults.write_json(out, "  ");
+    out << ",\n";
+  }
+
+  if (sched.enabled) {
+    out << "  \"sched\": ";
+    sched.write_json(out, "  ");
     out << ",\n";
   }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fault/fault_stats.h"
+#include "sched/sched_stats.h"
 
 namespace odn::runtime {
 
@@ -101,6 +102,10 @@ struct RuntimeReport {
   // when enabled — a run with no fault plan keeps its report bytes
   // identical to the pre-fault schema.
   fault::FaultStats faults;
+
+  // Preemption/deadline scheduling accounting. Serialized (as a "sched"
+  // block) only when enabled, for the same reason as `faults`.
+  sched::SchedStats sched;
 
   // Monotonic wall time for the whole run() call. Like
   // EpochSnapshot::measure_wall_s this is diagnostics only — excluded from

@@ -63,7 +63,9 @@ std::istringstream expect_keyword(LineReader& reader, const std::string& line,
 
 bool WorkloadEvent::operator==(const WorkloadEvent& other) const noexcept {
   return time_s == other.time_s && kind == other.kind &&
-         job_id == other.job_id && template_index == other.template_index;
+         job_id == other.job_id && template_index == other.template_index &&
+         has_qos == other.has_qos && deadline_s == other.deadline_s &&
+         priority == other.priority;
 }
 
 std::size_t WorkloadTrace::arrival_count() const noexcept {
@@ -77,8 +79,16 @@ std::size_t WorkloadTrace::departure_count() const noexcept {
   return events.size() - arrival_count();
 }
 
+bool WorkloadTrace::has_qos() const noexcept {
+  for (const WorkloadEvent& event : events)
+    if (event.kind == WorkloadEventKind::kArrival) return event.has_qos;
+  return false;
+}
+
 void WorkloadTrace::validate() const {
   std::vector<std::uint64_t> arrived;
+  std::size_t arrivals = 0;
+  std::size_t qos_arrivals = 0;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const WorkloadEvent& event = events[i];
     if (event.time_s < 0.0 || event.time_s > horizon_s + 1e-9)
@@ -98,7 +108,24 @@ void WorkloadTrace::validate() const {
         throw std::invalid_argument(util::fmt(
             "WorkloadTrace '{}': job {} arrives twice", name, event.job_id));
       arrived.push_back(event.job_id);
+      ++arrivals;
+      if (event.has_qos) {
+        ++qos_arrivals;
+        if (!(event.deadline_s > 0.0))
+          throw std::invalid_argument(util::fmt(
+              "WorkloadTrace '{}': job {} has non-positive deadline {}",
+              name, event.job_id, event.deadline_s));
+        if (event.priority < 0.0 || event.priority > 1.0)
+          throw std::invalid_argument(util::fmt(
+              "WorkloadTrace '{}': job {} priority {} outside [0, 1]", name,
+              event.job_id, event.priority));
+      }
     } else {
+      if (event.has_qos)
+        throw std::invalid_argument(util::fmt(
+            "WorkloadTrace '{}': departure of job {} carries a qos "
+            "annotation (arrivals only)",
+            name, event.job_id));
       const auto it =
           std::find(arrived.begin(), arrived.end(), event.job_id);
       if (it == arrived.end())
@@ -108,6 +135,14 @@ void WorkloadTrace::validate() const {
       arrived.erase(it);
     }
   }
+  // QoS is all-or-nothing: a partially annotated trace would silently run
+  // the unannotated jobs on defaulted deadlines, skewing every SLO bucket.
+  if (qos_arrivals != 0 && qos_arrivals != arrivals)
+    throw std::invalid_argument(util::fmt(
+        "WorkloadTrace '{}': trace mixes QoS-annotated and plain arrival "
+        "records ({} of {} arrivals annotated): annotate all arrivals or "
+        "none",
+        name, qos_arrivals, arrivals));
 }
 
 WorkloadTrace generate_workload(std::size_t template_count,
@@ -186,8 +221,49 @@ WorkloadTrace generate_workload(std::size_t template_count,
   }
 
   std::sort(trace.events.begin(), trace.events.end(), event_less);
+  // QoS annotation runs after the sort on its own derived Rng stream, so
+  // the base events are bit-identical whether or not QoS is enabled.
+  if (options.qos.enabled) annotate_qos(trace, options.qos, options.seed);
   trace.validate();
   return trace;
+}
+
+void annotate_qos(WorkloadTrace& trace, const WorkloadQosOptions& qos,
+                  std::uint64_t seed) {
+  if (qos.mean_deadline_s <= 0.0)
+    throw std::invalid_argument("annotate_qos: non-positive mean deadline");
+  if (qos.min_deadline_s < 0.0)
+    throw std::invalid_argument("annotate_qos: negative min deadline");
+  if (qos.deadline_tightness <= 0.0)
+    throw std::invalid_argument("annotate_qos: non-positive tightness");
+  std::vector<double> cumulative;
+  for (const double w : qos.priority_mix) {
+    if (w < 0.0)
+      throw std::invalid_argument("annotate_qos: negative priority weight");
+    cumulative.push_back(w + (cumulative.empty() ? 0.0 : cumulative.back()));
+  }
+  if (!cumulative.empty() && cumulative.back() <= 0.0)
+    throw std::invalid_argument("annotate_qos: zero total priority weight");
+
+  // Derived stream (golden-ratio offset) keeps the annotation draws
+  // independent of the arrival-process draws taken from `seed` itself.
+  util::Rng rng(seed + 0xD1B54A32D192ED03ULL);
+  const double mean = qos.mean_deadline_s * qos.deadline_tightness;
+  for (WorkloadEvent& event : trace.events) {
+    if (event.kind != WorkloadEventKind::kArrival) continue;
+    event.has_qos = true;
+    event.deadline_s = qos.min_deadline_s + rng.exponential(1.0 / mean);
+    if (cumulative.empty()) {
+      event.priority = rng.uniform();
+    } else {
+      const double u = rng.uniform() * cumulative.back();
+      const auto it =
+          std::lower_bound(cumulative.begin(), cumulative.end(), u);
+      const auto band = static_cast<double>(it - cumulative.begin());
+      event.priority =
+          (band + rng.uniform()) / static_cast<double>(cumulative.size());
+    }
+  }
 }
 
 void write_trace(const WorkloadTrace& trace, std::ostream& out) {
@@ -197,10 +273,14 @@ void write_trace(const WorkloadTrace& trace, std::ostream& out) {
   out << "horizon " << trace.horizon_s << '\n';
   out << "templates " << trace.template_count << '\n';
   out << "events " << trace.events.size() << '\n';
-  for (const WorkloadEvent& event : trace.events)
+  for (const WorkloadEvent& event : trace.events) {
     out << "event " << event.time_s << ' '
         << (event.kind == WorkloadEventKind::kArrival ? 'A' : 'D') << ' '
-        << event.job_id << ' ' << event.template_index << '\n';
+        << event.job_id << ' ' << event.template_index;
+    if (event.has_qos)
+      out << " qos " << event.deadline_s << ' ' << event.priority;
+    out << '\n';
+  }
 }
 
 void write_trace(const WorkloadTrace& trace, const std::string& path) {
@@ -240,6 +320,18 @@ WorkloadTrace read_trace(std::istream& in) {
       reader.fail(util::fmt("unknown event kind '{}'", kind));
     event.kind = kind == 'A' ? WorkloadEventKind::kArrival
                              : WorkloadEventKind::kDeparture;
+    std::string suffix;
+    if (stream >> suffix) {
+      if (suffix != "qos")
+        reader.fail(
+            util::fmt("unexpected trailing field '{}'", suffix));
+      if (event.kind == WorkloadEventKind::kDeparture)
+        reader.fail("qos annotation on a departure record (arrivals only)");
+      if (!(stream >> event.deadline_s >> event.priority))
+        reader.fail("malformed qos annotation (want: qos <deadline_s> "
+                    "<priority>)");
+      event.has_qos = true;
+    }
     trace.events.push_back(event);
   }
   try {

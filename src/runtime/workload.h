@@ -29,6 +29,16 @@ struct WorkloadEvent {
   // template set). Departures repeat it for readability/debugging.
   std::size_t template_index = 0;
 
+  // Optional QoS annotation (deadline-aware serving, src/sched/): an
+  // admit-by deadline relative to the arrival instant and an effective
+  // per-job priority in [0, 1] that overrides the template's. Arrivals
+  // only, and all-or-nothing per trace: validate()/read_trace reject a
+  // trace that annotates some arrivals but not others — silently
+  // defaulting the missing ones would skew every deadline bucket.
+  bool has_qos = false;
+  double deadline_s = 0.0;
+  double priority = 0.0;
+
   bool operator==(const WorkloadEvent& other) const noexcept;
 };
 
@@ -40,11 +50,31 @@ struct WorkloadTrace {
 
   std::size_t arrival_count() const noexcept;
   std::size_t departure_count() const noexcept;
+  // True when arrivals carry QoS annotations. validate() guarantees the
+  // answer is uniform across the trace, so checking any arrival suffices.
+  bool has_qos() const noexcept;
 
   // Throws std::invalid_argument when events are unsorted, reference
   // templates out of range, depart jobs that never arrived, or depart
   // before they arrive.
   void validate() const;
+};
+
+// QoS annotation layer for deadline-aware serving (src/sched/). Kept
+// separate from the arrival process: annotations draw from their own
+// derived Rng stream applied after events are sorted, so the base trace
+// (times, job ids, templates) is bit-identical with QoS on or off.
+struct WorkloadQosOptions {
+  bool enabled = false;
+  // Admit-by deadline relative to arrival: min_deadline_s plus an
+  // exponential draw with mean mean_deadline_s * deadline_tightness.
+  // Smaller tightness = tighter deadlines = more preemption pressure.
+  double mean_deadline_s = 8.0;
+  double min_deadline_s = 0.5;
+  double deadline_tightness = 1.0;
+  // Priority mix: relative weight of each equal-width band of [0, 1]
+  // (e.g. {3, 1, 1} skews low-priority). Empty = uniform over [0, 1].
+  std::vector<double> priority_mix;
 };
 
 // Stochastic churn generator. All draws come from one seeded Rng, so equal
@@ -68,11 +98,21 @@ struct WorkloadOptions {
   std::size_t burst_count = 0;
   double burst_arrivals_mean = 8.0;
   double burst_span_s = 2.0;
+  // Deadline/priority annotations (disabled by default; see above).
+  WorkloadQosOptions qos;
 };
 
 // Generates a validated trace for `template_count` task templates.
 WorkloadTrace generate_workload(std::size_t template_count,
                                 const WorkloadOptions& options);
+
+// Annotates every arrival of an existing (sorted) trace with QoS fields
+// drawn from a derived Rng stream over `seed`. Idempotent inputs are not
+// required; existing annotations are overwritten. Used by
+// generate_workload when options.qos.enabled, and directly by tools that
+// retrofit deadlines onto replayed traces.
+void annotate_qos(WorkloadTrace& trace, const WorkloadQosOptions& qos,
+                  std::uint64_t seed);
 
 // Trace persistence: line-oriented text, times printed with %.17g so the
 // round-trip is exact. Format:
@@ -81,7 +121,9 @@ WorkloadTrace generate_workload(std::size_t template_count,
 //   horizon <seconds>
 //   templates <count>
 //   events <count>
-//   event <time> <A|D> <job_id> <template_index>
+//   event <time> <A|D> <job_id> <template_index> [qos <deadline_s> <priority>]
+// The `qos` suffix appears on arrivals of QoS-annotated traces only, and
+// must appear on either all arrivals or none (all-or-nothing).
 void write_trace(const WorkloadTrace& trace, std::ostream& out);
 void write_trace(const WorkloadTrace& trace, const std::string& path);
 

@@ -1,0 +1,31 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <system_error>
+
+namespace odn::util {
+
+std::string json_double(double value) {
+  // 17 significant digits round-trip every double; general format matches
+  // printf %.17g in the C locale byte for byte, but to_chars ignores the
+  // process locale entirely (no comma decimal separators under de_DE &c).
+  char buffer[64];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value,
+                    std::chars_format::general, 17);
+  if (result.ec != std::errc{})
+    return "0";  // unreachable for finite doubles with this buffer
+  return std::string(buffer, result.ptr);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace odn::util

@@ -1,0 +1,20 @@
+// Deterministic JSON formatting primitives shared by every report writer
+// (runtime, cluster, sched). Kept in odn_util so libraries below
+// odn_runtime can serialize blocks with the exact same byte contract.
+#pragma once
+
+#include <string>
+
+namespace odn::util {
+
+// Locale-independent double formatting: std::to_chars with 17 significant
+// digits round-trips every double and, unlike snprintf("%.17g"), never
+// honors the process locale's decimal separator, so reports stay
+// byte-identical (and parseable) under any LC_NUMERIC.
+std::string json_double(double value);
+
+// Minimal string escaping for the report writers (quotes + backslashes;
+// report strings never carry control characters).
+std::string json_escape(const std::string& text);
+
+}  // namespace odn::util

@@ -21,11 +21,13 @@
 #include <cstddef>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/controller.h"
 #include "core/dot_problem.h"
 #include "core/solution.h"
+#include "sched/conservation.h"
 
 namespace odn::testing {
 
@@ -144,6 +146,24 @@ inline void check_plan_invariants(const core::DeploymentPlan& plan,
                                   const std::string& context = "plan") {
   check_dot_invariants(requests, plan.solution.decisions, catalog, resources,
                        radio, context);
+}
+
+// No-orphaned-resources conservation rule: the controller's ledger and
+// deployed-block set must re-derive *exactly* (same arithmetic, same
+// rounding, no tolerance) from the plans the caller believes are being
+// served. Anything else means a preemption / downgrade / crash-recovery
+// path leaked or dropped a commitment. `served` pairs each served task's
+// name with its committed plan, in admission order.
+inline void check_no_orphaned_resources(
+    const core::OffloadnnController& controller,
+    const std::vector<std::pair<std::string, const core::TaskPlan*>>& served,
+    const edge::DnnCatalog& catalog,
+    const std::string& context = "controller") {
+  const auto violation =
+      sched::find_orphaned_resources(controller, served, catalog);
+  EXPECT_FALSE(violation.has_value())
+      << context << ": orphaned resources: "
+      << (violation ? *violation : std::string{});
 }
 
 }  // namespace odn::testing

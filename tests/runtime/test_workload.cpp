@@ -171,5 +171,186 @@ TEST(Workload, GeneratorRejectsBadOptions) {
   EXPECT_THROW(generate_workload(3, options), std::invalid_argument);
 }
 
+// --- QoS annotation (deadline-aware serving, src/sched/) ----------------
+
+WorkloadOptions qos_options(double tightness = 1.0) {
+  WorkloadOptions options = golden_options();
+  options.qos.enabled = true;
+  options.qos.deadline_tightness = tightness;
+  return options;
+}
+
+TEST(WorkloadQos, AnnotationLeavesTheBaseTraceBitIdentical) {
+  // The annotation layer draws from its own derived Rng stream applied
+  // after sorting, so times, job ids and templates must not move — the
+  // same trace serves sched-on and sched-off runs.
+  const WorkloadTrace plain = generate_workload(5, golden_options());
+  const WorkloadTrace annotated = generate_workload(5, qos_options());
+  ASSERT_EQ(plain.events.size(), annotated.events.size());
+  for (std::size_t i = 0; i < plain.events.size(); ++i) {
+    const WorkloadEvent& p = plain.events[i];
+    const WorkloadEvent& a = annotated.events[i];
+    EXPECT_EQ(p.time_s, a.time_s) << "event " << i;
+    EXPECT_EQ(p.kind, a.kind) << "event " << i;
+    EXPECT_EQ(p.job_id, a.job_id) << "event " << i;
+    EXPECT_EQ(p.template_index, a.template_index) << "event " << i;
+    if (a.kind == WorkloadEventKind::kArrival) {
+      EXPECT_TRUE(a.has_qos) << "event " << i;
+      EXPECT_GE(a.deadline_s, qos_options().qos.min_deadline_s);
+      EXPECT_GE(a.priority, 0.0);
+      EXPECT_LE(a.priority, 1.0);
+    } else {
+      EXPECT_FALSE(a.has_qos) << "event " << i;
+    }
+  }
+  EXPECT_FALSE(plain.has_qos());
+  EXPECT_TRUE(annotated.has_qos());
+}
+
+TEST(WorkloadQos, RoundTripIsExact) {
+  const WorkloadTrace trace = generate_workload(5, qos_options());
+  std::stringstream buffer;
+  write_trace(trace, buffer);
+  const WorkloadTrace loaded = read_trace(buffer);
+  EXPECT_TRUE(loaded.has_qos());
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i)
+    EXPECT_TRUE(loaded.events[i] == trace.events[i]) << "event " << i;
+}
+
+TEST(WorkloadQos, TightnessScalesDeadlinesWithoutMovingPriorities) {
+  const WorkloadTrace tight = generate_workload(5, qos_options(0.5));
+  const WorkloadTrace loose = generate_workload(5, qos_options(2.0));
+  ASSERT_EQ(tight.events.size(), loose.events.size());
+  bool deadlines_differ = false;
+  for (std::size_t i = 0; i < tight.events.size(); ++i) {
+    if (tight.events[i].kind != WorkloadEventKind::kArrival) continue;
+    // Tightness only scales the exponential's mean: the draw count is
+    // unchanged, so the priority stream is untouched.
+    EXPECT_EQ(tight.events[i].priority, loose.events[i].priority)
+        << "event " << i;
+    deadlines_differ |=
+        tight.events[i].deadline_s != loose.events[i].deadline_s;
+  }
+  EXPECT_TRUE(deadlines_differ);
+}
+
+TEST(WorkloadQos, PriorityMixSkewsTheBands) {
+  WorkloadOptions options = qos_options();
+  options.qos.priority_mix = {1.0, 0.0, 0.0};  // everything low-priority
+  const WorkloadTrace trace = generate_workload(5, options);
+  for (const WorkloadEvent& event : trace.events) {
+    if (event.kind != WorkloadEventKind::kArrival) continue;
+    EXPECT_LT(event.priority, 1.0 / 3.0 + 1e-12);
+  }
+}
+
+TEST(WorkloadQos, ValidateRejectsMixedAnnotation) {
+  // All-or-nothing: silently defaulting the unannotated half would skew
+  // every deadline bucket, so validate() must refuse.
+  WorkloadTrace trace;
+  trace.horizon_s = 10.0;
+  trace.template_count = 1;
+  WorkloadEvent annotated{1.0, WorkloadEventKind::kArrival, 0, 0};
+  annotated.has_qos = true;
+  annotated.deadline_s = 5.0;
+  annotated.priority = 0.5;
+  const WorkloadEvent bare{2.0, WorkloadEventKind::kArrival, 1, 0};
+  trace.events = {annotated, bare};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+
+  // Fully annotated passes.
+  WorkloadEvent second = annotated;
+  second.time_s = 2.0;
+  second.job_id = 1;
+  trace.events = {annotated, second};
+  EXPECT_NO_THROW(trace.validate());
+}
+
+TEST(WorkloadQos, ValidateRejectsQosOutOfRange) {
+  WorkloadTrace trace;
+  trace.horizon_s = 10.0;
+  trace.template_count = 1;
+  WorkloadEvent event{1.0, WorkloadEventKind::kArrival, 0, 0};
+  event.has_qos = true;
+  event.deadline_s = 0.0;  // non-positive deadline
+  event.priority = 0.5;
+  trace.events = {event};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+
+  event.deadline_s = 5.0;
+  event.priority = 1.5;  // priority outside [0, 1]
+  trace.events = {event};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadQos, ValidateRejectsAnnotatedDepartures) {
+  WorkloadTrace trace;
+  trace.horizon_s = 10.0;
+  trace.template_count = 1;
+  WorkloadEvent arrival{1.0, WorkloadEventKind::kArrival, 0, 0};
+  arrival.has_qos = true;
+  arrival.deadline_s = 5.0;
+  arrival.priority = 0.5;
+  WorkloadEvent departure{2.0, WorkloadEventKind::kDeparture, 0, 0};
+  departure.has_qos = true;
+  departure.deadline_s = 5.0;
+  departure.priority = 0.5;
+  trace.events = {arrival, departure};
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadQos, ReadRejectsMalformedQosRecords) {
+  {
+    // qos suffix on a departure record.
+    std::stringstream in(
+        "ODN-TRACE 1\nname x\nhorizon 10\ntemplates 1\nevents 2\n"
+        "event 1.0 A 0 0 qos 5.0 0.5\n"
+        "event 2.0 D 0 0 qos 5.0 0.5\n");
+    EXPECT_THROW(read_trace(in), std::runtime_error);
+  }
+  {
+    // Truncated annotation (missing priority).
+    std::stringstream in(
+        "ODN-TRACE 1\nname x\nhorizon 10\ntemplates 1\nevents 1\n"
+        "event 1.0 A 0 0 qos 5.0\n");
+    EXPECT_THROW(read_trace(in), std::runtime_error);
+  }
+  {
+    // Unknown suffix token.
+    std::stringstream in(
+        "ODN-TRACE 1\nname x\nhorizon 10\ntemplates 1\nevents 1\n"
+        "event 1.0 A 0 0 slo 5.0 0.5\n");
+    EXPECT_THROW(read_trace(in), std::runtime_error);
+  }
+  {
+    // Mixed annotation across arrivals (all-or-nothing at read time too).
+    std::stringstream in(
+        "ODN-TRACE 1\nname x\nhorizon 10\ntemplates 1\nevents 2\n"
+        "event 1.0 A 0 0 qos 5.0 0.5\n"
+        "event 2.0 A 1 0\n");
+    EXPECT_THROW(read_trace(in), std::runtime_error);
+  }
+}
+
+TEST(WorkloadQos, AnnotateRejectsBadOptions) {
+  WorkloadTrace trace = generate_workload(5, golden_options());
+  WorkloadQosOptions qos;
+  qos.mean_deadline_s = 0.0;
+  EXPECT_THROW(annotate_qos(trace, qos, 1), std::invalid_argument);
+  qos = WorkloadQosOptions{};
+  qos.min_deadline_s = -1.0;
+  EXPECT_THROW(annotate_qos(trace, qos, 1), std::invalid_argument);
+  qos = WorkloadQosOptions{};
+  qos.deadline_tightness = 0.0;
+  EXPECT_THROW(annotate_qos(trace, qos, 1), std::invalid_argument);
+  qos = WorkloadQosOptions{};
+  qos.priority_mix = {1.0, -1.0};
+  EXPECT_THROW(annotate_qos(trace, qos, 1), std::invalid_argument);
+  qos = WorkloadQosOptions{};
+  qos.priority_mix = {0.0, 0.0};
+  EXPECT_THROW(annotate_qos(trace, qos, 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace odn::runtime

@@ -1,0 +1,191 @@
+// DeadlineMonitor unit tests: the SLO bucket precedence (rejected >
+// preempted > missed > downgraded > met), the pending/serving split of
+// epoch snapshots, and the by-construction conservation law
+//   met + missed + preempted + downgraded + rejected == tracked arrivals.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/deadline_monitor.h"
+#include "sched/sched_stats.h"
+
+namespace odn::sched {
+namespace {
+
+TEST(DeadlineMonitor, ServedWithinDeadlineAtFullShapeIsMet) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 10.0, 5.0);
+  monitor.on_admitted(1, 12.0, /*downgraded=*/false);
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kMet);
+
+  // Departing while serving keeps the bucket — a completed job stays met.
+  monitor.on_departed(1);
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kMet);
+}
+
+TEST(DeadlineMonitor, LateFirstAdmissionIsMissed) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 10.0, 5.0);
+  monitor.on_admitted(1, 15.5, false);  // past 10 + 5
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kMissed);
+}
+
+TEST(DeadlineMonitor, ExactlyAtTheDeadlineStillMeets) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 10.0, 5.0);
+  monitor.on_admitted(1, 15.0, false);  // admit-by is inclusive
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kMet);
+}
+
+TEST(DeadlineMonitor, ZeroDeadlineMeansNoDeadline) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 10.0, 0.0);
+  monitor.on_admitted(1, 500.0, false);
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kMet);
+}
+
+TEST(DeadlineMonitor, NeverServedIsRejectedWhetherFinalizedOrNot) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);  // still queued at the horizon
+  monitor.track(2, 0.0, 5.0);
+  monitor.on_rejected(2);      // attempts exhausted
+  monitor.track(3, 0.0, 5.0);
+  monitor.on_departed(3);      // left before ever being admitted
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kRejected);
+  EXPECT_EQ(monitor.bucket(2), DeadlineBucket::kRejected);
+  EXPECT_EQ(monitor.bucket(3), DeadlineBucket::kRejected);
+}
+
+TEST(DeadlineMonitor, EvictedAndNeverBackIsPreempted) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);
+  monitor.on_admitted(1, 1.0, false);
+  monitor.on_preempted(1);
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kPreempted);
+
+  // Departing while re-queued doesn't promote it — it was cut short.
+  monitor.on_departed(1);
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kPreempted);
+}
+
+TEST(DeadlineMonitor, ReshapedByTheLadderIsDowngraded) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);
+  monitor.on_admitted(1, 1.0, false);
+  monitor.on_downgraded(1);
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kDowngraded);
+}
+
+TEST(DeadlineMonitor, AdmittedAtAReducedShapeIsDowngraded) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);
+  monitor.on_admitted(1, 1.0, /*downgraded=*/true);  // retry's final try
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kDowngraded);
+}
+
+TEST(DeadlineMonitor, EvictedThenReadmittedIsDowngradedNotMet) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);
+  monitor.on_admitted(1, 1.0, false);
+  monitor.on_preempted(1);
+  monitor.on_readmitted(1, 3.0, false);
+  // Back in service within the deadline, but the interruption shows.
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kDowngraded);
+}
+
+TEST(DeadlineMonitor, MissedTakesPrecedenceOverDowngraded) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 2.0);
+  monitor.on_admitted(1, 9.0, true);  // late AND downgraded
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kMissed);
+}
+
+TEST(DeadlineMonitor, PreemptedTakesPrecedenceOverMissed) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 2.0);
+  monitor.on_admitted(1, 9.0, false);  // late first admission
+  monitor.on_preempted(1);             // then evicted for good
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kPreempted);
+}
+
+TEST(DeadlineMonitor, ReadmissionDoesNotRewriteTheFirstAdmissionInstant) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 10.0);
+  monitor.on_admitted(1, 1.0, false);  // in time
+  monitor.on_preempted(1);
+  monitor.on_readmitted(1, 50.0, false);  // way past the deadline
+  // first_admitted_s stays 1.0, so the job is downgraded — not missed.
+  EXPECT_EQ(monitor.bucket(1), DeadlineBucket::kDowngraded);
+}
+
+TEST(DeadlineMonitor, SnapshotSplitsPendingFromBucketedJobs) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);
+  monitor.on_admitted(1, 1.0, false);  // serving, on a met trajectory
+  monitor.track(2, 0.5, 5.0);          // still awaiting first admission
+  monitor.track(3, 1.0, 5.0);
+  monitor.on_rejected(3);
+  monitor.track(4, 1.5, 5.0);
+  monitor.on_admitted(4, 2.0, false);
+  monitor.on_preempted(4);             // evicted, re-queued
+
+  const SchedEpochBuckets snapshot = monitor.snapshot(3.0);
+  EXPECT_EQ(snapshot.time_s, 3.0);
+  EXPECT_EQ(snapshot.serving, 1u);
+  EXPECT_EQ(snapshot.pending, 1u);
+  EXPECT_EQ(snapshot.met, 1u);
+  EXPECT_EQ(snapshot.rejected, 1u);
+  EXPECT_EQ(snapshot.preempted, 1u);
+  EXPECT_EQ(snapshot.missed, 0u);
+  EXPECT_EQ(snapshot.downgraded, 0u);
+  // Bucketed + pending covers every tracked job exactly once.
+  EXPECT_EQ(snapshot.met + snapshot.missed + snapshot.preempted +
+                snapshot.downgraded + snapshot.rejected + snapshot.pending,
+            monitor.tracked());
+}
+
+TEST(DeadlineMonitor, FinalizeAssignsEveryTrackedJobExactlyOneBucket) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);
+  monitor.on_admitted(1, 1.0, false);               // met
+  monitor.track(2, 0.0, 2.0);
+  monitor.on_admitted(2, 8.0, false);               // missed
+  monitor.track(3, 0.0, 5.0);
+  monitor.on_admitted(3, 1.0, false);
+  monitor.on_preempted(3);                          // preempted
+  monitor.track(4, 0.0, 5.0);
+  monitor.on_admitted(4, 1.0, false);
+  monitor.on_downgraded(4);                         // downgraded
+  monitor.track(5, 0.0, 5.0);
+  monitor.on_rejected(5);                           // rejected
+  monitor.track(6, 0.0, 5.0);                       // pending -> rejected
+
+  SchedStats stats;
+  monitor.finalize(stats);
+  EXPECT_EQ(stats.met, 1u);
+  EXPECT_EQ(stats.missed, 1u);
+  EXPECT_EQ(stats.preempted, 1u);
+  EXPECT_EQ(stats.downgraded, 1u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.met + stats.missed + stats.preempted + stats.downgraded +
+                stats.rejected,
+            monitor.tracked());
+}
+
+TEST(DeadlineMonitor, TrackingTheSameJobTwiceThrows) {
+  DeadlineMonitor monitor;
+  monitor.track(1, 0.0, 5.0);
+  EXPECT_THROW(monitor.track(1, 2.0, 5.0), std::logic_error);
+}
+
+TEST(DeadlineMonitor, EventsOnUntrackedJobsThrow) {
+  DeadlineMonitor monitor;
+  EXPECT_THROW(monitor.on_admitted(9, 1.0, false), std::logic_error);
+  EXPECT_THROW(monitor.on_preempted(9), std::logic_error);
+  EXPECT_THROW(monitor.on_rejected(9), std::logic_error);
+  EXPECT_THROW(monitor.on_departed(9), std::logic_error);
+  EXPECT_THROW(monitor.bucket(9), std::logic_error);
+}
+
+}  // namespace
+}  // namespace odn::sched
