@@ -2,15 +2,44 @@
 //   1. quality-adaptive OffloaDNN — DOT chooses the input quality level
 //      jointly with the DNN structure (the paper fixes q_τ per task);
 //   2. heterogeneous SNR — the large scenario over an LTE cell where
-//      per-device channel quality spans cell-center to cell-edge.
+//      per-device channel quality spans cell-center to cell-edge;
+//   3. heterogeneous catalog × batching (--hetcat) — long-horizon churn
+//      over the mixed ResNet/transformer catalog (early-exit paths
+//      included), optionally with epoch-boundary request batching.
+//
+// Without --hetcat the bench prints the legacy comparison tables. With
+// --hetcat it emits one machine-readable runtime report JSON on stdout
+// (and to --out) — deterministic: equal seeds produce byte-identical
+// reports for any ODN_THREADS setting, and --batching off takes the
+// strict pre-batching code path (the hetcat goldens pin both).
+//
+// --measure-batching instead times full-depth substrate ViT inference at
+// batch sizes 1..8 against the honest single-request baseline and fits
+// the sub-linear cost model's marginal fraction (the EXPERIMENTS.md
+// table; wall-clock, so never golden-compared).
+//
+//   $ ./bench_extension_scenarios [--hetcat | --measure-batching]
+//       [--seed N] [--horizon S] [--tasks T] [--batching] [--max-batch K]
+//       [--marginal-fraction F] [--out report.json]
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "baseline/semoran.h"
 #include "core/offloadnn_solver.h"
 #include "core/scenarios.h"
+#include "model/zoo.h"
+#include "obs/session.h"
+#include "runtime/serving_runtime.h"
+#include "runtime/workload.h"
+#include "util/logging.h"
 #include "util/table.h"
 
-int main() {
+namespace {
+
+void legacy_tables() {
   using namespace odn;
 
   std::cout << "=== Extension experiments ===\n\n";
@@ -78,7 +107,180 @@ int main() {
     std::cout << "\nReading: with B(σ) from the CQI table, cell-edge tasks "
                  "need several times the RBs per request; partial "
                  "admission (OffloaDNN) degrades them gracefully where "
-                 "binary admission (SEM-O-RAN) drops them entirely.\n";
+                 "binary admission (SEM-O-RAN) drops them entirely.\n\n";
   }
+
+  {
+    util::Table table(
+        "3. Heterogeneous catalog: mixed ResNet + transformer (early exits)");
+    table.set_header({"rate", "wadm", "tasks", "RB frac", "mem frac"});
+    for (const auto& level : kLevels) {
+      const core::DotInstance instance =
+          core::make_mixed_scenario(18, level.rate);
+      const core::CostBreakdown cost =
+          core::OffloadnnSolver{}.solve(instance).cost;
+      table.add_row({level.label,
+                     util::Table::num(cost.weighted_admission, 2),
+                     std::to_string(cost.admitted_tasks),
+                     util::Table::num(cost.radio_fraction, 2),
+                     util::Table::num(cost.memory_fraction, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: transformer tasks lean on early-exit paths "
+                 "under load — a shorter shared trunk plus a tiny exit "
+                 "head admits where the full-depth path would not fit.\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odn;
+
+  obs::EnvSession obs_session;
+
+  bool hetcat = false;
+  bool measure_batching = false;
+  std::uint64_t seed = 7;
+  double horizon_s = 90.0;
+  std::size_t num_tasks = 18;
+  bool batching = false;
+  std::size_t max_batch = 8;
+  double marginal_fraction = 0.45;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--hetcat") {
+      hetcat = true;
+    } else if (arg == "--measure-batching") {
+      measure_batching = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--horizon" && i + 1 < argc) {
+      horizon_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--tasks" && i + 1 < argc) {
+      num_tasks =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--batching") {
+      batching = true;
+    } else if (arg == "--max-batch" && i + 1 < argc) {
+      max_batch =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--marginal-fraction" && i + 1 < argc) {
+      marginal_fraction = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--hetcat] [--measure-batching] [--seed N]"
+                   " [--horizon S] [--tasks T] [--batching] [--max-batch K]"
+                   " [--marginal-fraction F] [--out report.json]\n";
+      return 2;
+    }
+  }
+
+  util::set_log_level(util::LogLevel::kWarn);
+
+  if (measure_batching) {
+    // The EXPERIMENTS.md batching table: wall-clock full-depth inference
+    // on the substrate ViT at batch sizes 1..8 (the b = 1 row is the
+    // honest single-request baseline) and the least-squares fit of the
+    // marginal fraction in c(b) = c(1)·(1 + mf·(b − 1)).
+    model::VitConfig config;
+    config.blocks_per_stage = {1, 1, 2, 2};
+    util::Rng rng(seed);
+    model::VisionTransformer vit(config, rng);
+    const std::vector<model::BatchTiming> timings =
+        model::measure_batch_timings(vit, {1, 2, 4, 8});
+    const model::BatchCostModel fit = model::fit_batch_cost_model(timings);
+    const double single = timings.front().seconds;
+
+    util::Table table("Batched inference on the substrate ViT");
+    table.set_header({"batch", "total ms", "per-req ms", "vs b=1 per-req",
+                      "model c(b)/c(1)"});
+    for (const model::BatchTiming& t : timings) {
+      const double b = static_cast<double>(t.batch);
+      table.add_row({std::to_string(t.batch),
+                     util::Table::num(t.seconds * 1e3, 3),
+                     util::Table::num(t.seconds * 1e3 / b, 3),
+                     util::Table::num(single * b / t.seconds, 2),
+                     util::Table::num(1.0 + fit.marginal_fraction * (b - 1.0),
+                                      2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nfitted marginal_fraction: "
+              << util::Table::num(fit.marginal_fraction, 3)
+              << "  (per-request amortized scale at b=8: "
+              << util::Table::num(fit.amortized_scale(8.0), 3) << ")\n";
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      out << "{}\n";  // wall-clock measurements are never golden-compared
+    }
+    return 0;
+  }
+
+  if (!hetcat) {
+    legacy_tables();
+    if (!out_path.empty()) {
+      // The golden harness always appends --out; legacy mode has no JSON
+      // report, so emit an empty object (goldens always pass --hetcat).
+      std::ofstream out(out_path);
+      out << "{}\n";
+    }
+    return 0;
+  }
+
+  const core::DotInstance scenario =
+      core::make_mixed_scenario(num_tasks, core::RequestRate::kMedium);
+
+  runtime::WorkloadOptions workload;
+  workload.horizon_s = horizon_s;
+  workload.seed = seed;
+  workload.arrival_rate_per_s = 1.2;
+  workload.mean_holding_s = 25.0;
+  workload.burst_count = 2;
+  workload.burst_arrivals_mean = 8.0;
+  workload.burst_span_s = 3.0;
+  const runtime::WorkloadTrace trace =
+      runtime::generate_workload(scenario.tasks.size(), workload);
+  std::cerr << "bench_extension_scenarios: trace '" << trace.name << "', "
+            << trace.events.size() << " events (" << trace.arrival_count()
+            << " arrivals) over " << trace.horizon_s << " s, batching "
+            << (batching ? "on" : "off") << "\n";
+
+  runtime::RuntimeOptions options;
+  options.seed = seed;
+  options.epoch_s = 10.0;
+  options.emulation_window_s = 5.0;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_s = 2.0;
+  options.retry.downgrade_final_attempt = true;
+  options.batching.enabled = batching;
+  options.batching.max_batch = max_batch;
+  options.batching.cost.marginal_fraction = marginal_fraction;
+
+  runtime::ServingRuntime serving(scenario.catalog, scenario.resources,
+                                  scenario.radio, scenario.tasks, options);
+  const runtime::RuntimeReport report = serving.run(trace);
+
+  report.write_json(std::cout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_extension_scenarios: cannot open " << out_path
+                << "\n";
+      return 1;
+    }
+    report.write_json(out);
+  }
+  std::cerr << "bench_extension_scenarios: " << report.total_admitted()
+            << "/" << report.total_arrivals() << " jobs admitted, "
+            << report.total_slo_violations() << " SLO violations across "
+            << report.epochs << " epochs";
+  if (batching)
+    std::cerr << ", " << report.batching.dispatches << " dispatches ("
+              << report.batching.coalesced_requests << " coalesced, max "
+              << report.batching.max_batch << ")";
+  std::cerr << "\n";
   return 0;
 }

@@ -38,6 +38,39 @@ StageCosts reference_resnet18_costs() {
   return costs;
 }
 
+StageCosts reference_vit_costs() {
+  StageCosts costs;
+  // Four encoder stages (patch embedding folded into stage 0). The
+  // backbone is lighter than ResNet-18 at the same operating points:
+  // full-depth inference ~6.4 ms, deployed footprint ~0.6 GB.
+  costs.inference_time_s = {1.0e-3, 1.4e-3, 1.8e-3, 2.2e-3};
+  costs.memory_bytes = {40e6, 80e6, 160e6, 320e6};
+  costs.training_cost_s = {10.0, 16.0, 24.0, 30.0};
+
+  // Token/head pruning keeps ~30 % of the attention+MLP compute; the
+  // pruning pass itself rides on top of fine-tuning as for ResNet.
+  for (std::size_t i = 0; i < 4; ++i) {
+    costs.pruned_inference_time_s[i] = 0.30 * costs.inference_time_s[i];
+    costs.pruned_memory_bytes[i] = 0.30 * costs.memory_bytes[i];
+    costs.pruned_training_cost_s[i] = costs.training_cost_s[i] + 2.0;
+  }
+
+  costs.accuracy_all_shared = 0.73;
+  costs.finetune_gain = {0.02, 0.03, 0.05, 0.08};
+  costs.prune_penalty_finetuned = 0.02;
+  costs.prune_penalty_shared = 0.015;
+
+  // Early-exit heads: a mean-pool + linear classifier is cheap next to an
+  // encoder stage; exiting early trades accuracy for most of the trunk
+  // compute (penalties calibrated to the usual exit-network profile where
+  // late exits are nearly free and early exits cost real accuracy).
+  costs.exit_head_inference_time_s = {0.15e-3, 0.15e-3, 0.15e-3, 0.15e-3};
+  costs.exit_head_memory_bytes = {6e6, 6e6, 6e6, 6e6};
+  costs.exit_head_training_cost_s = {4.0, 4.0, 4.0, 4.0};
+  costs.exit_accuracy_penalty = {0.25, 0.10, 0.04, 0.0};
+  return costs;
+}
+
 StageCosts measure_from_substrate(std::uint64_t seed) {
   util::Rng rng(seed);
   nn::ResNetConfig config;

@@ -36,6 +36,15 @@ struct StageCosts {
   double prune_penalty_finetuned;             // per pruned fine-tuned block
   double prune_penalty_shared;                // per pruned shared block
 
+  // Early-exit heads (transformer backbones; zero for architectures
+  // without exit points). exit_head_* characterize the task-specific head
+  // attached after trunk stage i; exit_accuracy_penalty[i] is the accuracy
+  // drop of exiting there instead of running the full depth.
+  std::array<double, 4> exit_head_inference_time_s{};
+  std::array<double, 4> exit_head_memory_bytes{};
+  std::array<double, 4> exit_head_training_cost_s{};
+  std::array<double, 4> exit_accuracy_penalty{};
+
   double total_inference_time_s() const noexcept {
     double t = 0.0;
     for (const double c : inference_time_s) t += c;
@@ -50,6 +59,14 @@ struct StageCosts {
 
 // The stored characterization (see header comment).
 StageCosts reference_resnet18_costs();
+
+// Stored characterization of the transformer backbone (patch embedding
+// folded into stage 0; four encoder stages; per-stage early-exit heads).
+// Calibrated against the same operating points as the ResNet reference so
+// mixed catalogs compete on one compute/memory scale: full-depth
+// inference ≈ 6.4 ms, deployed footprint ≈ 0.6 GB, plus cheap exit heads
+// that realize the accuracy/cost shaping knob.
+StageCosts reference_vit_costs();
 
 // Profile the scaled odn_nn ResNet and rescale stage ratios to the
 // reference magnitudes. Slower (runs real forward passes); used by the

@@ -28,9 +28,17 @@ void DotInstance::finalize() {
                       "of {}",
                       task.spec.name, option.quality_index,
                       task.spec.qualities.size()));
+      if (!(option.compute_scale > 0.0) || option.compute_scale > 1.0)
+        throw std::invalid_argument(
+            util::fmt("DotInstance: task '{}' option compute_scale {} "
+                      "outside (0,1]",
+                      task.spec.name, option.compute_scale));
       const edge::QualityLevel& quality =
           task.spec.qualities[option.quality_index];
-      option.inference_time_s = catalog.path_inference_time_s(option.path);
+      // compute_scale defaults to 1.0, and x * 1.0 is bit-exact — the
+      // unbatched goldens are untouched.
+      option.inference_time_s =
+          catalog.path_inference_time_s(option.path) * option.compute_scale;
       option.accuracy = option.path.accuracy * quality.accuracy_factor;
       option.input_bits = quality.bits_per_image;
     }

@@ -29,9 +29,16 @@ struct PathOption {
   std::size_t quality_index = 0;
 
   // Cached by finalize():
-  double inference_time_s = 0.0;  // Σ c(s) over the path
+  double inference_time_s = 0.0;  // Σ c(s) over the path x compute_scale
   double accuracy = 0.0;          // a(π) x quality accuracy factor
   double input_bits = 0.0;        // β(q)
+
+  // Amortized-compute factor in (0, 1] applied to the path's Σ c(s).
+  // Batching-aware probes (model/batching.h) set it to the expected
+  // per-request scale under epoch-boundary coalescing; the default 1.0
+  // reproduces the unbatched cost bit-exactly. Declared last so positional
+  // aggregate initializers predating the field stay valid.
+  double compute_scale = 1.0;
 };
 
 struct DotTask {

@@ -82,6 +82,7 @@ void encode_catalog(CanonicalWriter& writer, const edge::DnnCatalog& catalog) {
   writer.size(catalog.block_count());
   for (const edge::CatalogBlock& block : catalog.blocks()) {
     writer.u8(static_cast<std::uint8_t>(block.kind));
+    writer.u8(static_cast<std::uint8_t>(block.architecture));
     writer.f64(block.inference_time_s);
     writer.f64(block.memory_bytes);
     writer.f64(block.training_cost_s);
@@ -103,6 +104,7 @@ void encode_task(CanonicalWriter& writer, const DotTask& task) {
   writer.size(task.options.size());
   for (const PathOption& option : task.options) {
     writer.size(option.quality_index);
+    writer.f64(option.compute_scale);
     writer.f64(option.path.accuracy);
     writer.size(option.path.blocks.size());
     for (const edge::BlockIndex block : option.path.blocks) writer.u32(block);

@@ -11,7 +11,24 @@
 namespace odn::core {
 namespace {
 
-constexpr const char* kHeader = "ODN-INSTANCE 1";
+// v1 is the seed-era single-architecture format; v2 adds the block
+// architecture token and the option compute_scale. The writer emits v1
+// whenever the instance uses neither extension so existing files and
+// their consumers keep byte-identical round-trips.
+constexpr const char* kHeaderV1 = "ODN-INSTANCE 1";
+constexpr const char* kHeaderV2 = "ODN-INSTANCE 2";
+
+bool needs_v2(const DotInstance& instance) {
+  for (const edge::CatalogBlock& block : instance.catalog.blocks()) {
+    if (block.architecture != edge::Architecture::kResNet) return true;
+  }
+  for (const DotTask& task : instance.tasks) {
+    for (const PathOption& option : task.options) {
+      if (option.compute_scale != 1.0) return true;
+    }
+  }
+  return false;
+}
 
 // Line-scoped reader that tracks numbers for error messages.
 class LineReader {
@@ -63,8 +80,9 @@ std::string rest_as_name(std::istringstream& stream) {
 }  // namespace
 
 void write_instance(const DotInstance& instance, std::ostream& out) {
+  const bool v2 = needs_v2(instance);
   out.precision(std::numeric_limits<double>::max_digits10);
-  out << kHeader << '\n';
+  out << (v2 ? kHeaderV2 : kHeaderV1) << '\n';
   out << "name " << instance.name << '\n';
   out << "alpha " << instance.alpha << '\n';
   out << "resources " << instance.resources.compute_capacity_s << ' '
@@ -81,8 +99,9 @@ void write_instance(const DotInstance& instance, std::ostream& out) {
   for (std::size_t i = 0; i < instance.catalog.block_count(); ++i) {
     const edge::CatalogBlock& block =
         instance.catalog.block(static_cast<edge::BlockIndex>(i));
-    out << "block " << static_cast<int>(block.kind) << ' '
-        << block.inference_time_s << ' ' << block.memory_bytes << ' '
+    out << "block " << static_cast<int>(block.kind) << ' ';
+    if (v2) out << static_cast<int>(block.architecture) << ' ';
+    out << block.inference_time_s << ' ' << block.memory_bytes << ' '
         << block.training_cost_s << ' ' << block.name << '\n';
   }
 
@@ -96,8 +115,9 @@ void write_instance(const DotInstance& instance, std::ostream& out) {
       out << "quality " << quality.bits_per_image << ' '
           << quality.accuracy_factor << '\n';
     for (const PathOption& option : task.options) {
-      out << "option " << option.quality_index << ' '
-          << option.path.accuracy << ' ' << option.path.blocks.size();
+      out << "option " << option.quality_index << ' ';
+      if (v2) out << option.compute_scale << ' ';
+      out << option.path.accuracy << ' ' << option.path.blocks.size();
       for (const edge::BlockIndex b : option.path.blocks) out << ' ' << b;
       out << ' ' << option.path.name << '\n';
     }
@@ -114,8 +134,13 @@ void write_instance(const DotInstance& instance, const std::string& path) {
 
 DotInstance read_instance(std::istream& in) {
   LineReader reader(in);
-  if (reader.next("header") != kHeader)
-    reader.fail("bad header (expected 'ODN-INSTANCE 1')");
+  const std::string header = reader.next("header");
+  bool v2 = false;
+  if (header == kHeaderV2) {
+    v2 = true;
+  } else if (header != kHeaderV1) {
+    reader.fail("bad header (expected 'ODN-INSTANCE 1' or 'ODN-INSTANCE 2')");
+  }
 
   DotInstance instance;
   {
@@ -158,13 +183,20 @@ DotInstance read_instance(std::istream& in) {
   for (std::size_t i = 0; i < block_count; ++i) {
     auto stream = expect_keyword(reader, reader.next("block"), "block");
     int kind = 0;
+    int architecture = 0;
     edge::CatalogBlock block;
-    if (!(stream >> kind >> block.inference_time_s >> block.memory_bytes >>
+    if (!(stream >> kind)) reader.fail("bad block record");
+    if (v2 && !(stream >> architecture)) reader.fail("bad block record");
+    if (!(stream >> block.inference_time_s >> block.memory_bytes >>
           block.training_cost_s))
       reader.fail("bad block record");
     if (kind < 0 || kind > static_cast<int>(edge::BlockKind::kClassifier))
       reader.fail(util::fmt("bad block kind {}", kind));
+    if (architecture < 0 ||
+        architecture > static_cast<int>(edge::Architecture::kTransformer))
+      reader.fail(util::fmt("bad block architecture {}", architecture));
     block.kind = static_cast<edge::BlockKind>(kind);
+    block.architecture = static_cast<edge::Architecture>(architecture);
     block.name = rest_as_name(stream);
     instance.catalog.add_block(std::move(block));
   }
@@ -198,8 +230,10 @@ DotInstance read_instance(std::istream& in) {
           expect_keyword(reader, reader.next("option"), "option");
       PathOption option;
       std::size_t path_blocks = 0;
-      if (!(ostream_ >> option.quality_index >> option.path.accuracy >>
-            path_blocks))
+      if (!(ostream_ >> option.quality_index)) reader.fail("bad option record");
+      if (v2 && !(ostream_ >> option.compute_scale))
+        reader.fail("bad option record");
+      if (!(ostream_ >> option.path.accuracy >> path_blocks))
         reader.fail("bad option record");
       for (std::size_t b = 0; b < path_blocks; ++b) {
         edge::BlockIndex index = 0;

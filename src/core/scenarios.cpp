@@ -53,13 +53,20 @@ bool is_shared(Variant v) {
 }
 
 // Builds catalog blocks on demand so that shared blocks get one index per
-// (family, stage, variant) and task-specific blocks one per
-// (family, stage, variant, task) — index identity IS the sharing structure.
+// (architecture, family, stage, variant) and task-specific blocks one per
+// (architecture, family, stage, variant, task) — index identity IS the
+// sharing structure. ResNet keys and jitter tags are byte-identical to the
+// seed-era single-architecture assembler, so every pre-zoo scenario
+// reproduces exactly.
 class CatalogAssembler {
  public:
   CatalogAssembler(edge::DnnCatalog& catalog, const StageCosts& costs,
-                   std::uint64_t seed)
-      : catalog_(catalog), costs_(costs), seed_(seed) {}
+                   std::uint64_t seed,
+                   const StageCosts* transformer_costs = nullptr)
+      : catalog_(catalog),
+        costs_(costs),
+        transformer_costs_(transformer_costs),
+        seed_(seed) {}
 
   // Cost jitter makes distinct DNN families differ by a few percent, the
   // way independently trained models do.
@@ -70,54 +77,131 @@ class CatalogAssembler {
     return 1.0 + rng.uniform(-0.05, 0.05);
   }
 
+  double vit_family_jitter(std::size_t family, std::size_t stage,
+                           const char* what) const {
+    util::Rng rng(seed_ ^ util::stable_hash(util::fmt(
+                              "jitter/vit/{}/{}/{}", family, stage, what)));
+    return 1.0 + rng.uniform(-0.05, 0.05);
+  }
+
   edge::BlockIndex shared_block(std::size_t family, std::size_t stage,
                                 Variant variant) {
-    const auto key = std::make_tuple(family, stage, variant,
+    return shared_block(edge::Architecture::kResNet, family, stage, variant);
+  }
+
+  edge::BlockIndex shared_block(edge::Architecture arch, std::size_t family,
+                                std::size_t stage, Variant variant) {
+    const auto key = std::make_tuple(arch, family, stage, variant,
                                      static_cast<std::size_t>(-1));
     auto it = blocks_.find(key);
     if (it != blocks_.end()) return it->second;
     const edge::BlockIndex index = catalog_.add_block(make_block(
-        family, stage, variant, /*task=*/static_cast<std::size_t>(-1)));
+        arch, family, stage, variant,
+        /*task=*/static_cast<std::size_t>(-1)));
     blocks_.emplace(key, index);
     return index;
   }
 
   edge::BlockIndex task_block(std::size_t family, std::size_t stage,
                               Variant variant, std::size_t task) {
-    const auto key = std::make_tuple(family, stage, variant, task);
+    return task_block(edge::Architecture::kResNet, family, stage, variant,
+                      task);
+  }
+
+  edge::BlockIndex task_block(edge::Architecture arch, std::size_t family,
+                              std::size_t stage, Variant variant,
+                              std::size_t task) {
+    const auto key = std::make_tuple(arch, family, stage, variant, task);
     auto it = blocks_.find(key);
     if (it != blocks_.end()) return it->second;
     const edge::BlockIndex index =
-        catalog_.add_block(make_block(family, stage, variant, task));
+        catalog_.add_block(make_block(arch, family, stage, variant, task));
     blocks_.emplace(key, index);
+    return index;
+  }
+
+  // Task-specific early-exit head after transformer trunk stage
+  // `exit_stage` (a kClassifier block; ct > 0, tiny c/µ).
+  edge::BlockIndex exit_head_block(std::size_t family,
+                                   std::size_t exit_stage,
+                                   std::size_t task) {
+    const auto key = std::make_tuple(family, exit_stage, task);
+    auto it = exit_heads_.find(key);
+    if (it != exit_heads_.end()) return it->second;
+    const StageCosts& costs = vit_costs();
+    edge::CatalogBlock block;
+    block.kind = edge::BlockKind::kClassifier;
+    block.architecture = edge::Architecture::kTransformer;
+    block.inference_time_s = costs.exit_head_inference_time_s[exit_stage] *
+                             vit_family_jitter(family, exit_stage, "exit-time");
+    block.memory_bytes = costs.exit_head_memory_bytes[exit_stage] *
+                         vit_family_jitter(family, exit_stage, "exit-mem");
+    block.training_cost_s = costs.exit_head_training_cost_s[exit_stage] *
+                            vit_family_jitter(family, exit_stage, "exit-train");
+    block.name = util::fmt("vit{}/exit{}/task{}", family, exit_stage + 1,
+                           task);
+    const edge::BlockIndex index = catalog_.add_block(std::move(block));
+    exit_heads_.emplace(key, index);
     return index;
   }
 
   edge::DnnPath make_path(std::size_t family, const PathTemplate& tpl,
                           std::size_t task, double base_accuracy) {
+    return make_path(edge::Architecture::kResNet, family, tpl, task,
+                     base_accuracy);
+  }
+
+  edge::DnnPath make_path(edge::Architecture arch, std::size_t family,
+                          const PathTemplate& tpl, std::size_t task,
+                          double base_accuracy) {
+    const StageCosts& costs =
+        arch == edge::Architecture::kTransformer ? vit_costs() : costs_;
     edge::DnnPath path;
     double accuracy = base_accuracy;
     for (std::size_t stage = 0; stage < 4; ++stage) {
       const Variant v = tpl[stage];
-      path.blocks.push_back(is_shared(v) ? shared_block(family, stage, v)
-                                         : task_block(family, stage, v, task));
+      path.blocks.push_back(
+          is_shared(v) ? shared_block(arch, family, stage, v)
+                       : task_block(arch, family, stage, v, task));
       switch (v) {
         case Variant::kSharedFull:
           break;
         case Variant::kSharedPruned:
-          accuracy -= costs_.prune_penalty_shared;
+          accuracy -= costs.prune_penalty_shared;
           break;
         case Variant::kFineTunedFull:
-          accuracy += costs_.finetune_gain[stage];
+          accuracy += costs.finetune_gain[stage];
           break;
         case Variant::kFineTunedPruned:
-          accuracy += costs_.finetune_gain[stage];
-          accuracy -= costs_.prune_penalty_finetuned;
+          accuracy += costs.finetune_gain[stage];
+          accuracy -= costs.prune_penalty_finetuned;
           break;
       }
     }
     path.accuracy = std::min(0.999, std::max(0.0, accuracy));
-    path.name = util::fmt("fam{}/{}", family, template_tag(tpl));
+    path.name = util::fmt(
+        arch == edge::Architecture::kTransformer ? "vit{}/{}" : "fam{}/{}",
+        family, template_tag(tpl));
+    return path;
+  }
+
+  // Early-exit path: the shared transformer trunk through `exit_stage`
+  // plus the task's exit head. The trunk blocks are the same catalog
+  // indices the full-depth shared path uses, so memory counts once and
+  // ct(s) amortizes across exit and full paths automatically.
+  edge::DnnPath make_exit_path(std::size_t family, std::size_t exit_stage,
+                               std::size_t task, double base_accuracy) {
+    edge::DnnPath path;
+    for (std::size_t stage = 0; stage <= exit_stage; ++stage) {
+      path.blocks.push_back(shared_block(edge::Architecture::kTransformer,
+                                         family, stage,
+                                         Variant::kSharedFull));
+    }
+    path.blocks.push_back(exit_head_block(family, exit_stage, task));
+    const double accuracy =
+        base_accuracy - vit_costs().exit_accuracy_penalty[exit_stage];
+    path.accuracy = std::min(0.999, std::max(0.0, accuracy));
+    path.name = util::fmt("vit{}/exitE{}", family, exit_stage + 1);
     return path;
   }
 
@@ -135,8 +219,22 @@ class CatalogAssembler {
   }
 
  private:
-  edge::CatalogBlock make_block(std::size_t family, std::size_t stage,
-                                Variant variant, std::size_t task) const {
+  const StageCosts& vit_costs() const {
+    if (transformer_costs_ == nullptr)
+      throw std::logic_error(
+          "CatalogAssembler: transformer costs not configured");
+    return *transformer_costs_;
+  }
+
+  edge::CatalogBlock make_block(edge::Architecture arch, std::size_t family,
+                                std::size_t stage, Variant variant,
+                                std::size_t task) const {
+    const bool vit = arch == edge::Architecture::kTransformer;
+    const StageCosts& costs = vit ? vit_costs() : costs_;
+    const auto jitter = [&](const char* what) {
+      return vit ? vit_family_jitter(family, stage, what)
+                 : family_jitter(family, stage, what);
+    };
     const bool pruned = variant == Variant::kSharedPruned ||
                         variant == Variant::kFineTunedPruned;
     const bool shared = is_shared(variant);
@@ -145,25 +243,25 @@ class CatalogAssembler {
                      ? edge::BlockKind::kSharedBase
                      : (pruned ? edge::BlockKind::kPruned
                                : edge::BlockKind::kFineTuned);
-    block.inference_time_s =
-        (pruned ? costs_.pruned_inference_time_s[stage]
-                : costs_.inference_time_s[stage]) *
-        family_jitter(family, stage, "time");
-    block.memory_bytes = (pruned ? costs_.pruned_memory_bytes[stage]
-                                 : costs_.memory_bytes[stage]) *
-                         family_jitter(family, stage, "mem");
+    block.architecture = arch;
+    block.inference_time_s = (pruned ? costs.pruned_inference_time_s[stage]
+                                     : costs.inference_time_s[stage]) *
+                             jitter("time");
+    block.memory_bytes = (pruned ? costs.pruned_memory_bytes[stage]
+                                 : costs.memory_bytes[stage]) *
+                         jitter("mem");
     if (shared) {
       // Pretrained blocks cost nothing to train; the shared-pruned variant
       // pays one single-shot pruning pass, amortized across its users.
       block.training_cost_s =
           variant == Variant::kSharedPruned ? 5.0 : 0.0;
     } else {
-      block.training_cost_s = (pruned ? costs_.pruned_training_cost_s[stage]
-                                      : costs_.training_cost_s[stage]) *
-                              family_jitter(family, stage, "train");
+      block.training_cost_s = (pruned ? costs.pruned_training_cost_s[stage]
+                                      : costs.training_cost_s[stage]) *
+                              jitter("train");
     }
     block.name = util::fmt(
-        "fam{}/stage{}/{}{}", family, stage + 1,
+        "{}{}/stage{}/{}{}", vit ? "vit" : "fam", family, stage + 1,
         shared ? (pruned ? "shared-pruned" : "shared")
                : (pruned ? "ft-pruned" : "ft"),
         shared ? std::string{} : util::fmt("/task{}", task));
@@ -172,10 +270,15 @@ class CatalogAssembler {
 
   edge::DnnCatalog& catalog_;
   const StageCosts& costs_;
+  const StageCosts* transformer_costs_;
   std::uint64_t seed_;
-  std::map<std::tuple<std::size_t, std::size_t, Variant, std::size_t>,
+  std::map<std::tuple<edge::Architecture, std::size_t, std::size_t, Variant,
+                      std::size_t>,
            edge::BlockIndex>
       blocks_;
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+           edge::BlockIndex>
+      exit_heads_;
 };
 
 // Task-and-family-dependent base accuracy: independently trained backbones
@@ -184,6 +287,15 @@ double base_accuracy(const StageCosts& costs, std::uint64_t seed,
                      std::size_t task, std::size_t family) {
   util::Rng rng(seed ^
                 util::stable_hash(util::fmt("acc/{}/{}", task, family)));
+  return costs.accuracy_all_shared + rng.uniform(-0.01, 0.02);
+}
+
+// Transformer families draw from their own salt so a vit family and a
+// ResNet family with the same index stay independently jittered.
+double vit_base_accuracy(const StageCosts& costs, std::uint64_t seed,
+                         std::size_t task, std::size_t family) {
+  util::Rng rng(seed ^
+                util::stable_hash(util::fmt("acc/vit/{}/{}", task, family)));
   return costs.accuracy_all_shared + rng.uniform(-0.01, 0.02);
 }
 
@@ -348,6 +460,89 @@ DotInstance make_scaled_scenario(std::size_t num_tasks, RequestRate rate,
       option.path = assembler.make_path(family, tpl, t, base);
       option.quality_index = 0;
       task.options.push_back(std::move(option));
+    }
+    instance.tasks.push_back(std::move(task));
+  }
+  instance.finalize();
+  return instance;
+}
+
+DotInstance make_mixed_scenario(std::size_t num_tasks, RequestRate rate,
+                                const ScenarioOptions& options) {
+  if (num_tasks == 0)
+    throw std::invalid_argument("make_mixed_scenario: zero tasks");
+  const double scale = static_cast<double>(num_tasks) / 20.0;
+  const double lambda = request_rate_value(rate);
+  constexpr double kInputBits = 350e3;
+  // One ResNet backbone per ~6 ResNet tasks, one transformer backbone per
+  // ~8 transformer tasks — small family pools keep trunk sharing real.
+  const std::size_t resnet_families =
+      std::max<std::size_t>(3, (num_tasks + 5) / 6);
+  const std::size_t vit_families =
+      std::max<std::size_t>(2, (num_tasks + 7) / 8);
+
+  DotInstance instance;
+  instance.name = util::fmt("mixed-T{}-{}", num_tasks,
+                            request_rate_value(rate));
+  instance.resources.compute_capacity_s = 10.0 * scale;
+  instance.resources.training_budget_s = 1000.0 * scale;
+  instance.resources.memory_capacity_bytes = 16e9 * scale;
+  instance.resources.total_rbs =
+      std::max<std::size_t>(1, static_cast<std::size_t>(100.0 * scale));
+  instance.radio = edge::RadioModel::fixed(350e3);
+  instance.alpha = 0.5;
+
+  CatalogAssembler assembler(instance.catalog, options.costs, options.seed,
+                             &options.transformer_costs);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const double frac = static_cast<double>(t) /
+                        static_cast<double>(std::max<std::size_t>(
+                            1, num_tasks - 1));
+    DotTask task;
+    task.spec.priority = std::max(0.05, 1.0 - 0.95 * frac);
+    task.spec.request_rate = lambda;
+    task.spec.min_accuracy = 0.785 - 0.285 * frac;  // 0.785 .. 0.5
+    task.spec.max_latency_s = 0.22 + 0.38 * frac;   // 0.22 .. 0.6 s
+    task.spec.snr_db = 20.0;
+    task.spec.qualities = {{kInputBits, 1.0}, {0.88 * kInputBits, 0.97}};
+
+    const bool transformer_task = options.mixed_architectures && t % 2 == 1;
+    if (transformer_task) {
+      const std::size_t family = (t / 2) % vit_families;
+      task.spec.name = util::fmt("task-{}-vit", t + 1);
+      const double base =
+          vit_base_accuracy(options.transformer_costs, options.seed, t,
+                            family);
+      for (const PathTemplate& tpl : kSmallTemplates) {
+        PathOption option;
+        option.path = assembler.make_path(edge::Architecture::kTransformer,
+                                          family, tpl, t, base);
+        option.quality_index = 0;
+        task.options.push_back(std::move(option));
+      }
+      if (options.early_exit_paths) {
+        // Exit points after stages 2 and 3: cheaper paths that reuse the
+        // shared trunk prefix and pay the per-stage accuracy penalty.
+        for (const std::size_t exit_stage : {1UL, 2UL}) {
+          PathOption option;
+          option.path =
+              assembler.make_exit_path(family, exit_stage, t, base);
+          option.quality_index = 0;
+          task.options.push_back(std::move(option));
+        }
+      }
+    } else {
+      const std::size_t family =
+          (options.mixed_architectures ? t / 2 : t) % resnet_families;
+      task.spec.name = util::fmt("task-{}", t + 1);
+      const double base =
+          base_accuracy(options.costs, options.seed, t, family);
+      for (const PathTemplate& tpl : kLargeTemplates) {
+        PathOption option;
+        option.path = assembler.make_path(family, tpl, t, base);
+        option.quality_index = 0;
+        task.options.push_back(std::move(option));
+      }
     }
     instance.tasks.push_back(std::move(task));
   }

@@ -38,6 +38,16 @@ struct ScenarioOptions {
   // at the compressed quality levels (DOT then optimizes input quality
   // jointly with structure — the paper treats q_τ as given).
   bool quality_adaptive_paths = false;
+
+  // Model-zoo extension (make_mixed_scenario): when true every other task
+  // draws its paths from a transformer backbone family instead of ResNet,
+  // so one catalog carries both architectures side by side.
+  bool mixed_architectures = true;
+  // Early-exit paths for transformer tasks: shorter DnnPaths that reuse
+  // the shared trunk prefix and attach a per-task exit head — the exit
+  // point becomes an accuracy/cost shaping knob the solver can pick.
+  bool early_exit_paths = true;
+  StageCosts transformer_costs = reference_vit_costs();
 };
 
 // Small-scale scenario with the first `num_tasks` (1..5) tasks of Table IV.
@@ -61,5 +71,15 @@ DotInstance make_heterogeneous_snr_scenario(
 // the heuristic's polynomial scaling far beyond the paper's 20 tasks.
 DotInstance make_scaled_scenario(std::size_t num_tasks, RequestRate rate,
                                  const ScenarioOptions& options = {});
+
+// Model-zoo scenario: `num_tasks` tasks over a heterogeneous catalog where
+// the DOT tree assigns an architecture per task — even tasks run ResNet
+// path templates, odd tasks (with options.mixed_architectures) run
+// transformer templates plus early-exit paths (options.early_exit_paths).
+// Exit paths reuse the shared transformer trunk blocks by index, so
+// memory-sharing and ct(s) amortization fall out of the existing
+// machinery. Capacities scale with num_tasks/20 like the scaled scenario.
+DotInstance make_mixed_scenario(std::size_t num_tasks, RequestRate rate,
+                                const ScenarioOptions& options = {});
 
 }  // namespace odn::core

@@ -7,6 +7,16 @@
 
 namespace odn::edge {
 
+const char* architecture_name(Architecture architecture) {
+  switch (architecture) {
+    case Architecture::kResNet:
+      return "resnet";
+    case Architecture::kTransformer:
+      return "transformer";
+  }
+  return "unknown";
+}
+
 double DnnPath::inference_time_s(
     const std::vector<CatalogBlock>& blocks_table) const {
   double total = 0.0;
@@ -65,11 +75,27 @@ double DnnCatalog::path_training_cost_s(const DnnPath& path) const {
   return total;
 }
 
+Architecture DnnCatalog::path_architecture(const DnnPath& path) const {
+  if (path.blocks.empty())
+    throw std::invalid_argument(
+        util::fmt("DnnCatalog: path '{}' has no blocks", path.name));
+  return block(path.blocks.front()).architecture;
+}
+
 void DnnCatalog::validate_path(const DnnPath& path) const {
   if (path.blocks.empty())
     throw std::invalid_argument(
         util::fmt("DnnCatalog: path '{}' has no blocks", path.name));
   for (const BlockIndex b : path.blocks) (void)block(b);
+  const Architecture architecture = block(path.blocks.front()).architecture;
+  for (const BlockIndex b : path.blocks) {
+    if (block(b).architecture != architecture)
+      throw std::invalid_argument(util::fmt(
+          "DnnCatalog: path '{}' mixes architectures ({} block '{}' on a {} "
+          "path)",
+          path.name, architecture_name(block(b).architecture), block(b).name,
+          architecture_name(architecture)));
+  }
   if (path.accuracy < 0.0 || path.accuracy > 1.0)
     throw std::invalid_argument(
         util::fmt("DnnCatalog: path '{}' accuracy {} outside [0,1]",

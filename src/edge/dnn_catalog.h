@@ -24,12 +24,28 @@ enum class BlockKind : std::uint8_t {
   kClassifier,   // task-specific head
 };
 
+// Backbone family a block belongs to. Paths must be architecture-uniform:
+// a transformer exit head cannot ride on ResNet trunk blocks. Memory
+// sharing still works only through block-index identity, so the tag adds
+// no sharing semantics — it gates path composition and lets scenarios
+// assign architectures per task (the model-zoo extension).
+enum class Architecture : std::uint8_t {
+  kResNet,
+  kTransformer,
+};
+
+const char* architecture_name(Architecture architecture);
+
 struct CatalogBlock {
   std::string name;
   BlockKind kind = BlockKind::kSharedBase;
   double inference_time_s = 0.0;  // c(s): per-inference compute time
   double memory_bytes = 0.0;      // µ(s): resident memory when deployed
   double training_cost_s = 0.0;   // ct(s): one-off (fine-)tuning cost
+  // Backbone family the block belongs to; paths never mix architectures.
+  // Last member so positional aggregate initializers predating the field
+  // keep meaning what they said (they default to kResNet).
+  Architecture architecture = Architecture::kResNet;
 };
 
 // A path π on a DNN structure: the ordered block sequence executing one
@@ -65,6 +81,9 @@ class DnnCatalog {
   double path_memory_bytes(const DnnPath& path) const;
   // Sum of ct(s) over the path's distinct blocks.
   double path_training_cost_s(const DnnPath& path) const;
+
+  // The single architecture every block of the path shares.
+  Architecture path_architecture(const DnnPath& path) const;
 
   void validate_path(const DnnPath& path) const;
 

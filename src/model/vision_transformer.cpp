@@ -1,0 +1,193 @@
+#include "model/vision_transformer.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/serialize.h"
+#include "util/fmt.h"
+
+namespace odn::model {
+
+VisionTransformer::VisionTransformer(const VitConfig& config, util::Rng& rng)
+    : config_(config),
+      patch_(config.in_channels, config.image_size, config.patch_size,
+             config.embed_dim) {
+  if (config.mlp_ratio == 0) {
+    throw std::invalid_argument("VisionTransformer: mlp_ratio must be > 0");
+  }
+  const std::size_t hidden = config.mlp_ratio * config.embed_dim;
+  patch_.init_parameters(rng);
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    if (config.blocks_per_stage[s] == 0) {
+      throw std::invalid_argument(
+          util::fmt("VisionTransformer: stage {} has zero blocks", s));
+    }
+    for (std::size_t b = 0; b < config.blocks_per_stage[s]; ++b) {
+      auto block = std::make_unique<nn::TransformerBlock>(
+          config.embed_dim, config.num_heads, hidden, patch_.tokens());
+      block->init_parameters(rng);
+      stages_[s].push_back(std::move(block));
+    }
+    auto head = std::make_unique<nn::EarlyExitHead>(
+        config.embed_dim, config.num_classes, patch_.tokens());
+    head->init_parameters(rng);
+    exit_heads_[s] = std::move(head);
+  }
+}
+
+nn::Tensor VisionTransformer::embed(const nn::Tensor& images, bool training) {
+  return patch_.forward(images, training);
+}
+
+nn::Tensor VisionTransformer::forward_stage(std::size_t stage,
+                                            const nn::Tensor& tokens,
+                                            bool training) {
+  if (stage >= kNumStages) {
+    throw std::out_of_range("VisionTransformer: stage out of range");
+  }
+  nn::Tensor activ = tokens;
+  for (auto& block : stages_[stage]) {
+    activ = block->forward(activ, training);
+  }
+  return activ;
+}
+
+nn::Tensor VisionTransformer::forward_exit(std::size_t stage,
+                                           const nn::Tensor& tokens,
+                                           bool training) {
+  if (stage >= kNumStages) {
+    throw std::out_of_range("VisionTransformer: stage out of range");
+  }
+  return exit_heads_[stage]->forward(tokens, training);
+}
+
+nn::Tensor VisionTransformer::forward(const nn::Tensor& images,
+                                      bool training) {
+  return forward_early_exit(images, kNumStages - 1, training);
+}
+
+nn::Tensor VisionTransformer::forward_early_exit(const nn::Tensor& images,
+                                                 std::size_t exit_stage,
+                                                 bool training) {
+  if (exit_stage >= kNumStages) {
+    throw std::out_of_range("VisionTransformer: exit stage out of range");
+  }
+  nn::Tensor tokens = embed(images, training);
+  for (std::size_t s = 0; s <= exit_stage; ++s) {
+    tokens = forward_stage(s, tokens, training);
+  }
+  return forward_exit(exit_stage, tokens, training);
+}
+
+std::vector<nn::Param*> VisionTransformer::parameters() {
+  std::vector<nn::Param*> params = patch_.parameters();
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    for (auto& block : stages_[s]) {
+      for (nn::Param* p : block->parameters()) params.push_back(p);
+    }
+  }
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    for (nn::Param* p : exit_heads_[s]->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::size_t VisionTransformer::parameter_bytes() {
+  std::size_t bytes = 0;
+  for (const nn::Param* p : parameters()) {
+    bytes += p->value.byte_size();
+  }
+  return bytes;
+}
+
+void VisionTransformer::set_frozen_stages(std::size_t stages) {
+  if (stages > kNumStages) {
+    throw std::out_of_range("VisionTransformer: frozen stages out of range");
+  }
+  frozen_stages_ = stages;
+  patch_.set_frozen(stages > 0);
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    for (auto& block : stages_[s]) {
+      block->set_frozen_deep(s < stages);
+    }
+  }
+}
+
+std::size_t VisionTransformer::num_blocks(std::size_t stage) const {
+  if (stage >= kNumStages) {
+    throw std::out_of_range("VisionTransformer: stage out of range");
+  }
+  return stages_[stage].size();
+}
+
+nn::TransformerBlock& VisionTransformer::block(std::size_t stage,
+                                               std::size_t index) {
+  if (stage >= kNumStages || index >= stages_[stage].size()) {
+    throw std::out_of_range("VisionTransformer: block out of range");
+  }
+  return *stages_[stage][index];
+}
+
+nn::EarlyExitHead& VisionTransformer::exit_head(std::size_t stage) {
+  if (stage >= kNumStages) {
+    throw std::out_of_range("VisionTransformer: stage out of range");
+  }
+  return *exit_heads_[stage];
+}
+
+std::size_t VisionTransformer::stage_param_bytes(std::size_t stage) {
+  if (stage >= kNumStages) {
+    throw std::out_of_range("VisionTransformer: stage out of range");
+  }
+  std::size_t bytes = 0;
+  if (stage == 0) {
+    for (const nn::Param* p : patch_.parameters()) bytes += p->value.byte_size();
+  }
+  for (auto& block : stages_[stage]) {
+    for (const nn::Param* p : block->parameters()) bytes += p->value.byte_size();
+  }
+  return bytes;
+}
+
+std::size_t VisionTransformer::stage_macs_per_sample(std::size_t stage) const {
+  if (stage >= kNumStages) {
+    throw std::out_of_range("VisionTransformer: stage out of range");
+  }
+  const std::size_t t = patch_.tokens();
+  const std::size_t e = config_.embed_dim;
+  const std::size_t hidden = config_.mlp_ratio * e;
+  // Per encoder block: 4 projections (T·E·E each), scores + context
+  // (2·T²·E), and the MLP (2·T·E·hidden).
+  const std::size_t per_block =
+      4 * t * e * e + 2 * t * t * e + 2 * t * e * hidden;
+  std::size_t macs = stages_[stage].size() * per_block;
+  if (stage == 0) {
+    macs += t * e * config_.in_channels * config_.patch_size *
+            config_.patch_size;
+  }
+  return macs;
+}
+
+void save_parameters(VisionTransformer& model, std::ostream& out) {
+  nn::save_parameter_tensors(model.parameters(), out);
+}
+
+void save_parameters(VisionTransformer& model, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file)
+    throw std::runtime_error("save_parameters: cannot open " + path);
+  save_parameters(model, file);
+}
+
+void load_parameters(VisionTransformer& model, std::istream& in) {
+  nn::load_parameter_tensors(model.parameters(), in);
+}
+
+void load_parameters(VisionTransformer& model, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file)
+    throw std::runtime_error("load_parameters: cannot open " + path);
+  load_parameters(model, file);
+}
+
+}  // namespace odn::model

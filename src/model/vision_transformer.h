@@ -1,0 +1,99 @@
+// A compact vision transformer assembled from the odn_nn encoder layers —
+// the second backbone of the model zoo (Pourakbar & Shah-Mansouri's
+// transformer-at-the-edge direction).
+//
+// The network mirrors the catalog's four-layer-block structure: a patch
+// embedding folded into stage 0, four stages of TransformerBlocks, and a
+// per-stage EarlyExitHead. Running the trunk through stage k and applying
+// exit head k is exactly the catalog's early-exit path — a shared trunk
+// prefix plus a task-specific head — so substrate measurements and DOT
+// costs line up one-to-one.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace odn::model {
+
+inline constexpr std::size_t kNumStages = 4;
+
+struct VitConfig {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 16;
+  std::size_t patch_size = 4;
+  std::size_t embed_dim = 24;
+  std::size_t num_heads = 4;
+  std::size_t mlp_ratio = 2;  // hidden = ratio x embed_dim
+  std::array<std::size_t, kNumStages> blocks_per_stage{1, 1, 1, 1};
+  std::size_t num_classes = 8;
+};
+
+class VisionTransformer {
+ public:
+  VisionTransformer(const VitConfig& config, util::Rng& rng);
+
+  // Patch-embed images (N, C, H, W) into tokens (N, T, E).
+  nn::Tensor embed(const nn::Tensor& images, bool training);
+
+  // Run one trunk stage over token activations.
+  nn::Tensor forward_stage(std::size_t stage, const nn::Tensor& tokens,
+                           bool training);
+
+  // Apply the exit head attached after `stage`: logits (N, classes).
+  nn::Tensor forward_exit(std::size_t stage, const nn::Tensor& tokens,
+                          bool training);
+
+  // Full-depth inference: embed, all stages, final (stage 3) exit head.
+  nn::Tensor forward(const nn::Tensor& images, bool training);
+
+  // Inference that leaves the trunk at `exit_stage` — the early-exit path.
+  nn::Tensor forward_early_exit(const nn::Tensor& images,
+                                std::size_t exit_stage, bool training);
+
+  // Parameter tensors in a stable traversal order (patch embed, stages in
+  // order with their blocks, exit heads by stage) — the serialization
+  // state-dict order.
+  std::vector<nn::Param*> parameters();
+  std::size_t parameter_bytes();
+
+  // Freeze the patch embedding and the first `stages` trunk stages (the
+  // shared-prefix rule: sharing is feasible only for frozen prefixes).
+  void set_frozen_stages(std::size_t stages);
+  std::size_t frozen_stages() const noexcept { return frozen_stages_; }
+
+  const VitConfig& config() const noexcept { return config_; }
+  std::size_t tokens() const noexcept { return patch_.tokens(); }
+  std::size_t num_blocks(std::size_t stage) const;
+  nn::PatchEmbed& patch_embed() noexcept { return patch_; }
+  nn::TransformerBlock& block(std::size_t stage, std::size_t index);
+  nn::EarlyExitHead& exit_head(std::size_t stage);
+
+  // Parameter bytes of one trunk stage (stage 0 includes the patch embed).
+  std::size_t stage_param_bytes(std::size_t stage);
+  // Analytic per-sample MAC count of one trunk stage.
+  std::size_t stage_macs_per_sample(std::size_t stage) const;
+
+ private:
+  VitConfig config_;
+  nn::PatchEmbed patch_;
+  std::array<std::vector<std::unique_ptr<nn::TransformerBlock>>, kNumStages>
+      stages_;
+  std::array<std::unique_ptr<nn::EarlyExitHead>, kNumStages> exit_heads_;
+  std::size_t frozen_stages_ = 0;
+};
+
+// ODNN state-dict round-trip for the transformer backbone (same container
+// as the ResNet serialization; nn/serialize.cpp).
+void save_parameters(VisionTransformer& model, std::ostream& out);
+void save_parameters(VisionTransformer& model, const std::string& path);
+void load_parameters(VisionTransformer& model, std::istream& in);
+void load_parameters(VisionTransformer& model, const std::string& path);
+
+}  // namespace odn::model

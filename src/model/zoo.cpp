@@ -1,0 +1,226 @@
+#include "model/zoo.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace odn::model {
+namespace {
+
+double median_of(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+std::size_t param_bytes_of(const std::vector<nn::Param*>& params) {
+  std::size_t bytes = 0;
+  for (const nn::Param* p : params) bytes += p->value.byte_size();
+  return bytes;
+}
+
+}  // namespace
+
+TransformerProfile profile_transformer(VisionTransformer& model,
+                                       std::size_t repetitions,
+                                       std::uint64_t seed) {
+  repetitions = std::max<std::size_t>(1, repetitions);
+  util::Rng rng(seed);
+  const VitConfig& config = model.config();
+
+  // Dummy input tensor, batch of one (the paper's standard procedure).
+  nn::Tensor input(
+      {1, config.in_channels, config.image_size, config.image_size});
+  for (float& x : input.data()) x = static_cast<float>(rng.uniform());
+
+  TransformerProfile profile;
+
+  // Patch embedding (its cost is folded into stage 0 by the caller).
+  nn::Tensor tokens = model.embed(input, false);
+  {
+    std::vector<double> times;
+    times.reserve(repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      util::Stopwatch watch;
+      (void)model.embed(input, false);
+      times.push_back(watch.elapsed_ms());
+    }
+    nn::BlockProfile& bp = profile.embed;
+    const std::size_t pbytes =
+        param_bytes_of(model.patch_embed().parameters());
+    bp.compute_time_ms = median_of(std::move(times));
+    bp.param_count = pbytes / sizeof(float);
+    bp.macs = model.tokens() * config.embed_dim * config.in_channels *
+              config.patch_size * config.patch_size;
+    bp.memory_bytes = pbytes + input.byte_size() + tokens.byte_size();
+  }
+
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    // Warm-up pass also produces the activation feeding the next stage.
+    nn::Tensor output = model.forward_stage(s, tokens, false);
+
+    std::vector<double> times;
+    times.reserve(repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      util::Stopwatch watch;
+      (void)model.forward_stage(s, tokens, false);
+      times.push_back(watch.elapsed_ms());
+    }
+
+    nn::BlockProfile& bp = profile.stages[s];
+    bp.compute_time_ms = median_of(std::move(times));
+    bp.macs = model.stage_macs_per_sample(s);
+    bp.param_count = model.stage_param_bytes(s) / sizeof(float);
+    bp.memory_bytes = model.stage_param_bytes(s) +
+                      (tokens.byte_size() + output.byte_size());
+
+    // Exit head attached after this stage.
+    nn::Tensor logits = model.forward_exit(s, output, false);
+    std::vector<double> exit_times;
+    exit_times.reserve(repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      util::Stopwatch watch;
+      (void)model.forward_exit(s, output, false);
+      exit_times.push_back(watch.elapsed_ms());
+    }
+    nn::BlockProfile& ep = profile.exits[s];
+    const std::size_t ebytes =
+        param_bytes_of(model.exit_head(s).parameters());
+    ep.compute_time_ms = median_of(std::move(exit_times));
+    ep.param_count = ebytes / sizeof(float);
+    ep.macs = config.embed_dim * config.num_classes + model.tokens();
+    ep.memory_bytes = ebytes + output.byte_size() + logits.byte_size();
+
+    tokens = std::move(output);
+  }
+  return profile;
+}
+
+core::StageCosts measure_transformer_costs(std::uint64_t seed) {
+  util::Rng rng(seed);
+  VitConfig config;
+  config.blocks_per_stage = {1, 1, 2, 2};  // deeper late stages, like ResNet
+  VisionTransformer model(config, rng);
+
+  const TransformerProfile measured =
+      profile_transformer(model, /*repetitions=*/7, seed);
+
+  // Rescale the *measured ratios* to the reference magnitudes, exactly as
+  // core::measure_from_substrate does for the ResNet table: the substrate
+  // pins the relative stage (and exit-head) costs, the reference pins the
+  // absolute scale.
+  const core::StageCosts reference = core::reference_vit_costs();
+
+  double measured_time_ms = measured.embed.compute_time_ms;
+  double measured_memory = static_cast<double>(measured.embed.memory_bytes);
+  for (const auto& s : measured.stages) {
+    measured_time_ms += s.compute_time_ms;
+    measured_memory += static_cast<double>(s.memory_bytes);
+  }
+  const double time_scale =
+      reference.total_inference_time_s() / measured_time_ms * 1e3;
+  const double memory_scale =
+      reference.total_memory_bytes() / measured_memory;
+
+  core::StageCosts costs = reference;
+  for (std::size_t i = 0; i < 4; ++i) {
+    double stage_ms = measured.stages[i].compute_time_ms;
+    double stage_bytes = static_cast<double>(measured.stages[i].memory_bytes);
+    if (i == 0) {  // patch embedding is part of the first layer block
+      stage_ms += measured.embed.compute_time_ms;
+      stage_bytes += static_cast<double>(measured.embed.memory_bytes);
+    }
+    costs.inference_time_s[i] = stage_ms * 1e-3 * time_scale;
+    costs.memory_bytes[i] = stage_bytes * memory_scale;
+    // The pruned variant keeps the reference's relative discount.
+    costs.pruned_inference_time_s[i] =
+        costs.inference_time_s[i] * reference.pruned_inference_time_s[i] /
+        reference.inference_time_s[i];
+    costs.pruned_memory_bytes[i] = costs.memory_bytes[i] *
+                                   reference.pruned_memory_bytes[i] /
+                                   reference.memory_bytes[i];
+    costs.training_cost_s[i] = reference.training_cost_s[i] *
+                               costs.inference_time_s[i] /
+                               reference.inference_time_s[i];
+    costs.pruned_training_cost_s[i] = costs.training_cost_s[i] + 2.0;
+    costs.exit_head_inference_time_s[i] =
+        measured.exits[i].compute_time_ms * 1e-3 * time_scale;
+    costs.exit_head_memory_bytes[i] =
+        static_cast<double>(measured.exits[i].memory_bytes) * memory_scale;
+    costs.exit_head_training_cost_s[i] =
+        reference.exit_head_training_cost_s[i];
+  }
+  return costs;
+}
+
+std::vector<BatchTiming> measure_batch_timings(
+    VisionTransformer& model, const std::vector<std::size_t>& batches,
+    std::size_t repetitions, std::uint64_t seed) {
+  repetitions = std::max<std::size_t>(1, repetitions);
+  util::Rng rng(seed);
+  const VitConfig& config = model.config();
+
+  std::vector<BatchTiming> timings;
+  timings.reserve(batches.size());
+  for (std::size_t batch : batches) {
+    if (batch == 0)
+      throw std::invalid_argument(
+          "measure_batch_timings: batch sizes must be >= 1");
+    nn::Tensor input({batch, config.in_channels, config.image_size,
+                      config.image_size});
+    for (float& x : input.data()) x = static_cast<float>(rng.uniform());
+
+    (void)model.forward(input, false);  // warm-up
+    std::vector<double> times;
+    times.reserve(repetitions);
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      util::Stopwatch watch;
+      (void)model.forward(input, false);
+      times.push_back(watch.elapsed_seconds());
+    }
+    timings.push_back({batch, median_of(std::move(times))});
+  }
+  return timings;
+}
+
+BatchCostModel fit_batch_cost_model(const std::vector<BatchTiming>& timings) {
+  double single_s = 0.0;
+  for (const BatchTiming& t : timings) {
+    if (t.batch == 1) single_s = t.seconds;
+  }
+  if (!(single_s > 0.0))
+    throw std::invalid_argument(
+        "fit_batch_cost_model: need a positive b = 1 baseline timing");
+
+  // Least squares through the origin on x = (b - 1), y = t(b)/t(1) - 1:
+  // mf = sum(x * y) / sum(x * x).
+  double num = 0.0;
+  double den = 0.0;
+  for (const BatchTiming& t : timings) {
+    if (t.batch <= 1) continue;
+    const double x = static_cast<double>(t.batch - 1);
+    const double y = t.seconds / single_s - 1.0;
+    num += x * y;
+    den += x * x;
+  }
+  if (den == 0.0)
+    throw std::invalid_argument(
+        "fit_batch_cost_model: need at least one b > 1 timing");
+
+  BatchCostModel cost;
+  cost.marginal_fraction = std::clamp(num / den, 0.05, 1.0);
+  return cost;
+}
+
+BatchCostModel measure_batch_cost_model(VisionTransformer& model,
+                                        std::uint64_t seed) {
+  const std::vector<BatchTiming> timings =
+      measure_batch_timings(model, {1, 2, 4, 8}, /*repetitions=*/5, seed);
+  return fit_batch_cost_model(timings);
+}
+
+}  // namespace odn::model

@@ -1,0 +1,67 @@
+// Model-zoo characterization: stage-wise profiling of the transformer
+// backbone (mirroring core::measure_from_substrate for ResNet) and the
+// profiled sub-linear batching cost model c(s, b).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/block_profiles.h"
+#include "model/batching.h"
+#include "model/vision_transformer.h"
+#include "nn/profiler.h"
+
+namespace odn::model {
+
+struct TransformerProfile {
+  nn::BlockProfile embed;  // patch embedding (folded into stage 0 costs)
+  std::array<nn::BlockProfile, kNumStages> stages;
+  std::array<nn::BlockProfile, kNumStages> exits;
+
+  double total_compute_time_ms() const noexcept {
+    double total = embed.compute_time_ms;
+    for (const auto& s : stages) total += s.compute_time_ms;
+    return total;
+  }
+  std::size_t total_memory_bytes() const noexcept {
+    std::size_t total = embed.memory_bytes;
+    for (const auto& s : stages) total += s.memory_bytes;
+    return total;
+  }
+};
+
+// Time stage-wise forward passes on a dummy input (median of
+// `repetitions`) and account parameter + activation bytes per stage.
+TransformerProfile profile_transformer(VisionTransformer& model,
+                                       std::size_t repetitions = 9,
+                                       std::uint64_t seed = 99);
+
+// Profile the scaled zoo transformer and rescale the measured stage
+// ratios to the reference_vit_costs() magnitudes — the transformer twin
+// of core::measure_from_substrate().
+core::StageCosts measure_transformer_costs(std::uint64_t seed = 7);
+
+// One measured (batch size, total seconds) point of full-depth inference.
+struct BatchTiming {
+  std::size_t batch = 1;
+  double seconds = 0.0;
+};
+
+// Wall-clock full-depth inference at each batch size (median of
+// `repetitions` passes per size).
+std::vector<BatchTiming> measure_batch_timings(
+    VisionTransformer& model, const std::vector<std::size_t>& batches,
+    std::size_t repetitions = 5, std::uint64_t seed = 99);
+
+// Least-squares fit of marginal_fraction in
+// c(b) = c(1) · (1 + mf · (b − 1)) to measured timings. Requires a b = 1
+// point (the honest single-request baseline) and at least one b > 1 point.
+BatchCostModel fit_batch_cost_model(const std::vector<BatchTiming>& timings);
+
+// measure_batch_timings + fit_batch_cost_model on batch sizes {1,2,4,8}.
+BatchCostModel measure_batch_cost_model(VisionTransformer& model,
+                                        std::uint64_t seed = 7);
+
+}  // namespace odn::model

@@ -142,6 +142,26 @@ void BasicBlock::prune_internal_channels(
   conv2_.restrict_channels(/*keep_out=*/{}, keep);
 }
 
+std::size_t BasicBlock::backward_cache_bytes(
+    std::size_t input_elements) const {
+  const std::size_t positions = input_elements / in_channels_;  // N·H·W
+  const std::size_t out_positions = positions / (stride_ * stride_);
+  const std::size_t mid_elements = conv1_.out_channels() * out_positions;
+  const std::size_t out_elements = out_channels_ * out_positions;
+  std::size_t bytes = conv1_.backward_cache_bytes(input_elements) +
+                      bn1_.backward_cache_bytes(mid_elements) +
+                      relu1_.backward_cache_bytes(mid_elements) +
+                      conv2_.backward_cache_bytes(mid_elements) +
+                      bn2_.backward_cache_bytes(out_elements) +
+                      relu_out_.backward_cache_bytes(out_elements) +
+                      out_elements * sizeof(float);  // cached_skip_
+  if (projection_) {
+    bytes += projection_->conv.backward_cache_bytes(input_elements) +
+             projection_->bn.backward_cache_bytes(out_elements);
+  }
+  return bytes;
+}
+
 std::size_t BasicBlock::macs_per_sample(std::size_t in_h,
                                         std::size_t in_w) const {
   const std::size_t mid_h = (in_h + 2 - 3) / stride_ + 1;

@@ -56,6 +56,12 @@ class BasicBlock final : public Layer {
   // Select the convolution algorithm for every conv in the block.
   void set_conv_algorithm(ConvAlgorithm algorithm);
 
+  // Sum of the sub-layer caches plus the saved skip activation (and, with
+  // a projection, the projection conv input + BN x_hat). Derived from the
+  // block's channel/stride geometry so the Fig. 2 training-memory model
+  // tracks what backward actually holds.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override;
+
  private:
   struct Projection {
     Conv2d conv;

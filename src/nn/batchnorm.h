@@ -22,6 +22,11 @@ class BatchNorm2d final : public Layer {
 
   std::size_t channels() const noexcept { return channels_; }
 
+  // Caches x_hat (input-sized) plus one inverse-stddev float per channel.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override {
+    return (input_elements + channels_) * sizeof(float);
+  }
+
   // Structured pruning support: keep only the listed channels (running stats
   // and affine parameters are sliced accordingly).
   void restrict_channels(const std::vector<std::size_t>& keep);

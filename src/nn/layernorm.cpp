@@ -1,0 +1,140 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fmt.h"
+#include "util/thread_pool.h"
+
+namespace odn::nn {
+
+LayerNorm::LayerNorm(std::size_t features, float epsilon)
+    : features_(features), epsilon_(epsilon) {
+  if (features == 0) {
+    throw std::invalid_argument("LayerNorm: features must be positive");
+  }
+  if (!(epsilon > 0.0f)) {
+    throw std::invalid_argument("LayerNorm: epsilon must be positive");
+  }
+  gamma_.value = Tensor(Shape{features});
+  gamma_.grad = Tensor(Shape{features});
+  beta_.value = Tensor(Shape{features});
+  beta_.grad = Tensor(Shape{features});
+  gamma_.value.fill(1.0f);
+}
+
+std::string LayerNorm::name() const {
+  return util::fmt("LayerNorm({})", features_);
+}
+
+void LayerNorm::init_parameters(util::Rng& rng) {
+  (void)rng;  // deterministic affine identity: gamma = 1, beta = 0
+  gamma_.value.fill(1.0f);
+  beta_.value.fill(0.0f);
+}
+
+Tensor LayerNorm::forward(const Tensor& input, bool training) {
+  const Shape& shape = input.shape();
+  if (shape.rank() < 2 || shape[shape.rank() - 1] != features_) {
+    throw std::invalid_argument(
+        util::fmt("{}: last dimension must be {}", name(), features_));
+  }
+  const std::size_t rows = input.size() / features_;
+  Tensor output(shape);
+  Tensor normalized(shape);
+  std::vector<float> inv_stds(rows);
+
+  const float* x = input.data().data();
+  float* y = output.data().data();
+  float* x_hat = normalized.data().data();
+  const float* gamma = gamma_.value.data().data();
+  const float* beta = beta_.value.data().data();
+
+  // Each row is normalized independently with serial reductions over the
+  // feature axis; rows write disjoint output slices, so the parallel split
+  // is bit-identical to the serial one.
+  util::global_parallel_for(rows, [&](std::size_t r) {
+    const float* row = x + r * features_;
+    float mean = 0.0f;
+    for (std::size_t j = 0; j < features_; ++j) {
+      mean += row[j];
+    }
+    mean /= static_cast<float>(features_);
+    float var = 0.0f;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float centered = row[j] - mean;
+      var += centered * centered;
+    }
+    var /= static_cast<float>(features_);
+    const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+    inv_stds[r] = inv_std;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float hat = (row[j] - mean) * inv_std;
+      x_hat[r * features_ + j] = hat;
+      y[r * features_ + j] = gamma[j] * hat + beta[j];
+    }
+  });
+
+  if (training) {
+    cached_normalized_ = std::move(normalized);
+    cached_inv_std_ = std::move(inv_stds);
+  } else {
+    cached_normalized_ = Tensor();
+    cached_inv_std_.clear();
+  }
+  return output;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  if (cached_normalized_.size() == 0) {
+    throw std::logic_error(name() + ": backward without training forward");
+  }
+  if (!(grad_output.shape() == cached_normalized_.shape())) {
+    throw std::invalid_argument(name() + ": grad shape mismatch");
+  }
+  const std::size_t rows = grad_output.size() / features_;
+  Tensor grad_input(grad_output.shape());
+
+  const float* go = grad_output.data().data();
+  const float* x_hat = cached_normalized_.data().data();
+  const float* gamma = gamma_.value.data().data();
+  float* gi = grad_input.data().data();
+
+  // Input gradients: rows are independent (disjoint writes), parallel-safe.
+  util::global_parallel_for(rows, [&](std::size_t r) {
+    const float* go_row = go + r * features_;
+    const float* hat_row = x_hat + r * features_;
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_xhat = 0.0f;
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float dxhat = go_row[j] * gamma[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * hat_row[j];
+    }
+    const float scale = cached_inv_std_[r] / static_cast<float>(features_);
+    for (std::size_t j = 0; j < features_; ++j) {
+      const float dxhat = go_row[j] * gamma[j];
+      gi[r * features_ + j] =
+          scale * (static_cast<float>(features_) * dxhat - sum_dxhat -
+                   hat_row[j] * sum_dxhat_xhat);
+    }
+  });
+
+  if (!frozen_) {
+    // Parameter gradients accumulate across rows in a fixed serial order:
+    // gamma/beta are shared, so this pass stays off the pool.
+    float* dgamma = gamma_.grad.data().data();
+    float* dbeta = beta_.grad.data().data();
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float* go_row = go + r * features_;
+      const float* hat_row = x_hat + r * features_;
+      for (std::size_t j = 0; j < features_; ++j) {
+        dgamma[j] += go_row[j] * hat_row[j];
+        dbeta[j] += go_row[j];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace odn::nn

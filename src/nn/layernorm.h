@@ -1,0 +1,45 @@
+// Layer normalization over the feature (last) axis — the normalization
+// transformer encoder blocks use in place of BatchNorm.
+//
+// Works on any tensor of rank >= 2 whose last dimension equals `features`
+// (token activations are (N, T, E)); every leading dimension is treated as
+// an independent row. Reductions over the feature axis run in a fixed
+// serial order per row, and rows are partitioned across the pool with
+// disjoint outputs, so parallel and serial results are bit-identical (the
+// ODN_THREADS determinism contract).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace odn::nn {
+
+class LayerNorm final : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  // Caches x_hat (input-sized) plus one inverse-stddev float per row.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override {
+    return (input_elements + input_elements / features_) * sizeof(float);
+  }
+
+  std::size_t features() const noexcept { return features_; }
+
+ private:
+  std::size_t features_;
+  float epsilon_;
+
+  Param gamma_;  // scale, shape (features)
+  Param beta_;   // shift, shape (features)
+
+  // Backward caches (training forward only).
+  Tensor cached_normalized_;           // x_hat
+  std::vector<float> cached_inv_std_;  // 1/sqrt(var+eps) per row
+};
+
+}  // namespace odn::nn

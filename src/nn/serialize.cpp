@@ -37,10 +37,10 @@ std::uint64_t read_u64(std::istream& in) {
 
 }  // namespace
 
-void save_parameters(ResNet& model, std::ostream& out) {
+void save_parameter_tensors(const std::vector<Param*>& params,
+                            std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
   write_u32(out, kVersion);
-  const std::vector<Param*> params = model.parameters();
   write_u64(out, params.size());
   for (const Param* param : params) {
     const Shape& shape = param->value.shape();
@@ -54,6 +54,10 @@ void save_parameters(ResNet& model, std::ostream& out) {
   if (!out) throw std::runtime_error("save_parameters: write failed");
 }
 
+void save_parameters(ResNet& model, std::ostream& out) {
+  save_parameter_tensors(model.parameters(), out);
+}
+
 void save_parameters(ResNet& model, const std::string& path) {
   std::ofstream file(path, std::ios::binary);
   if (!file)
@@ -61,7 +65,8 @@ void save_parameters(ResNet& model, const std::string& path) {
   save_parameters(model, file);
 }
 
-void load_parameters(ResNet& model, std::istream& in) {
+void load_parameter_tensors(const std::vector<Param*>& params,
+                            std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
@@ -71,7 +76,6 @@ void load_parameters(ResNet& model, std::istream& in) {
     throw std::runtime_error(
         util::fmt("load_parameters: unsupported version {}", version));
 
-  const std::vector<Param*> params = model.parameters();
   const std::uint64_t stored = read_u64(in);
   if (stored != params.size())
     throw std::runtime_error(util::fmt(
@@ -95,6 +99,10 @@ void load_parameters(ResNet& model, std::istream& in) {
             static_cast<std::streamsize>(data.size() * sizeof(float)));
     if (!in) throw std::runtime_error("load_parameters: truncated tensors");
   }
+}
+
+void load_parameters(ResNet& model, std::istream& in) {
+  load_parameter_tensors(model.parameters(), in);
 }
 
 void load_parameters(ResNet& model, const std::string& path) {

@@ -16,10 +16,20 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "nn/layer.h"
 #include "nn/resnet.h"
 
 namespace odn::nn {
+
+// Generic state-dict form: any architecture that can enumerate its
+// parameter tensors in a stable traversal order round-trips through the
+// same ODNN container (the model zoo's transformer backbones use these).
+void save_parameter_tensors(const std::vector<Param*>& params,
+                            std::ostream& out);
+void load_parameter_tensors(const std::vector<Param*>& params,
+                            std::istream& in);
 
 void save_parameters(ResNet& model, std::ostream& out);
 void save_parameters(ResNet& model, const std::string& path);

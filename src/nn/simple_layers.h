@@ -24,6 +24,12 @@ class MaxPool2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override;
 
+  // Caches one argmax float per *pooled* output element, not per input
+  // element: input/window^2.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override {
+    return input_elements / (window_ * window_) * sizeof(float);
+  }
+
  private:
   std::size_t window_;
   Tensor cached_argmax_;  // flat input index of each pooled maximum
@@ -37,6 +43,9 @@ class GlobalAvgPool2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "GlobalAvgPool2d"; }
 
+  // Only the input shape is cached.
+  std::size_t backward_cache_bytes(std::size_t) const override { return 0; }
+
  private:
   Shape cached_input_shape_;
 };
@@ -48,6 +57,9 @@ class Flatten final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Flatten"; }
+
+  // Only the input shape is cached.
+  std::size_t backward_cache_bytes(std::size_t) const override { return 0; }
 
  private:
   Shape cached_input_shape_;

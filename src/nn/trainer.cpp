@@ -223,8 +223,8 @@ std::size_t Trainer::peak_training_memory_bytes(ResNet& model,
   bytes += trainable_elems * (sizeof(float) + opt_state);
 
   // Activations cached for backward: only the trainable suffix caches.
-  // Per BasicBlock we cache roughly its input plus six output-sized
-  // buffers (bn normalized caches, relu masks, conv inputs, skip).
+  // Each block reports exactly what it holds (conv inputs, bn x_hat, relu
+  // masks, skip, projection caches) via backward_cache_bytes.
   std::size_t cached_floats_per_sample = 0;
   for (std::size_t s = model.frozen_stages(); s < kNumStages; ++s) {
     std::size_t spatial = model.stage_input_size(s);
@@ -232,12 +232,9 @@ std::size_t Trainer::peak_training_memory_bytes(ResNet& model,
       const BasicBlock& block = model.block(s, b);
       const std::size_t in_elems =
           block.in_channels() * spatial * spatial;
-      const std::size_t out_spatial =
-          block.stride() == 2 ? spatial / 2 : spatial;
-      const std::size_t out_elems =
-          block.out_channels() * out_spatial * out_spatial;
-      cached_floats_per_sample += in_elems + 6 * out_elems;
-      spatial = out_spatial;
+      cached_floats_per_sample +=
+          block.backward_cache_bytes(in_elems) / sizeof(float);
+      if (block.stride() == 2) spatial /= 2;
     }
   }
   // Head caches: pooled features + logits (negligible but counted).

@@ -1,0 +1,689 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "util/fmt.h"
+#include "util/thread_pool.h"
+
+namespace odn::nn {
+namespace {
+
+constexpr float kGeluScale = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluCubic = 0.044715f;
+
+void check_rank3(const Tensor& input, std::size_t embed_dim,
+                 const std::string& layer) {
+  const Shape& shape = input.shape();
+  if (shape.rank() != 3 || shape[2] != embed_dim) {
+    throw std::invalid_argument(util::fmt(
+        "{}: expected (N, T, {}) input, got {}", layer, embed_dim,
+        shape.to_string()));
+  }
+}
+
+void init_projection(Param& weight, Param& bias, std::size_t fan_in,
+                     util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (float& w : weight.value.data()) {
+    w = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  bias.value.fill(0.0f);
+}
+
+// y = x · W^T + b over the flattened (rows, features) view.
+void project(const Tensor& input, const Param& weight, const Param& bias,
+             std::size_t rows, std::size_t out_features,
+             std::size_t in_features, Tensor& output) {
+  sgemm_bt(rows, out_features, in_features, input.data().data(),
+           weight.value.data().data(), output.data().data());
+  const float* b = bias.value.data().data();
+  float* y = output.data().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < out_features; ++j) {
+      y[r * out_features + j] += b[j];
+    }
+  }
+}
+
+// Accumulates dW += go^T · x and db += column-sums(go); both shared across
+// rows, so the reductions stay serial (sgemm's parallel split is already
+// bit-identical; the bias loop is fixed-order).
+void accumulate_projection_grads(const Tensor& grad_out, const Tensor& input,
+                                 std::size_t rows, std::size_t out_features,
+                                 std::size_t in_features, Param& weight,
+                                 Param& bias) {
+  sgemm_at(out_features, in_features, rows, grad_out.data().data(),
+           input.data().data(), weight.grad.data().data(),
+           /*accumulate=*/true);
+  const float* go = grad_out.data().data();
+  float* db = bias.grad.data().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < out_features; ++j) {
+      db[j] += go[r * out_features + j];
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Gelu
+
+Tensor Gelu::forward(const Tensor& input, bool training) {
+  Tensor output(input.shape());
+  const float* x = input.data().data();
+  float* y = output.data().data();
+  const std::size_t count = input.size();
+  util::global_parallel_for(count, [&](std::size_t i) {
+    const float v = x[i];
+    const float inner = kGeluScale * (v + kGeluCubic * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(inner));
+  });
+  if (training) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();
+  }
+  return output;
+}
+
+Tensor Gelu::backward(const Tensor& grad_output) {
+  if (cached_input_.size() == 0) {
+    throw std::logic_error(name() + ": backward without training forward");
+  }
+  if (!(grad_output.shape() == cached_input_.shape())) {
+    throw std::invalid_argument(name() + ": grad shape mismatch");
+  }
+  Tensor grad_input(grad_output.shape());
+  const float* x = cached_input_.data().data();
+  const float* go = grad_output.data().data();
+  float* gi = grad_input.data().data();
+  util::global_parallel_for(grad_output.size(), [&](std::size_t i) {
+    const float v = x[i];
+    const float inner = kGeluScale * (v + kGeluCubic * v * v * v);
+    const float t = std::tanh(inner);
+    const float sech2 = 1.0f - t * t;
+    const float d_inner = kGeluScale * (1.0f + 3.0f * kGeluCubic * v * v);
+    gi[i] = go[i] * (0.5f * (1.0f + t) + 0.5f * v * sech2 * d_inner);
+  });
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// MultiHeadSelfAttention
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::size_t embed_dim,
+                                               std::size_t num_heads,
+                                               std::size_t seq_len)
+    : embed_dim_(embed_dim),
+      num_heads_(num_heads),
+      seq_len_(seq_len),
+      head_dim_(num_heads == 0 ? 0 : embed_dim / num_heads) {
+  if (embed_dim == 0 || num_heads == 0 || seq_len == 0) {
+    throw std::invalid_argument(
+        "MultiHeadSelfAttention: dimensions must be positive");
+  }
+  if (embed_dim % num_heads != 0) {
+    throw std::invalid_argument(util::fmt(
+        "MultiHeadSelfAttention: embed_dim {} not divisible by {} heads",
+        embed_dim, num_heads));
+  }
+  for (Param* w : {&wq_, &wk_, &wv_, &wo_}) {
+    w->value = Tensor(Shape{embed_dim, embed_dim});
+    w->grad = Tensor(Shape{embed_dim, embed_dim});
+  }
+  for (Param* b : {&bq_, &bk_, &bv_, &bo_}) {
+    b->value = Tensor(Shape{embed_dim});
+    b->grad = Tensor(Shape{embed_dim});
+  }
+}
+
+std::vector<Param*> MultiHeadSelfAttention::parameters() {
+  return {&wq_, &bq_, &wk_, &bk_, &wv_, &bv_, &wo_, &bo_};
+}
+
+std::string MultiHeadSelfAttention::name() const {
+  return util::fmt("MultiHeadSelfAttention({}x{})", num_heads_, head_dim_);
+}
+
+void MultiHeadSelfAttention::init_parameters(util::Rng& rng) {
+  init_projection(wq_, bq_, embed_dim_, rng);
+  init_projection(wk_, bk_, embed_dim_, rng);
+  init_projection(wv_, bv_, embed_dim_, rng);
+  init_projection(wo_, bo_, embed_dim_, rng);
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& input, bool training) {
+  check_rank3(input, embed_dim_, name());
+  const std::size_t batch = input.shape()[0];
+  const std::size_t seq = input.shape()[1];
+  if (seq != seq_len_) {
+    throw std::invalid_argument(util::fmt(
+        "{}: expected sequence length {}, got {}", name(), seq_len_, seq));
+  }
+  const std::size_t rows = batch * seq;
+
+  Tensor q(input.shape()), k(input.shape()), v(input.shape());
+  project(input, wq_, bq_, rows, embed_dim_, embed_dim_, q);
+  project(input, wk_, bk_, rows, embed_dim_, embed_dim_, k);
+  project(input, wv_, bv_, rows, embed_dim_, embed_dim_, v);
+
+  Tensor attn(Shape{batch, num_heads_, seq, seq});
+  Tensor ctx(input.shape());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const float* qd = q.data().data();
+  const float* kd = k.data().data();
+  const float* vd = v.data().data();
+  float* ad = attn.data().data();
+  float* cd = ctx.data().data();
+
+  // One (batch, head) pair per work item: scores, softmax, and the context
+  // contraction all run serially inside, and every write lands in a slice
+  // owned by exactly one item — parallel matches serial bit-for-bit.
+  util::global_parallel_for(batch * num_heads_, [&](std::size_t item) {
+    const std::size_t n = item / num_heads_;
+    const std::size_t h = item % num_heads_;
+    const std::size_t head_off = h * head_dim_;
+    float* a_head = ad + ((n * num_heads_ + h) * seq) * seq;
+    for (std::size_t t1 = 0; t1 < seq; ++t1) {
+      const float* q_row = qd + ((n * seq + t1) * embed_dim_) + head_off;
+      float* a_row = a_head + t1 * seq;
+      float max_score = -std::numeric_limits<float>::infinity();
+      for (std::size_t t2 = 0; t2 < seq; ++t2) {
+        const float* k_row = kd + ((n * seq + t2) * embed_dim_) + head_off;
+        float score = 0.0f;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          score += q_row[d] * k_row[d];
+        }
+        score *= scale;
+        a_row[t2] = score;
+        if (score > max_score) max_score = score;
+      }
+      float denom = 0.0f;
+      for (std::size_t t2 = 0; t2 < seq; ++t2) {
+        const float e = std::exp(a_row[t2] - max_score);
+        a_row[t2] = e;
+        denom += e;
+      }
+      const float inv_denom = 1.0f / denom;
+      for (std::size_t t2 = 0; t2 < seq; ++t2) {
+        a_row[t2] *= inv_denom;
+      }
+      float* c_row = cd + ((n * seq + t1) * embed_dim_) + head_off;
+      for (std::size_t d = 0; d < head_dim_; ++d) {
+        c_row[d] = 0.0f;
+      }
+      for (std::size_t t2 = 0; t2 < seq; ++t2) {
+        const float weight = a_row[t2];
+        const float* v_row = vd + ((n * seq + t2) * embed_dim_) + head_off;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          c_row[d] += weight * v_row[d];
+        }
+      }
+    }
+  });
+
+  Tensor output(input.shape());
+  project(ctx, wo_, bo_, rows, embed_dim_, embed_dim_, output);
+
+  if (training) {
+    cached_input_ = input;
+    cached_q_ = std::move(q);
+    cached_k_ = std::move(k);
+    cached_v_ = std::move(v);
+    cached_attn_ = std::move(attn);
+    cached_ctx_ = std::move(ctx);
+  } else {
+    cached_input_ = Tensor();
+    cached_q_ = Tensor();
+    cached_k_ = Tensor();
+    cached_v_ = Tensor();
+    cached_attn_ = Tensor();
+    cached_ctx_ = Tensor();
+  }
+  return output;
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& grad_output) {
+  if (cached_input_.size() == 0) {
+    throw std::logic_error(name() + ": backward without training forward");
+  }
+  if (!(grad_output.shape() == cached_input_.shape())) {
+    throw std::invalid_argument(name() + ": grad shape mismatch");
+  }
+  const std::size_t batch = cached_input_.shape()[0];
+  const std::size_t seq = cached_input_.shape()[1];
+  const std::size_t rows = batch * seq;
+
+  // Output projection: dctx = go · Wo; dWo += go^T · ctx.
+  Tensor dctx(cached_input_.shape());
+  sgemm(rows, embed_dim_, embed_dim_, grad_output.data().data(),
+        wo_.value.data().data(), dctx.data().data());
+  if (!frozen_) {
+    accumulate_projection_grads(grad_output, cached_ctx_, rows, embed_dim_,
+                                embed_dim_, wo_, bo_);
+  }
+
+  Tensor dq(cached_input_.shape()), dk(cached_input_.shape()),
+      dv(cached_input_.shape());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const float* qd = cached_q_.data().data();
+  const float* kd = cached_k_.data().data();
+  const float* vd = cached_v_.data().data();
+  const float* ad = cached_attn_.data().data();
+  const float* dcd = dctx.data().data();
+  float* dqd = dq.data().data();
+  float* dkd = dk.data().data();
+  float* dvd = dv.data().data();
+
+  // Per (batch, head) backward through softmax(QK^T/sqrt(dh))·V. Each item
+  // owns the head slice of dQ/dK/dV for its batch entry, so writes stay
+  // disjoint; inner reductions are serial.
+  util::global_parallel_for(batch * num_heads_, [&](std::size_t item) {
+    const std::size_t n = item / num_heads_;
+    const std::size_t h = item % num_heads_;
+    const std::size_t head_off = h * head_dim_;
+    const float* a_head = ad + ((n * num_heads_ + h) * seq) * seq;
+    std::vector<float> da(seq);
+    for (std::size_t t1 = 0; t1 < seq; ++t1) {
+      const float* a_row = a_head + t1 * seq;
+      const float* dc_row = dcd + ((n * seq + t1) * embed_dim_) + head_off;
+      // dA[t1, t2] = dctx[t1] · V[t2]; also dV[t2] += A[t1, t2] * dctx[t1].
+      for (std::size_t t2 = 0; t2 < seq; ++t2) {
+        const float* v_row = vd + ((n * seq + t2) * embed_dim_) + head_off;
+        float* dv_row = dvd + ((n * seq + t2) * embed_dim_) + head_off;
+        float dot = 0.0f;
+        const float weight = a_row[t2];
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          dot += dc_row[d] * v_row[d];
+          dv_row[d] += weight * dc_row[d];
+        }
+        da[t2] = dot;
+      }
+      // Softmax backward: dS = A ⊙ (dA - sum(dA ⊙ A)).
+      float inner = 0.0f;
+      for (std::size_t t2 = 0; t2 < seq; ++t2) {
+        inner += da[t2] * a_row[t2];
+      }
+      float* dq_row = dqd + ((n * seq + t1) * embed_dim_) + head_off;
+      for (std::size_t t2 = 0; t2 < seq; ++t2) {
+        const float ds = a_row[t2] * (da[t2] - inner) * scale;
+        const float* k_row = kd + ((n * seq + t2) * embed_dim_) + head_off;
+        const float* q_row = qd + ((n * seq + t1) * embed_dim_) + head_off;
+        float* dk_row = dkd + ((n * seq + t2) * embed_dim_) + head_off;
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+          dq_row[d] += ds * k_row[d];
+          dk_row[d] += ds * q_row[d];
+        }
+      }
+    }
+  });
+
+  // Input gradient through the three projections (accumulated in a fixed
+  // Q, K, V order), plus their parameter gradients.
+  Tensor grad_input(cached_input_.shape());
+  sgemm(rows, embed_dim_, embed_dim_, dqd, wq_.value.data().data(),
+        grad_input.data().data());
+  sgemm(rows, embed_dim_, embed_dim_, dkd, wk_.value.data().data(),
+        grad_input.data().data(), /*accumulate=*/true);
+  sgemm(rows, embed_dim_, embed_dim_, dvd, wv_.value.data().data(),
+        grad_input.data().data(), /*accumulate=*/true);
+  if (!frozen_) {
+    accumulate_projection_grads(dq, cached_input_, rows, embed_dim_,
+                                embed_dim_, wq_, bq_);
+    accumulate_projection_grads(dk, cached_input_, rows, embed_dim_,
+                                embed_dim_, wk_, bk_);
+    accumulate_projection_grads(dv, cached_input_, rows, embed_dim_,
+                                embed_dim_, wv_, bv_);
+  }
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// TransformerBlock
+
+TransformerBlock::TransformerBlock(std::size_t embed_dim,
+                                   std::size_t num_heads,
+                                   std::size_t mlp_hidden,
+                                   std::size_t seq_len)
+    : embed_dim_(embed_dim),
+      mlp_hidden_(mlp_hidden),
+      ln1_(embed_dim),
+      attn_(embed_dim, num_heads, seq_len),
+      ln2_(embed_dim),
+      fc1_(embed_dim, mlp_hidden),
+      fc2_(mlp_hidden, embed_dim) {
+  if (mlp_hidden == 0) {
+    throw std::invalid_argument("TransformerBlock: mlp_hidden must be positive");
+  }
+}
+
+std::vector<Param*> TransformerBlock::parameters() {
+  std::vector<Param*> params;
+  for (Layer* layer :
+       std::initializer_list<Layer*>{&ln1_, &attn_, &ln2_, &fc1_, &fc2_}) {
+    for (Param* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::string TransformerBlock::name() const {
+  return util::fmt("TransformerBlock(E={},H={})", embed_dim_, mlp_hidden_);
+}
+
+void TransformerBlock::init_parameters(util::Rng& rng) {
+  ln1_.init_parameters(rng);
+  attn_.init_parameters(rng);
+  ln2_.init_parameters(rng);
+  fc1_.init_parameters(rng);
+  fc2_.init_parameters(rng);
+}
+
+void TransformerBlock::set_frozen_deep(bool frozen) {
+  set_frozen(frozen);
+  for (Layer* layer :
+       std::initializer_list<Layer*>{&ln1_, &attn_, &ln2_, &fc1_, &fc2_,
+                                     &gelu_}) {
+    layer->set_frozen(frozen);
+  }
+}
+
+std::size_t TransformerBlock::backward_cache_bytes(
+    std::size_t input_elements) const {
+  const std::size_t hidden_elements =
+      input_elements / embed_dim_ * mlp_hidden_;
+  return ln1_.backward_cache_bytes(input_elements) +
+         attn_.backward_cache_bytes(input_elements) +
+         ln2_.backward_cache_bytes(input_elements) +
+         fc1_.backward_cache_bytes(input_elements) +   // caches its input
+         hidden_elements * sizeof(float) +             // GELU input
+         hidden_elements * sizeof(float);              // FC2 input
+}
+
+Tensor TransformerBlock::forward(const Tensor& input, bool training) {
+  check_rank3(input, embed_dim_, name());
+  const std::size_t rows = input.shape()[0] * input.shape()[1];
+
+  Tensor attn_out = attn_.forward(ln1_.forward(input, training), training);
+  Tensor h = input;
+  h.add_inplace(attn_out);
+
+  Tensor normed = ln2_.forward(h, training);
+  Tensor mlp = fc2_.forward(
+      gelu_.forward(
+          fc1_.forward(normed.reshaped(Shape{rows, embed_dim_}), training),
+          training),
+      training);
+  h.add_inplace(mlp.reshaped(input.shape()));
+  return h;
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_output) {
+  check_rank3(grad_output, embed_dim_, name());
+  const std::size_t rows = grad_output.shape()[0] * grad_output.shape()[1];
+
+  Tensor dmlp = fc1_.backward(gelu_.backward(
+      fc2_.backward(grad_output.reshaped(Shape{rows, embed_dim_}))));
+  Tensor dh = ln2_.backward(dmlp.reshaped(grad_output.shape()));
+  dh.add_inplace(grad_output);  // residual branch
+
+  Tensor dattn_in = ln1_.backward(attn_.backward(dh));
+  dattn_in.add_inplace(dh);  // residual branch
+  return dattn_in;
+}
+
+// ---------------------------------------------------------------------------
+// PatchEmbed
+
+PatchEmbed::PatchEmbed(std::size_t in_channels, std::size_t image_size,
+                       std::size_t patch_size, std::size_t embed_dim)
+    : in_channels_(in_channels),
+      image_size_(image_size),
+      patch_size_(patch_size),
+      embed_dim_(embed_dim) {
+  if (in_channels == 0 || image_size == 0 || patch_size == 0 ||
+      embed_dim == 0) {
+    throw std::invalid_argument("PatchEmbed: dimensions must be positive");
+  }
+  if (image_size % patch_size != 0) {
+    throw std::invalid_argument(util::fmt(
+        "PatchEmbed: image size {} not divisible by patch size {}",
+        image_size, patch_size));
+  }
+  const std::size_t grid = image_size / patch_size;
+  tokens_ = grid * grid;
+  patch_elems_ = in_channels * patch_size * patch_size;
+  weight_.value = Tensor(Shape{embed_dim, patch_elems_});
+  weight_.grad = Tensor(Shape{embed_dim, patch_elems_});
+  bias_.value = Tensor(Shape{embed_dim});
+  bias_.grad = Tensor(Shape{embed_dim});
+  pos_.value = Tensor(Shape{tokens_, embed_dim});
+  pos_.grad = Tensor(Shape{tokens_, embed_dim});
+}
+
+std::string PatchEmbed::name() const {
+  return util::fmt("PatchEmbed({}x{}->T{}xE{})", image_size_, image_size_,
+                   tokens_, embed_dim_);
+}
+
+void PatchEmbed::init_parameters(util::Rng& rng) {
+  init_projection(weight_, bias_, patch_elems_, rng);
+  for (float& p : pos_.value.data()) {
+    p = static_cast<float>(rng.normal(0.0, 0.02));
+  }
+}
+
+Tensor PatchEmbed::forward(const Tensor& input, bool training) {
+  const Shape& shape = input.shape();
+  if (shape.rank() != 4 || shape[1] != in_channels_ ||
+      shape[2] != image_size_ || shape[3] != image_size_) {
+    throw std::invalid_argument(util::fmt(
+        "{}: expected (N, {}, {}, {}) input, got {}", name(), in_channels_,
+        image_size_, image_size_, shape.to_string()));
+  }
+  const std::size_t batch = shape[0];
+  const std::size_t grid = image_size_ / patch_size_;
+
+  // Gather patches row-major over (channel, patch-y, patch-x) — a fixed
+  // layout both the projection and the backward scatter rely on.
+  Tensor patches(Shape{batch * tokens_, patch_elems_});
+  float* pd = patches.data().data();
+  util::global_parallel_for(batch * tokens_, [&](std::size_t row) {
+    const std::size_t n = row / tokens_;
+    const std::size_t t = row % tokens_;
+    const std::size_t gy = t / grid;
+    const std::size_t gx = t % grid;
+    float* out_row = pd + row * patch_elems_;
+    std::size_t idx = 0;
+    for (std::size_t c = 0; c < in_channels_; ++c) {
+      for (std::size_t py = 0; py < patch_size_; ++py) {
+        for (std::size_t px = 0; px < patch_size_; ++px) {
+          out_row[idx++] =
+              input.at4(n, c, gy * patch_size_ + py, gx * patch_size_ + px);
+        }
+      }
+    }
+  });
+
+  Tensor output(Shape{batch, tokens_, embed_dim_});
+  sgemm_bt(batch * tokens_, embed_dim_, patch_elems_, pd,
+           weight_.value.data().data(), output.data().data());
+  const float* b = bias_.value.data().data();
+  const float* pos = pos_.value.data().data();
+  float* y = output.data().data();
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t t = 0; t < tokens_; ++t) {
+      float* row = y + (n * tokens_ + t) * embed_dim_;
+      const float* pos_row = pos + t * embed_dim_;
+      for (std::size_t j = 0; j < embed_dim_; ++j) {
+        row[j] += b[j] + pos_row[j];
+      }
+    }
+  }
+
+  if (training) {
+    cached_patches_ = std::move(patches);
+  } else {
+    cached_patches_ = Tensor();
+  }
+  return output;
+}
+
+Tensor PatchEmbed::backward(const Tensor& grad_output) {
+  if (cached_patches_.size() == 0) {
+    throw std::logic_error(name() + ": backward without training forward");
+  }
+  const Shape& shape = grad_output.shape();
+  if (shape.rank() != 3 || shape[1] != tokens_ || shape[2] != embed_dim_) {
+    throw std::invalid_argument(name() + ": grad shape mismatch");
+  }
+  const std::size_t batch = shape[0];
+  const std::size_t rows = batch * tokens_;
+  const std::size_t grid = image_size_ / patch_size_;
+  const float* go = grad_output.data().data();
+
+  if (!frozen_) {
+    sgemm_at(embed_dim_, patch_elems_, rows, go,
+             cached_patches_.data().data(), weight_.grad.data().data(),
+             /*accumulate=*/true);
+    float* db = bias_.grad.data().data();
+    float* dpos = pos_.grad.data().data();
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t t = 0; t < tokens_; ++t) {
+        const float* row = go + (n * tokens_ + t) * embed_dim_;
+        float* dpos_row = dpos + t * embed_dim_;
+        for (std::size_t j = 0; j < embed_dim_; ++j) {
+          db[j] += row[j];
+          dpos_row[j] += row[j];
+        }
+      }
+    }
+  }
+
+  Tensor dpatches(Shape{rows, patch_elems_});
+  sgemm(rows, patch_elems_, embed_dim_, go, weight_.value.data().data(),
+        dpatches.data().data());
+
+  Tensor grad_input(Shape{batch, in_channels_, image_size_, image_size_});
+  const float* dp = dpatches.data().data();
+  // Patches tile the image, so each input pixel belongs to exactly one
+  // patch row — the scatter writes are disjoint.
+  util::global_parallel_for(rows, [&](std::size_t row) {
+    const std::size_t n = row / tokens_;
+    const std::size_t t = row % tokens_;
+    const std::size_t gy = t / grid;
+    const std::size_t gx = t % grid;
+    const float* in_row = dp + row * patch_elems_;
+    std::size_t idx = 0;
+    for (std::size_t c = 0; c < in_channels_; ++c) {
+      for (std::size_t py = 0; py < patch_size_; ++py) {
+        for (std::size_t px = 0; px < patch_size_; ++px) {
+          grad_input.at4(n, c, gy * patch_size_ + py,
+                         gx * patch_size_ + px) = in_row[idx++];
+        }
+      }
+    }
+  });
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// EarlyExitHead
+
+EarlyExitHead::EarlyExitHead(std::size_t embed_dim, std::size_t num_classes,
+                             std::size_t seq_len)
+    : embed_dim_(embed_dim), num_classes_(num_classes), seq_len_(seq_len) {
+  if (embed_dim == 0 || num_classes == 0 || seq_len == 0) {
+    throw std::invalid_argument("EarlyExitHead: dimensions must be positive");
+  }
+  weight_.value = Tensor(Shape{num_classes, embed_dim});
+  weight_.grad = Tensor(Shape{num_classes, embed_dim});
+  bias_.value = Tensor(Shape{num_classes});
+  bias_.grad = Tensor(Shape{num_classes});
+}
+
+std::string EarlyExitHead::name() const {
+  return util::fmt("EarlyExitHead({}->{})", embed_dim_, num_classes_);
+}
+
+void EarlyExitHead::init_parameters(util::Rng& rng) {
+  init_projection(weight_, bias_, embed_dim_, rng);
+}
+
+Tensor EarlyExitHead::forward(const Tensor& input, bool training) {
+  check_rank3(input, embed_dim_, name());
+  if (input.shape()[1] != seq_len_) {
+    throw std::invalid_argument(util::fmt(
+        "{}: expected sequence length {}, got {}", name(), seq_len_,
+        input.shape()[1]));
+  }
+  const std::size_t batch = input.shape()[0];
+  const float* x = input.data().data();
+
+  Tensor pooled(Shape{batch, embed_dim_});
+  float* pd = pooled.data().data();
+  const float inv_seq = 1.0f / static_cast<float>(seq_len_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* p_row = pd + n * embed_dim_;
+    for (std::size_t t = 0; t < seq_len_; ++t) {
+      const float* row = x + (n * seq_len_ + t) * embed_dim_;
+      for (std::size_t j = 0; j < embed_dim_; ++j) {
+        p_row[j] += row[j];
+      }
+    }
+    for (std::size_t j = 0; j < embed_dim_; ++j) {
+      p_row[j] *= inv_seq;
+    }
+  }
+
+  Tensor logits(Shape{batch, num_classes_});
+  project(pooled, weight_, bias_, batch, num_classes_, embed_dim_, logits);
+
+  if (training) {
+    cached_pooled_ = std::move(pooled);
+  } else {
+    cached_pooled_ = Tensor();
+  }
+  return logits;
+}
+
+Tensor EarlyExitHead::backward(const Tensor& grad_output) {
+  if (cached_pooled_.size() == 0) {
+    throw std::logic_error(name() + ": backward without training forward");
+  }
+  const Shape& shape = grad_output.shape();
+  if (shape.rank() != 2 || shape[1] != num_classes_) {
+    throw std::invalid_argument(name() + ": grad shape mismatch");
+  }
+  const std::size_t batch = shape[0];
+
+  if (!frozen_) {
+    accumulate_projection_grads(grad_output, cached_pooled_, batch,
+                                num_classes_, embed_dim_, weight_, bias_);
+  }
+
+  Tensor dpooled(Shape{batch, embed_dim_});
+  sgemm(batch, embed_dim_, num_classes_, grad_output.data().data(),
+        weight_.value.data().data(), dpooled.data().data());
+
+  Tensor grad_input(Shape{batch, seq_len_, embed_dim_});
+  const float inv_seq = 1.0f / static_cast<float>(seq_len_);
+  const float* dpd = dpooled.data().data();
+  float* gi = grad_input.data().data();
+  util::global_parallel_for(batch, [&](std::size_t n) {
+    const float* dp_row = dpd + n * embed_dim_;
+    for (std::size_t t = 0; t < seq_len_; ++t) {
+      float* row = gi + (n * seq_len_ + t) * embed_dim_;
+      for (std::size_t j = 0; j < embed_dim_; ++j) {
+        row[j] = dp_row[j] * inv_seq;
+      }
+    }
+  });
+  return grad_input;
+}
+
+}  // namespace odn::nn

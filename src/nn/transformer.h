@@ -1,0 +1,186 @@
+// Transformer encoder layers behind the explicit forward/backward Layer
+// interface: GELU, multi-head self-attention (on the sgemm kernels),
+// pre-LN residual TransformerBlock, patch embedding, and an early-exit
+// classification head.
+//
+// Token activations are rank-3 tensors (N, T, E): batch, sequence, embed.
+// All reductions run in a fixed accumulation order — softmax rows and
+// attention contractions are serial per (batch, head), batches are
+// partitioned across the pool with disjoint outputs, and the projections
+// go through the bit-identical sgemm kernels — so every layer honours the
+// serial-vs-parallel byte-identity contract for any ODN_THREADS.
+//
+// Each layer overrides backward_cache_bytes with exactly what it caches,
+// keeping the Fig. 2 training-memory model honest for transformer paths.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "nn/layer.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+
+namespace odn::nn {
+
+// Gaussian Error Linear Unit (tanh approximation). Caches its input.
+class Gelu final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GELU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+// Multi-head self-attention over (N, T, E) token activations.
+//
+// Q/K/V/O are (E, E) projections applied as X · W^T + b through sgemm_bt
+// on the flattened (N·T, E) view; attention scores, softmax, and the
+// context contraction run per (batch, head) with serial inner loops.
+class MultiHeadSelfAttention final : public Layer {
+ public:
+  MultiHeadSelfAttention(std::size_t embed_dim, std::size_t num_heads,
+                         std::size_t seq_len);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  // Caches: input, Q, K, V, context (each input-sized) plus the softmaxed
+  // attention matrix (N, H, T, T) = (input/E)·H·T floats.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override {
+    const std::size_t rows = input_elements / embed_dim_;  // N·T
+    return (5 * input_elements + rows * num_heads_ * seq_len_) * sizeof(float);
+  }
+
+  std::size_t embed_dim() const noexcept { return embed_dim_; }
+  std::size_t num_heads() const noexcept { return num_heads_; }
+  std::size_t seq_len() const noexcept { return seq_len_; }
+
+ private:
+  std::size_t embed_dim_;
+  std::size_t num_heads_;
+  std::size_t seq_len_;
+  std::size_t head_dim_;
+
+  Param wq_, wk_, wv_, wo_;  // (E, E), Linear convention: y = x · W^T + b
+  Param bq_, bk_, bv_, bo_;  // (E)
+
+  // Backward caches (training forward only).
+  Tensor cached_input_;  // X  (N, T, E)
+  Tensor cached_q_;      // Q  (N, T, E)
+  Tensor cached_k_;      // K  (N, T, E)
+  Tensor cached_v_;      // V  (N, T, E)
+  Tensor cached_attn_;   // softmax(QK^T/sqrt(dh))  (N, H, T, T)
+  Tensor cached_ctx_;    // attention context before the O projection
+};
+
+// Pre-LN residual encoder block:
+//   h = x + Attn(LN1(x));  y = h + FC2(GELU(FC1(LN2(h)))).
+class TransformerBlock final : public Layer {
+ public:
+  TransformerBlock(std::size_t embed_dim, std::size_t num_heads,
+                   std::size_t mlp_hidden, std::size_t seq_len);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override;
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  // Sum of the sub-layer caches; the residual additions cache nothing.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override;
+
+  // Freezes this block and every sub-layer (shared trunk blocks).
+  void set_frozen_deep(bool frozen);
+
+  std::size_t embed_dim() const noexcept { return embed_dim_; }
+  std::size_t mlp_hidden() const noexcept { return mlp_hidden_; }
+
+ private:
+  std::size_t embed_dim_;
+  std::size_t mlp_hidden_;
+
+  LayerNorm ln1_;
+  MultiHeadSelfAttention attn_;
+  LayerNorm ln2_;
+  Linear fc1_;
+  Gelu gelu_;
+  Linear fc2_;
+};
+
+// Splits an (N, C, H, W) image into non-overlapping P x P patches, projects
+// each to the embed dimension, and adds a learned position embedding;
+// output is (N, T, E) with T = (H/P)·(W/P).
+class PatchEmbed final : public Layer {
+ public:
+  PatchEmbed(std::size_t in_channels, std::size_t image_size,
+             std::size_t patch_size, std::size_t embed_dim);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override { return {&weight_, &bias_, &pos_}; }
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  // Caches the (N·T, C·P·P) patch matrix — same element count as the input.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override {
+    return input_elements * sizeof(float);
+  }
+
+  std::size_t tokens() const noexcept { return tokens_; }
+  std::size_t embed_dim() const noexcept { return embed_dim_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t image_size_;
+  std::size_t patch_size_;
+  std::size_t embed_dim_;
+  std::size_t tokens_;
+  std::size_t patch_elems_;  // C·P·P
+
+  Param weight_;  // (E, C·P·P)
+  Param bias_;    // (E)
+  Param pos_;     // (T, E) learned position embedding
+
+  Tensor cached_patches_;  // (N·T, C·P·P)
+};
+
+// Early-exit classification head: mean-pools tokens over the sequence axis
+// and applies a linear classifier. Attached after a trunk stage, it turns
+// a shared prefix of encoder blocks into a complete (cheaper, less
+// accurate) inference path — the catalog's exit points.
+class EarlyExitHead final : public Layer {
+ public:
+  EarlyExitHead(std::size_t embed_dim, std::size_t num_classes,
+                std::size_t seq_len);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override;
+  void init_parameters(util::Rng& rng) override;
+
+  // Caches only the pooled (N, E) activations: input/T elements.
+  std::size_t backward_cache_bytes(std::size_t input_elements) const override {
+    return (input_elements / seq_len_) * sizeof(float);
+  }
+
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  std::size_t embed_dim_;
+  std::size_t num_classes_;
+  std::size_t seq_len_;
+
+  Param weight_;  // (classes, E)
+  Param bias_;    // (classes)
+
+  Tensor cached_pooled_;  // (N, E)
+};
+
+}  // namespace odn::nn

@@ -103,6 +103,7 @@ void RuntimeOptions::validate() const {
           "RuntimeOptions: fault plan needs a positive epoch cadence");
   }
   if (sched.enabled) sched.validate();
+  if (batching.enabled) batching.validate();
   retry.validate();
 }
 
@@ -120,6 +121,11 @@ ServingRuntime::ServingRuntime(edge::DnnCatalog catalog,
   options_.validate();
   if (templates_.empty())
     throw std::invalid_argument("ServingRuntime: no task templates");
+  // Batching-aware admission probes: scale every template option's
+  // compute cost to the expected amortized per-request cost, so the solver
+  // and dispatcher admit against coalesced dispatches. Strict no-op when
+  // batching is disabled (apply_batching_probe returns untouched).
+  model::apply_batching_probe(templates_, options_.batching);
 }
 
 std::size_t ServingRuntime::class_of(double priority) const noexcept {
@@ -245,6 +251,24 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         &registry.counter("odn_sched_readmissions_total");
     sched_rejections_total =
         &registry.counter("odn_sched_ladder_rejections_total");
+  }
+
+  // Epoch-boundary batching (model/batching.h). Like fault and sched
+  // metrics, batching counters only enter the registry when the feature is
+  // on, so disabled runs keep their exact metric series set.
+  const bool batching_on = options_.batching.enabled;
+  report.batching.enabled = batching_on;
+  obs::Counter* batch_dispatches_total = nullptr;
+  obs::Counter* batch_coalesced_total = nullptr;
+  if (batching_on) {
+    for (const core::DotTask& tmpl : templates_)
+      for (const core::PathOption& option : tmpl.options)
+        report.batching.probe_scale_min = std::min(
+            report.batching.probe_scale_min, option.compute_scale);
+    batch_dispatches_total =
+        &registry.counter("odn_batch_dispatches_total");
+    batch_coalesced_total =
+        &registry.counter("odn_batch_coalesced_requests_total");
   }
 
   auto observe_ledger = [&] {
@@ -673,9 +697,18 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       emu_options.duration_s = options_.emulation_window_s;
       emu_options.seed = epoch_seed(options_.seed, epoch_index);
       emu_options.poisson_arrivals = options_.poisson_emulation;
+      emu_options.batching = options_.batching;
       sim::EdgeEmulator emulator(std::move(live), live_radio,
                                  resources_.compute_capacity_s, emu_options);
       const sim::EmulationReport measured = emulator.run();
+      if (batching_on) {
+        report.batching.dispatches += measured.batch_dispatches;
+        report.batching.coalesced_requests += measured.coalesced_requests;
+        report.batching.max_batch = std::max(report.batching.max_batch,
+                                             measured.max_batch_observed);
+        batch_dispatches_total->inc(measured.batch_dispatches);
+        batch_coalesced_total->inc(measured.coalesced_requests);
+      }
 
       // Latency inflation scales the measured samples at accounting time
       // (a factor of 1 is the bit-exact identity, so fault-free epochs

@@ -24,6 +24,7 @@
 
 #include "core/controller.h"
 #include "fault/fault_plan.h"
+#include "model/batching.h"
 #include "runtime/retry_policy.h"
 #include "runtime/stats.h"
 #include "runtime/workload.h"
@@ -61,6 +62,11 @@ struct RuntimeOptions {
   // report stays byte-identical (the bench_preempt_churn differential
   // golden pins this).
   sched::SchedOptions sched{};
+  // Epoch-boundary request batching (model/batching.h). Disabled is a
+  // strict no-op: admission probes keep compute_scale = 1.0 and the epoch
+  // emulator takes its exact pre-batching code path, so the report stays
+  // byte-identical for any ODN_THREADS.
+  model::BatchingOptions batching{};
 
   void validate() const;
 };

@@ -1,5 +1,6 @@
 #include "runtime/stats.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -125,6 +126,26 @@ void write_class_stats_json(std::ostream& out, const ClassStats& c,
   out << indent << "}";
 }
 
+void BatchingStats::write_json(std::ostream& out,
+                               const std::string& indent) const {
+  out << "{\n";
+  out << indent << "  \"dispatches\": " << dispatches << ",\n";
+  out << indent << "  \"coalesced_requests\": " << coalesced_requests
+      << ",\n";
+  out << indent << "  \"max_batch\": " << max_batch << ",\n";
+  out << indent << "  \"probe_scale_min\": " << json_double(probe_scale_min)
+      << "\n";
+  out << indent << "}";
+}
+
+void BatchingStats::merge_from(const BatchingStats& other) {
+  enabled = enabled || other.enabled;
+  dispatches += other.dispatches;
+  coalesced_requests += other.coalesced_requests;
+  max_batch = std::max(max_batch, other.max_batch);
+  probe_scale_min = std::min(probe_scale_min, other.probe_scale_min);
+}
+
 void RuntimeReport::write_json(std::ostream& out) const {
   out << "{\n";
   out << "  \"schema\": \"odn-runtime-report/1\",\n";
@@ -177,6 +198,12 @@ void RuntimeReport::write_json(std::ostream& out) const {
   if (sched.enabled) {
     out << "  \"sched\": ";
     sched.write_json(out, "  ");
+    out << ",\n";
+  }
+
+  if (batching.enabled) {
+    out << "  \"batching\": ";
+    batching.write_json(out, "  ");
     out << ",\n";
   }
 

@@ -86,6 +86,21 @@ struct ResourceWatermarks {
   std::size_t rb_capacity = 0;
 };
 
+// Epoch-boundary batching accounting (model/batching.h). Zero-valued and
+// unserialized unless the feature is enabled, mirroring FaultStats.
+struct BatchingStats {
+  bool enabled = false;
+  std::size_t dispatches = 0;          // GPU dispatches across all epochs
+  std::size_t coalesced_requests = 0;  // requests that rode along (Σ b−1)
+  std::size_t max_batch = 0;           // largest batch ever dispatched
+  // Tightest amortized compute factor the admission probes applied to any
+  // task template (1.0 when no template's rate fills a batch).
+  double probe_scale_min = 1.0;
+
+  void write_json(std::ostream& out, const std::string& indent) const;
+  void merge_from(const BatchingStats& other);
+};
+
 struct RuntimeReport {
   std::string trace_name;
   std::uint64_t seed = 0;
@@ -106,6 +121,10 @@ struct RuntimeReport {
   // Preemption/deadline scheduling accounting. Serialized (as a "sched"
   // block) only when enabled, for the same reason as `faults`.
   sched::SchedStats sched;
+
+  // Epoch-boundary batching accounting. Serialized (as a "batching" block)
+  // only when enabled, for the same reason as `faults`.
+  BatchingStats batching;
 
   // Monotonic wall time for the whole run() call. Like
   // EpochSnapshot::measure_wall_s this is diagnostics only — excluded from

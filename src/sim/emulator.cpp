@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <map>
 #include <queue>
 #include <stdexcept>
 #include <utility>
@@ -20,6 +21,7 @@ enum class EventKind : std::uint8_t {
   kTxComplete,
   kInferenceComplete,
   kDownlinkComplete,
+  kBatchBoundary,  // batching only: a group's aggregation window expired
 };
 
 struct Event {
@@ -98,6 +100,7 @@ EdgeEmulator::EdgeEmulator(core::DeploymentPlan plan, edge::RadioModel radio,
       options_(options) {
   if (options_.duration_s <= 0.0)
     throw std::invalid_argument("EdgeEmulator: non-positive duration");
+  if (options_.batching.enabled) options_.batching.validate();
 }
 
 EmulationReport EdgeEmulator::run() {
@@ -166,6 +169,38 @@ EmulationReport EdgeEmulator::run() {
     calendar.push(Event{first, sequence++, EventKind::kArrival, i, 0});
   }
 
+  // --- Epoch-boundary batching (strict no-op when disabled) ---------------
+  // Traces sharing a deployed path (same block sequence and inference time)
+  // form a batch group. A request whose uplink finished joins its group's
+  // pending micro-batch; the batch seals when the group's aggregation
+  // window (batching.window_s from the first pending request) expires or
+  // max_batch requests accumulate, and sealed batches dispatch FIFO onto
+  // free executors for batch_cost_s(c1, b) seconds.
+  const bool batching = options_.batching.enabled;
+  std::vector<std::size_t> group_of(admitted.size(), 0);
+  std::size_t group_count = 0;
+  if (batching) {
+    std::map<std::pair<std::vector<edge::BlockIndex>, double>, std::size_t>
+        groups;
+    for (std::size_t i = 0; i < admitted.size(); ++i) {
+      const core::TaskPlan& task_plan = plan_.tasks[admitted[i]];
+      const auto key = std::make_pair(task_plan.blocks, params[i].inference_s);
+      group_of[i] = groups.emplace(key, groups.size()).first->second;
+    }
+    group_count = groups.size();
+  }
+  struct GroupState {
+    std::deque<std::pair<std::size_t, std::size_t>> pending;  // (trace, req)
+    // Sealing bumps the generation; an outstanding boundary event whose
+    // generation no longer matches is stale and ignored.
+    std::uint64_t generation = 0;
+  };
+  std::vector<GroupState> group_states(group_count);
+  std::deque<std::size_t> ready_batches;  // sealed, FIFO by seal time
+  // Members of each sealed batch; kInferenceComplete.request indexes this
+  // table when batching is on.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> batch_members;
+
   auto account_gpu = [&](double now) {
     gpu_busy_integral +=
         static_cast<double>(gpu_busy) * (now - last_event_time);
@@ -180,6 +215,36 @@ EmulationReport EdgeEmulator::run() {
                           EventKind::kInferenceComplete, trace, request});
     } else {
       gpu_queue.emplace(trace, request);
+    }
+  };
+
+  // Move a group's pending requests into a sealed batch on the ready
+  // queue. Serial event-loop code: deterministic for any ODN_THREADS.
+  auto seal_group = [&](std::size_t group) {
+    GroupState& state = group_states[group];
+    if (state.pending.empty()) return;
+    ++state.generation;  // invalidate any outstanding boundary event
+    batch_members.emplace_back(state.pending.begin(), state.pending.end());
+    state.pending.clear();
+    ready_batches.push_back(batch_members.size() - 1);
+  };
+
+  // Dispatch sealed batches FIFO onto free executors.
+  auto dispatch_ready = [&](double now) {
+    while (gpu_busy < gpu_servers && !ready_batches.empty()) {
+      const std::size_t batch_id = ready_batches.front();
+      ready_batches.pop_front();
+      const auto& members = batch_members[batch_id];
+      const double duration = options_.batching.cost.batch_cost_s(
+          params[members.front().first].inference_s, members.size());
+      ++gpu_busy;
+      ++report.batch_dispatches;
+      report.coalesced_requests += members.size() - 1;
+      report.max_batch_observed =
+          std::max(report.max_batch_observed, members.size());
+      calendar.push(Event{now + duration, sequence++,
+                          EventKind::kInferenceComplete,
+                          members.front().first, batch_id});
     }
   };
 
@@ -238,7 +303,22 @@ EmulationReport EdgeEmulator::run() {
       }
       case EventKind::kTxComplete: {
         requests[trace][event.request].tx_done_s = event.time;
-        start_inference(event.time, trace, event.request);
+        if (batching) {
+          const std::size_t group = group_of[trace];
+          GroupState& state = group_states[group];
+          state.pending.emplace_back(trace, event.request);
+          if (state.pending.size() >= options_.batching.max_batch) {
+            seal_group(group);
+            dispatch_ready(event.time);
+          } else if (state.pending.size() == 1) {
+            // First pending request opens the group's aggregation window.
+            calendar.push(Event{event.time + options_.batching.window_s,
+                                sequence++, EventKind::kBatchBoundary, group,
+                                static_cast<std::size_t>(state.generation)});
+          }
+        } else {
+          start_inference(event.time, trace, event.request);
+        }
         if (!slices[trace].queue.empty()) {
           const std::size_t next = slices[trace].queue.front();
           slices[trace].queue.pop_front();
@@ -249,6 +329,22 @@ EmulationReport EdgeEmulator::run() {
         break;
       }
       case EventKind::kInferenceComplete: {
+        if (batching) {
+          // event.request names a dispatch; finish every member of it.
+          for (const auto& [mt, mr] : batch_members[event.request]) {
+            requests[mt][mr].infer_done_s = event.time;
+            if (params[mt].downlink_s > 0.0) {
+              calendar.push(Event{event.time + params[mt].downlink_s,
+                                  sequence++, EventKind::kDownlinkComplete,
+                                  mt, mr});
+            } else {
+              record_sample(event.time, mt, mr);
+            }
+          }
+          --gpu_busy;
+          dispatch_ready(event.time);
+          break;
+        }
         requests[trace][event.request].infer_done_s = event.time;
         if (params[trace].downlink_s > 0.0) {
           calendar.push(Event{event.time + params[trace].downlink_s,
@@ -268,6 +364,16 @@ EmulationReport EdgeEmulator::run() {
       }
       case EventKind::kDownlinkComplete: {
         record_sample(event.time, trace, event.request);
+        break;
+      }
+      case EventKind::kBatchBoundary: {
+        // event.task is the group, event.request the generation at
+        // schedule time; a mismatch means the group sealed early
+        // (max_batch) and this window is stale.
+        if (event.request == group_states[event.task].generation) {
+          seal_group(event.task);
+          dispatch_ready(event.time);
+        }
         break;
       }
     }

@@ -14,6 +14,7 @@
 
 #include "core/controller.h"
 #include "edge/radio.h"
+#include "model/batching.h"
 
 namespace odn::sim {
 
@@ -29,6 +30,13 @@ struct EmulatorOptions {
   // are tiny relative to the uplink image. Transmitted over the same
   // slice after inference; 0 disables the downlink phase.
   double result_bits = 2e3;
+  // Epoch-boundary request batching. When batching.enabled is false the
+  // emulator takes its exact pre-batching code path (byte-identical
+  // reports); when true, requests sharing a path aggregate for up to
+  // batching.window_s (sealing early at batching.max_batch), and each
+  // sealed batch occupies one GPU executor for
+  // batching.cost.batch_cost_s(c1, size).
+  model::BatchingOptions batching{};
 };
 
 struct LatencySample {
@@ -63,6 +71,10 @@ struct EmulationReport {
   std::vector<TaskTrace> tasks;   // one per admitted task
   double gpu_busy_fraction = 0.0; // mean busy executors / pool size
   std::size_t total_requests = 0;
+  // Batching counters — all zero unless options.batching.enabled.
+  std::size_t batch_dispatches = 0;    // GPU dispatches (batches of >= 1)
+  std::size_t coalesced_requests = 0;  // requests that rode along (Σ b−1)
+  std::size_t max_batch_observed = 0;
 
   std::size_t total_violations() const;
 };

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <unordered_set>
@@ -146,6 +147,69 @@ inline void check_plan_invariants(const core::DeploymentPlan& plan,
                                   const std::string& context = "plan") {
   check_dot_invariants(requests, plan.solution.decisions, catalog, resources,
                        radio, context);
+}
+
+// Early-exit catalog invariants (model-zoo extension). For every task:
+// each option's path must be architecture-uniform (validate_path rejects
+// mixed paths), and every transformer early-exit option — a path shorter
+// than the task's deepest transformer path — must (a) reuse the shared
+// trunk by block-index identity, i.e. its trunk blocks form a prefix of
+// some deeper option's blocks, so memory counts once and ct(s) amortizes;
+// (b) cost strictly less inference time than the deepest path; and
+// (c) never exceed the best full-depth accuracy (the exit penalty rule).
+inline void check_early_exit_invariants(const core::DotInstance& instance) {
+  for (const core::DotTask& task : instance.tasks) {
+    SCOPED_TRACE(task.spec.name);
+    std::vector<const core::PathOption*> vit_options;
+    for (const core::PathOption& option : task.options) {
+      EXPECT_NO_THROW(instance.catalog.validate_path(option.path))
+          << "path '" << option.path.name << "' is not architecture-uniform";
+      if (instance.catalog.path_architecture(option.path) ==
+          edge::Architecture::kTransformer)
+        vit_options.push_back(&option);
+    }
+    if (vit_options.empty()) continue;
+
+    std::size_t full_depth = 0;
+    double best_full_accuracy = 0.0;
+    double max_full_time = 0.0;
+    for (const core::PathOption* option : vit_options)
+      full_depth = std::max(full_depth, option->path.blocks.size());
+    for (const core::PathOption* option : vit_options) {
+      if (option->path.blocks.size() != full_depth) continue;
+      best_full_accuracy = std::max(best_full_accuracy, option->path.accuracy);
+      max_full_time = std::max(
+          max_full_time,
+          instance.catalog.path_inference_time_s(option->path));
+    }
+
+    for (const core::PathOption* option : vit_options) {
+      if (option->path.blocks.size() == full_depth) continue;
+      SCOPED_TRACE(option->path.name);
+      // (a) trunk (all blocks but the exit head) is a shared prefix of a
+      // deeper option, by block index.
+      const std::size_t trunk = option->path.blocks.size() - 1;
+      bool prefix_found = false;
+      for (const core::PathOption* deeper : vit_options) {
+        if (deeper->path.blocks.size() <= option->path.blocks.size())
+          continue;
+        bool match = true;
+        for (std::size_t i = 0; i < trunk && match; ++i)
+          match = deeper->path.blocks[i] == option->path.blocks[i];
+        if (match) {
+          prefix_found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(prefix_found)
+          << "exit path shares no trunk prefix with a deeper path";
+      // (b) exiting early must actually be cheaper.
+      EXPECT_LT(instance.catalog.path_inference_time_s(option->path),
+                max_full_time);
+      // (c) and pay an accuracy penalty relative to the best full depth.
+      EXPECT_LE(option->path.accuracy, best_full_accuracy);
+    }
+  }
 }
 
 // No-orphaned-resources conservation rule: the controller's ledger and

@@ -1,0 +1,127 @@
+// Mixed ResNet + transformer catalogs (make_mixed_scenario): architecture
+// assignment per task, early-exit path invariants via invariant_check.h,
+// constraint-clean solves over the heterogeneous catalog, and the
+// ODN-INSTANCE v2 round-trip (architecture tags + compute_scale).
+#include "core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/instance_io.h"
+#include "core/offloadnn_solver.h"
+#include "invariant_check.h"
+
+namespace odn::core {
+namespace {
+
+TEST(MixedScenario, AssignsArchitecturesPerTask) {
+  const DotInstance instance = make_mixed_scenario(10, RequestRate::kMedium);
+  ASSERT_EQ(instance.tasks.size(), 10u);
+
+  bool saw_resnet = false;
+  bool saw_transformer = false;
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    const DotTask& task = instance.tasks[t];
+    SCOPED_TRACE(task.spec.name);
+    ASSERT_FALSE(task.options.empty());
+    // All of a task's options share one backbone family.
+    const edge::Architecture arch =
+        instance.catalog.path_architecture(task.options.front().path);
+    for (const PathOption& option : task.options)
+      EXPECT_EQ(instance.catalog.path_architecture(option.path), arch);
+    if (arch == edge::Architecture::kResNet) saw_resnet = true;
+    if (arch == edge::Architecture::kTransformer) {
+      saw_transformer = true;
+      EXPECT_NE(task.spec.name.find("vit"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_resnet);
+  EXPECT_TRUE(saw_transformer);
+
+  // Early exits can be disabled: transformer tasks then offer only
+  // full-depth templates (uniform option counts with the ResNet tasks').
+  ScenarioOptions no_exits;
+  no_exits.early_exit_paths = false;
+  const DotInstance bare =
+      make_mixed_scenario(10, RequestRate::kMedium, no_exits);
+  for (std::size_t t = 0; t < bare.tasks.size(); ++t)
+    EXPECT_LE(bare.tasks[t].options.size(),
+              instance.tasks[t].options.size());
+}
+
+TEST(MixedScenario, EarlyExitPathsSatisfyCatalogInvariants) {
+  for (const std::size_t tasks : {4u, 10u, 18u}) {
+    SCOPED_TRACE(tasks);
+    const DotInstance instance =
+        make_mixed_scenario(tasks, RequestRate::kMedium);
+    odn::testing::check_early_exit_invariants(instance);
+  }
+}
+
+TEST(MixedScenario, SolverAdmitsWithinConstraints) {
+  const DotInstance instance = make_mixed_scenario(12, RequestRate::kMedium);
+  const OffloadnnSolver solver;
+  const DotSolution solution = solver.solve(instance);
+  ASSERT_EQ(solution.decisions.size(), instance.tasks.size());
+  odn::testing::check_dot_invariants(instance, solution.decisions,
+                                     "mixed-12");
+
+  // The heterogeneous catalog is actually used: at least one admitted task
+  // of each architecture at medium load.
+  bool admitted_resnet = false;
+  bool admitted_transformer = false;
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    if (!solution.decisions[t].admitted()) continue;
+    const PathOption& option =
+        instance.tasks[t].options[solution.decisions[t].option_index];
+    switch (instance.catalog.path_architecture(option.path)) {
+      case edge::Architecture::kResNet: admitted_resnet = true; break;
+      case edge::Architecture::kTransformer:
+        admitted_transformer = true;
+        break;
+    }
+  }
+  EXPECT_TRUE(admitted_resnet);
+  EXPECT_TRUE(admitted_transformer);
+}
+
+TEST(MixedScenario, InstanceIoRoundTripsV2) {
+  DotInstance instance = make_mixed_scenario(8, RequestRate::kMedium);
+  // Exercise the compute_scale token too (the batching-probe field).
+  instance.tasks[0].options[0].compute_scale = 0.75;
+  instance.finalize();
+
+  std::stringstream first;
+  write_instance(instance, first);
+  // Transformer blocks force the v2 header.
+  EXPECT_EQ(first.str().rfind("ODN-INSTANCE 2", 0), 0u);
+
+  DotInstance reread = read_instance(first);
+  std::stringstream second;
+  write_instance(reread, second);
+  EXPECT_EQ(first.str(), second.str());
+
+  EXPECT_DOUBLE_EQ(reread.tasks[0].options[0].compute_scale, 0.75);
+  for (std::size_t b = 0; b < instance.catalog.block_count(); ++b)
+    EXPECT_EQ(reread.catalog.block(b).architecture,
+              instance.catalog.block(b).architecture);
+}
+
+TEST(MixedScenario, PureResnetInstancesKeepV1Format) {
+  ScenarioOptions options;
+  options.mixed_architectures = false;
+  options.early_exit_paths = false;
+  const DotInstance instance =
+      make_mixed_scenario(6, RequestRate::kMedium, options);
+  std::stringstream out;
+  write_instance(instance, out);
+  // Seed-era readers must keep parsing unchanged instances.
+  EXPECT_EQ(out.str().rfind("ODN-INSTANCE 1", 0), 0u);
+  const DotInstance reread = read_instance(out);
+  EXPECT_EQ(reread.tasks.size(), instance.tasks.size());
+}
+
+}  // namespace
+}  // namespace odn::core

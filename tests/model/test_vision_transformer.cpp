@@ -1,0 +1,186 @@
+// VisionTransformer backbone: shape contracts for embed/stage/exit paths,
+// early-exit equivalence with the staged trunk, the frozen-prefix rule,
+// stage cost accessors, and the ODNN state-dict round-trip (byte-exact
+// reload, mismatch rejection).
+#include "model/vision_transformer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace odn::model {
+namespace {
+
+VitConfig tiny_config() {
+  VitConfig config;
+  config.in_channels = 3;
+  config.image_size = 8;
+  config.patch_size = 4;
+  config.embed_dim = 12;
+  config.num_heads = 3;
+  config.mlp_ratio = 2;
+  config.blocks_per_stage = {1, 1, 2, 1};
+  config.num_classes = 6;
+  return config;
+}
+
+nn::Tensor random_images(std::size_t batch, const VitConfig& config,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor images(nn::Shape{batch, config.in_channels, config.image_size,
+                              config.image_size});
+  for (float& x : images.data())
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return images;
+}
+
+TEST(VisionTransformer, ShapesThroughEveryStage) {
+  util::Rng rng(3);
+  VisionTransformer model(tiny_config(), rng);
+  const VitConfig& config = model.config();
+  // 8/4 = 2 patches per side -> 4 tokens.
+  EXPECT_EQ(model.tokens(), 4u);
+
+  const nn::Tensor images = random_images(2, config, 7);
+  nn::Tensor tokens = model.embed(images, /*training=*/false);
+  ASSERT_EQ(tokens.shape(), (nn::Shape{2, 4, config.embed_dim}));
+
+  for (std::size_t stage = 0; stage < kNumStages; ++stage) {
+    tokens = model.forward_stage(stage, tokens, false);
+    ASSERT_EQ(tokens.shape(), (nn::Shape{2, 4, config.embed_dim}));
+    const nn::Tensor logits = model.forward_exit(stage, tokens, false);
+    ASSERT_EQ(logits.shape(), (nn::Shape{2, config.num_classes}));
+  }
+}
+
+TEST(VisionTransformer, EarlyExitMatchesStagedTrunk) {
+  util::Rng rng(5);
+  VisionTransformer model(tiny_config(), rng);
+  const nn::Tensor images = random_images(2, model.config(), 11);
+
+  for (std::size_t exit_stage = 0; exit_stage < kNumStages; ++exit_stage) {
+    nn::Tensor tokens = model.embed(images, false);
+    for (std::size_t stage = 0; stage <= exit_stage; ++stage)
+      tokens = model.forward_stage(stage, tokens, false);
+    const nn::Tensor expected = model.forward_exit(exit_stage, tokens, false);
+    const nn::Tensor actual =
+        model.forward_early_exit(images, exit_stage, false);
+    ASSERT_EQ(actual.shape(), expected.shape());
+    EXPECT_EQ(std::memcmp(actual.data().data(), expected.data().data(),
+                          actual.size() * sizeof(float)),
+              0)
+        << "exit stage " << exit_stage;
+  }
+
+  // The deepest exit is the full forward pass.
+  const nn::Tensor full = model.forward(images, false);
+  const nn::Tensor deepest =
+      model.forward_early_exit(images, kNumStages - 1, false);
+  EXPECT_EQ(std::memcmp(full.data().data(), deepest.data().data(),
+                        full.size() * sizeof(float)),
+            0);
+  EXPECT_THROW(model.forward_early_exit(images, kNumStages, false),
+               std::out_of_range);
+}
+
+TEST(VisionTransformer, FrozenStagesFreezeSharedPrefix) {
+  util::Rng rng(9);
+  VisionTransformer model(tiny_config(), rng);
+  model.set_frozen_stages(2);
+  EXPECT_EQ(model.frozen_stages(), 2u);
+
+  // The patch embed and the first two stages are frozen, the suffix is not.
+  EXPECT_TRUE(model.patch_embed().frozen());
+  EXPECT_TRUE(model.block(0, 0).frozen());
+  EXPECT_TRUE(model.block(1, 0).frozen());
+  EXPECT_FALSE(model.block(2, 0).frozen());
+  EXPECT_FALSE(model.block(3, 0).frozen());
+  // Exit heads stay trainable (task-specific, never shared).
+  EXPECT_FALSE(model.exit_head(1).frozen());
+
+  // Unfreezing is symmetric.
+  model.set_frozen_stages(0);
+  EXPECT_FALSE(model.patch_embed().frozen());
+  EXPECT_FALSE(model.block(1, 0).frozen());
+  EXPECT_THROW(model.set_frozen_stages(kNumStages + 1), std::out_of_range);
+}
+
+TEST(VisionTransformer, StageCostAccessorsArePositiveAndSumUp) {
+  util::Rng rng(13);
+  VisionTransformer model(tiny_config(), rng);
+  std::size_t stage_bytes = 0;
+  for (std::size_t stage = 0; stage < kNumStages; ++stage) {
+    EXPECT_GT(model.stage_param_bytes(stage), 0u);
+    EXPECT_GT(model.stage_macs_per_sample(stage), 0u);
+    stage_bytes += model.stage_param_bytes(stage);
+  }
+  // Trunk stages (incl. the embed folded into stage 0) + exit heads cover
+  // every parameter exactly once.
+  std::size_t head_bytes = 0;
+  for (std::size_t stage = 0; stage < kNumStages; ++stage)
+    for (nn::Param* param : model.exit_head(stage).parameters())
+      head_bytes += param->value.size() * sizeof(float);
+  EXPECT_EQ(stage_bytes + head_bytes, model.parameter_bytes());
+}
+
+TEST(VisionTransformer, SerializationRoundTripsByteExactly) {
+  util::Rng rng_a(17);
+  util::Rng rng_b(99);  // different init: reload must overwrite it
+  VisionTransformer original(tiny_config(), rng_a);
+  VisionTransformer reloaded(tiny_config(), rng_b);
+
+  std::stringstream buffer;
+  save_parameters(original, buffer);
+  load_parameters(reloaded, buffer);
+
+  auto params_a = original.parameters();
+  auto params_b = reloaded.parameters();
+  ASSERT_EQ(params_a.size(), params_b.size());
+  for (std::size_t i = 0; i < params_a.size(); ++i) {
+    ASSERT_EQ(params_a[i]->value.shape(), params_b[i]->value.shape());
+    EXPECT_EQ(std::memcmp(params_a[i]->value.data().data(),
+                          params_b[i]->value.data().data(),
+                          params_a[i]->value.size() * sizeof(float)),
+              0)
+        << "parameter " << i;
+  }
+
+  // Same weights -> same inference bytes.
+  const nn::Tensor images = random_images(2, original.config(), 19);
+  const nn::Tensor out_a = original.forward(images, false);
+  const nn::Tensor out_b = reloaded.forward(images, false);
+  EXPECT_EQ(std::memcmp(out_a.data().data(), out_b.data().data(),
+                        out_a.size() * sizeof(float)),
+            0);
+}
+
+TEST(VisionTransformer, SerializationRejectsMismatchedModel) {
+  util::Rng rng(23);
+  VisionTransformer original(tiny_config(), rng);
+  std::stringstream buffer;
+  save_parameters(original, buffer);
+
+  VitConfig wider = tiny_config();
+  wider.embed_dim = 24;
+  wider.num_heads = 4;
+  VisionTransformer mismatched(wider, rng);
+  EXPECT_THROW(load_parameters(mismatched, buffer), std::runtime_error);
+
+  std::stringstream garbage("not an ODNN state dict");
+  EXPECT_THROW(load_parameters(original, garbage), std::runtime_error);
+}
+
+TEST(VisionTransformer, RejectsIndivisibleConfigs) {
+  util::Rng rng(29);
+  VitConfig bad = tiny_config();
+  bad.embed_dim = 10;
+  bad.num_heads = 3;  // 10 % 3 != 0
+  EXPECT_THROW(VisionTransformer(bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace odn::model

@@ -1,0 +1,138 @@
+// Serial-vs-parallel byte-identity for the transformer layers: with the
+// gemm dispatch threshold forced to zero, every projection fans out across
+// the pool and the per-(batch, head) attention loops partition batches —
+// forward activations AND backward gradients must still be BIT-IDENTICAL
+// to the serial path (set_thread_count(1)) for any thread count.
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace odn::nn {
+namespace {
+
+class ParallelTransformer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threshold_ = gemm_parallel_threshold();
+    set_gemm_parallel_threshold(0);  // force the parallel path everywhere
+  }
+  void TearDown() override {
+    set_gemm_parallel_threshold(saved_threshold_);
+    util::set_thread_count(0);  // restore env/hardware sizing
+  }
+
+  static void run_serial_and_parallel(
+      const std::function<std::vector<float>()>& fn,
+      std::vector<float>* serial, std::vector<float>* parallel) {
+    util::set_thread_count(1);
+    *serial = fn();
+    util::set_thread_count(8);
+    *parallel = fn();
+  }
+
+  static void expect_bit_identical(const std::vector<float>& serial,
+                                   const std::vector<float>& parallel) {
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << "parallel result differs from serial";
+  }
+
+  std::size_t saved_threshold_ = 0;
+};
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor tensor(std::move(shape));
+  for (float& x : tensor.data())
+    x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return tensor;
+}
+
+// Forward + backward through a freshly seeded layer; returns the
+// concatenated output, input-gradient and parameter-gradient bytes so one
+// memcmp covers the whole differentiable surface.
+template <typename MakeLayer>
+std::vector<float> forward_backward(MakeLayer make_layer, const Tensor& input,
+                                    const Tensor& grad) {
+  util::Rng rng(123);
+  auto layer = make_layer();
+  layer.init_parameters(rng);
+  const Tensor output = layer.forward(input, /*training=*/true);
+  layer.zero_grad();
+  const Tensor grad_input = layer.backward(grad);
+  std::vector<float> flat;
+  flat.insert(flat.end(), output.data().begin(), output.data().end());
+  flat.insert(flat.end(), grad_input.data().begin(), grad_input.data().end());
+  for (Param* param : layer.parameters())
+    flat.insert(flat.end(), param->grad.data().begin(),
+                param->grad.data().end());
+  return flat;
+}
+
+// N=3 batches against 8 threads, T=9 tokens, E=16: ragged partitions on
+// every axis the pool touches.
+TEST_F(ParallelTransformer, AttentionBitIdentical) {
+  const Tensor input = random_tensor(Shape{3, 9, 16}, 31);
+  const Tensor grad = random_tensor(Shape{3, 9, 16}, 37);
+  std::vector<float> serial;
+  std::vector<float> parallel;
+  run_serial_and_parallel(
+      [&] {
+        return forward_backward(
+            [] { return MultiHeadSelfAttention(16, 4, 9); }, input, grad);
+      },
+      &serial, &parallel);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST_F(ParallelTransformer, TransformerBlockBitIdentical) {
+  const Tensor input = random_tensor(Shape{3, 9, 16}, 41);
+  const Tensor grad = random_tensor(Shape{3, 9, 16}, 43);
+  std::vector<float> serial;
+  std::vector<float> parallel;
+  run_serial_and_parallel(
+      [&] {
+        return forward_backward(
+            [] { return TransformerBlock(16, 4, 32, 9); }, input, grad);
+      },
+      &serial, &parallel);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST_F(ParallelTransformer, PatchEmbedAndExitHeadBitIdentical) {
+  const Tensor images = random_tensor(Shape{2, 3, 12, 12}, 47);
+  const Tensor patch_grad = random_tensor(Shape{2, 9, 16}, 53);
+  std::vector<float> serial;
+  std::vector<float> parallel;
+  run_serial_and_parallel(
+      [&] {
+        return forward_backward(
+            [] { return PatchEmbed(3, 12, 4, 16); }, images, patch_grad);
+      },
+      &serial, &parallel);
+  expect_bit_identical(serial, parallel);
+
+  const Tensor tokens = random_tensor(Shape{2, 9, 16}, 59);
+  const Tensor head_grad = random_tensor(Shape{2, 7}, 61);
+  run_serial_and_parallel(
+      [&] {
+        return forward_backward(
+            [] { return EarlyExitHead(16, 7, 9); }, tokens, head_grad);
+      },
+      &serial, &parallel);
+  expect_bit_identical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,130 @@
+// Transformer encoder layers: finite-difference gradient checks for every
+// new layer (GELU, LayerNorm, multi-head self-attention, the pre-LN
+// residual block, patch embedding, early-exit head), the
+// backward-without-forward contract, and backward_cache_bytes sanity
+// against each layer's documented cache inventory.
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gradient_check.h"
+#include "nn/layernorm.h"
+#include "util/rng.h"
+
+namespace odn::nn {
+namespace {
+
+using testing::check_input_gradient;
+using testing::check_parameter_gradients;
+using testing::random_tensor;
+
+// Small token activations (N=2, T=4, E=8) keep the FD sweeps fast while
+// exercising multi-batch, multi-token reductions.
+constexpr std::size_t kBatch = 2;
+constexpr std::size_t kTokens = 4;
+constexpr std::size_t kEmbed = 8;
+constexpr std::size_t kHeads = 2;
+
+Tensor token_input(util::Rng& rng) {
+  return random_tensor(Shape{kBatch, kTokens, kEmbed}, rng, 0.5);
+}
+
+TEST(TransformerLayers, GeluInputGradient) {
+  util::Rng rng(7);
+  Gelu gelu;
+  check_input_gradient(gelu, token_input(rng), rng);
+}
+
+TEST(TransformerLayers, LayerNormGradients) {
+  util::Rng rng(11);
+  LayerNorm norm(kEmbed);
+  norm.init_parameters(rng);
+  const Tensor input = token_input(rng);
+  check_input_gradient(norm, input, rng);
+  check_parameter_gradients(norm, input, rng);
+}
+
+TEST(TransformerLayers, AttentionGradients) {
+  util::Rng rng(13);
+  MultiHeadSelfAttention attn(kEmbed, kHeads, kTokens);
+  attn.init_parameters(rng);
+  const Tensor input = token_input(rng);
+  check_input_gradient(attn, input, rng);
+  check_parameter_gradients(attn, input, rng);
+}
+
+TEST(TransformerLayers, TransformerBlockGradients) {
+  util::Rng rng(17);
+  TransformerBlock block(kEmbed, kHeads, 2 * kEmbed, kTokens);
+  block.init_parameters(rng);
+  const Tensor input = token_input(rng);
+  check_input_gradient(block, input, rng);
+  check_parameter_gradients(block, input, rng);
+}
+
+TEST(TransformerLayers, PatchEmbedGradients) {
+  util::Rng rng(19);
+  PatchEmbed patch(/*in_channels=*/2, /*image_size=*/8, /*patch_size=*/4,
+                   kEmbed);
+  patch.init_parameters(rng);
+  const Tensor input = random_tensor(Shape{kBatch, 2, 8, 8}, rng, 0.5);
+  check_input_gradient(patch, input, rng);
+  check_parameter_gradients(patch, input, rng);
+}
+
+TEST(TransformerLayers, EarlyExitHeadGradients) {
+  util::Rng rng(23);
+  EarlyExitHead head(kEmbed, /*num_classes=*/5, kTokens);
+  head.init_parameters(rng);
+  const Tensor input = token_input(rng);
+  check_input_gradient(head, input, rng);
+  check_parameter_gradients(head, input, rng);
+}
+
+TEST(TransformerLayers, BackwardWithoutTrainingForwardThrows) {
+  util::Rng rng(29);
+  MultiHeadSelfAttention attn(kEmbed, kHeads, kTokens);
+  attn.init_parameters(rng);
+  const Tensor grad = token_input(rng);
+  EXPECT_THROW(attn.backward(grad), std::logic_error);
+
+  // An inference-mode forward must not arm the caches either.
+  (void)attn.forward(token_input(rng), /*training=*/false);
+  EXPECT_THROW(attn.backward(grad), std::logic_error);
+
+  TransformerBlock block(kEmbed, kHeads, 2 * kEmbed, kTokens);
+  block.init_parameters(rng);
+  EXPECT_THROW(block.backward(grad), std::logic_error);
+}
+
+TEST(TransformerLayers, BackwardCacheBytesMatchesInventory) {
+  const std::size_t elements = kBatch * kTokens * kEmbed;
+
+  // MHSA: input, Q, K, V, context (input-sized each) + (N·T, H, T) scores.
+  MultiHeadSelfAttention attn(kEmbed, kHeads, kTokens);
+  EXPECT_EQ(attn.backward_cache_bytes(elements),
+            (5 * elements + kBatch * kTokens * kHeads * kTokens) *
+                sizeof(float));
+
+  // The block's cache is the sum over its sub-layers — strictly more than
+  // attention alone, and linear in the input size.
+  TransformerBlock block(kEmbed, kHeads, 2 * kEmbed, kTokens);
+  EXPECT_GT(block.backward_cache_bytes(elements),
+            attn.backward_cache_bytes(elements));
+  EXPECT_EQ(block.backward_cache_bytes(2 * elements) % sizeof(float), 0u);
+
+  // Exit head pools tokens first: cache is input/T elements.
+  EarlyExitHead head(kEmbed, 5, kTokens);
+  EXPECT_EQ(head.backward_cache_bytes(elements),
+            (elements / kTokens) * sizeof(float));
+
+  PatchEmbed patch(2, 8, 4, kEmbed);
+  const std::size_t image_elements = kBatch * 2 * 8 * 8;
+  EXPECT_EQ(patch.backward_cache_bytes(image_elements),
+            image_elements * sizeof(float));
+}
+
+}  // namespace
+}  // namespace odn::nn
