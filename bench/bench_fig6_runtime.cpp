@@ -1,14 +1,40 @@
 // Fig. 6 reproduction — average runtime of the optimum vs OffloaDNN in the
 // small-scale scenario as the number of inference tasks T varies (1..5).
+//
+// --trace-out / --metrics-out write a Chrome trace and a Prometheus
+// snapshot at exit (same artifacts as ODN_TRACE/ODN_METRICS, but
+// flag-driven for this pre-obs-era bench). The table on stdout is
+// unchanged either way.
 #include <iostream>
+#include <string>
 
 #include "core/offloadnn_solver.h"
 #include "core/optimal_solver.h"
 #include "core/scenarios.h"
+#include "obs/session.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace odn;
+
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--trace-out trace.json] [--metrics-out out.prom]\n";
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+  if (!trace_out.empty() || !metrics_out.empty())
+    obs::register_crash_flush(trace_out, metrics_out, "");
 
   std::cout << "=== Fig. 6: solver runtime, small-scale scenario ===\n\n";
 
@@ -46,5 +72,7 @@ int main() {
   std::cout << "\nPaper shape: already beyond T = 1 the optimum costs over "
                "an order of magnitude more runtime; the gap grows "
                "exponentially with T while OffloaDNN stays polynomial.\n";
+  if (!trace_out.empty() || !metrics_out.empty())
+    obs::flush_observability_artifacts();
   return 0;
 }

@@ -1,15 +1,41 @@
 // Fig. 9 reproduction — large-scale scenario (20 tasks): per-task admission
 // ratio under OffloaDNN (top) and SEM-O-RAN (bottom) for low / medium /
 // high request rates.
+//
+// --trace-out / --metrics-out write a Chrome trace and a Prometheus
+// snapshot at exit (same artifacts as ODN_TRACE/ODN_METRICS, but
+// flag-driven for this pre-obs-era bench). The tables on stdout are
+// unchanged either way.
 #include <iostream>
+#include <string>
 
 #include "baseline/semoran.h"
 #include "core/offloadnn_solver.h"
 #include "core/scenarios.h"
+#include "obs/session.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace odn;
+
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--trace-out trace.json] [--metrics-out out.prom]\n";
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+  if (!trace_out.empty() || !metrics_out.empty())
+    obs::register_crash_flush(trace_out, metrics_out, "");
 
   std::cout << "=== Fig. 9: per-task admission ratio, large scenario ===\n\n";
 
@@ -49,5 +75,7 @@ int main() {
                "priority tasks are rejected. SEM-O-RAN is all-or-nothing: "
                "16 tasks at low/medium (memory-bound, no block sharing), "
                "fewer at high (RB-bound).\n";
+  if (!trace_out.empty() || !metrics_out.empty())
+    obs::flush_observability_artifacts();
   return 0;
 }

@@ -12,9 +12,20 @@
 // emits a sweep document embedding every run's report. Deterministic:
 // equal seeds produce byte-identical output for any ODN_THREADS setting.
 //
+// Diagnosis artifacts (single-run only — error when the sweep would run
+// more than one combination): --alerts enables the SLO burn-rate engine
+// (adds the report's "alerts" block), --flight-out dumps the flight
+// recorder's event ring, --timeline-out the per-task journey records
+// derived from it, and --alerts-out the standalone alert log. All three
+// are byte-identical for any ODN_THREADS (every record site is on the
+// serial event loop).
+//
 //   $ ./bench_preempt_churn [--seed N] [--horizon S] [--out sweep.json]
 //       [--tightness T]... [--mix balanced|high|low]...
 //       [--max-victims K] [--no-downgrade] [--no-preempt]
+//       [--alerts] [--flight-out f.json] [--timeline-out t.json]
+//       [--alerts-out a.json]
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -24,7 +35,9 @@
 #include <vector>
 
 #include "core/scenarios.h"
+#include "obs/flight.h"
 #include "obs/session.h"
+#include "obs/timeline.h"
 #include "runtime/serving_runtime.h"
 #include "runtime/stats.h"
 #include "runtime/workload.h"
@@ -41,6 +54,10 @@ struct SweepConfig {
   std::size_t max_victims = 2;
   bool allow_downgrade = true;
   bool allow_preempt = true;
+  bool alerts = false;             // burn-rate engine (adds "alerts" block)
+  std::string flight_out;          // flight-record dump (single run only)
+  std::string timeline_out;        // task-timeline export (single run only)
+  std::string alerts_out;          // standalone alert log (single run only)
 };
 
 // Priority-mix presets: band weights for WorkloadQosOptions::priority_mix
@@ -95,6 +112,7 @@ odn::runtime::RuntimeReport run_once(const odn::core::DotInstance& scenario,
     options.sched.allow_downgrade = config.allow_downgrade;
     options.sched.allow_preempt = config.allow_preempt;
   }
+  options.alerts.enabled = config.alerts;
   const runtime::WorkloadTrace trace =
       runtime::generate_workload(scenario.tasks.size(), workload);
   std::cerr << "bench_preempt_churn: trace '" << trace.name << "', "
@@ -166,19 +184,88 @@ int main(int argc, char** argv) {
       config.allow_downgrade = false;
     } else if (arg == "--no-preempt") {
       config.allow_preempt = false;
+    } else if (arg == "--alerts") {
+      config.alerts = true;
+    } else if (arg == "--flight-out" && i + 1 < argc) {
+      config.flight_out = argv[++i];
+    } else if (arg == "--timeline-out" && i + 1 < argc) {
+      config.timeline_out = argv[++i];
+    } else if (arg == "--alerts-out" && i + 1 < argc) {
+      config.alerts_out = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--seed N] [--horizon S] [--out sweep.json]"
                    " [--tightness T]... [--mix balanced|high|low]..."
-                   " [--max-victims K] [--no-downgrade] [--no-preempt]\n";
+                   " [--max-victims K] [--no-downgrade] [--no-preempt]"
+                   " [--alerts] [--flight-out f.json]"
+                   " [--timeline-out t.json] [--alerts-out a.json]\n";
       return 2;
     }
+  }
+
+  // The diagnosis artifacts describe exactly one run; a sweep would
+  // interleave several runs' events in one ring.
+  const std::size_t run_count =
+      config.tightness.empty() && config.mixes.empty()
+          ? 1
+          : std::max<std::size_t>(config.tightness.size(), 1) *
+                std::max<std::size_t>(config.mixes.size(), 1);
+  if ((!config.flight_out.empty() || !config.timeline_out.empty() ||
+       !config.alerts_out.empty()) &&
+      run_count > 1) {
+    std::cerr << "bench_preempt_churn: --flight-out/--timeline-out/"
+                 "--alerts-out need a single run, sweep has "
+              << run_count << "\n";
+    return 2;
+  }
+  if (!config.alerts_out.empty() && !config.alerts) {
+    std::cerr << "bench_preempt_churn: --alerts-out requires --alerts\n";
+    return 2;
+  }
+  if (!config.flight_out.empty() || !config.timeline_out.empty()) {
+    // Big enough that preempt-churn horizons never evict (the dump's
+    // "dropped" field stays 0, so timelines are complete).
+    obs::FlightRecorder::global().set_capacity(65536);
+    obs::FlightRecorder::global().set_enabled(true);
   }
 
   util::set_log_level(util::LogLevel::kWarn);
 
   const core::DotInstance scenario =
       core::make_large_scenario(core::RequestRate::kLow);
+
+  // Writes the single-run diagnosis artifacts (flight record, task
+  // timelines, alert log). Returns false on any I/O failure.
+  auto write_artifacts = [&](const runtime::RuntimeReport& report) {
+    if (!config.flight_out.empty() &&
+        !obs::dump_flight_record(config.flight_out)) {
+      std::cerr << "bench_preempt_churn: cannot open " << config.flight_out
+                << "\n";
+      return false;
+    }
+    if (!config.timeline_out.empty()) {
+      const std::vector<obs::FlightEvent> events =
+          obs::FlightRecorder::global().snapshot();
+      if (!obs::write_timelines_json(config.timeline_out,
+                                     obs::build_task_timelines(events))) {
+        std::cerr << "bench_preempt_churn: cannot open "
+                  << config.timeline_out << "\n";
+        return false;
+      }
+    }
+    if (!config.alerts_out.empty()) {
+      std::ofstream out(config.alerts_out);
+      if (!out) {
+        std::cerr << "bench_preempt_churn: cannot open " << config.alerts_out
+                  << "\n";
+        return false;
+      }
+      out << "{\n  \"schema\": \"odn-alert-log/1\",\n  \"alerts\": ";
+      runtime::write_alert_log_json(out, report.alerts, "  ");
+      out << "\n}\n";
+    }
+    return true;
+  };
 
   // No sched flags at all: the bench degenerates to bench_runtime_churn
   // (plain report on stdout, byte-identical for equal seed/horizon).
@@ -194,6 +281,7 @@ int main(int argc, char** argv) {
       }
       report.write_json(out);
     }
+    if (!write_artifacts(report)) return 1;
     std::cerr << "bench_preempt_churn: no-op run (scheduling off), "
               << report.total_admitted() << "/" << report.total_arrivals()
               << " jobs admitted\n";
@@ -219,6 +307,7 @@ int main(int argc, char** argv) {
     }
     write_sweep_json(out, config, config.tightness, config.mixes, reports);
   }
+  if (!write_artifacts(reports.back())) return 1;
   std::size_t preemptions = 0, downgrades = 0;
   for (const runtime::RuntimeReport& report : reports) {
     preemptions += report.sched.preemptions;

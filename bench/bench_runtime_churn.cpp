@@ -9,18 +9,27 @@
 // to stderr). Deterministic: equal seeds produce byte-identical reports
 // for any ODN_THREADS setting.
 //
+// --perf-out writes a small wall-clock summary (epoch-measurement mean /
+// p99 and total run time) as an odn-bench-perf/1 document — the input of
+// tools/check_bench_baseline.py, kept out of the report so the golden-
+// compared stdout stays free of wall-clock noise.
+//
 //   $ ./bench_runtime_churn [--seed N] [--horizon S] [--out report.json]
+//       [--perf-out perf.json]
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/scenarios.h"
 #include "obs/session.h"
 #include "runtime/serving_runtime.h"
+#include "runtime/stats.h"
 #include "runtime/workload.h"
 #include "util/logging.h"
+#include "util/mathx.h"
 
 int main(int argc, char** argv) {
   using namespace odn;
@@ -32,6 +41,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   double horizon_s = 90.0;
   std::string out_path;
+  std::string perf_out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -40,9 +50,12 @@ int main(int argc, char** argv) {
       horizon_s = std::strtod(argv[++i], nullptr);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--perf-out" && i + 1 < argc) {
+      perf_out_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--seed N] [--horizon S] [--out report.json]\n";
+                << " [--seed N] [--horizon S] [--out report.json]"
+                   " [--perf-out perf.json]\n";
       return 2;
     }
   }
@@ -91,6 +104,40 @@ int main(int argc, char** argv) {
     report.write_json(out);
     std::cerr << "bench_runtime_churn: report written to " << out_path
               << "\n";
+  }
+  if (!perf_out_path.empty()) {
+    std::vector<double> measure_s;
+    measure_s.reserve(report.timeline.size());
+    for (const runtime::EpochSnapshot& e : report.timeline)
+      measure_s.push_back(e.measure_wall_s);
+    double mean_s = 0.0;
+    for (const double s : measure_s) mean_s += s;
+    if (!measure_s.empty())
+      mean_s /= static_cast<double>(measure_s.size());
+    const double p99_s =
+        measure_s.empty() ? 0.0 : util::percentile(measure_s, 99.0);
+    std::ofstream perf(perf_out_path);
+    if (!perf) {
+      std::cerr << "bench_runtime_churn: cannot open " << perf_out_path
+                << "\n";
+      return 1;
+    }
+    perf << "{\n";
+    perf << "  \"schema\": \"odn-bench-perf/1\",\n";
+    perf << "  \"bench\": \"runtime_churn\",\n";
+    perf << "  \"seed\": " << seed << ",\n";
+    perf << "  \"epochs\": " << report.epochs << ",\n";
+    perf << "  \"metrics\": {\n";
+    perf << "    \"epoch_measure_mean_s\": "
+         << runtime::json_double(mean_s) << ",\n";
+    perf << "    \"epoch_measure_p99_s\": " << runtime::json_double(p99_s)
+         << ",\n";
+    perf << "    \"run_wall_s\": " << runtime::json_double(report.run_wall_s)
+         << "\n";
+    perf << "  }\n";
+    perf << "}\n";
+    std::cerr << "bench_runtime_churn: perf summary written to "
+              << perf_out_path << "\n";
   }
   std::cerr << "bench_runtime_churn: " << report.total_admitted() << "/"
             << report.total_arrivals() << " jobs admitted, "

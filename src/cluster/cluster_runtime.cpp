@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "fault/injector.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/conservation.h"
@@ -273,6 +274,25 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         &sched_registry.counter("odn_sched_ladder_rejections_total");
   }
 
+  // Flight-recorder hook: every record site sits on this serial event
+  // loop, so the event stream is identical for any ODN_THREADS. One
+  // relaxed load + branch when the recorder is disabled.
+  auto flight = [&](double now, obs::FlightEventKind kind,
+                    std::uint64_t task, std::int64_t cell,
+                    std::uint64_t count = 0, double value = 0.0,
+                    const char* detail = "") {
+    if (!obs::flight_enabled()) return;
+    obs::FlightEvent event;
+    event.time_s = now;
+    event.kind = kind;
+    event.task = task;
+    event.cell = cell;
+    event.count = count;
+    event.value = value;
+    event.detail = detail;
+    obs::flight_record(event);
+  };
+
   // Materialize jobs and seed the calendar (same deterministic ordering
   // discipline as the single-cell runtime: trace order, then epochs, with
   // the sequence counter breaking same-instant ties in push order).
@@ -346,6 +366,9 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       Job& victim = jobs[job_by_trace_id.at(outcome.id)];
       switch (outcome.fate) {
         case sched::VictimOutcome::Fate::kDowngraded:
+          flight(now, obs::FlightEventKind::kDowngrade, victim.trace_id,
+                 static_cast<std::int64_t>(victim.cell), 0,
+                 outcome.plan.accuracy, "ladder");
           victim.plan = outcome.plan;
           victim.admitted_task = outcome.task;
           victim.sched_downgraded = true;
@@ -359,6 +382,8 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
           victim.admitted_task = outcome.task;
           break;
         case sched::VictimOutcome::Fate::kPreempted: {
+          flight(now, obs::FlightEventKind::kPreemption, victim.trace_id,
+                 static_cast<std::int64_t>(victim.cell), 0, 0.0, "ladder");
           victim.state = Job::State::kPending;
           victim.sched_preempted = true;
           victim.attempts = 0;
@@ -385,6 +410,7 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
 
     core::DotTask task = templates_[job.template_index];
     task.spec.name = job.name;
+    task.spec.correlation = job.trace_id;
     if (sched_on) task.spec.priority = job.priority;
     const bool downgraded = options_.retry.downgrades(job.attempts);
     if (downgraded)
@@ -410,6 +436,9 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         ++cell.admitted_spillover;
       else
         ++cell.admitted_preferred;
+      flight(now, obs::FlightEventKind::kAdmission, job.trace_id,
+             static_cast<std::int64_t>(outcome.cell), job.attempts,
+             job.plan.accuracy, downgraded ? "downgraded" : "");
       if (sched_on) {
         ++report.sched.admitted_plain;
         deadline_monitor.on_admitted(job.trace_id, now, downgraded);
@@ -480,6 +509,9 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
             case sched::SchedAction::kReject:
               break;
           }
+          flight(now, obs::FlightEventKind::kAdmission, job.trace_id,
+                 static_cast<std::int64_t>(cell_index), job.attempts,
+                 job.plan.accuracy, downgraded ? "downgraded" : "");
           deadline_monitor.on_admitted(job.trace_id, now, downgraded);
           check_conservation("after ladder admission");
           return;
@@ -495,12 +527,16 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++stats.rejected_final;
+      flight(now, obs::FlightEventKind::kRejection, job.trace_id, -1,
+             job.attempts, 0.0, "exhausted");
       if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
     if (retry_at > trace.horizon_s) return;  // horizon ends the backoff
     ++stats.retries_scheduled;
+    flight(now, obs::FlightEventKind::kRetryScheduled, job.trace_id, -1,
+           job.attempts, retry_at);
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
@@ -535,6 +571,9 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       else
         ++report.faults.displaced_readmitted;
       fault_replacements_total->inc();
+      flight(now, obs::FlightEventKind::kReadmission, job.trace_id,
+             static_cast<std::int64_t>(outcome.cell), job.attempts,
+             job.plan.accuracy, downgraded ? "downgraded" : "fault");
       if (sched_on)
         deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
       return;
@@ -543,12 +582,16 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       job.state = Job::State::kRejected;
       ++report.faults.displaced_rejected;
       fault_rejections_total->inc();
+      flight(now, obs::FlightEventKind::kRejection, job.trace_id, -1,
+             job.attempts, 0.0, "fault_exhausted");
       if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
     if (retry_at > trace.horizon_s) return;  // stays displaced-pending
     ++report.faults.readmission_retries;
+    flight(now, obs::FlightEventKind::kRetryScheduled, job.trace_id, -1,
+           job.attempts, retry_at, "fault");
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
@@ -579,18 +622,25 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       job.admitted_task = std::move(task);
       ++report.sched.preempted_readmitted;
       sched_readmissions_total->inc();
+      flight(now, obs::FlightEventKind::kReadmission, job.trace_id,
+             static_cast<std::int64_t>(outcome.cell), job.attempts,
+             job.plan.accuracy, downgraded ? "downgraded" : "sched");
       deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
       return;
     }
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++report.sched.preempted_rejected;
+      flight(now, obs::FlightEventKind::kRejection, job.trace_id, -1,
+             job.attempts, 0.0, "sched_exhausted");
       deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
     if (retry_at > trace.horizon_s) return;  // stays preempted-pending
     ++report.sched.readmission_retries;
+    flight(now, obs::FlightEventKind::kRetryScheduled, job.trace_id, -1,
+           job.attempts, retry_at, "sched");
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
@@ -612,8 +662,10 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     return order;
   };
 
-  auto displace = [&](std::size_t job_index) {
+  auto displace = [&](std::size_t job_index, double now) {
     Job& job = jobs[job_index];
+    flight(now, obs::FlightEventKind::kDisplacement, job.trace_id,
+           job.cell == kNoCell ? -1 : static_cast<std::int64_t>(job.cell));
     job.state = Job::State::kPending;
     job.readmitting = true;
     // A fault displacement supersedes a pending ladder preemption: the
@@ -640,6 +692,9 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
     for (const fault::FaultEvent& event : events) {
       report.faults.record_event(event.kind);
       fault_events_total->inc();
+      flight(now, obs::FlightEventKind::kFault, obs::kNoFlightTask,
+             static_cast<std::int64_t>(event.cell), 0, event.magnitude,
+             fault::fault_event_kind_name(event.kind));
       switch (event.kind) {
         case fault::FaultEventKind::kCellCrash: {
           // The cell's controller state is lost; every task it served is
@@ -648,7 +703,7 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
               displacement_order(event.cell);
           dispatcher_.crash_cell(event.cell);
           observe_cell(event.cell);
-          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) displace(j, now);
           for (const std::size_t j : order) attempt_readmission(j, now);
           break;
         }
@@ -667,7 +722,7 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
                   jobs[j].name));
           }
           observe_cell(event.cell);
-          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) displace(j, now);
           for (const std::size_t j : order) attempt_readmission(j, now);
           break;
         }
@@ -725,6 +780,8 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       emu_options.seed =
           epoch_seed(options_.seed, epoch_index * cell_count + i);
       emu_options.poisson_arrivals = options_.poisson_emulation;
+      emu_options.flight_time_base_s = now;
+      emu_options.flight_cell = static_cast<std::int64_t>(i);
       // Each cell measures with its own effective radio (derated while a
       // radio fault is active; identical to the shared model otherwise).
       sim::EdgeEmulator emulator(
@@ -752,6 +809,10 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
         violations_by_cell[i] += violations;
         snapshot.slo_violations += violations;
         snapshot.samples += task_trace.samples.size();
+        if (violations > 0)
+          flight(now, obs::FlightEventKind::kSloViolation,
+                 task_trace.correlation, static_cast<std::int64_t>(i),
+                 violations, task_trace.latency_bound_s);
       }
       if (violations_by_cell[i] > 0) ++snapshot.cells_violating;
     }
@@ -839,6 +900,9 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
             core::TaskPlan migrated_plan;
             if (dispatcher_.migrate(catalog_, job.admitted_task, job.name,
                                     target, &migrated_plan)) {
+              flight(now, obs::FlightEventKind::kMigration, job.trace_id,
+                     static_cast<std::int64_t>(target),
+                     static_cast<std::uint64_t>(source));
               job.cell = target;
               job.plan = migrated_plan;
               ++report.migration.migrated;
@@ -860,6 +924,8 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       }
     }
 
+    flight(now, obs::FlightEventKind::kEpochSeal, obs::kNoFlightTask, -1,
+           snapshot.samples, static_cast<double>(snapshot.slo_violations));
     snapshot.measure_wall_s = epoch_watch.elapsed_seconds();
     report.timeline.push_back(snapshot);
     ++report.epochs;
@@ -873,7 +939,10 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
 
     switch (event.kind) {
       case LoopEventKind::kArrival: {
-        ++report.classes[jobs[event.job].class_index].arrivals;
+        const Job& job = jobs[event.job];
+        ++report.classes[job.class_index].arrivals;
+        flight(event.time, obs::FlightEventKind::kArrival, job.trace_id, -1,
+               job.template_index, sched_on ? job.deadline_s : 0.0);
         attempt_admission(event.job, event.time);
         break;
       }
@@ -894,6 +963,14 @@ ClusterReport ClusterRuntime::run(const runtime::WorkloadTrace& trace) {
       }
       case LoopEventKind::kDeparture: {
         Job& job = jobs[event.job];
+        flight(event.time, obs::FlightEventKind::kDeparture, job.trace_id,
+               job.state == Job::State::kActive
+                   ? static_cast<std::int64_t>(job.cell)
+                   : -1,
+               0, 0.0,
+               job.state == Job::State::kActive    ? "serving"
+               : job.state == Job::State::kPending ? "pending"
+                                                   : "after_rejection");
         if (job.state == Job::State::kActive) {
           const std::size_t cell = dispatcher_.release(job.name);
           if (cell == kNoCell)

@@ -226,6 +226,7 @@ DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
       DeploymentPlan result = *hit;
       for (std::size_t t = 0; t < requests.size(); ++t) {
         result.tasks[t].task_name = requests[t].spec.name;
+        result.tasks[t].correlation = requests[t].spec.correlation;
         if (result.tasks[t].admitted)
           ControllerMetrics::instance().expected_latency.observe(
               result.tasks[t].expected_latency_s);
@@ -304,6 +305,7 @@ DeploymentPlan OffloadnnController::plan(const edge::DnnCatalog& catalog,
     const TaskDecision& decision = solution.decisions[t];
     TaskPlan& task_plan = task_plans[t];
     task_plan.task_name = task.spec.name;
+    task_plan.correlation = task.spec.correlation;
     task_plan.latency_bound_s = task.spec.max_latency_s;
     task_plan.admitted = decision.admitted();
     if (decision.admitted()) {

@@ -13,6 +13,7 @@
 // and discounting the committed capacities.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -57,6 +58,10 @@ struct TaskPlan {
   double accuracy = 0.0;
   double inference_time_s = 0.0;         // Σ c(s) over the path
   double input_bits = 0.0;               // β(q) per image
+  // Flight-recorder correlation id carried from TaskSpec.correlation.
+  // Like task_name, it is caller-facing metadata: plan-cache keys are
+  // blind to it and cache hits rewrite it positionally; ~0 = unset.
+  std::uint64_t correlation = ~std::uint64_t{0};
 };
 
 struct DeploymentPlan {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -29,6 +30,11 @@ struct TaskSpec {
   double max_latency_s = 1.0;   // L_τ, end-to-end
   double snr_db = 20.0;         // σ_τ, average SNR of the requesting devices
   std::vector<QualityLevel> qualities;  // Q_τ, at least one
+  // Flight-recorder correlation id (the workload generator's job id),
+  // threaded through admission → plan → emulator so task timelines can be
+  // reconstructed post-run. Never enters the solve, the plan-cache
+  // fingerprint, or any serialized report; ~0 = unset.
+  std::uint64_t correlation = ~std::uint64_t{0};
 
   // The full-quality level (highest bits); tasks are created with it first.
   const QualityLevel& full_quality() const {

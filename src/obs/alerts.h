@@ -1,0 +1,118 @@
+// Deterministic SLO burn-rate alerting — the multi-window, multi-burn-rate
+// evaluation from SRE practice, replayed over the runtime's per-class SLO
+// counters at epoch boundaries.
+//
+// Burn rate = (window violation fraction) / error budget. An alert fires
+// for a class when BOTH the fast window (default 5 epochs — "is it
+// happening now?") and the slow window (default 30 epochs — "is it
+// sustained?") burn above their thresholds; it resolves when the fast
+// window cools below its threshold. Short windows alone page on noise;
+// long windows alone page hours late — requiring both keeps the alert
+// stream small and causally meaningful.
+//
+// Determinism contract (DESIGN.md §11): inputs are the integer sample /
+// violation counts the serial epoch loop already accumulates, so the
+// emitted record stream is byte-identical for any ODN_THREADS. The engine
+// never reads wall clock; record timestamps are simulated epoch times.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace odn::obs {
+
+struct AlertOptions {
+  bool enabled = false;
+  // Window lengths in epochs. A window with fewer sealed epochs than its
+  // nominal length evaluates over what exists — alerts can fire early in
+  // a run rather than waiting for the slow window to fill.
+  std::size_t fast_window_epochs = 5;
+  std::size_t slow_window_epochs = 30;
+  // Tolerated violation fraction (the SLO error budget): 0.05 means the
+  // class may miss its latency bound on 5% of samples.
+  double error_budget = 0.05;
+  // Fire when fast burn >= fast threshold AND slow burn >= slow
+  // threshold; resolve when fast burn drops below its threshold.
+  double fast_burn_threshold = 2.0;
+  double slow_burn_threshold = 1.0;
+  // Windows with fewer total samples than this never fire (a single
+  // violated sample in an otherwise idle class is not a page).
+  std::uint64_t min_window_samples = 1;
+
+  // Throws std::invalid_argument on nonsensical configuration.
+  void validate() const;
+};
+
+struct AlertRecord {
+  std::uint64_t seq = 0;    // emission order, engine-monotone
+  std::size_t epoch = 0;    // 1-based epoch boundary that fired it
+  double time_s = 0.0;      // simulated epoch time
+  std::string class_name;
+  bool firing = false;      // true = fire, false = resolve
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  std::uint64_t fast_samples = 0;
+  std::uint64_t slow_samples = 0;
+};
+
+// Pure data; serialization lives with the consumer (the runtime report
+// embeds it with the report's JSON conventions, benches write standalone
+// documents).
+struct AlertLog {
+  bool enabled = false;
+  std::uint64_t epochs_evaluated = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t resolved = 0;
+  std::vector<AlertRecord> records;
+};
+
+class BurnRateAlertEngine {
+ public:
+  BurnRateAlertEngine(AlertOptions options,
+                      std::vector<std::string> class_names);
+
+  // Seals one epoch: `samples[c]` / `violations[c]` are the per-class
+  // latency sample and bound-violation counts measured in the epoch that
+  // just ended. Evaluates every class and returns the number of alert
+  // records emitted at this boundary (fires + resolves).
+  std::size_t observe_epoch(std::size_t epoch, double time_s,
+                            const std::vector<std::uint64_t>& samples,
+                            const std::vector<std::uint64_t>& violations);
+
+  bool firing(std::size_t class_index) const;
+  const AlertLog& log() const noexcept { return log_; }
+
+ private:
+  struct Window {
+    std::uint64_t samples = 0;
+    std::uint64_t violations = 0;
+  };
+  struct ClassState {
+    // Most recent epoch last; trimmed to slow_window_epochs.
+    std::deque<Window> history;
+    bool firing = false;
+  };
+
+  Window window_tail(const ClassState& state, std::size_t epochs) const;
+  double burn(const Window& window) const;
+
+  AlertOptions options_;
+  std::vector<std::string> class_names_;
+  std::vector<ClassState> classes_;
+  AlertLog log_;
+};
+
+// The per-epoch hook the runtime plants: one null check when alerting is
+// disabled (bench_obs_overhead pins the figure).
+inline std::size_t maybe_observe_epoch(
+    BurnRateAlertEngine* engine, std::size_t epoch, double time_s,
+    const std::vector<std::uint64_t>& samples,
+    const std::vector<std::uint64_t>& violations) {
+  if (engine == nullptr) return 0;
+  return engine->observe_epoch(epoch, time_s, samples, violations);
+}
+
+}  // namespace odn::obs

@@ -1,6 +1,7 @@
 #include "runtime/serving_runtime.h"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
@@ -10,6 +11,8 @@
 #include "core/plan_cache.h"
 #include "core/solver_cache.h"
 #include "fault/injector.h"
+#include "obs/alerts.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/conservation.h"
@@ -104,6 +107,12 @@ void RuntimeOptions::validate() const {
   }
   if (sched.enabled) sched.validate();
   if (batching.enabled) batching.validate();
+  if (alerts.enabled) {
+    alerts.validate();
+    if (epoch_s <= 0.0)
+      throw std::invalid_argument(
+          "RuntimeOptions: alerting needs a positive epoch cadence");
+  }
   retry.validate();
 }
 
@@ -271,6 +280,34 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         &registry.counter("odn_batch_coalesced_requests_total");
   }
 
+  // SLO burn-rate alerting (obs/alerts.h). The engine only sees the
+  // integer per-class counts the serial epoch loop accumulates, so its
+  // record stream is byte-identical for any ODN_THREADS; disabled runs pay
+  // one null check per epoch and keep their exact report bytes.
+  report.alerts.enabled = options_.alerts.enabled;
+  std::unique_ptr<obs::BurnRateAlertEngine> alert_engine;
+  if (options_.alerts.enabled)
+    alert_engine = std::make_unique<obs::BurnRateAlertEngine>(
+        options_.alerts, options_.class_names);
+
+  // Flight-recorder hook: every site below runs on this serial event loop,
+  // so the recorded stream (and any timeline built from it) is identical
+  // for any ODN_THREADS. One relaxed load + branch when disabled.
+  auto flight = [&](double now, obs::FlightEventKind kind,
+                    std::uint64_t task, std::uint64_t count = 0,
+                    double value = 0.0, const char* detail = "") {
+    if (!obs::flight_enabled()) return;
+    obs::FlightEvent event;
+    event.time_s = now;
+    event.kind = kind;
+    event.task = task;
+    event.cell = 0;  // the serving runtime is a single-cell world
+    event.count = count;
+    event.value = value;
+    event.detail = detail;
+    obs::flight_record(event);
+  };
+
   auto observe_ledger = [&] {
     const edge::ResourceLedger& ledger = controller_.ledger();
     report.watermarks.peak_memory_bytes = std::max(
@@ -355,6 +392,8 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
           victim.sched_downgraded = true;
           ++report.sched.downgrades;
           sched_downgrades_total->inc();
+          flight(now, obs::FlightEventKind::kDowngrade, victim.trace_id, 0,
+                 outcome.plan.accuracy, "ladder");
           deadline_monitor.on_downgraded(victim.trace_id);
           break;
         case sched::VictimOutcome::Fate::kRestored:
@@ -368,6 +407,8 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
           victim.attempts = 0;
           ++report.sched.preemptions;
           sched_preemptions_total->inc();
+          flight(now, obs::FlightEventKind::kPreemption, victim.trace_id,
+                 0, 0.0, "ladder");
           deadline_monitor.on_preempted(victim.trace_id);
           const double retry_at = now + options_.retry.retry_delay_s(1);
           if (retry_at > trace.horizon_s) break;  // preempted-pending
@@ -392,6 +433,9 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
 
     core::DotTask task = templates_[job.template_index];
     task.spec.name = job.name;
+    // Correlation for flight-recorder timelines; like the name, it never
+    // enters the solve or the plan-cache keys.
+    task.spec.correlation = job.trace_id;
     if (sched_on) task.spec.priority = job.priority;
     const bool downgraded = options_.retry.downgrades(job.attempts);
     if (downgraded) task = downgraded_task(std::move(task), options_.retry);
@@ -459,6 +503,9 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       else
         ++stats.admitted_after_retry;
       if (downgraded) ++stats.admitted_downgraded;
+      flight(now, obs::FlightEventKind::kAdmission, job.trace_id,
+             job.attempts, job.plan.accuracy,
+             downgraded ? "downgraded" : "");
       if (sched_on) {
         deadline_monitor.on_admitted(job.trace_id, now, downgraded);
         check_conservation("after ladder admission");
@@ -471,6 +518,8 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       job.state = Job::State::kRejected;
       ++stats.rejected_final;
       counters.rejections->inc();
+      flight(now, obs::FlightEventKind::kRejection, job.trace_id,
+             job.attempts, 0.0, "exhausted");
       if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
@@ -483,6 +532,8 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     }
     ++stats.retries_scheduled;
     counters.retries->inc();
+    flight(now, obs::FlightEventKind::kRetryScheduled, job.trace_id,
+           job.attempts, retry_at);
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
@@ -522,6 +573,9 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       else
         ++report.faults.displaced_readmitted;
       fault_replacements_total->inc();
+      flight(now, obs::FlightEventKind::kReadmission, job.trace_id,
+             job.attempts, job.plan.accuracy,
+             downgraded ? "downgraded" : "fault");
       if (sched_on)
         deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
       return;
@@ -530,12 +584,16 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       job.state = Job::State::kRejected;
       ++report.faults.displaced_rejected;
       fault_rejections_total->inc();
+      flight(now, obs::FlightEventKind::kRejection, job.trace_id,
+             job.attempts, 0.0, "fault_exhausted");
       if (sched_on) deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
     if (retry_at > trace.horizon_s) return;  // stays displaced-pending
     ++report.faults.readmission_retries;
+    flight(now, obs::FlightEventKind::kRetryScheduled, job.trace_id,
+           job.attempts, retry_at, "fault");
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
@@ -571,18 +629,25 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       job.admitted_task = std::move(task);
       ++report.sched.preempted_readmitted;
       sched_readmissions_total->inc();
+      flight(now, obs::FlightEventKind::kReadmission, job.trace_id,
+             job.attempts, job.plan.accuracy,
+             downgraded ? "downgraded" : "sched");
       deadline_monitor.on_readmitted(job.trace_id, now, downgraded);
       return;
     }
     if (job.attempts >= options_.retry.max_attempts) {
       job.state = Job::State::kRejected;
       ++report.sched.preempted_rejected;
+      flight(now, obs::FlightEventKind::kRejection, job.trace_id,
+             job.attempts, 0.0, "sched_exhausted");
       deadline_monitor.on_rejected(job.trace_id);
       return;
     }
     const double retry_at = now + options_.retry.retry_delay_s(job.attempts);
     if (retry_at > trace.horizon_s) return;  // stays preempted-pending
     ++report.sched.readmission_retries;
+    flight(now, obs::FlightEventKind::kRetryScheduled, job.trace_id,
+           job.attempts, retry_at, "sched");
     calendar.push(
         LoopEvent{retry_at, sequence++, LoopEventKind::kRetry, job_index});
   };
@@ -603,7 +668,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     return order;
   };
 
-  auto displace = [&](std::size_t job_index) {
+  auto displace = [&](std::size_t job_index, double now) {
     Job& job = jobs[job_index];
     job.state = Job::State::kPending;
     job.readmitting = true;
@@ -613,6 +678,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     job.attempts = 0;
     ++report.faults.displaced;
     fault_displaced_total->inc();
+    flight(now, obs::FlightEventKind::kDisplacement, job.trace_id);
     if (sched_on) {
       ++report.sched.fault_displacements;
       deadline_monitor.on_preempted(job.trace_id);
@@ -629,6 +695,8 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     for (const fault::FaultEvent& event : events) {
       report.faults.record_event(event.kind);
       fault_events_total->inc();
+      flight(now, obs::FlightEventKind::kFault, obs::kNoFlightTask, 0,
+             event.magnitude, fault::fault_event_kind_name(event.kind));
       switch (event.kind) {
         case fault::FaultEventKind::kCellCrash: {
           // The cell's state is lost: reset the controller and displace
@@ -637,7 +705,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
           const std::vector<std::size_t> order = displacement_order();
           controller_.reset();
           observe_ledger();
-          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) displace(j, now);
           for (const std::size_t j : order) attempt_readmission(j, now);
           break;
         }
@@ -655,7 +723,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
                   jobs[j].name));
           }
           observe_ledger();
-          for (const std::size_t j : order) displace(j);
+          for (const std::size_t j : order) displace(j, now);
           for (const std::size_t j : order) attempt_readmission(j, now);
           break;
         }
@@ -683,6 +751,12 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     snapshot.time_s = now;
     snapshot.deployed_blocks = controller_.deployed_blocks().size();
 
+    // Per-class counts for this epoch alone — the alert engine's input
+    // (the ClassStats totals accumulate across the whole run).
+    std::vector<std::uint64_t> epoch_class_samples(report.classes.size(), 0);
+    std::vector<std::uint64_t> epoch_class_violations(report.classes.size(),
+                                                      0);
+
     core::DeploymentPlan live;
     std::unordered_map<std::string, std::size_t> class_by_name;
     for (const Job& job : jobs) {
@@ -698,6 +772,8 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       emu_options.seed = epoch_seed(options_.seed, epoch_index);
       emu_options.poisson_arrivals = options_.poisson_emulation;
       emu_options.batching = options_.batching;
+      emu_options.flight_time_base_s = now;
+      emu_options.flight_cell = 0;
       sim::EdgeEmulator emulator(std::move(live), live_radio,
                                  resources_.compute_capacity_s, emu_options);
       const sim::EmulationReport measured = emulator.run();
@@ -735,6 +811,12 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
         stats.slo_violations += violations;
         snapshot.slo_violations += violations;
         class_metrics[class_index].slo_violations->inc(violations);
+        epoch_class_samples[class_index] += task_trace.samples.size();
+        epoch_class_violations[class_index] += violations;
+        if (violations > 0)
+          flight(now, obs::FlightEventKind::kSloViolation,
+                 task_trace.correlation, violations,
+                 task_trace.latency_bound_s);
       }
       snapshot.samples = epoch_latencies.size();
       snapshot.p95_latency_s =
@@ -769,6 +851,23 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       }
     }
     samples_total.inc(snapshot.samples);
+    flight(now, obs::FlightEventKind::kEpochSeal, obs::kNoFlightTask,
+           snapshot.samples, snapshot.p95_latency_s);
+
+    // Burn-rate evaluation at every boundary, including task-free epochs
+    // (empty epochs slide the windows). One null check when disabled.
+    const std::size_t emitted = obs::maybe_observe_epoch(
+        alert_engine.get(), epoch_index + 1, now, epoch_class_samples,
+        epoch_class_violations);
+    if (emitted > 0 && obs::flight_enabled()) {
+      const std::vector<obs::AlertRecord>& records =
+          alert_engine->log().records;
+      for (std::size_t r = records.size() - emitted; r < records.size(); ++r)
+        flight(now, obs::FlightEventKind::kAlert, obs::kNoFlightTask,
+               records[r].epoch, records[r].fast_burn,
+               records[r].firing ? "fire" : "resolve");
+    }
+
     snapshot.measure_wall_s = epoch_watch.elapsed_seconds();
     report.timeline.push_back(snapshot);
     ++report.epochs;
@@ -782,8 +881,13 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
 
     switch (event.kind) {
       case LoopEventKind::kArrival: {
-        ++report.classes[jobs[event.job].class_index].arrivals;
-        class_metrics[jobs[event.job].class_index].arrivals->inc();
+        Job& job = jobs[event.job];
+        ++report.classes[job.class_index].arrivals;
+        class_metrics[job.class_index].arrivals->inc();
+        // The arrival's value carries the admit-by deadline the monitor
+        // tracks (zero when scheduling is off — no deadline semantics).
+        flight(event.time, obs::FlightEventKind::kArrival, job.trace_id,
+               job.template_index, sched_on ? job.deadline_s : 0.0);
         attempt_admission(event.job, event.time);
         break;
       }
@@ -805,6 +909,11 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
       case LoopEventKind::kDeparture: {
         Job& job = jobs[event.job];
         ClassStats& stats = report.classes[job.class_index];
+        flight(event.time, obs::FlightEventKind::kDeparture, job.trace_id,
+               0, 0.0,
+               job.state == Job::State::kActive  ? "serving"
+               : job.state == Job::State::kPending ? "pending"
+                                                   : "after_rejection");
         if (job.state == Job::State::kActive) {
           if (!controller_.release(job.name))
             throw std::logic_error(util::fmt(
@@ -853,6 +962,7 @@ RuntimeReport ServingRuntime::run(const WorkloadTrace& trace) {
     deadline_monitor.finalize(report.sched);
     check_conservation("at end of run");
   }
+  if (alert_engine) report.alerts = alert_engine->log();
   report.run_wall_s = run_watch.elapsed_seconds();
 
   util::log_info("runtime",

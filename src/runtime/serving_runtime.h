@@ -25,6 +25,7 @@
 #include "core/controller.h"
 #include "fault/fault_plan.h"
 #include "model/batching.h"
+#include "obs/alerts.h"
 #include "runtime/retry_policy.h"
 #include "runtime/stats.h"
 #include "runtime/workload.h"
@@ -67,6 +68,11 @@ struct RuntimeOptions {
   // emulator takes its exact pre-batching code path, so the report stays
   // byte-identical for any ODN_THREADS.
   model::BatchingOptions batching{};
+  // SLO burn-rate alerting (obs/alerts.h), evaluated over the per-class
+  // violation counters at every epoch boundary. Disabled is a strict
+  // no-op: the report stays byte-identical (no "alerts" block) and the
+  // epoch loop pays one null check.
+  obs::AlertOptions alerts{};
 
   void validate() const;
 };

@@ -146,6 +146,30 @@ void BatchingStats::merge_from(const BatchingStats& other) {
   probe_scale_min = std::min(probe_scale_min, other.probe_scale_min);
 }
 
+void write_alert_log_json(std::ostream& out, const obs::AlertLog& log,
+                          const std::string& indent) {
+  out << "{\n";
+  out << indent << "  \"epochs_evaluated\": " << log.epochs_evaluated
+      << ",\n";
+  out << indent << "  \"fired\": " << log.fired << ",\n";
+  out << indent << "  \"resolved\": " << log.resolved << ",\n";
+  out << indent << "  \"records\": [";
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    const obs::AlertRecord& r = log.records[i];
+    out << (i == 0 ? "" : ",") << "\n" << indent << "    {\"seq\": " << r.seq
+        << ", \"epoch\": " << r.epoch << ", \"t_s\": "
+        << json_double(r.time_s) << ", \"class\": \""
+        << json_escape(r.class_name) << "\", \"state\": \""
+        << (r.firing ? "fire" : "resolve") << "\", \"fast_burn\": "
+        << json_double(r.fast_burn) << ", \"slow_burn\": "
+        << json_double(r.slow_burn) << ", \"fast_samples\": "
+        << r.fast_samples << ", \"slow_samples\": " << r.slow_samples
+        << "}";
+  }
+  out << (log.records.empty() ? "" : "\n" + indent + "  ") << "]\n";
+  out << indent << "}";
+}
+
 void RuntimeReport::write_json(std::ostream& out) const {
   out << "{\n";
   out << "  \"schema\": \"odn-runtime-report/1\",\n";
@@ -204,6 +228,12 @@ void RuntimeReport::write_json(std::ostream& out) const {
   if (batching.enabled) {
     out << "  \"batching\": ";
     batching.write_json(out, "  ");
+    out << ",\n";
+  }
+
+  if (alerts.enabled) {
+    out << "  \"alerts\": ";
+    write_alert_log_json(out, alerts, "  ");
     out << ",\n";
   }
 

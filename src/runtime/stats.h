@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fault/fault_stats.h"
+#include "obs/alerts.h"
 #include "sched/sched_stats.h"
 
 namespace odn::runtime {
@@ -59,6 +60,12 @@ std::string json_double(double value);
 // brace gets no trailing newline so callers control the separator.
 void write_class_stats_json(std::ostream& out, const ClassStats& stats,
                             const std::string& indent);
+
+// Writes the burn-rate alert stream (the "alerts" block of the runtime
+// report, also reused standalone by the benches) with stable key order and
+// json_double formatting. Same indent contract as write_class_stats_json.
+void write_alert_log_json(std::ostream& out, const obs::AlertLog& log,
+                          const std::string& indent);
 
 // One epoch-boundary measurement of the live deployment.
 struct EpochSnapshot {
@@ -125,6 +132,10 @@ struct RuntimeReport {
   // Epoch-boundary batching accounting. Serialized (as a "batching" block)
   // only when enabled, for the same reason as `faults`.
   BatchingStats batching;
+
+  // SLO burn-rate alert stream (obs/alerts.h). Serialized (as an "alerts"
+  // block) only when enabled, for the same reason as `faults`.
+  obs::AlertLog alerts;
 
   // Monotonic wall time for the whole run() call. Like
   // EpochSnapshot::measure_wall_s this is diagnostics only — excluded from

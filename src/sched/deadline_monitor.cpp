@@ -4,6 +4,17 @@
 
 namespace odn::sched {
 
+const char* bucket_name(DeadlineBucket bucket) noexcept {
+  switch (bucket) {
+    case DeadlineBucket::kMet: return "met";
+    case DeadlineBucket::kMissed: return "missed";
+    case DeadlineBucket::kPreempted: return "preempted";
+    case DeadlineBucket::kDowngraded: return "downgraded";
+    case DeadlineBucket::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
 void DeadlineMonitor::track(std::uint64_t job, double arrival_s,
                             double deadline_s) {
   Entry e;

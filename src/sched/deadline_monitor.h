@@ -31,6 +31,11 @@ enum class DeadlineBucket : std::uint8_t {
   kRejected,
 };
 
+// Stable lowercase bucket names ("met", "missed", ...). The obs task
+// timelines derive the same partition independently from flight events
+// (obs::classify_journey); the sched property tests cross-check the two.
+const char* bucket_name(DeadlineBucket bucket) noexcept;
+
 class DeadlineMonitor {
  public:
   // Registers an arrival. `deadline_s` is the admit-by deadline relative

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/mathx.h"
@@ -144,6 +145,7 @@ EmulationReport EdgeEmulator::run() {
   for (std::size_t i = 0; i < admitted.size(); ++i) {
     const core::TaskPlan& task_plan = plan_.tasks[admitted[i]];
     report.tasks[i].task_name = task_plan.task_name;
+    report.tasks[i].correlation = task_plan.correlation;
     report.tasks[i].latency_bound_s = task_plan.latency_bound_s;
     params[i].tx_time_s =
         task_plan.slice_rbs > 0
@@ -220,13 +222,26 @@ EmulationReport EdgeEmulator::run() {
 
   // Move a group's pending requests into a sealed batch on the ready
   // queue. Serial event-loop code: deterministic for any ODN_THREADS.
-  auto seal_group = [&](std::size_t group) {
+  auto seal_group = [&](double now, std::size_t group) {
     GroupState& state = group_states[group];
     if (state.pending.empty()) return;
     ++state.generation;  // invalidate any outstanding boundary event
     batch_members.emplace_back(state.pending.begin(), state.pending.end());
+    const std::size_t batch_size = state.pending.size();
     state.pending.clear();
     ready_batches.push_back(batch_members.size() - 1);
+    if (obs::flight_enabled()) {
+      // Serial event-loop site: seal order and contents are identical for
+      // any ODN_THREADS. The event carries the lead member's correlation.
+      obs::FlightEvent event;
+      event.time_s = options_.flight_time_base_s + now;
+      event.kind = obs::FlightEventKind::kBatchSeal;
+      event.task =
+          plan_.tasks[admitted[batch_members.back().front().first]].correlation;
+      event.cell = options_.flight_cell;
+      event.count = batch_size;
+      obs::flight_record(event);
+    }
   };
 
   // Dispatch sealed batches FIFO onto free executors.
@@ -308,7 +323,7 @@ EmulationReport EdgeEmulator::run() {
           GroupState& state = group_states[group];
           state.pending.emplace_back(trace, event.request);
           if (state.pending.size() >= options_.batching.max_batch) {
-            seal_group(group);
+            seal_group(event.time, group);
             dispatch_ready(event.time);
           } else if (state.pending.size() == 1) {
             // First pending request opens the group's aggregation window.
@@ -371,7 +386,7 @@ EmulationReport EdgeEmulator::run() {
         // schedule time; a mismatch means the group sealed early
         // (max_batch) and this window is stale.
         if (event.request == group_states[event.task].generation) {
-          seal_group(event.task);
+          seal_group(event.time, event.task);
           dispatch_ready(event.time);
         }
         break;

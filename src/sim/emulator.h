@@ -37,6 +37,12 @@ struct EmulatorOptions {
   // sealed batch occupies one GPU executor for
   // batching.cost.batch_cost_s(c1, size).
   model::BatchingOptions batching{};
+  // Flight-recorder context: emulator-internal timestamps are relative to
+  // the emulation window, so epoch-driven callers pass the window's start
+  // (simulated) time and, for cluster cells, the owning cell index. Only
+  // read when the flight recorder is enabled; never affects the report.
+  double flight_time_base_s = 0.0;
+  std::int64_t flight_cell = -1;
 };
 
 struct LatencySample {
@@ -50,6 +56,9 @@ struct LatencySample {
 
 struct TaskTrace {
   std::string task_name;
+  // Correlation id carried from TaskPlan.correlation (flight-recorder
+  // timelines); ~0 = unset.
+  std::uint64_t correlation = ~std::uint64_t{0};
   double latency_bound_s = 0.0;
   // Fraction of emulated time the task's uplink slice was transmitting —
   // high values explain queueing under bursty arrivals.

@@ -4,6 +4,7 @@
 // text with label escaping, JSON).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -37,6 +38,36 @@ TEST(Gauge, SetAddRoundTripInMicroUnits) {
   EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
 }
 
+TEST(Gauge, NegativeAddsAccumulateExactlyInFixedPoint) {
+  Gauge gauge;
+  // A gauge may legitimately go negative (e.g. a headroom delta); the
+  // micro-unit fixed point must carry the sign through repeated adds.
+  gauge.add(-0.75);
+  EXPECT_DOUBLE_EQ(gauge.value(), -0.75);
+  gauge.add(-0.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+  gauge.add(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  // Many small adds accumulate in integer micro-units, so there is no
+  // floating-point drift: 1000 x 0.001 is exactly 1 plus the 1.5 above.
+  for (int i = 0; i < 1000; ++i) gauge.add(0.001);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+}
+
+TEST(Gauge, AddsRoundHalfAwayLikeSet) {
+  Gauge gauge;
+  // Sub-resolution adds round to the nearest micro-unit the same way
+  // set() does — llround semantics, half away from zero.
+  gauge.add(0.0000005);  // 0.5 micro-units -> rounds to 1
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.000001);
+  gauge.reset();
+  gauge.add(-0.0000005);
+  EXPECT_DOUBLE_EQ(gauge.value(), -0.000001);
+  gauge.reset();
+  gauge.add(0.0000004);  // under half a micro-unit: drops to 0
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
 TEST(Histogram, BucketBoundariesFollowLeSemantics) {
   Histogram histogram({1.0, 2.0, 5.0});
   ASSERT_EQ(histogram.bucket_count(), 4u);  // 3 bounds + overflow
@@ -61,6 +92,20 @@ TEST(Histogram, BucketBoundariesFollowLeSemantics) {
   EXPECT_EQ(histogram.count(), 0u);
   EXPECT_EQ(histogram.bucket(0), 0u);
   EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+}
+
+TEST(Histogram, InfinityLandsInOverflowBucketWithSaturatedSum) {
+  Histogram histogram({1.0, 2.0});
+  histogram.observe(std::numeric_limits<double>::infinity());
+  // The micro-unit sum saturates per observation instead of going NaN, so
+  // the exported _sum stays a finite (if meaningless) sentinel.
+  EXPECT_TRUE(std::isfinite(histogram.sum()));
+  EXPECT_GT(histogram.sum(), 9.0e12);
+  histogram.observe(1e300);  // huge but finite: also past the last bound
+  EXPECT_EQ(histogram.bucket(0), 0u);
+  EXPECT_EQ(histogram.bucket(1), 0u);
+  EXPECT_EQ(histogram.bucket(2), 2u);  // the +Inf overflow bucket
+  EXPECT_EQ(histogram.count(), 2u);
 }
 
 TEST(Histogram, RejectsInvalidBounds) {
@@ -103,6 +148,21 @@ TEST(MetricsRegistry, ReturnsStableReferencesAndDetectsConflicts) {
   EXPECT_THROW(
       registry.counter("odn_test_dup_total", {{"k", "a"}, {"k", "b"}}),
       std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MismatchedBoundsErrorNamesTheMetric) {
+  MetricsRegistry registry;
+  registry.histogram("odn_named_seconds", {0.1, 1.0});
+  try {
+    registry.histogram("odn_named_seconds", {0.1, 2.0});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // The message must name the offending metric so a mis-wired call site
+    // is identifiable from the exception alone.
+    const std::string what = error.what();
+    EXPECT_NE(what.find("odn_named_seconds"), std::string::npos) << what;
+    EXPECT_NE(what.find("different bounds"), std::string::npos) << what;
+  }
 }
 
 TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Bench regression gate over odn-bench-perf/1 documents.
+
+Compares a freshly measured perf summary (`--perf-out` of a churn bench)
+against a committed baseline and fails when any gated metric exceeds its
+allowance. The baseline stores, per metric, a reference `value` (seconds)
+and a multiplicative `tolerance`; the gate fails when
+
+    measured > value * tolerance
+
+Tolerances are deliberately generous (shared CI runners are noisy) — the
+gate exists to catch order-of-magnitude regressions in epoch-measurement
+or solver time, not 10% drifts. Lower-is-better is assumed for every
+metric; a faster run never fails.
+
+Usage:
+  check_bench_baseline.py --measured perf.json \
+      --baseline bench/baselines/runtime_churn_perf.json [--update]
+
+--update rewrites the baseline's reference values from the measured
+document (tolerances are kept) instead of gating — run it on a quiet
+machine and commit the result.
+
+Exit status: 0 when every gated metric is within its allowance (or after
+a successful --update), 1 on any regression or schema mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+
+MEASURED_SCHEMA = "odn-bench-perf/1"
+BASELINE_SCHEMA = "odn-bench-baseline/1"
+
+
+def load_json(path, expected_schema):
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    schema = document.get("schema")
+    if schema != expected_schema:
+        raise SystemExit(
+            f"{path}: schema '{schema}', expected '{expected_schema}'"
+        )
+    return document
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--measured", required=True,
+                        help="odn-bench-perf/1 document to gate")
+    parser.add_argument("--baseline", required=True,
+                        help="odn-bench-baseline/1 document with allowances")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline values from the measurement")
+    args = parser.parse_args()
+
+    measured = load_json(args.measured, MEASURED_SCHEMA)
+    baseline = load_json(args.baseline, BASELINE_SCHEMA)
+
+    bench = baseline.get("bench")
+    if measured.get("bench") != bench:
+        raise SystemExit(
+            f"bench mismatch: measured '{measured.get('bench')}', "
+            f"baseline '{bench}'"
+        )
+
+    measured_metrics = measured.get("metrics", {})
+    gates = baseline.get("metrics", {})
+    if not gates:
+        raise SystemExit(f"{args.baseline}: no gated metrics")
+
+    if args.update:
+        for name in gates:
+            if name not in measured_metrics:
+                raise SystemExit(
+                    f"--update: measured document lacks metric '{name}'"
+                )
+            gates[name]["value"] = measured_metrics[name]
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline {args.baseline} updated from {args.measured}")
+        return 0
+
+    failures = []
+    print(f"{'metric':<28} {'measured':>12} {'baseline':>12} "
+          f"{'allowed':>12}")
+    for name in sorted(gates):
+        gate = gates[name]
+        value = float(gate["value"])
+        tolerance = float(gate["tolerance"])
+        if tolerance < 1.0:
+            raise SystemExit(
+                f"{args.baseline}: metric '{name}' tolerance {tolerance} "
+                "< 1 would fail on equal performance"
+            )
+        allowed = value * tolerance
+        if name not in measured_metrics:
+            failures.append(f"{name}: missing from measured document")
+            print(f"{name:<28} {'-':>12} {value:>12.6f} {allowed:>12.6f}")
+            continue
+        got = float(measured_metrics[name])
+        print(f"{name:<28} {got:>12.6f} {value:>12.6f} {allowed:>12.6f}")
+        if got > allowed:
+            failures.append(
+                f"{name}: measured {got:.6f}s exceeds allowance "
+                f"{allowed:.6f}s ({value:.6f}s baseline x {tolerance:g})"
+            )
+
+    if failures:
+        print(f"\nbench baseline gate FAILED for '{bench}':",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench baseline gate passed for '{bench}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
