@@ -9,6 +9,7 @@
 
 #include "nn/conv2d.h"
 #include "nn/gemm.h"
+#include "nn/gemm_kernel.h"
 #include "nn/loss.h"
 #include "nn/profiler.h"
 #include "nn/resnet.h"
@@ -75,6 +76,30 @@ void BM_SgemmBt(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * size * size * size));
 }
 BENCHMARK(BM_SgemmBt)->Arg(128)->Arg(256);
+
+// Same square sgemm pinned to one SIMD lane — the per-lane rows of the
+// EXPERIMENTS.md throughput table. Arg(1)=scalar, Arg(2)=AVX2, Arg(3)=
+// AVX-512; lanes the build/CPU lacks are skipped.
+void BM_SgemmLane(benchmark::State& state) {
+  const auto lane = static_cast<nn::GemmLane>(state.range(0));
+  if (!nn::set_gemm_lane(lane)) {
+    state.SkipWithError("lane unavailable on this build/CPU");
+    return;
+  }
+  const std::size_t size = 256;
+  const std::vector<float> a = random_matrix(size * size, 29);
+  const std::vector<float> b = random_matrix(size * size, 30);
+  std::vector<float> c(size * size, 0.0f);
+  for (auto _ : state) {
+    nn::sgemm(size, size, size, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  nn::set_gemm_lane(nn::GemmLane::kAuto);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * size * size * size));
+  state.SetLabel(nn::gemm_lane_name(lane));
+}
+BENCHMARK(BM_SgemmLane)->Arg(1)->Arg(2)->Arg(3);
 
 // Batched convolution forward — the batch dimension fans out over the
 // pool, one sample per lane.

@@ -173,4 +173,15 @@ std::size_t BasicBlock::macs_per_sample(std::size_t in_h,
   return macs;
 }
 
+ConvReuse BasicBlock::reuse_per_sample(std::size_t in_h,
+                                       std::size_t in_w) const {
+  const std::size_t mid_h = (in_h + 2 - 3) / stride_ + 1;
+  const std::size_t mid_w = (in_w + 2 - 3) / stride_ + 1;
+  ConvReuse reuse = conv1_.reuse_per_sample(in_h, in_w);
+  reuse += conv2_.reuse_per_sample(mid_h, mid_w);
+  if (projection_)
+    reuse += projection_->conv.reuse_per_sample(in_h, in_w);
+  return reuse;
+}
+
 }  // namespace odn::nn

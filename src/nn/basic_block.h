@@ -50,6 +50,10 @@ class BasicBlock final : public Layer {
   // Analytic per-sample MAC count at the given input spatial size.
   std::size_t macs_per_sample(std::size_t in_h, std::size_t in_w) const;
 
+  // Analytic per-sample data-reuse summary (nn/conv_plan.h) over the
+  // block's convolutions at the given input spatial size.
+  ConvReuse reuse_per_sample(std::size_t in_h, std::size_t in_w) const;
+
   // Propagate frozen flag to every sub-layer.
   void set_frozen_deep(bool frozen);
 

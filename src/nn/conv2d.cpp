@@ -11,38 +11,6 @@
 #include "util/thread_pool.h"
 
 namespace odn::nn {
-namespace {
-
-// Valid output range [first, last) for a given kernel offset k: the set of
-// output coordinates o for which the input coordinate i = o*stride - pad + k
-// lands inside [0, extent).
-struct ValidRange {
-  std::size_t first;
-  std::size_t last;
-};
-
-ValidRange valid_outputs(std::size_t out_extent, std::size_t in_extent,
-                         std::size_t stride, std::size_t pad,
-                         std::size_t k) noexcept {
-  // i = o*stride + k - pad must satisfy 0 <= i < in_extent.
-  std::size_t first = 0;
-  if (k < pad) {
-    // need o*stride >= pad - k
-    first = (pad - k + stride - 1) / stride;
-  }
-  // need o*stride <= in_extent - 1 + pad - k
-  const std::ptrdiff_t numer = static_cast<std::ptrdiff_t>(in_extent - 1) +
-                               static_cast<std::ptrdiff_t>(pad) -
-                               static_cast<std::ptrdiff_t>(k);
-  std::size_t last = 0;
-  if (numer >= 0)
-    last = std::min(out_extent,
-                    static_cast<std::size_t>(numer) / stride + 1);
-  if (first > last) first = last;
-  return {first, last};
-}
-
-}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t padding,
@@ -84,6 +52,16 @@ std::string Conv2d::name() const {
                    with_bias_ ? ", bias" : "");
 }
 
+const ConvPlan& Conv2d::plan_for(std::size_t in_h, std::size_t in_w) const {
+  if (!plan_ || !plan_->matches(in_h, in_w))
+    plan_.emplace(in_h, in_w, kernel_, stride_, padding_);
+  return *plan_;
+}
+
+ConvReuse Conv2d::reuse_per_sample(std::size_t in_h, std::size_t in_w) const {
+  return plan_for(in_h, in_w).reuse(in_channels_, out_channels_);
+}
+
 Tensor Conv2d::forward(const Tensor& input, bool training) {
   if (input.shape().rank() != 4 || input.shape()[1] != in_channels_)
     throw std::invalid_argument(util::fmt("{}: bad input shape {}", name(),
@@ -99,8 +77,9 @@ Tensor Conv2d::forward_direct(const Tensor& input) {
   const std::size_t batch = input.shape()[0];
   const std::size_t in_h = input.shape()[2];
   const std::size_t in_w = input.shape()[3];
-  const std::size_t out_h = output_extent(in_h);
-  const std::size_t out_w = output_extent(in_w);
+  const ConvPlan& plan = plan_for(in_h, in_w);
+  const std::size_t out_h = plan.out_h();
+  const std::size_t out_w = plan.out_w();
 
   Tensor output({batch, out_channels_, out_h, out_w});
 
@@ -114,49 +93,48 @@ Tensor Conv2d::forward_direct(const Tensor& input) {
   const std::size_t out_sample = out_channels_ * out_plane;
   const std::size_t w_slice = kernel_ * kernel_;
 
-  // Decomposed as a sum of shifted, scaled input rows: for each kernel tap
-  // (kh, kw), the inner loop over output columns is contiguous in both
-  // input and output, which lets the compiler vectorize it. Samples are
-  // independent (disjoint output slices), so the batch runs on the pool.
+  // Decomposed as a sum of shifted, scaled input rows over the plan's
+  // guard-free ranges: for each kernel tap (kh, kw) the inner loop over
+  // output columns is contiguous in both input and output and vectorizes.
+  // Every update is an explicit fused multiply-add and the taps run in
+  // ascending (ci, kh, kw) order from a zero seed with bias added last —
+  // the per-element chains of the im2col/GEMM path, whose padded taps are
+  // exact fma(w, 0, acc) no-ops — so the two algorithms produce
+  // byte-identical outputs (tests/nn/test_conv_plan.cpp pins this).
+  // Samples are independent, so the batch runs on the pool.
   util::global_parallel_for(batch, [&](std::size_t n) {
     const float* in_n = in_base + n * in_sample;
     float* out_n = out_base + n * out_sample;
-    if (with_bias_) {
-      for (std::size_t co = 0; co < out_channels_; ++co) {
-        float* row = out_n + co * out_plane;
-        const float b = bias_.value[co];
-        for (std::size_t i = 0; i < out_plane; ++i) row[i] = b;
-      }
-    }
     for (std::size_t co = 0; co < out_channels_; ++co) {
       float* out_c = out_n + co * out_plane;
       for (std::size_t ci = 0; ci < in_channels_; ++ci) {
         const float* in_c = in_n + ci * in_plane;
         const float* w_c = w_base + (co * in_channels_ + ci) * w_slice;
         for (std::size_t kh = 0; kh < kernel_; ++kh) {
-          const ValidRange rh =
-              valid_outputs(out_h, in_h, stride_, padding_, kh);
+          const ConvRange& rh = plan.h_range(kh);
           for (std::size_t kw = 0; kw < kernel_; ++kw) {
+            const ConvRange& rw = plan.w_range(kw);
             const float w = w_c[kh * kernel_ + kw];
-            if (w == 0.0f) continue;
-            const ValidRange rw =
-                valid_outputs(out_w, in_w, stride_, padding_, kw);
+            const std::size_t count = rw.size();
             for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
               const std::size_t ih = oh * stride_ + kh - padding_;
               const float* in_row =
                   in_c + ih * in_w + (rw.first * stride_ + kw - padding_);
               float* out_row = out_c + oh * out_w + rw.first;
-              const std::size_t count = rw.last - rw.first;
               if (stride_ == 1) {
                 for (std::size_t i = 0; i < count; ++i)
-                  out_row[i] += w * in_row[i];
+                  out_row[i] = std::fmaf(w, in_row[i], out_row[i]);
               } else {
                 for (std::size_t i = 0; i < count; ++i)
-                  out_row[i] += w * in_row[i * stride_];
+                  out_row[i] = std::fmaf(w, in_row[i * stride_], out_row[i]);
               }
             }
           }
         }
+      }
+      if (with_bias_) {
+        const float b = bias_.value[co];
+        for (std::size_t i = 0; i < out_plane; ++i) out_c[i] += b;
       }
     }
   });
@@ -176,6 +154,7 @@ Tensor Conv2d::backward_direct(const Tensor& grad_output) {
   const std::size_t batch = input.shape()[0];
   const std::size_t in_h = input.shape()[2];
   const std::size_t in_w = input.shape()[3];
+  const ConvPlan& plan = plan_for(in_h, in_w);
   const std::size_t out_h = grad_output.shape()[2];
   const std::size_t out_w = grad_output.shape()[3];
 
@@ -214,13 +193,11 @@ Tensor Conv2d::backward_direct(const Tensor& grad_output) {
         float* wg_c =
             frozen_ ? nullptr : wg_base + (co * in_channels_ + ci) * w_slice;
         for (std::size_t kh = 0; kh < kernel_; ++kh) {
-          const ValidRange rh =
-              valid_outputs(out_h, in_h, stride_, padding_, kh);
+          const ConvRange& rh = plan.h_range(kh);
           for (std::size_t kw = 0; kw < kernel_; ++kw) {
-            const ValidRange rw =
-                valid_outputs(out_w, in_w, stride_, padding_, kw);
-            const std::size_t count = rw.last - rw.first;
-            if (count == 0 || rh.first >= rh.last) continue;
+            const ConvRange& rw = plan.w_range(kw);
+            const std::size_t count = rw.size();
+            if (count == 0 || rh.empty()) continue;
             const float w = w_c[kh * kernel_ + kw];
             float w_grad_acc = 0.0f;
             for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
@@ -276,26 +253,26 @@ Tensor Conv2d::backward_direct(const Tensor& grad_output) {
   return grad_input;
 }
 
-void Conv2d::im2col_sample(const float* input, std::size_t in_h,
-                           std::size_t in_w, std::size_t out_h,
-                           std::size_t out_w, float* col) const {
-  const std::size_t columns = out_h * out_w;
+void Conv2d::im2col_sample(const float* input, const ConvPlan& plan,
+                           float* col) const {
+  const std::size_t in_w = plan.in_w();
+  const std::size_t out_w = plan.out_w();
+  const std::size_t columns = plan.out_h() * out_w;
   std::size_t row = 0;
   for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-    const float* plane = input + ci * in_h * in_w;
+    const float* plane = input + ci * plan.in_h() * in_w;
     for (std::size_t kh = 0; kh < kernel_; ++kh) {
-      const ValidRange rh = valid_outputs(out_h, in_h, stride_, padding_, kh);
+      const ConvRange& rh = plan.h_range(kh);
       for (std::size_t kw = 0; kw < kernel_; ++kw, ++row) {
         float* col_row = col + row * columns;
         std::fill(col_row, col_row + columns, 0.0f);
-        const ValidRange rw =
-            valid_outputs(out_w, in_w, stride_, padding_, kw);
+        const ConvRange& rw = plan.w_range(kw);
         for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
           const std::size_t ih = oh * stride_ + kh - padding_;
           const float* in_row =
               plane + ih * in_w + (rw.first * stride_ + kw - padding_);
           float* dst = col_row + oh * out_w + rw.first;
-          const std::size_t count = rw.last - rw.first;
+          const std::size_t count = rw.size();
           if (stride_ == 1) {
             std::copy(in_row, in_row + count, dst);
           } else {
@@ -308,25 +285,25 @@ void Conv2d::im2col_sample(const float* input, std::size_t in_h,
   }
 }
 
-void Conv2d::col2im_sample(const float* col, std::size_t in_h,
-                           std::size_t in_w, std::size_t out_h,
-                           std::size_t out_w, float* grad_input) const {
-  const std::size_t columns = out_h * out_w;
+void Conv2d::col2im_sample(const float* col, const ConvPlan& plan,
+                           float* grad_input) const {
+  const std::size_t in_w = plan.in_w();
+  const std::size_t out_w = plan.out_w();
+  const std::size_t columns = plan.out_h() * out_w;
   std::size_t row = 0;
   for (std::size_t ci = 0; ci < in_channels_; ++ci) {
-    float* plane = grad_input + ci * in_h * in_w;
+    float* plane = grad_input + ci * plan.in_h() * in_w;
     for (std::size_t kh = 0; kh < kernel_; ++kh) {
-      const ValidRange rh = valid_outputs(out_h, in_h, stride_, padding_, kh);
+      const ConvRange& rh = plan.h_range(kh);
       for (std::size_t kw = 0; kw < kernel_; ++kw, ++row) {
         const float* col_row = col + row * columns;
-        const ValidRange rw =
-            valid_outputs(out_w, in_w, stride_, padding_, kw);
+        const ConvRange& rw = plan.w_range(kw);
         for (std::size_t oh = rh.first; oh < rh.last; ++oh) {
           const std::size_t ih = oh * stride_ + kh - padding_;
           float* dst =
               plane + ih * in_w + (rw.first * stride_ + kw - padding_);
           const float* src = col_row + oh * out_w + rw.first;
-          const std::size_t count = rw.last - rw.first;
+          const std::size_t count = rw.size();
           if (stride_ == 1) {
             for (std::size_t i = 0; i < count; ++i) dst[i] += src[i];
           } else {
@@ -343,8 +320,9 @@ Tensor Conv2d::forward_im2col(const Tensor& input) {
   const std::size_t batch = input.shape()[0];
   const std::size_t in_h = input.shape()[2];
   const std::size_t in_w = input.shape()[3];
-  const std::size_t out_h = output_extent(in_h);
-  const std::size_t out_w = output_extent(in_w);
+  const ConvPlan& plan = plan_for(in_h, in_w);
+  const std::size_t out_h = plan.out_h();
+  const std::size_t out_w = plan.out_w();
   const std::size_t lowered_rows = in_channels_ * kernel_ * kernel_;
   const std::size_t columns = out_h * out_w;
 
@@ -356,8 +334,7 @@ Tensor Conv2d::forward_im2col(const Tensor& input) {
   // each pool lane owns its own column scratch.
   util::global_parallel_for(batch, [&](std::size_t n) {
     std::vector<float> col(lowered_rows * columns);
-    im2col_sample(input.data().data() + n * in_sample, in_h, in_w, out_h,
-                  out_w, col.data());
+    im2col_sample(input.data().data() + n * in_sample, plan, col.data());
     // out(M x N) = W(M x K_l) * col(K_l x N)
     sgemm(out_channels_, columns, lowered_rows,
           weight_.value.data().data(), col.data(),
@@ -379,6 +356,7 @@ Tensor Conv2d::backward_im2col(const Tensor& grad_output) {
   const std::size_t batch = input.shape()[0];
   const std::size_t in_h = input.shape()[2];
   const std::size_t in_w = input.shape()[3];
+  const ConvPlan& plan = plan_for(in_h, in_w);
   const std::size_t out_h = grad_output.shape()[2];
   const std::size_t out_w = grad_output.shape()[3];
   const std::size_t lowered_rows = in_channels_ * kernel_ * kernel_;
@@ -402,8 +380,7 @@ Tensor Conv2d::backward_im2col(const Tensor& grad_output) {
     if (!frozen_) {
       // GW(M x K_l) += GO(M x N) * col(K_l x N)^T
       std::vector<float> col(lowered_rows * columns);
-      im2col_sample(input.data().data() + n * in_sample, in_h, in_w, out_h,
-                    out_w, col.data());
+      im2col_sample(input.data().data() + n * in_sample, plan, col.data());
       sgemm_bt(out_channels_, lowered_rows, columns, go_n, col.data(),
                w_partial.data() + n * w_count, /*accumulate=*/false);
       if (with_bias_) {
@@ -418,7 +395,7 @@ Tensor Conv2d::backward_im2col(const Tensor& grad_output) {
     // grad_col(K_l x N) = W(M x K_l)^T * GO(M x N)
     sgemm_at(lowered_rows, columns, out_channels_,
              weight_.value.data().data(), go_n, grad_col.data());
-    col2im_sample(grad_col.data(), in_h, in_w, out_h, out_w,
+    col2im_sample(grad_col.data(), plan,
                   grad_input.data().data() + n * in_sample);
   });
 

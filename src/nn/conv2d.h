@@ -1,13 +1,18 @@
 // 2-D convolution (NCHW, square kernel, symmetric zero padding, no dilation).
 //
 // ResNet uses bias-free convolutions (BatchNorm supplies the affine shift),
-// so bias is optional. The forward/backward loops are direct convolutions
-// parallelized over the batch dimension; at the 32x32 resolutions used by
-// the scaled ResNet this outperforms an im2col round-trip.
+// so bias is optional. Both algorithms iterate the analytic guard-free
+// ranges of a cached ConvPlan (nn/conv_plan.h) and are parallelized over
+// the batch dimension; both accumulate each output element through a single
+// ascending-(ci, kh, kw) fused-multiply-add chain with bias added last, so
+// direct and im2col outputs are byte-identical on ordinary data
+// (tests/nn/test_conv_plan.cpp pins this).
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
+#include "nn/conv_plan.h"
 #include "nn/layer.h"
 
 namespace odn::nn {
@@ -49,8 +54,19 @@ class Conv2d final : public Layer {
                          const std::vector<std::size_t>& keep_in);
 
   // Multiply-accumulate count for one sample at the given spatial input, used
-  // by the analytic compute model backing the profiler.
+  // by the analytic compute model backing the profiler. Counts the full
+  // out·in·K·K lowered product (padding taps included) — the im2col GEMM's
+  // arithmetic — so existing cost models keep their meaning; the guard-free
+  // MAC count lives in reuse_per_sample().macs.
   std::size_t macs_per_sample(std::size_t in_h, std::size_t in_w) const;
+
+  // Analytic data-reuse summary for one sample at the given spatial input
+  // (see ConvReuse); backs the per-block reuse columns in the profiler.
+  ConvReuse reuse_per_sample(std::size_t in_h, std::size_t in_w) const;
+
+  // Cached analytic partition plan for the given input geometry (rebuilt
+  // only when the spatial extent changes between calls).
+  const ConvPlan& plan_for(std::size_t in_h, std::size_t in_w) const;
 
   void set_algorithm(ConvAlgorithm algorithm) noexcept {
     algorithm_ = algorithm;
@@ -63,13 +79,12 @@ class Conv2d final : public Layer {
   Tensor backward_direct(const Tensor& grad_output);
   Tensor backward_im2col(const Tensor& grad_output);
 
-  // Lowers one sample into the (Cin·K·K) x (outH·outW) column matrix.
-  void im2col_sample(const float* input, std::size_t in_h, std::size_t in_w,
-                     std::size_t out_h, std::size_t out_w,
+  // Lowers one sample into the (Cin·K·K) x (outH·outW) column matrix,
+  // iterating the plan's guard-free ranges.
+  void im2col_sample(const float* input, const ConvPlan& plan,
                      float* col) const;
   // Scatter-adds a column-matrix gradient back onto one input sample.
-  void col2im_sample(const float* col, std::size_t in_h, std::size_t in_w,
-                     std::size_t out_h, std::size_t out_w,
+  void col2im_sample(const float* col, const ConvPlan& plan,
                      float* grad_input) const;
   std::size_t output_extent(std::size_t input_extent) const noexcept {
     return (input_extent + 2 * padding_ - kernel_) / stride_ + 1;
@@ -87,6 +102,7 @@ class Conv2d final : public Layer {
   ConvAlgorithm algorithm_ = ConvAlgorithm::kIm2col;
 
   Tensor cached_input_;  // saved by forward(training=true)
+  mutable std::optional<ConvPlan> plan_;  // geometry-keyed plan cache
 };
 
 }  // namespace odn::nn

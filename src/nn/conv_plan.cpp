@@ -1,0 +1,138 @@
+#include "nn/conv_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace odn::nn {
+
+std::size_t conv_output_extent(std::size_t in_extent, std::size_t kernel,
+                               std::size_t stride,
+                               std::size_t padding) noexcept {
+  const std::size_t padded = in_extent + 2 * padding;
+  if (padded < kernel) return 0;
+  return (padded - kernel) / stride + 1;
+}
+
+ConvRange conv_output_range(std::size_t out_extent, std::size_t in_extent,
+                            std::size_t stride, std::size_t padding,
+                            std::size_t tap) noexcept {
+  // 0 <= o*stride + tap - pad < in_extent
+  std::size_t first = 0;
+  if (tap < padding) first = (padding - tap + stride - 1) / stride;
+  std::size_t last = 0;
+  if (in_extent + padding > tap) {
+    // o <= (in_extent - 1 + pad - tap) / stride
+    last = std::min(out_extent, (in_extent - 1 + padding - tap) / stride + 1);
+  }
+  if (first >= last) return {0, 0};
+  return {first, last};
+}
+
+ConvRange conv_input_range(std::size_t out_extent, std::size_t in_extent,
+                           std::size_t stride, std::size_t padding,
+                           std::size_t tap) noexcept {
+  const ConvRange out = conv_output_range(out_extent, in_extent, stride,
+                                          padding, tap);
+  if (out.empty()) return {0, 0};
+  const std::size_t first = out.first * stride + tap - padding;
+  const std::size_t last = (out.last - 1) * stride + tap - padding + 1;
+  return {first, last};
+}
+
+ConvRange conv_kernel_range(std::size_t out_pos, std::size_t in_extent,
+                            std::size_t kernel, std::size_t stride,
+                            std::size_t padding) noexcept {
+  // 0 <= out_pos*stride + t - pad < in_extent, t in [0, kernel)
+  const std::size_t base = out_pos * stride;
+  std::size_t first = 0;
+  if (base < padding) first = padding - base;
+  std::size_t last = 0;
+  if (in_extent + padding > base)
+    last = std::min(kernel, in_extent + padding - base);
+  if (first >= last) return {0, 0};
+  return {first, last};
+}
+
+bool conv_input_index(std::size_t out_pos, std::size_t stride,
+                      std::size_t padding, std::size_t tap,
+                      std::size_t in_extent, std::size_t* in_pos) noexcept {
+  const std::size_t shifted = out_pos * stride + tap;
+  if (shifted < padding) return false;
+  const std::size_t i = shifted - padding;
+  if (i >= in_extent) return false;
+  *in_pos = i;
+  return true;
+}
+
+namespace {
+
+// Distinct input coordinates on one axis read by at least one (output,
+// tap) pair. Exact by construction: walks the stride-spaced sequences the
+// analytic ranges describe (axis extents are small, this is setup cost).
+std::size_t touched_on_axis(std::size_t out_extent, std::size_t in_extent,
+                            std::size_t kernel, std::size_t stride,
+                            std::size_t padding) {
+  std::vector<char> touched(in_extent, 0);
+  for (std::size_t tap = 0; tap < kernel; ++tap) {
+    const ConvRange out =
+        conv_output_range(out_extent, in_extent, stride, padding, tap);
+    for (std::size_t o = out.first; o < out.last; ++o)
+      touched[o * stride + tap - padding] = 1;
+  }
+  return static_cast<std::size_t>(
+      std::count(touched.begin(), touched.end(), 1));
+}
+
+}  // namespace
+
+ConvPlan::ConvPlan(std::size_t in_h, std::size_t in_w, std::size_t kernel,
+                   std::size_t stride, std::size_t padding)
+    : in_h_(in_h),
+      in_w_(in_w),
+      out_h_(conv_output_extent(in_h, kernel, stride, padding)),
+      out_w_(conv_output_extent(in_w, kernel, stride, padding)),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding) {
+  if (kernel == 0 || stride == 0)
+    throw std::invalid_argument("ConvPlan: zero kernel or stride");
+  h_ranges_.reserve(kernel);
+  w_ranges_.reserve(kernel);
+  std::size_t h_hits = 0;
+  std::size_t w_hits = 0;
+  for (std::size_t t = 0; t < kernel; ++t) {
+    h_ranges_.push_back(
+        conv_output_range(out_h_, in_h_, stride, padding, t));
+    w_ranges_.push_back(
+        conv_output_range(out_w_, in_w_, stride, padding, t));
+    h_hits += h_ranges_.back().size();
+    w_hits += w_ranges_.back().size();
+  }
+  tap_hits_ = h_hits * w_hits;  // separable: Σ_kh,kw |rh|·|rw|
+  touched_ = touched_on_axis(out_h_, in_h_, kernel, stride, padding) *
+             touched_on_axis(out_w_, in_w_, kernel, stride, padding);
+}
+
+ConvReuse ConvPlan::reuse(std::size_t in_channels,
+                          std::size_t out_channels) const {
+  const std::size_t pairs = in_channels * out_channels;
+  ConvReuse r;
+  r.macs = pairs * tap_hits_;
+  r.input_reads = r.macs;
+  r.kernel_reads = r.macs;
+  r.input_bytes_touched = in_channels * touched_ * sizeof(float);
+  r.kernel_bytes = pairs * kernel_ * kernel_ * sizeof(float);
+  r.output_bytes = out_channels * out_h_ * out_w_ * sizeof(float);
+  // Every read past an element's first touch is reuse a cache can absorb.
+  const std::size_t input_first_touch = in_channels * touched_;
+  r.input_reuse_bytes =
+      (r.input_reads - std::min(r.input_reads, input_first_touch)) *
+      sizeof(float);
+  const std::size_t kernel_taps = pairs * kernel_ * kernel_;
+  r.kernel_reuse_bytes =
+      (r.kernel_reads - std::min(r.kernel_reads, kernel_taps)) *
+      sizeof(float);
+  return r;
+}
+
+}  // namespace odn::nn

@@ -1,0 +1,136 @@
+// Reuse-aware convolution partitioning: analytic input/kernel/output index
+// ranges in the style of poplibs' ConvUtil, plus an analytic reuse summary.
+//
+// For output position o, kernel offset t and symmetric zero padding, the
+// input coordinate is i = o*stride + t - pad. The helpers below invert
+// that relation analytically, so convolution inner loops can iterate
+// guard-free over precomputed half-open ranges instead of testing every
+// (o, t) pair against the input bounds — and so the planner can count, in
+// closed form, how many times each input element and kernel tap is read
+// (the reuse the profiler reports per layer-block).
+//
+// tests/nn/test_conv_plan.cpp property-checks every range against the
+// brute-force per-element predicate across stride/pad/kernel combinations,
+// including degenerate empty-range cases.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odn::nn {
+
+// Half-open index range [first, last); empty when first == last.
+struct ConvRange {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::size_t size() const noexcept { return last - first; }
+  bool empty() const noexcept { return first >= last; }
+  bool operator==(const ConvRange& o) const noexcept {
+    return first == o.first && last == o.last;
+  }
+};
+
+// Output extent of a 1-D convolution axis: (in + 2*pad - kernel)/stride + 1.
+std::size_t conv_output_extent(std::size_t in_extent, std::size_t kernel,
+                               std::size_t stride,
+                               std::size_t padding) noexcept;
+
+// Outputs o in [0, out_extent) whose input i = o*stride + tap - pad lands
+// inside [0, in_extent) — the subset of the output this kernel tap feeds.
+ConvRange conv_output_range(std::size_t out_extent, std::size_t in_extent,
+                            std::size_t stride, std::size_t padding,
+                            std::size_t tap) noexcept;
+
+// Inputs touched by this kernel tap over its valid output range (a stride-
+// spaced sequence; the range spans first..last input coordinates).
+ConvRange conv_input_range(std::size_t out_extent, std::size_t in_extent,
+                           std::size_t stride, std::size_t padding,
+                           std::size_t tap) noexcept;
+
+// Kernel taps with an in-bounds input at the given output position.
+ConvRange conv_kernel_range(std::size_t out_pos, std::size_t in_extent,
+                            std::size_t kernel, std::size_t stride,
+                            std::size_t padding) noexcept;
+
+// Single-coordinate mapping: writes the input coordinate for (out_pos,
+// tap) and returns true, or returns false when it falls into padding.
+bool conv_input_index(std::size_t out_pos, std::size_t stride,
+                      std::size_t padding, std::size_t tap,
+                      std::size_t in_extent, std::size_t* in_pos) noexcept;
+
+// Whole-layer analytic reuse summary at a given input spatial extent.
+// "Reads" count one access per fused multiply-add; reuse bytes are the
+// re-reads beyond each element's first touch — the traffic a cache absorbs
+// when the tile fits (what reuse-aware partitioning is buying).
+struct ConvReuse {
+  std::size_t macs = 0;          // guard-free MACs (padding taps excluded)
+  std::size_t input_reads = 0;   // == macs: one input read per MAC
+  std::size_t kernel_reads = 0;  // == macs: one tap read per MAC
+  std::size_t input_bytes_touched = 0;   // distinct input bytes read
+  std::size_t kernel_bytes = 0;          // weight bytes
+  std::size_t output_bytes = 0;          // bytes written once
+  std::size_t input_reuse_bytes = 0;     // input re-read traffic
+  std::size_t kernel_reuse_bytes = 0;    // kernel re-read traffic
+
+  ConvReuse& operator+=(const ConvReuse& o) noexcept {
+    macs += o.macs;
+    input_reads += o.input_reads;
+    kernel_reads += o.kernel_reads;
+    input_bytes_touched += o.input_bytes_touched;
+    kernel_bytes += o.kernel_bytes;
+    output_bytes += o.output_bytes;
+    input_reuse_bytes += o.input_reuse_bytes;
+    kernel_reuse_bytes += o.kernel_reuse_bytes;
+    return *this;
+  }
+};
+
+// Precomputed per-tap output ranges for one (spatial geometry, kernel)
+// pair: built once per forward/backward call, then every inner loop runs
+// guard-free over h_range(kh) x w_range(kw).
+class ConvPlan {
+ public:
+  ConvPlan(std::size_t in_h, std::size_t in_w, std::size_t kernel,
+           std::size_t stride, std::size_t padding);
+
+  std::size_t in_h() const noexcept { return in_h_; }
+  std::size_t in_w() const noexcept { return in_w_; }
+  std::size_t out_h() const noexcept { return out_h_; }
+  std::size_t out_w() const noexcept { return out_w_; }
+  std::size_t kernel() const noexcept { return kernel_; }
+  std::size_t stride() const noexcept { return stride_; }
+  std::size_t padding() const noexcept { return padding_; }
+
+  const ConvRange& h_range(std::size_t kh) const noexcept {
+    return h_ranges_[kh];
+  }
+  const ConvRange& w_range(std::size_t kw) const noexcept {
+    return w_ranges_[kw];
+  }
+
+  // Valid (output-row, output-col) pairs summed over all taps — the
+  // separable product Σ_kh |h_range| · Σ_kw |w_range|. MACs per
+  // (input-channel -> output-channel) plane pair.
+  std::size_t taps_per_plane_pair() const noexcept { return tap_hits_; }
+
+  // Distinct input elements read at least once (stride > 1 can skip
+  // columns; padding never reduces this below the reachable interior).
+  std::size_t touched_input_elems() const noexcept { return touched_; }
+
+  // Whole-layer reuse summary for the given channel counts.
+  ConvReuse reuse(std::size_t in_channels, std::size_t out_channels) const;
+
+  bool matches(std::size_t in_h, std::size_t in_w) const noexcept {
+    return in_h == in_h_ && in_w == in_w_;
+  }
+
+ private:
+  std::size_t in_h_, in_w_, out_h_, out_w_;
+  std::size_t kernel_, stride_, padding_;
+  std::vector<ConvRange> h_ranges_;  // per kh
+  std::vector<ConvRange> w_ranges_;  // per kw
+  std::size_t tap_hits_ = 0;
+  std::size_t touched_ = 0;
+};
+
+}  // namespace odn::nn

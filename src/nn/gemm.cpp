@@ -2,18 +2,24 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstring>
 
+#include "nn/gemm_kernel.h"
 #include "util/thread_pool.h"
 
 namespace odn::nn {
 namespace {
 
-constexpr std::size_t kBlockK = 64;
-// Rows per parallel work item. Fixed (not thread-count dependent): each
-// output row is written by exactly one lane with the same accumulation
-// order as the serial kernel, so the partition never affects the result.
+// Rows per parallel work item. Fixed (not thread-count dependent) and a
+// multiple of every lane's register-tile height: each output row is
+// produced by exactly one lane with the accumulation-order contract of
+// gemm_kernel.h, so the partition never affects the result.
 constexpr std::size_t kRowBlock = 16;
+
+// Flop count below which a call skips panel packing entirely (the
+// unpacked path shares the per-element fma chains, so the bytes are
+// identical either way). Forcing a lane via set_gemm_lane disables the
+// shortcut so tests exercise the packed path on any shape.
+constexpr std::size_t kSmallFlops = std::size_t{1} << 13;
 
 std::atomic<std::size_t> g_parallel_threshold{std::size_t{1} << 21};
 
@@ -29,98 +35,48 @@ bool dispatch_parallel(std::size_t m, std::size_t n, std::size_t k) {
          util::global_thread_count() > 1;
 }
 
-// The shared row-range kernels: the serial entry points run them over
-// [0, m); the parallel dispatch runs them over disjoint row blocks. The
-// per-element arithmetic is the same either way.
-
-void sgemm_rows(std::size_t i0, std::size_t i1, std::size_t n, std::size_t k,
-                const float* a, const float* b, float* c) {
-  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-    const std::size_t k1 = std::min(k, k0 + kBlockK);
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* c_row = c + i * n;
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const float a_ik = a[i * k + kk];
-        if (a_ik == 0.0f) continue;
-        const float* b_row = b + kk * n;
-        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
-      }
-    }
+void run(GemmOp op, std::size_t m, std::size_t n, std::size_t k,
+         const float* a, const float* b, float* c, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (gemm_forced_lane() == GemmLane::kAuto && 2 * m * n * k < kSmallFlops) {
+    kernel::gemm_small(op, m, n, k, a, b, c, accumulate);
+    return;
   }
-}
-
-void sgemm_at_rows(std::size_t i0, std::size_t i1, std::size_t m,
-                   std::size_t n, std::size_t k, const float* a,
-                   const float* b, float* c) {
-  // A is (K x M): A^T[i][kk] = a[kk * m + i].
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* a_row = a + kk * m;
-    const float* b_row = b + kk * n;
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float a_ik = a_row[i];
-      if (a_ik == 0.0f) continue;
-      float* c_row = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
-    }
+  // The right-hand panel is packed once on the calling thread and shared
+  // read-only across the row-range workers; each worker packs its own
+  // left-hand panel into per-thread scratch. The automatic-storage
+  // reference is what the worker lambda captures — naming the
+  // thread_local directly inside the lambda would resolve to each
+  // worker's own (empty) instance.
+  thread_local kernel::PackedB packed_b_tls;
+  kernel::PackedB& packed_b = packed_b_tls;
+  packed_b.pack(op, n, k, b, gemm_resolve_lane());
+  if (!dispatch_parallel(m, n, k)) {
+    kernel::gemm_rows(op, 0, m, m, n, k, a, packed_b, c, accumulate);
+    return;
   }
-}
-
-void sgemm_bt_rows(std::size_t i0, std::size_t i1, std::size_t n,
-                   std::size_t k, const float* a, const float* b, float* c,
-                   bool accumulate) {
-  // B is (N x K): rows of B are contiguous in K — the inner loop is a dot
-  // product of two contiguous vectors.
-  for (std::size_t i = i0; i < i1; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float acc = accumulate ? c_row[j] : 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-      c_row[j] = acc;
-    }
-  }
+  util::global_parallel_for(row_block_count(m), [&](std::size_t block) {
+    const std::size_t i0 = block * kRowBlock;
+    kernel::gemm_rows(op, i0, std::min(m, i0 + kRowBlock), m, n, k, a,
+                      packed_b, c, accumulate);
+  });
 }
 
 }  // namespace
 
 void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
            const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  if (!dispatch_parallel(m, n, k)) {
-    sgemm_rows(0, m, n, k, a, b, c);
-    return;
-  }
-  util::global_parallel_for(row_block_count(m), [&](std::size_t block) {
-    const std::size_t i0 = block * kRowBlock;
-    sgemm_rows(i0, std::min(m, i0 + kRowBlock), n, k, a, b, c);
-  });
+  run(GemmOp::kNormal, m, n, k, a, b, c, accumulate);
 }
 
 void sgemm_at(std::size_t m, std::size_t n, std::size_t k, const float* a,
               const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  if (!dispatch_parallel(m, n, k)) {
-    sgemm_at_rows(0, m, m, n, k, a, b, c);
-    return;
-  }
-  util::global_parallel_for(row_block_count(m), [&](std::size_t block) {
-    const std::size_t i0 = block * kRowBlock;
-    sgemm_at_rows(i0, std::min(m, i0 + kRowBlock), m, n, k, a, b, c);
-  });
+  run(GemmOp::kATrans, m, n, k, a, b, c, accumulate);
 }
 
 void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, const float* a,
               const float* b, float* c, bool accumulate) {
-  if (!dispatch_parallel(m, n, k)) {
-    sgemm_bt_rows(0, m, n, k, a, b, c, accumulate);
-    return;
-  }
-  util::global_parallel_for(row_block_count(m), [&](std::size_t block) {
-    const std::size_t i0 = block * kRowBlock;
-    sgemm_bt_rows(i0, std::min(m, i0 + kRowBlock), n, k, a, b, c,
-                  accumulate);
-  });
+  run(GemmOp::kBTrans, m, n, k, a, b, c, accumulate);
 }
 
 std::size_t gemm_parallel_threshold() noexcept {

@@ -1,14 +1,18 @@
-// Small single-precision GEMM for the im2col convolution path.
+// Single-precision GEMM entry points over the packed, cache-blocked,
+// runtime-dispatched micro-kernel in nn/gemm_kernel.{h,cpp}.
 //
-// Row-major C(M x N) = A(M x K) * B(K x N) [+ C when accumulate]. The
-// kernel uses the i-k-j loop order so the inner loop runs down contiguous
-// rows of B and C and auto-vectorizes; K-blocking keeps the hot rows of B
-// in cache. Not a BLAS replacement — just enough for the layer sizes this
-// library meets.
+// Row-major C(M x N) = A(M x K) * B(K x N) [+ C when accumulate]. All
+// three variants funnel into one SIMD micro-kernel (AVX-512 / AVX2+FMA /
+// scalar std::fmaf, selected at runtime) whose accumulation-order contract
+// — a single ascending-k fused-multiply-add chain per output element —
+// makes vector, scalar, serial and parallel executions byte-identical
+// (tests/nn/test_kernel_differential.cpp enforces this against a naive
+// fmaf reference). Not a BLAS replacement — just enough for the layer
+// sizes this library meets.
 //
 // GEMMs whose flop count (2·M·N·K) reaches gemm_parallel_threshold() are
 // partitioned into row blocks across util::global_pool(). Each output row
-// is produced by exactly one lane with the same per-element accumulation
+// is produced by exactly one worker with the same per-element accumulation
 // order as the serial kernel, so parallel and serial results are
 // bit-identical (the contract tests/nn/test_parallel_gemm.cpp enforces).
 #pragma once

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include <cmath>
+#include "nn/gemm.h"
 #include "util/fmt.h"
 #include <stdexcept>
 
@@ -34,13 +35,13 @@ Tensor Linear::forward(const Tensor& input, bool training) {
                     input.shape().to_string()));
   const std::size_t batch = input.shape()[0];
   Tensor output({batch, out_features_});
+  // out(B x O) = in(B x I) * W(O x I)^T, bias added after the product so
+  // the element chains match the micro-kernel contract.
+  sgemm_bt(batch, out_features_, in_features_, input.data().data(),
+           weight_.value.data().data(), output.data().data());
   for (std::size_t n = 0; n < batch; ++n)
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      float acc = bias_.value[o];
-      for (std::size_t i = 0; i < in_features_; ++i)
-        acc += input.at2(n, i) * weight_.value.at2(o, i);
-      output.at2(n, o) = acc;
-    }
+    for (std::size_t o = 0; o < out_features_; ++o)
+      output.at2(n, o) += bias_.value[o];
   if (training) cached_input_ = input;
   return output;
 }
@@ -50,24 +51,20 @@ Tensor Linear::backward(const Tensor& grad_output) {
     throw std::logic_error(name() + ": backward without training forward");
   const std::size_t batch = cached_input_.shape()[0];
 
+  // dL/din(B x I) = GO(B x O) * W(O x I)
   Tensor grad_input({batch, in_features_});
-  for (std::size_t n = 0; n < batch; ++n)
-    for (std::size_t i = 0; i < in_features_; ++i) {
-      float acc = 0.0f;
-      for (std::size_t o = 0; o < out_features_; ++o)
-        acc += grad_output.at2(n, o) * weight_.value.at2(o, i);
-      grad_input.at2(n, i) = acc;
-    }
+  sgemm(batch, in_features_, out_features_, grad_output.data().data(),
+        weight_.value.data().data(), grad_input.data().data());
 
   if (!frozen_) {
+    // dL/dW(O x I) += GO(B x O)^T * in(B x I)
+    sgemm_at(out_features_, in_features_, batch, grad_output.data().data(),
+             cached_input_.data().data(), weight_.grad.data().data(),
+             /*accumulate=*/true);
     for (std::size_t o = 0; o < out_features_; ++o) {
       float bias_grad = 0.0f;
-      for (std::size_t n = 0; n < batch; ++n) {
-        const float go = grad_output.at2(n, o);
-        bias_grad += go;
-        for (std::size_t i = 0; i < in_features_; ++i)
-          weight_.grad.at2(o, i) += go * cached_input_.at2(n, i);
-      }
+      for (std::size_t n = 0; n < batch; ++n)
+        bias_grad += grad_output.at2(n, o);
       bias_.grad[o] += bias_grad;
     }
   }

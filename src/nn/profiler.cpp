@@ -48,6 +48,9 @@ ModelProfile Profiler::profile(ResNet& model) {
     bp.compute_time_ms = median_of(std::move(times));
     bp.macs = model.stage_macs_per_sample(s);
     bp.param_count = model.stage_parameter_bytes(s) / sizeof(float);
+    const ConvReuse reuse = model.stage_reuse_per_sample(s);
+    bp.input_reuse_bytes = reuse.input_reuse_bytes;
+    bp.kernel_reuse_bytes = reuse.kernel_reuse_bytes;
     // Memory: resident parameters plus the stage's in+out activations.
     bp.memory_bytes = model.stage_parameter_bytes(s) +
                       (activation.byte_size() + output.byte_size());

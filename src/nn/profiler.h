@@ -17,6 +17,11 @@ struct BlockProfile {
   std::size_t memory_bytes = 0;  // parameters + peak activations
   std::size_t macs = 0;          // analytic multiply-accumulates per sample
   std::size_t param_count = 0;
+  // Analytic conv data-reuse (nn/conv_plan.h): bytes the block re-reads
+  // beyond each input element's / kernel tap's first touch — the traffic a
+  // reuse-aware partition keeps in cache. Zero for the pure-GEMM head.
+  std::size_t input_reuse_bytes = 0;
+  std::size_t kernel_reuse_bytes = 0;
 };
 
 struct ModelProfile {

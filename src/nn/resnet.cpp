@@ -228,6 +228,22 @@ std::size_t ResNet::stage_macs_per_sample(std::size_t stage_index) const {
   return macs;
 }
 
+ConvReuse ResNet::stage_reuse_per_sample(std::size_t stage_index) const {
+  if (stage_index >= kNumStages)
+    throw std::out_of_range("ResNet::stage_reuse_per_sample: bad stage");
+  const Stage& stage = stages_[stage_index];
+  ConvReuse reuse;
+  std::size_t spatial = stage.in_size;
+  if (stage_index == 0)
+    reuse += stem_conv_.reuse_per_sample(config_.input_size,
+                                         config_.input_size);
+  for (const auto& block : stage.blocks) {
+    reuse += block->reuse_per_sample(spatial, spatial);
+    if (block->stride() == 2) spatial /= 2;
+  }
+  return reuse;
+}
+
 std::size_t ResNet::macs_per_sample() const {
   std::size_t macs = 0;
   for (std::size_t s = 0; s < kNumStages; ++s)

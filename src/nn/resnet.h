@@ -91,6 +91,9 @@ class ResNet {
   // Per-sample multiply-accumulates, whole net and per stage.
   std::size_t macs_per_sample() const;
   std::size_t stage_macs_per_sample(std::size_t stage_index) const;
+  // Per-sample conv data-reuse summary per stage (nn/conv_plan.h); stage 0
+  // includes the stem convolution, the head (pure GEMM) contributes none.
+  ConvReuse stage_reuse_per_sample(std::size_t stage_index) const;
 
   // Structural introspection (profiler, memory model, tests).
   std::size_t num_blocks(std::size_t stage_index) const;

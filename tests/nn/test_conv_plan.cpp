@@ -1,0 +1,258 @@
+// Property tests for the analytic convolution partitioner (nn/conv_plan.h)
+// and the guard-free Conv2d paths built on it.
+//
+//  * Every analytic range must EXACTLY equal the brute-force guard
+//    predicate (0 <= o*stride + tap - pad < in) across a full sweep of
+//    stride/pad/kernel/extent combinations, including degenerate cases
+//    where a tap never lands in bounds (empty ranges) and where padding
+//    exceeds the kernel.
+//  * The plan's reuse summary must match brute-force MAC / touched-element
+//    counting on the same sweep.
+//  * The guard-free direct Conv2d forward must be byte-identical to the
+//    im2col/GEMM path (both run ascending-(ci, kh, kw) fmaf chains with
+//    bias added last), and backward must agree with finite differences at
+//    shapes that are not multiples of any GEMM register tile.
+#include "nn/conv_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gradient_check.h"
+#include "nn/conv2d.h"
+#include "util/rng.h"
+
+namespace odn::nn {
+namespace {
+
+bool brute_valid(std::size_t out_pos, std::size_t stride, std::size_t pad,
+                 std::size_t tap, std::size_t in_extent) {
+  const long long i = static_cast<long long>(out_pos * stride + tap) -
+                      static_cast<long long>(pad);
+  return i >= 0 && i < static_cast<long long>(in_extent);
+}
+
+struct Geometry {
+  std::size_t in, kernel, stride, pad;
+};
+
+std::vector<Geometry> sweep_geometries() {
+  std::vector<Geometry> gs;
+  for (std::size_t in : {1u, 2u, 3u, 5u, 7u, 8u, 16u, 31u})
+    for (std::size_t kernel : {1u, 2u, 3u, 5u, 7u})
+      for (std::size_t stride : {1u, 2u, 3u, 4u})
+        for (std::size_t pad : {0u, 1u, 2u, 3u, 6u})
+          gs.push_back({in, kernel, stride, pad});
+  return gs;
+}
+
+// conv_output_range == brute force for every tap, including empties.
+TEST(ConvPlanRanges, OutputRangeMatchesBruteForce) {
+  for (const Geometry& g : sweep_geometries()) {
+    const std::size_t out = conv_output_extent(g.in, g.kernel, g.stride,
+                                               g.pad);
+    for (std::size_t tap = 0; tap < g.kernel; ++tap) {
+      const ConvRange r =
+          conv_output_range(out, g.in, g.stride, g.pad, tap);
+      std::size_t count = 0;
+      for (std::size_t o = 0; o < out; ++o) {
+        const bool valid = brute_valid(o, g.stride, g.pad, tap, g.in);
+        const bool in_range = o >= r.first && o < r.last;
+        ASSERT_EQ(valid, in_range)
+            << "in=" << g.in << " k=" << g.kernel << " s=" << g.stride
+            << " p=" << g.pad << " tap=" << tap << " o=" << o;
+        count += valid;
+      }
+      ASSERT_EQ(r.size(), count);
+      if (r.empty()) {
+        ASSERT_EQ(r, (ConvRange{0, 0}));
+      }
+      // Valid outputs for one tap are stride-contiguous, so matching the
+      // predicate on every o pins first/last exactly.
+    }
+  }
+}
+
+// conv_input_range spans exactly the inputs the valid outputs read, and
+// conv_input_index agrees with the predicate pointwise.
+TEST(ConvPlanRanges, InputRangeAndIndexMatchBruteForce) {
+  for (const Geometry& g : sweep_geometries()) {
+    const std::size_t out = conv_output_extent(g.in, g.kernel, g.stride,
+                                               g.pad);
+    for (std::size_t tap = 0; tap < g.kernel; ++tap) {
+      const ConvRange r = conv_input_range(out, g.in, g.stride, g.pad, tap);
+      std::size_t lo = g.in, hi = 0;
+      for (std::size_t o = 0; o < out; ++o) {
+        std::size_t i = 0;
+        const bool valid =
+            conv_input_index(o, g.stride, g.pad, tap, g.in, &i);
+        ASSERT_EQ(valid, brute_valid(o, g.stride, g.pad, tap, g.in));
+        if (valid) {
+          ASSERT_EQ(i, o * g.stride + tap - g.pad);
+          lo = std::min(lo, i);
+          hi = std::max(hi, i + 1);
+        }
+      }
+      if (hi == 0) {
+        ASSERT_TRUE(r.empty());
+      } else {
+        ASSERT_EQ(r.first, lo);
+        ASSERT_EQ(r.last, hi);
+      }
+    }
+  }
+}
+
+// conv_kernel_range (taps valid at one output position) == brute force.
+TEST(ConvPlanRanges, KernelRangeMatchesBruteForce) {
+  for (const Geometry& g : sweep_geometries()) {
+    const std::size_t out = conv_output_extent(g.in, g.kernel, g.stride,
+                                               g.pad);
+    for (std::size_t o = 0; o < out; ++o) {
+      const ConvRange r =
+          conv_kernel_range(o, g.in, g.kernel, g.stride, g.pad);
+      for (std::size_t tap = 0; tap < g.kernel; ++tap) {
+        const bool valid = brute_valid(o, g.stride, g.pad, tap, g.in);
+        ASSERT_EQ(valid, tap >= r.first && tap < r.last)
+            << "in=" << g.in << " k=" << g.kernel << " s=" << g.stride
+            << " p=" << g.pad << " o=" << o << " tap=" << tap;
+      }
+    }
+  }
+}
+
+// The plan's separable MAC count and touched-element count equal full 2-D
+// brute-force enumeration, and the reuse summary is consistent with them.
+TEST(ConvPlanReuse, CountsMatchBruteForce) {
+  for (std::size_t in_h : {4u, 7u, 9u})
+    for (std::size_t in_w : {3u, 8u})
+      for (std::size_t kernel : {1u, 3u, 5u})
+        for (std::size_t stride : {1u, 2u, 3u})
+          for (std::size_t pad : {0u, 1u, 2u, 4u}) {
+            const ConvPlan plan(in_h, in_w, kernel, stride, pad);
+            const std::size_t out_h =
+                conv_output_extent(in_h, kernel, stride, pad);
+            const std::size_t out_w =
+                conv_output_extent(in_w, kernel, stride, pad);
+            ASSERT_EQ(plan.out_h(), out_h);
+            ASSERT_EQ(plan.out_w(), out_w);
+
+            std::size_t macs = 0;
+            std::vector<char> touched(in_h * in_w, 0);
+            for (std::size_t kh = 0; kh < kernel; ++kh)
+              for (std::size_t kw = 0; kw < kernel; ++kw)
+                for (std::size_t oh = 0; oh < out_h; ++oh)
+                  for (std::size_t ow = 0; ow < out_w; ++ow) {
+                    std::size_t ih = 0, iw = 0;
+                    if (conv_input_index(oh, stride, pad, kh, in_h, &ih) &&
+                        conv_input_index(ow, stride, pad, kw, in_w, &iw)) {
+                      ++macs;
+                      touched[ih * in_w + iw] = 1;
+                    }
+                  }
+            const std::size_t distinct = static_cast<std::size_t>(
+                std::count(touched.begin(), touched.end(), 1));
+            ASSERT_EQ(plan.taps_per_plane_pair(), macs)
+                << "in=" << in_h << "x" << in_w << " k=" << kernel
+                << " s=" << stride << " p=" << pad;
+            ASSERT_EQ(plan.touched_input_elems(), distinct);
+
+            const ConvReuse reuse = plan.reuse(3, 5);
+            EXPECT_EQ(reuse.macs, 15 * macs);
+            EXPECT_EQ(reuse.input_reads, reuse.macs);
+            EXPECT_EQ(reuse.kernel_reads, reuse.macs);
+            EXPECT_EQ(reuse.input_bytes_touched,
+                      3 * distinct * sizeof(float));
+            EXPECT_EQ(reuse.kernel_bytes,
+                      15 * kernel * kernel * sizeof(float));
+            EXPECT_EQ(reuse.output_bytes,
+                      5 * out_h * out_w * sizeof(float));
+            // Reuse = reads beyond first touch, clamped at zero (with
+            // heavy stride/padding some taps are never read at all).
+            const std::size_t input_first = 3 * distinct;
+            EXPECT_EQ(reuse.input_reuse_bytes,
+                      (reuse.input_reads -
+                       std::min(reuse.input_reads, input_first)) *
+                          sizeof(float));
+            const std::size_t kernel_first = 15 * kernel * kernel;
+            EXPECT_EQ(reuse.kernel_reuse_bytes,
+                      (reuse.kernel_reads -
+                       std::min(reuse.kernel_reads, kernel_first)) *
+                          sizeof(float));
+          }
+}
+
+Tensor random_input(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (float& x : t.data()) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+// Direct (guard-free plan loops) and im2col (plan lowering + GEMM) run the
+// same ascending-(ci, kh, kw) fmaf chain per output element with bias added
+// last, so their outputs must be byte-identical — across strides, pads and
+// channel counts, bias on and off.
+TEST(ConvPlanConv2d, DirectMatchesIm2colByteForByte) {
+  std::uint64_t seed = 900;
+  for (std::size_t stride : {1u, 2u})
+    for (std::size_t pad : {0u, 1u, 2u})
+      for (const bool with_bias : {false, true}) {
+        Conv2d conv(3, 6, /*kernel=*/3, stride, pad, with_bias);
+        util::Rng rng(seed);
+        conv.init_parameters(rng);
+        const Tensor input = random_input(Shape{2, 3, 9, 7}, seed + 1);
+        seed += 2;
+
+        conv.set_algorithm(ConvAlgorithm::kDirect);
+        const Tensor direct = conv.forward(input, /*training=*/false);
+        conv.set_algorithm(ConvAlgorithm::kIm2col);
+        const Tensor lowered = conv.forward(input, /*training=*/false);
+
+        ASSERT_EQ(direct.shape(), lowered.shape());
+        ASSERT_EQ(std::memcmp(direct.data().data(), lowered.data().data(),
+                              direct.size() * sizeof(float)),
+                  0)
+            << "stride=" << stride << " pad=" << pad
+            << " bias=" << with_bias;
+      }
+}
+
+// Backward over the analytic partitioner, checked against central finite
+// differences at a geometry that is not a multiple of any register tile
+// (odd spatial extent, stride 2, non-tile channel counts), both paths.
+TEST(ConvPlanConv2d, BackwardGradientsOverPlan) {
+  for (const ConvAlgorithm algorithm :
+       {ConvAlgorithm::kDirect, ConvAlgorithm::kIm2col}) {
+    util::Rng rng(0xc0417);
+    Conv2d conv(3, 5, /*kernel=*/3, /*stride=*/2, /*padding=*/1,
+                /*with_bias=*/true);
+    conv.set_algorithm(algorithm);
+    conv.init_parameters(rng);
+    const Tensor input = testing::random_tensor(Shape{2, 3, 7, 5}, rng, 0.5);
+    testing::check_input_gradient(conv, input, rng);
+    testing::check_parameter_gradients(conv, input, rng);
+  }
+}
+
+// The cached plan is rebuilt when the spatial geometry changes between
+// calls (e.g. multi-resolution serving) and reused otherwise.
+TEST(ConvPlanConv2d, PlanCacheFollowsGeometry) {
+  Conv2d conv(2, 2, 3, 1, 1);
+  const ConvPlan& p1 = conv.plan_for(8, 8);
+  EXPECT_TRUE(p1.matches(8, 8));
+  EXPECT_EQ(&p1, &conv.plan_for(8, 8));  // cache hit
+  const ConvPlan& p2 = conv.plan_for(16, 12);
+  EXPECT_TRUE(p2.matches(16, 12));
+  EXPECT_EQ(p2.out_h(), 16u);
+  EXPECT_EQ(p2.out_w(), 12u);
+
+  const ConvReuse reuse = conv.reuse_per_sample(8, 8);
+  EXPECT_EQ(reuse.macs, conv.plan_for(8, 8).reuse(2, 2).macs);
+  // Guard-free MACs never exceed the padded-product model count.
+  EXPECT_LE(reuse.macs, conv.macs_per_sample(8, 8));
+}
+
+}  // namespace
+}  // namespace odn::nn

@@ -1,0 +1,290 @@
+// Differential/fuzz harness for the GEMM micro-kernel (nn/gemm_kernel.h).
+//
+// The contract under test: every output element is one unbroken ascending-k
+// fmaf chain, so scalar, AVX2, AVX-512, packed, unpacked, serial and
+// parallel executions all produce BYTE-IDENTICAL floats — equal to a naive
+// triple-loop reference written with explicit std::fmaf (the arithmetic the
+// seed-era scalar kernel performed after fma contraction).
+//
+//  * Exhaustive sweep over every M, N, K in {1..9, 15..17, 31..33, 63..65}:
+//    register-tile interiors, ragged edges on each axis, and the packing
+//    boundaries of all lanes, for all three operand layouts and both
+//    accumulate modes.
+//  * A seeded fuzz loop over large random shapes.
+//  * Serial-vs-parallel byte identity on the packed path (race-labelled).
+//  * NaN / signed-zero propagation: the seed kernel skipped a_ik == 0.0f
+//    terms, which broke 0 * NaN and signed-zero semantics; these cases pin
+//    every path to the full IEEE chain.
+//  * Finite-difference gradient checks for Linear and attention at shapes
+//    that are not multiples of any register tile.
+#include "nn/gemm_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gradient_check.h"
+#include "nn/gemm.h"
+#include "nn/linear.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace odn::nn {
+namespace {
+
+float ref_a(GemmOp op, const std::vector<float>& a, std::size_t m,
+            std::size_t k, std::size_t i, std::size_t kk) {
+  return op == GemmOp::kATrans ? a[kk * m + i] : a[i * k + kk];
+}
+
+float ref_b(GemmOp op, const std::vector<float>& b, std::size_t n,
+            std::size_t k, std::size_t kk, std::size_t j) {
+  return op == GemmOp::kBTrans ? b[j * k + kk] : b[kk * n + j];
+}
+
+// Independent reference: the naive loops every kernel must match, byte for
+// byte. Deliberately written here (not shared with the library) so a bug in
+// the production path cannot hide in a shared helper.
+void ref_gemm(GemmOp op, std::size_t m, std::size_t n, std::size_t k,
+              const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>& c, bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * n + j] : 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc = std::fmaf(ref_a(op, a, m, k, i, kk), ref_b(op, b, n, k, kk, j),
+                        acc);
+      c[i * n + j] = acc;
+    }
+}
+
+void run_public(GemmOp op, std::size_t m, std::size_t n, std::size_t k,
+                const std::vector<float>& a, const std::vector<float>& b,
+                std::vector<float>& c, bool accumulate) {
+  switch (op) {
+    case GemmOp::kNormal:
+      sgemm(m, n, k, a.data(), b.data(), c.data(), accumulate);
+      return;
+    case GemmOp::kATrans:
+      sgemm_at(m, n, k, a.data(), b.data(), c.data(), accumulate);
+      return;
+    case GemmOp::kBTrans:
+      sgemm_bt(m, n, k, a.data(), b.data(), c.data(), accumulate);
+      return;
+  }
+}
+
+std::vector<float> random_vec(std::size_t count, util::Rng& rng) {
+  std::vector<float> v(count);
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+::testing::AssertionResult bytes_equal(const std::vector<float>& expected,
+                                       const std::vector<float>& actual) {
+  if (expected.size() != actual.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  if (std::memcmp(expected.data(), actual.data(),
+                  expected.size() * sizeof(float)) == 0)
+    return ::testing::AssertionSuccess();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    float e = expected[i];
+    float g = actual[i];
+    if (std::memcmp(&e, &g, sizeof(float)) != 0)
+      return ::testing::AssertionFailure()
+             << "first byte difference at flat index " << i << ": expected "
+             << e << " got " << g;
+  }
+  return ::testing::AssertionFailure() << "memcmp/element scan disagree";
+}
+
+constexpr GemmOp kOps[] = {GemmOp::kNormal, GemmOp::kATrans,
+                           GemmOp::kBTrans};
+
+// Restores auto dispatch and default thread sizing whatever a test does.
+class KernelDifferential : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threshold_ = gemm_parallel_threshold(); }
+  void TearDown() override {
+    set_gemm_lane(GemmLane::kAuto);
+    set_gemm_parallel_threshold(saved_threshold_);
+    util::set_thread_count(0);
+  }
+  std::size_t saved_threshold_ = 0;
+};
+
+// For one (shape, op): reference once, then every available lane (packed
+// path, shortcut disabled by the forced lane) plus auto dispatch must all
+// return the reference bytes.
+void check_shape(std::size_t m, std::size_t n, std::size_t k,
+                 util::Rng& rng) {
+  for (const GemmOp op : kOps) {
+    const std::vector<float> a = random_vec(m * k, rng);
+    const std::vector<float> b = random_vec(k * n, rng);
+    const std::vector<float> seed = random_vec(m * n, rng);
+    for (const bool accumulate : {false, true}) {
+      std::vector<float> expected = seed;
+      ref_gemm(op, m, n, k, a, b, expected, accumulate);
+      for (const GemmLane lane : gemm_available_lanes()) {
+        ASSERT_TRUE(set_gemm_lane(lane));
+        std::vector<float> got = seed;
+        run_public(op, m, n, k, a, b, got, accumulate);
+        ASSERT_TRUE(bytes_equal(expected, got))
+            << "lane=" << gemm_lane_name(lane) << " op="
+            << static_cast<int>(op) << " m=" << m << " n=" << n
+            << " k=" << k << " accumulate=" << accumulate;
+      }
+      ASSERT_TRUE(set_gemm_lane(GemmLane::kAuto));
+      std::vector<float> got = seed;
+      run_public(op, m, n, k, a, b, got, accumulate);
+      ASSERT_TRUE(bytes_equal(expected, got))
+          << "auto dispatch op=" << static_cast<int>(op) << " m=" << m
+          << " n=" << n << " k=" << k << " accumulate=" << accumulate;
+    }
+  }
+}
+
+// Every M, N, K in {1..9, 15..17, 31..33, 63..65}: covers sub-tile shapes,
+// exact register-tile multiples and +/-1 straddles of every lane's MR
+// (4, 8) and NR (4, 16, 32) as well as typical cache-line boundaries.
+TEST_F(KernelDifferential, ExhaustiveSmallShapeSweep) {
+  std::vector<std::size_t> extents;
+  for (std::size_t v = 1; v <= 9; ++v) extents.push_back(v);
+  for (std::size_t v = 15; v <= 17; ++v) extents.push_back(v);
+  for (std::size_t v = 31; v <= 33; ++v) extents.push_back(v);
+  for (std::size_t v = 63; v <= 65; ++v) extents.push_back(v);
+
+  util::Rng rng(0x5eed0001);
+  for (const std::size_t m : extents)
+    for (const std::size_t n : extents)
+      for (const std::size_t k : extents) {
+        check_shape(m, n, k, rng);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+}
+
+// Seeded large-shape fuzz: random rectangular shapes past the parallel
+// threshold and the packing tiles, all ops, both accumulate modes.
+TEST_F(KernelDifferential, SeededLargeShapeFuzz) {
+  util::Rng rng(0x5eed0002);
+  for (int iter = 0; iter < 24; ++iter) {
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 192));
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 192));
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_int(1, 192));
+    check_shape(m, n, k, rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// The packed parallel path must produce the serial bytes for every lane:
+// threshold 0 forces row-block fan-out, 8 workers against ragged row
+// counts.
+TEST_F(KernelDifferential, SerialVsParallelBitIdentical) {
+  set_gemm_parallel_threshold(0);
+  util::Rng rng(0x5eed0003);
+  const struct {
+    std::size_t m, n, k;
+  } shapes[] = {{129, 63, 65}, {33, 129, 17}, {47, 31, 200}};
+  for (const auto& s : shapes) {
+    for (const GemmOp op : kOps) {
+      const std::vector<float> a = random_vec(s.m * s.k, rng);
+      const std::vector<float> b = random_vec(s.k * s.n, rng);
+      const std::vector<float> seed = random_vec(s.m * s.n, rng);
+      for (const GemmLane lane : gemm_available_lanes()) {
+        ASSERT_TRUE(set_gemm_lane(lane));
+        util::set_thread_count(1);
+        std::vector<float> serial = seed;
+        run_public(op, s.m, s.n, s.k, a, b, serial, /*accumulate=*/true);
+        util::set_thread_count(8);
+        std::vector<float> parallel = seed;
+        run_public(op, s.m, s.n, s.k, a, b, parallel, /*accumulate=*/true);
+        ASSERT_TRUE(bytes_equal(serial, parallel))
+            << "lane=" << gemm_lane_name(lane)
+            << " op=" << static_cast<int>(op) << " m=" << s.m;
+      }
+    }
+  }
+}
+
+// Regression for the seed kernel's `a_ik == 0.0f` skip (data-dependent
+// FLOPs and broken IEEE semantics): 0 * NaN must yield NaN, and a zero row
+// accumulated onto -0.0f must produce +0.0f (fmaf(0, x, -0) == +0), on
+// every lane and on the unpacked shortcut.
+TEST_F(KernelDifferential, NanAndSignedZeroPropagation) {
+  const std::size_t m = 3, n = 5, k = 4;
+  std::vector<float> a(m * k, 0.0f);  // row 0 all zeros; row 1 mixed
+  a[1 * k + 0] = 1.0f;
+  a[1 * k + 1] = 0.0f;  // the term the old kernel skipped
+  a[1 * k + 2] = 2.0f;
+  a[2 * k + 3] = -0.0f;
+  std::vector<float> b(k * n, 1.0f);
+  b[1 * n + 2] = std::nanf("");  // k=1 feeds NaN into every output column 2
+  std::vector<float> seed(m * n, -0.0f);
+
+  std::vector<float> expected = seed;
+  ref_gemm(GemmOp::kNormal, m, n, k, a, b, expected, /*accumulate=*/true);
+  // Zero row times NaN column: the chain must carry the NaN.
+  ASSERT_TRUE(std::isnan(expected[0 * n + 2]));
+  ASSERT_TRUE(std::isnan(expected[1 * n + 2]));
+  // Zero row, finite columns: fmaf chains turn the -0 seed into +0.
+  const float plus_zero = expected[0 * n + 0];
+  ASSERT_EQ(std::memcmp(&plus_zero, "\0\0\0\0", sizeof(float)), 0);
+
+  for (const GemmLane lane : gemm_available_lanes()) {
+    ASSERT_TRUE(set_gemm_lane(lane));
+    std::vector<float> got = seed;
+    run_public(GemmOp::kNormal, m, n, k, a, b, got, /*accumulate=*/true);
+    ASSERT_TRUE(bytes_equal(expected, got))
+        << "lane=" << gemm_lane_name(lane);
+  }
+  // Auto dispatch on this tiny shape exercises the unpacked shortcut.
+  ASSERT_TRUE(set_gemm_lane(GemmLane::kAuto));
+  std::vector<float> got = seed;
+  run_public(GemmOp::kNormal, m, n, k, a, b, got, /*accumulate=*/true);
+  ASSERT_TRUE(bytes_equal(expected, got)) << "small-shape shortcut";
+}
+
+// Lane plumbing: auto resolves to a concrete available lane, forcing an
+// unavailable lane is refused, and forcing is visible + reversible.
+TEST_F(KernelDifferential, LaneDispatchControls) {
+  const GemmLane resolved = gemm_resolve_lane();
+  EXPECT_NE(resolved, GemmLane::kAuto);
+  EXPECT_TRUE(gemm_lane_available(resolved));
+  EXPECT_TRUE(gemm_lane_available(GemmLane::kScalar));
+  ASSERT_TRUE(set_gemm_lane(GemmLane::kScalar));
+  EXPECT_EQ(gemm_forced_lane(), GemmLane::kScalar);
+  EXPECT_EQ(gemm_resolve_lane(), GemmLane::kScalar);
+  if (!gemm_lane_compiled(GemmLane::kAvx512) ||
+      !gemm_lane_available(GemmLane::kAvx512)) {
+    EXPECT_FALSE(set_gemm_lane(GemmLane::kAvx512));
+    EXPECT_EQ(gemm_forced_lane(), GemmLane::kScalar);  // unchanged
+  }
+  ASSERT_TRUE(set_gemm_lane(GemmLane::kAuto));
+  EXPECT_EQ(gemm_forced_lane(), GemmLane::kAuto);
+}
+
+// Gradient checks at shapes that are not multiples of any register tile,
+// so ragged row/column edges sit inside the differentiated GEMMs.
+TEST_F(KernelDifferential, LinearGradientsAtRaggedShapes) {
+  util::Rng rng(0x5eed0004);
+  Linear layer(13, 7);  // in 13, out 7: both straddle MR/NR boundaries
+  layer.init_parameters(rng);
+  const Tensor input = testing::random_tensor(Shape{5, 13}, rng);
+  testing::check_input_gradient(layer, input, rng);
+  testing::check_parameter_gradients(layer, input, rng);
+}
+
+TEST_F(KernelDifferential, AttentionGradientsAtRaggedShapes) {
+  util::Rng rng(0x5eed0005);
+  MultiHeadSelfAttention layer(12, 3, 5);  // E=12, H=3, T=5
+  layer.init_parameters(rng);
+  const Tensor input = testing::random_tensor(Shape{2, 5, 12}, rng, 0.5);
+  testing::check_input_gradient(layer, input, rng);
+  testing::check_parameter_gradients(layer, input, rng);
+}
+
+}  // namespace
+}  // namespace odn::nn
